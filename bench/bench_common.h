@@ -1,0 +1,33 @@
+#ifndef DISAGG_BENCH_BENCH_COMMON_H_
+#define DISAGG_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include "net/net_context.h"
+
+namespace disagg::bench {
+
+/// Publishes the simulated-time metrics of a batch of `ops` operations as
+/// benchmark counters. Simulated time is the deterministic output of the
+/// fabric cost model, independent of host speed — wall-clock time of these
+/// benchmarks is irrelevant and iterations are pinned to 1.
+inline void ReportSim(benchmark::State& state, const NetContext& ctx,
+                      uint64_t ops) {
+  if (ops == 0) ops = 1;
+  state.counters["sim_us_per_op"] =
+      static_cast<double>(ctx.sim_ns) / 1e3 / static_cast<double>(ops);
+  state.counters["bytes_out_per_op"] =
+      static_cast<double>(ctx.bytes_out) / static_cast<double>(ops);
+  state.counters["bytes_in_per_op"] =
+      static_cast<double>(ctx.bytes_in) / static_cast<double>(ops);
+  state.counters["rtts_per_op"] =
+      static_cast<double>(ctx.round_trips) / static_cast<double>(ops);
+  state.counters["sim_ops_per_sec"] =
+      ctx.sim_ns == 0 ? 0.0
+                      : static_cast<double>(ops) * 1e9 /
+                            static_cast<double>(ctx.sim_ns);
+}
+
+}  // namespace disagg::bench
+
+#endif  // DISAGG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,101 @@
+// Experiment E10 (DESIGN.md): indexes on disaggregated memory (Sec. 3.1).
+//  - RACE hash: all one-sided, lock-free CAS — zero pool-CPU RPCs on the
+//    data path.
+//  - Sherman B+tree (optimistic reads + doorbell-batched writes) vs the
+//    lock-coupling B-tree (Ziegler et al.): reads cost 1 READ/level vs
+//    3 RTTs/level; writes save round trips via batching.
+// YCSB A (update-heavy) and C (read-only) with Zipfian skew.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "rindex/race_hash.h"
+#include "rindex/remote_btree.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+constexpr uint64_t kKeys = 4000;
+constexpr int kOps = 2000;
+
+YcsbGenerator::Mix MixFor(int id) {
+  return id == 0 ? YcsbGenerator::Mix::A() : YcsbGenerator::Mix::C();
+}
+const char* MixName(int id) { return id == 0 ? "YCSB-A" : "YCSB-C"; }
+
+void BM_E10_RaceHash(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  NetContext setup;
+  auto table = RaceHash::Create(&setup, &fabric, &pool, 2048);
+  DISAGG_CHECK(table.ok());
+  RaceHash hash(&fabric, &pool, *table);
+  for (uint64_t k = 0; k < kKeys; k++) {
+    DISAGG_CHECK_OK(hash.Put(&setup, std::to_string(k), "value-0"));
+  }
+  YcsbGenerator gen(kKeys, MixFor(static_cast<int>(state.range(0))), 0.99, 9);
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      auto op = gen.Next();
+      if (op.type == YcsbGenerator::OpType::kRead) {
+        DISAGG_CHECK(hash.Get(&ctx, std::to_string(op.key)).ok());
+      } else {
+        DISAGG_CHECK_OK(hash.Put(&ctx, std::to_string(op.key), "value-1"));
+      }
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  state.counters["pool_cpu_rpcs"] = static_cast<double>(ctx.rpcs);
+  state.SetLabel(MixName(static_cast<int>(state.range(0))));
+}
+
+void RunBTree(benchmark::State& state, RemoteBTree::Options options) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  NetContext setup;
+  auto ref = RemoteBTree::Create(&setup, &fabric, &pool);
+  DISAGG_CHECK(ref.ok());
+  RemoteBTree tree(&fabric, &pool, *ref, options);
+  for (uint64_t k = 1; k <= kKeys; k++) {
+    DISAGG_CHECK_OK(tree.Put(&setup, k, k));
+  }
+  YcsbGenerator gen(kKeys, MixFor(static_cast<int>(state.range(0))), 0.99, 9);
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      auto op = gen.Next();
+      if (op.type == YcsbGenerator::OpType::kRead) {
+        (void)tree.Get(&ctx, 1 + op.key);
+      } else {
+        DISAGG_CHECK_OK(tree.Put(&ctx, 1 + op.key, op.key));
+      }
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  state.counters["optimistic_retries"] =
+      static_cast<double>(tree.stats().optimistic_retries);
+  state.SetLabel(MixName(static_cast<int>(state.range(0))));
+}
+
+void BM_E10_ShermanBTree(benchmark::State& state) {
+  RunBTree(state, RemoteBTree::Options::Sherman());
+}
+
+void BM_E10_LockCouplingBTree(benchmark::State& state) {
+  RunBTree(state, RemoteBTree::Options::LockCoupling());
+}
+
+BENCHMARK(BM_E10_RaceHash)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_E10_ShermanBTree)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_E10_LockCouplingBTree)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Experiment E11 (DESIGN.md): effect of memory disaggregation on OLAP
+// DBMSs (Zhang et al., VLDB'20; Sec. 3.2). TPC-H-lite Q1/Q3/Q6 with the
+// lineitem table split between local memory and the remote pool, sweeping
+// the local fraction:
+//  - "app-managed" (MonetDB-like): the DBMS pins the hottest prefix of the
+//    data locally and reads only the remainder remotely;
+//  - "OS-managed" (PostgreSQL-like): placement is oblivious — pages go
+//    remote uniformly, and even the buffer/disk cache lives in the remote
+//    pool, so cached data still crosses the network.
+// Expected shape: both degrade as local memory shrinks; app-managed
+// degrades later and less steeply; the large remote pool still beats
+// spilling to SSD (also shown).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "query/pushdown.h"
+#include "storage/page.h"
+#include "workload/tpch_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr size_t kRows = 20000;
+
+// Scans `rows` with the given local fraction and placement policy, charging
+// remote rows at RDMA cost (app-managed reads them in one sequential pull;
+// OS-managed pays page-granular traffic through the remote disk cache).
+std::vector<Tuple> ScanTable(NetContext* ctx, const std::vector<Tuple>& rows,
+                             double local_fraction, bool app_managed,
+                             size_t row_bytes) {
+  const auto rdma = InterconnectModel::Rdma();
+  const auto dram = InterconnectModel::LocalDram();
+  const size_t local_rows =
+      static_cast<size_t>(static_cast<double>(rows.size()) * local_fraction);
+  if (app_managed) {
+    // Hot prefix local, cold suffix streamed remotely in one transfer.
+    ctx->Charge(dram.ReadCost(local_rows * row_bytes));
+    const size_t remote_rows = rows.size() - local_rows;
+    if (remote_rows > 0) {
+      ctx->Charge(rdma.ReadCost(remote_rows * row_bytes));
+      ctx->bytes_in += remote_rows * row_bytes;
+      ctx->round_trips++;
+    }
+  } else {
+    // OS paging: placement oblivious, page-granular round trips; the disk
+    // cache itself sits in remote memory so "cache hits" still move data.
+    const size_t rows_per_page = kPageSize / row_bytes;
+    const size_t total_pages = rows.size() / rows_per_page + 1;
+    const size_t remote_pages = total_pages -
+        static_cast<size_t>(static_cast<double>(total_pages) * local_fraction);
+    for (size_t p = 0; p < remote_pages; p++) {
+      ctx->Charge(rdma.ReadCost(kPageSize));
+      ctx->bytes_in += kPageSize;
+      ctx->round_trips++;
+    }
+    ctx->Charge(dram.ReadCost((total_pages - remote_pages) * kPageSize));
+  }
+  return rows;
+}
+
+void RunQuery(benchmark::State& state, int query) {
+  const double local_fraction =
+      static_cast<double>(state.range(0)) / 100.0;
+  const bool app_managed = state.range(1) != 0;
+  auto lineitem = tpch::GenLineitem(kRows);
+  auto orders = tpch::GenOrders(kRows / 4);
+  auto customer = tpch::GenCustomer(kRows / 40);
+  NetContext ctx;
+  for (auto _ : state) {
+    auto scanned = ScanTable(&ctx, lineitem, local_fraction, app_managed, 40);
+    switch (query) {
+      case 1:
+        benchmark::DoNotOptimize(tpch::Q1(&ctx, scanned, 2000));
+        break;
+      case 3:
+        benchmark::DoNotOptimize(
+            tpch::Q3(&ctx, customer, orders, scanned, "BUILDING"));
+        break;
+      default:
+        benchmark::DoNotOptimize(tpch::Q6(&ctx, scanned, 100, 465, 24));
+        break;
+    }
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.SetLabel(app_managed ? "app-managed(MonetDB-like)"
+                             : "os-managed(PostgreSQL-like)");
+}
+
+void BM_E11_Q1(benchmark::State& state) { RunQuery(state, 1); }
+void BM_E11_Q3(benchmark::State& state) { RunQuery(state, 3); }
+void BM_E11_Q6(benchmark::State& state) { RunQuery(state, 6); }
+
+// Spill baseline: without a remote pool, the out-of-memory fraction goes to
+// SSD instead — the case a big disaggregated pool prevents.
+void BM_E11_Q6_SpillToSsdBaseline(benchmark::State& state) {
+  const double local_fraction =
+      static_cast<double>(state.range(0)) / 100.0;
+  auto lineitem = tpch::GenLineitem(kRows);
+  const auto ssd = InterconnectModel::Ssd();
+  NetContext ctx;
+  for (auto _ : state) {
+    const size_t spilled_rows = static_cast<size_t>(
+        static_cast<double>(lineitem.size()) * (1.0 - local_fraction));
+    const size_t pages = spilled_rows * 40 / kPageSize + 1;
+    for (size_t p = 0; p < pages; p++) {
+      ctx.Charge(ssd.ReadCost(kPageSize));
+    }
+    benchmark::DoNotOptimize(tpch::Q6(&ctx, lineitem, 100, 465, 24));
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.SetLabel("spill-to-ssd");
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int managed : {1, 0}) {
+    for (int pct : {100, 75, 50, 25, 10, 0}) {
+      b->Args({pct, managed});
+    }
+  }
+  b->Iterations(1);
+}
+
+BENCHMARK(BM_E11_Q1)->Apply(Sweep);
+BENCHMARK(BM_E11_Q3)->Apply(Sweep);
+BENCHMARK(BM_E11_Q6)->Apply(Sweep);
+BENCHMARK(BM_E11_Q6_SpillToSsdBaseline)
+    ->Arg(50)
+    ->Arg(25)
+    ->Arg(10)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

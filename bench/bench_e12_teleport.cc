@@ -1,0 +1,85 @@
+// Experiment E12 (DESIGN.md): TELEPORT-style compute pushdown (Sec. 3.2).
+// Selection over a remote-memory-resident table, selectivity sweep
+// 0.1% .. 100%:
+//  - fetch-all + local filter pays the full table transfer regardless of
+//    selectivity;
+//  - pushdown pays one RPC plus pool-side CPU and transfers only matches.
+// Expected crossover: pushdown dominates at low selectivity; at ~100%
+// selectivity the result transfer equals the table and the (slower) pool
+// CPU makes pushdown lose — the regime TELEPORT's synchronization-on-demand
+// policy is designed around.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "query/pushdown.h"
+#include "workload/tpch_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr size_t kRows = 20000;
+
+ops::Fragment SelectivityFragment(int permille) {
+  // quantity is uniform in [1, 50]: quantity <= k keeps ~k/50 of rows.
+  ops::Fragment frag;
+  const int64_t cutoff = std::max<int64_t>(1, 50 * permille / 1000);
+  frag.predicate.And(1, CmpOp::kLe, cutoff);
+  return frag;
+}
+
+void BM_E12_FetchAllThenFilter(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  NetContext setup;
+  auto table = RemoteTable::Create(&setup, &fabric, &pool,
+                                   tpch::LineitemSchema(),
+                                   tpch::GenLineitem(kRows));
+  DISAGG_CHECK(table.ok());
+  const auto frag = SelectivityFragment(static_cast<int>(state.range(0)));
+  NetContext ctx;
+  size_t matches = 0;
+  for (auto _ : state) {
+    auto rows = table->FetchAll(&ctx);
+    DISAGG_CHECK(rows.ok());
+    matches = frag.Execute(&ctx, *rows).size();
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["bytes_moved"] = static_cast<double>(ctx.bytes_in);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void BM_E12_Pushdown(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  NetContext setup;
+  auto table = RemoteTable::Create(&setup, &fabric, &pool,
+                                   tpch::LineitemSchema(),
+                                   tpch::GenLineitem(kRows));
+  DISAGG_CHECK(table.ok());
+  const auto frag = SelectivityFragment(static_cast<int>(state.range(0)));
+  NetContext ctx;
+  size_t matches = 0;
+  for (auto _ : state) {
+    auto rows = table->Pushdown(&ctx, frag);
+    DISAGG_CHECK(rows.ok());
+    matches = rows->size();
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["bytes_moved"] = static_cast<double>(ctx.bytes_in);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int permille : {1, 10, 100, 300, 1000}) b->Arg(permille);
+  b->Iterations(1);
+}
+
+BENCHMARK(BM_E12_FetchAllThenFilter)->Apply(Sweep);
+BENCHMARK(BM_E12_Pushdown)->Apply(Sweep);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

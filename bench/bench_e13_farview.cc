@@ -1,0 +1,83 @@
+// Experiment E13 (DESIGN.md): Farview's pipelined operator stack on the
+// memory side (Sec. 3.2). The offloaded fragment is a full pipeline
+// (scan -> filter -> project / aggregate); Farview's FPGA streams it at
+// line rate, modeled as a pool "CPU" with cpu_scale 0.5 (faster than a
+// general-purpose core at these streaming ops). Compare:
+//  - client-side execution (fetch everything);
+//  - pushdown to a wimpy-CPU pool (TELEPORT-on-CPU);
+//  - pushdown to the FPGA-speed pool (Farview).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "query/pushdown.h"
+#include "workload/tpch_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr size_t kRows = 20000;
+
+ops::Fragment Pipeline() {
+  ops::Fragment frag;
+  frag.predicate.And(4, CmpOp::kLt, int64_t{1000});  // ~40% of rows
+  frag.group_cols = {5};                             // returnflag
+  frag.aggs = {{AggFunc::kSum, 2}, {AggFunc::kCount, 0}};
+  return frag;
+}
+
+void BM_E13_ClientSide(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  NetContext setup;
+  auto table = RemoteTable::Create(&setup, &fabric, &pool,
+                                   tpch::LineitemSchema(),
+                                   tpch::GenLineitem(kRows));
+  DISAGG_CHECK(table.ok());
+  NetContext ctx;
+  for (auto _ : state) {
+    auto rows = table->FetchAll(&ctx);
+    DISAGG_CHECK(rows.ok());
+    benchmark::DoNotOptimize(Pipeline().Execute(&ctx, *rows));
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["bytes_moved"] = static_cast<double>(ctx.bytes_in);
+}
+
+void RunOffload(benchmark::State& state, double pool_cpu_scale,
+                const char* label) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 512 << 20);
+  fabric.node(pool.node())->set_cpu_scale(pool_cpu_scale);
+  NetContext setup;
+  auto table = RemoteTable::Create(&setup, &fabric, &pool,
+                                   tpch::LineitemSchema(),
+                                   tpch::GenLineitem(kRows));
+  DISAGG_CHECK(table.ok());
+  NetContext ctx;
+  for (auto _ : state) {
+    auto rows = table->Pushdown(&ctx, Pipeline());
+    DISAGG_CHECK(rows.ok());
+  }
+  state.counters["query_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["bytes_moved"] = static_cast<double>(ctx.bytes_in);
+  state.SetLabel(label);
+}
+
+void BM_E13_PushdownWimpyCpu(benchmark::State& state) {
+  RunOffload(state, 1.5, "pool-cpu(TELEPORT)");
+}
+
+void BM_E13_PushdownFpga(benchmark::State& state) {
+  RunOffload(state, 0.5, "fpga-stack(Farview)");
+}
+
+BENCHMARK(BM_E13_ClientSide)->Iterations(1);
+BENCHMARK(BM_E13_PushdownWimpyCpu)->Iterations(1);
+BENCHMARK(BM_E13_PushdownFpga)->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

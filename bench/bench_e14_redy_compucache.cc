@@ -1,0 +1,110 @@
+// Experiment E14 (DESIGN.md): remote-memory caching (Sec. 3.2).
+//  - Redy: GET latency from stranded remote memory vs an SSD cache, and
+//    the cost of migrating the cache when the stranded memory is reclaimed.
+//  - CompuCache: pointer-chasing stored procedures — k dependent hops cost
+//    k one-sided round trips client-side but a single RPC server-side.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "memnode/remote_cache.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kGets = 500;
+constexpr uint64_t kEntries = 1000;
+
+void BM_E14_Redy_RemoteMemoryGet(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "stranded", 256 << 20);
+  RemoteCache cache(&fabric, &pool);
+  NetContext setup;
+  for (uint64_t k = 0; k < kEntries; k++) {
+    DISAGG_CHECK_OK(
+        cache.Put(&setup, std::to_string(k), std::string(1024, 'v')));
+  }
+  ZipfianGenerator zipf(kEntries, 0.99, 3);
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kGets; i++) {
+      DISAGG_CHECK(cache.Get(&ctx, std::to_string(zipf.Next())).ok());
+    }
+  }
+  bench::ReportSim(state, ctx, kGets);
+}
+
+void BM_E14_SsdCacheGetBaseline(benchmark::State& state) {
+  // The incumbent Redy replaces: the same GETs served by an SSD cache.
+  const auto ssd = InterconnectModel::Ssd();
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kGets; i++) {
+      ctx.Charge(ssd.ReadCost(1024));
+      ctx.bytes_in += 1024;
+      ctx.round_trips++;
+    }
+  }
+  bench::ReportSim(state, ctx, kGets);
+}
+
+void BM_E14_Redy_MigrationOnReclaim(benchmark::State& state) {
+  Fabric fabric;
+  MemoryNode old_pool(&fabric, "stranded-old", 256 << 20);
+  MemoryNode new_pool(&fabric, "stranded-new", 256 << 20);
+  RemoteCache cache(&fabric, &old_pool);
+  NetContext setup;
+  for (uint64_t k = 0; k < kEntries; k++) {
+    DISAGG_CHECK_OK(
+        cache.Put(&setup, std::to_string(k), std::string(1024, 'v')));
+  }
+  NetContext ctx;
+  for (auto _ : state) {
+    DISAGG_CHECK_OK(cache.MigrateTo(&ctx, &new_pool));
+  }
+  state.counters["migrate_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["entries"] = static_cast<double>(cache.size());
+}
+
+void BM_E14_CompuCache_PointerChase(benchmark::State& state) {
+  const size_t hops = static_cast<size_t>(state.range(0));
+  const bool server_side = state.range(1) != 0;
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 64 << 20);
+  PointerChain chain(&fabric, &pool);
+  NetContext setup;
+  std::vector<std::string> values;
+  for (size_t i = 0; i <= hops; i++) values.push_back("node" + std::to_string(i));
+  auto head = chain.Build(&setup, values);
+  DISAGG_CHECK(head.ok());
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kGets; i++) {
+      auto r = server_side ? chain.ChaseServerSide(&ctx, *head, hops)
+                           : chain.ChaseClientSide(&ctx, *head, hops);
+      DISAGG_CHECK(r.ok());
+    }
+  }
+  bench::ReportSim(state, ctx, kGets);
+  state.SetLabel(server_side ? "stored-procedure(1 RTT)"
+                             : "client-chase(k RTTs)");
+}
+
+void ChaseSweep(benchmark::internal::Benchmark* b) {
+  for (int server : {0, 1}) {
+    for (int hops : {1, 2, 4, 8}) b->Args({hops, server});
+  }
+  b->Iterations(1);
+}
+
+BENCHMARK(BM_E14_Redy_RemoteMemoryGet)->Iterations(1);
+BENCHMARK(BM_E14_SsdCacheGetBaseline)->Iterations(1);
+BENCHMARK(BM_E14_Redy_MigrationOnReclaim)->Iterations(1);
+BENCHMARK(BM_E14_CompuCache_PointerChase)->Apply(ChaseSweep);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

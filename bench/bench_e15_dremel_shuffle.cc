@@ -1,0 +1,63 @@
+// Experiment E15 (DESIGN.md): Dremel's disaggregated shuffle (Sec. 3.2).
+// Coupled shuffle opens P*C connections (quadratic), the disaggregated
+// shuffle region needs P+C sessions; sweep the fleet size and measure the
+// exchange's simulated time and connection count. Expected shape: the gap
+// widens superlinearly with the fleet — "improves the performance and
+// scalability of joins by an order of magnitude" at scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "query/pushdown.h"
+
+namespace disagg {
+namespace {
+
+constexpr size_t kRowsPerProducer = 4000;
+constexpr size_t kRowBytes = 64;
+
+void BM_E15_CoupledShuffle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));  // producers = consumers
+  Fabric fabric;
+  Shuffle::Report report;
+  for (auto _ : state) {
+    auto r = Shuffle::RunCoupled(&fabric, n, n, kRowsPerProducer, kRowBytes);
+    DISAGG_CHECK(r.ok());
+    report = *r;
+  }
+  state.counters["connections"] = static_cast<double>(report.connections);
+  state.counters["exchange_sim_ms"] =
+      static_cast<double>(report.sim_ns) / 1e6;
+  state.counters["mb_moved"] = static_cast<double>(report.bytes_moved) / 1e6;
+}
+
+void BM_E15_DisaggregatedShuffle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fabric fabric;
+  MemoryNode pool(&fabric, "shuffle-pool", 2048ull << 20);
+  Shuffle::Report report;
+  for (auto _ : state) {
+    auto r = Shuffle::RunDisaggregated(&fabric, &pool, n, n,
+                                       kRowsPerProducer, kRowBytes);
+    DISAGG_CHECK(r.ok());
+    report = *r;
+  }
+  state.counters["connections"] = static_cast<double>(report.connections);
+  state.counters["exchange_sim_ms"] =
+      static_cast<double>(report.sim_ns) / 1e6;
+  state.counters["mb_moved"] = static_cast<double>(report.bytes_moved) / 1e6;
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int n : {2, 4, 8, 16, 32}) b->Arg(n);
+  b->Iterations(1);
+}
+
+BENCHMARK(BM_E15_CoupledShuffle)->Apply(Sweep);
+BENCHMARK(BM_E15_DisaggregatedShuffle)->Apply(Sweep);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

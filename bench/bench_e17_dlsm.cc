@@ -1,0 +1,83 @@
+// Experiment E17 (DESIGN.md): dLSM — LSM indexing on disaggregated memory
+// (Sec. 3.1).
+//  - Shard-count sweep under a skewed write/read mix: sharding spreads both
+//    memtable pressure and per-shard run counts (fewer runs = fewer remote
+//    probes per read).
+//  - Compaction placement: downloading runs to merge client-side moves the
+//    entire index twice; offloading the merge to the memory node's CPU
+//    moves almost nothing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "rindex/dlsm.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+constexpr uint64_t kKeys = 8000;
+constexpr int kOps = 4000;
+
+void BM_E17_ShardSweep(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 1024ull << 20);
+  DLsm lsm(&fabric, &pool, shards, /*memtable_limit=*/128);
+  NetContext setup;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    DISAGG_CHECK_OK(lsm.Put(&setup, k, k));
+  }
+  YcsbGenerator gen(kKeys, YcsbGenerator::Mix::A(), 0.99, 21);
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      auto op = gen.Next();
+      if (op.type == YcsbGenerator::OpType::kRead) {
+        (void)lsm.Get(&ctx, op.key);
+      } else {
+        DISAGG_CHECK_OK(lsm.Put(&ctx, op.key, op.key + 1));
+      }
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  size_t runs = 0;
+  for (size_t s = 0; s < lsm.num_shards(); s++) {
+    runs += lsm.shard(s)->num_runs();
+  }
+  state.counters["total_runs"] = static_cast<double>(runs);
+}
+
+void BM_E17_Compaction(benchmark::State& state) {
+  const bool remote = state.range(0) != 0;
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 1024ull << 20);
+  DLsmShard shard(&fabric, &pool, /*memtable_limit=*/512);
+  NetContext setup;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    DISAGG_CHECK_OK(shard.Put(&setup, k % (kKeys / 2), k));
+  }
+  DISAGG_CHECK_OK(shard.Flush(&setup));
+  NetContext ctx;
+  for (auto _ : state) {
+    if (remote) {
+      DISAGG_CHECK_OK(shard.CompactRemote(&ctx));
+    } else {
+      DISAGG_CHECK_OK(shard.CompactLocal(&ctx));
+    }
+  }
+  state.counters["compact_sim_ms"] = static_cast<double>(ctx.sim_ns) / 1e6;
+  state.counters["mb_moved"] =
+      static_cast<double>(ctx.bytes_in + ctx.bytes_out) / 1e6;
+  state.SetLabel(remote ? "offloaded-to-memnode" : "client-side");
+}
+
+BENCHMARK(BM_E17_ShardSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E17_Compaction)->Arg(0)->Arg(1)->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Experiment E19 (DESIGN.md): FORD-style one-sided OCC transactions on
+// disaggregated PM (Sec. 2.3 reference [50]).
+//  - zero PM-server RPCs on the transaction path (pure one-sided verbs);
+//  - batched persistence: ONE flush-read per PM node per commit regardless
+//    of how many records were written there;
+//  - abort-rate sweep under Zipfian contention.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "pm/ford_txn.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kTxns = 300;
+constexpr size_t kRecordsPerNode = 256;
+
+void BM_E19_CommitLatency_WriteSetSweep(benchmark::State& state) {
+  const size_t writes = static_cast<size_t>(state.range(0));
+  Fabric fabric;
+  std::vector<std::unique_ptr<PmNode>> pm;
+  std::vector<PmNode*> raw;
+  for (int i = 0; i < 2; i++) {
+    pm.push_back(std::make_unique<PmNode>(&fabric, "pm" + std::to_string(i),
+                                          64 << 20));
+    raw.push_back(pm.back().get());
+  }
+  FordTxnManager mgr(&fabric, raw, kRecordsPerNode);
+  NetContext ctx;
+  Random rng(9);
+  for (auto _ : state) {
+    for (int t = 0; t < kTxns; t++) {
+      auto txn = mgr.Begin(&ctx);
+      for (size_t w = 0; w < writes; w++) {
+        DISAGG_CHECK_OK(txn.Write(rng.Uniform(2 * kRecordsPerNode),
+                                  "value-" + std::to_string(t)));
+      }
+      Status st = txn.Commit();
+      DISAGG_CHECK(st.ok() || st.IsAborted());
+    }
+  }
+  bench::ReportSim(state, ctx, kTxns);
+  state.counters["pm_server_rpcs"] = static_cast<double>(ctx.rpcs);
+  state.counters["commits"] = static_cast<double>(mgr.stats().commits);
+}
+
+void BM_E19_AbortRate_ContentionSweep(benchmark::State& state) {
+  // range = hot-set size; smaller = more contention among interleaved txns.
+  const uint64_t hot_set = static_cast<uint64_t>(state.range(0));
+  Fabric fabric;
+  PmNode pm(&fabric, "pm0", 64 << 20);
+  FordTxnManager mgr(&fabric, {&pm}, kRecordsPerNode);
+  NetContext ctx;
+  Random rng(11);
+  for (auto _ : state) {
+    for (int t = 0; t < kTxns; t++) {
+      // Two interleaved transactions on the hot set: the second often
+      // invalidates the first (OCC).
+      auto t1 = mgr.Begin(&ctx);
+      auto t2 = mgr.Begin(&ctx);
+      const uint64_t r1 = rng.Uniform(hot_set);
+      const uint64_t r2 = rng.Uniform(hot_set);
+      DISAGG_CHECK_OK(t1.Write(r1, "t1"));
+      DISAGG_CHECK_OK(t2.Write(r2, "t2"));
+      Status s2 = t2.Commit();
+      Status s1 = t1.Commit();
+      DISAGG_CHECK(s2.ok() || s2.IsAborted());
+      DISAGG_CHECK(s1.ok() || s1.IsAborted());
+    }
+  }
+  const double total = static_cast<double>(
+      mgr.stats().commits + mgr.stats().aborts_validate +
+      mgr.stats().aborts_lock);
+  state.counters["abort_rate"] =
+      static_cast<double>(mgr.stats().aborts_validate +
+                          mgr.stats().aborts_lock) /
+      total;
+  bench::ReportSim(state, ctx, 2 * kTxns);
+}
+
+BENCHMARK(BM_E19_CommitLatency_WriteSetSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1);
+BENCHMARK(BM_E19_AbortRate_ContentionSweep)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

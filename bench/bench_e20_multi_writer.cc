@@ -1,0 +1,130 @@
+// Experiment E20 (DESIGN.md): "scalable transactions in disaggregated
+// databases" (Sec. 4, future directions) — multiple writers over shared
+// disaggregated memory with a global CAS lock table, vs the single-writer
+// discipline of today's cloud databases.
+//  - writer-count sweep on disjoint keys: aggregate simulated throughput
+//    scales with writers (parallel fan-out);
+//  - single-writer baseline: the same total work funnels through one node
+//    and serializes;
+//  - skewed keys: remote lock conflicts appear, bounding the win — the
+//    challenge the paper flags for multi-writer designs.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/multi_writer.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kOpsPerWriter = 100;
+
+void BM_E20_WriterSweep_DisjointKeys(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  Fabric fabric;
+  MultiWriterDb db(&fabric, /*max_pages=*/512);
+  std::vector<std::unique_ptr<MultiWriterDb::Writer>> fleet;
+  for (int w = 0; w < writers; w++) fleet.push_back(db.AttachWriter());
+  std::vector<NetContext> ctx(writers);
+  for (auto _ : state) {
+    for (int w = 0; w < writers; w++) {
+      for (int i = 0; i < kOpsPerWriter; i++) {
+        const uint64_t key = static_cast<uint64_t>(w) * 100000 + i;
+        DISAGG_CHECK_OK(fleet[w]->Put(&ctx[w], key, "row-payload-64bytes"));
+      }
+    }
+  }
+  NetContext total;
+  MergeParallel(&total, ctx.data(), ctx.size());
+  const uint64_t ops = static_cast<uint64_t>(writers) * kOpsPerWriter;
+  state.counters["agg_sim_writes_per_sec"] =
+      total.sim_ns == 0 ? 0
+                        : static_cast<double>(ops) * 1e9 /
+                              static_cast<double>(total.sim_ns);
+  state.counters["sim_ms_wall"] = static_cast<double>(total.sim_ns) / 1e6;
+}
+
+void BM_E20_SingleWriterBaseline_SameTotalWork(benchmark::State& state) {
+  const int equivalent_writers = static_cast<int>(state.range(0));
+  Fabric fabric;
+  MultiWriterDb db(&fabric, 512);
+  auto writer = db.AttachWriter();
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int w = 0; w < equivalent_writers; w++) {
+      for (int i = 0; i < kOpsPerWriter; i++) {
+        const uint64_t key = static_cast<uint64_t>(w) * 100000 + i;
+        DISAGG_CHECK_OK(writer->Put(&ctx, key, "row-payload-64bytes"));
+      }
+    }
+  }
+  const uint64_t ops =
+      static_cast<uint64_t>(equivalent_writers) * kOpsPerWriter;
+  state.counters["agg_sim_writes_per_sec"] =
+      static_cast<double>(ops) * 1e9 / static_cast<double>(ctx.sim_ns);
+  state.counters["sim_ms_wall"] = static_cast<double>(ctx.sim_ns) / 1e6;
+}
+
+void BM_E20_SkewedKeys_LockConflicts(benchmark::State& state) {
+  // REAL concurrency: four threads hammer the same Zipfian keys, colliding
+  // on the remote CAS lock table. Busy = no-wait conflict, retried.
+  const int writers = 4;
+  const uint64_t key_space = static_cast<uint64_t>(state.range(0));
+  Fabric fabric;
+  MultiWriterDb db(&fabric, 512);
+  std::atomic<uint64_t> attempts{0}, conflicts{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; w++) {
+      threads.emplace_back([&, w]() {
+        auto writer = db.AttachWriter();
+        NetContext ctx;
+        ZipfianGenerator zipf(key_space, 0.99, 23 + w);
+        for (int i = 0; i < kOpsPerWriter; i++) {
+          const uint64_t key = zipf.Next();
+          for (int attempt = 0; attempt < 64; attempt++) {
+            attempts.fetch_add(1);
+            Status st = writer->Put(&ctx, key, "contended-row");
+            if (st.ok()) break;
+            DISAGG_CHECK(st.IsBusy());
+            conflicts.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.counters["conflict_rate"] =
+      static_cast<double>(conflicts.load()) /
+      static_cast<double>(attempts.load());
+}
+
+BENCHMARK(BM_E20_WriterSweep_DisjointKeys)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E20_SingleWriterBaseline_SameTotalWork)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E20_SkewedKeys_LockConflicts)
+    ->Arg(4)
+    ->Arg(32)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

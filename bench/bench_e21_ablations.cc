@@ -1,0 +1,115 @@
+// Experiment E21 (DESIGN.md): ablations over the platform's design knobs —
+// the "comprehensive performance evaluation ... different hardware
+// platforms" the paper's Future Directions call for.
+//  - Interconnect ablation: the SAME shared-memory YCSB workload with the
+//    memory pool behind local-DRAM-, CXL-, and RDMA-class fabrics.
+//  - Group-commit ablation: transactions per WAL flush vs commit cost.
+//  - FPDB hybrid ablation: cache-only vs pushdown-only vs hybrid on
+//    repeated selective queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/engines.h"
+#include "memnode/two_tier_cache.h"
+#include "query/hybrid_pushdown.h"
+#include "workload/tpch_lite.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+void BM_E21_InterconnectAblation(benchmark::State& state) {
+  const int tier = static_cast<int>(state.range(0));
+  const InterconnectModel model =
+      tier == 0 ? InterconnectModel::LocalDram()
+                : (tier == 1 ? InterconnectModel::Cxl()
+                             : InterconnectModel::Rdma());
+  Fabric fabric;
+  MemoryNode pool(&fabric, "pool", 512 << 20, model);
+  InMemoryPageSource storage;
+  constexpr size_t kPages = 128;
+  for (PageId id = 0; id < kPages; id++) {
+    Page page(id);
+    DISAGG_CHECK(page.Insert("row").ok());
+    storage.Seed(page);
+  }
+  TwoTierCache cache(&fabric, &pool, &storage, /*l1=*/8, kPages);
+  ZipfianGenerator zipf(kPages, 0.99, 29);
+  NetContext ctx;
+  constexpr int kOps = 2000;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      DISAGG_CHECK(cache.Get(&ctx, zipf.Next()).ok());
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  state.SetLabel(model.name);
+}
+
+void BM_E21_GroupCommitAblation(benchmark::State& state) {
+  const int group = static_cast<int>(state.range(0));
+  Fabric fabric;
+  AuroraDb db(&fabric);
+  NetContext ctx;
+  constexpr int kRows = 240;
+  for (auto _ : state) {
+    for (int i = 0; i < kRows; i += group) {
+      const TxnId txn = db.Begin();
+      for (int g = 0; g < group && i + g < kRows; g++) {
+        DISAGG_CHECK_OK(db.Insert(&ctx, txn,
+                                  static_cast<uint64_t>(i + g),
+                                  "grouped-row-payload"));
+      }
+      DISAGG_CHECK_OK(db.Commit(&ctx, txn));  // one quorum flush per group
+    }
+  }
+  bench::ReportSim(state, ctx, kRows);
+}
+
+void BM_E21_HybridPushdownAblation(benchmark::State& state) {
+  const auto mode = static_cast<HybridTable::Mode>(state.range(0));
+  Fabric fabric;
+  MemoryNode pool(&fabric, "fpdb", 512 << 20);
+  NetContext setup;
+  auto table = HybridTable::Create(&setup, &fabric, &pool,
+                                   tpch::LineitemSchema(),
+                                   tpch::GenLineitem(8000),
+                                   /*segments=*/8, /*cache=*/4);
+  DISAGG_CHECK(table.ok());
+  ops::Fragment frag;
+  frag.predicate.And(1, CmpOp::kLe, int64_t{5});
+  frag.project = {0, 2};
+  NetContext ctx;
+  constexpr int kQueries = 6;
+  for (auto _ : state) {
+    for (int q = 0; q < kQueries; q++) {
+      DISAGG_CHECK((*table)->Query(&ctx, frag, mode).ok());
+    }
+  }
+  bench::ReportSim(state, ctx, kQueries);
+  state.SetLabel(mode == HybridTable::Mode::kCacheOnly
+                     ? "cache-only"
+                     : (mode == HybridTable::Mode::kPushdownOnly
+                            ? "pushdown-only"
+                            : "hybrid(FPDB)"));
+}
+
+BENCHMARK(BM_E21_InterconnectAblation)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
+BENCHMARK(BM_E21_GroupCommitAblation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1);
+BENCHMARK(BM_E21_HybridPushdownAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

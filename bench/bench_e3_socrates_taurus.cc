@@ -1,0 +1,85 @@
+// Experiment E3 (DESIGN.md): Socrates' tier separation vs Taurus'
+// per-kind replication (Sec. 2.1).
+//  - Socrates: commit touches only the XLOG tier; page servers are fed
+//    asynchronously (PropagateLogs), so adding page servers does not slow
+//    the commit path.
+//  - Taurus: the writer replicates the log to 3 log stores but sends redo
+//    to ONE page store; gossip rounds converge the rest. The bench sweeps
+//    page-store count and reports commit latency (flat for both) plus the
+//    gossip rounds Taurus needs to converge (grows with store count).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/engines.h"
+#include "workload/tpcc_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kTxns = 100;
+
+void BM_E3_Socrates_PageServerSweep(benchmark::State& state) {
+  const int page_servers = static_cast<int>(state.range(0));
+  Fabric fabric;
+  SocratesDb db(&fabric, page_servers);
+  TpccLite tpcc(&db, {});
+  NetContext load;
+  DISAGG_CHECK_OK(tpcc.Load(&load));
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kTxns; i++) {
+      DISAGG_CHECK(tpcc.NewOrder(&ctx).ok());
+    }
+  }
+  // Dissemination runs off the commit path; measure it separately.
+  NetContext propagate;
+  DISAGG_CHECK_OK(db.PropagateLogs(&propagate));
+  bench::ReportSim(state, ctx, kTxns);
+  state.counters["propagate_us"] =
+      static_cast<double>(propagate.sim_ns) / 1e3;
+}
+
+void BM_E3_Taurus_PageStoreSweep(benchmark::State& state) {
+  const int page_stores = static_cast<int>(state.range(0));
+  Fabric fabric;
+  TaurusDb db(&fabric, 3, page_stores);
+  TpccLite tpcc(&db, {});
+  NetContext load;
+  DISAGG_CHECK_OK(tpcc.Load(&load));
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kTxns; i++) {
+      DISAGG_CHECK(tpcc.NewOrder(&ctx).ok());
+    }
+  }
+  NetContext gossip;
+  size_t rounds = 0;
+  for (; rounds < 64 && !db.PageStoresConverged(); rounds++) {
+    db.RunGossipRound(&gossip);
+  }
+  bench::ReportSim(state, ctx, kTxns);
+  state.counters["gossip_rounds_to_converge"] = static_cast<double>(rounds);
+  state.counters["gossip_us"] = static_cast<double>(gossip.sim_ns) / 1e3;
+}
+
+BENCHMARK(BM_E3_Socrates_PageServerSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E3_Taurus_PageStoreSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

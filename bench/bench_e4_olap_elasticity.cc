@@ -1,0 +1,104 @@
+// Experiment E4 (DESIGN.md): disaggregated OLAP (Sec. 2.2).
+//  - Virtual-warehouse elasticity: query time shrinks near-linearly as VWs
+//    are added, independent of data placement (Snowflake's claim).
+//  - Min-max (zone-map) pruning: selective queries skip most immutable
+//    files before any object-store I/O (Snowflake's light-weight index);
+//    "AnalyticDB-style" full scanning is the no-pruning baseline.
+//  - VW local file caches turn repeat queries from object-store-bound into
+//    SSD-bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/snowflake_db.h"
+#include "workload/tpch_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr size_t kRowsPerFile = 1000;
+
+std::unique_ptr<SnowflakeDb> LoadedDb(Fabric* fabric) {
+  auto db = std::make_unique<SnowflakeDb>(fabric, kRowsPerFile);
+  NetContext load;
+  auto rows = tpch::GenLineitem(kRows);
+  // Sort by shipday so zone maps become selective (clustered layout, as
+  // loading pipelines produce in practice).
+  rows = ops::SortBy(nullptr, std::move(rows), {4});
+  DISAGG_CHECK_OK(db->LoadTable(&load, "lineitem", tpch::LineitemSchema(),
+                                rows));
+  return db;
+}
+
+void BM_E4_VwElasticity(benchmark::State& state) {
+  const int vws = static_cast<int>(state.range(0));
+  Fabric fabric;
+  auto db = LoadedDb(&fabric);
+  db->SetWarehouses(vws);
+  ops::Fragment full_scan;
+  full_scan.aggs = {{AggFunc::kSum, 2}, {AggFunc::kCount, 0}};
+  uint64_t sim_ns = 0;
+  for (auto _ : state) {
+    auto result = db->Query("lineitem", full_scan, /*use_pruning=*/false);
+    DISAGG_CHECK(result.ok());
+    sim_ns += result->sim_ns;
+  }
+  state.counters["sim_ms"] = static_cast<double>(sim_ns) / 1e6;
+}
+
+void BM_E4_Pruning(benchmark::State& state) {
+  const bool use_pruning = state.range(0) != 0;
+  Fabric fabric;
+  auto db = LoadedDb(&fabric);
+  ops::Fragment selective;
+  selective.predicate.And(4, CmpOp::kGe, int64_t{2400});  // newest ~5%
+  selective.aggs = {{AggFunc::kSum, 2}, {AggFunc::kCount, 0}};
+  uint64_t sim_ns = 0;
+  size_t scanned = 0, pruned = 0;
+  for (auto _ : state) {
+    auto result = db->Query("lineitem", selective, use_pruning);
+    DISAGG_CHECK(result.ok());
+    sim_ns += result->sim_ns;
+    scanned = result->files_scanned;
+    pruned = result->files_pruned;
+  }
+  state.counters["sim_ms"] = static_cast<double>(sim_ns) / 1e6;
+  state.counters["files_scanned"] = static_cast<double>(scanned);
+  state.counters["files_pruned"] = static_cast<double>(pruned);
+}
+
+void BM_E4_WarmCacheRepeatQuery(benchmark::State& state) {
+  Fabric fabric;
+  auto db = LoadedDb(&fabric);
+  ops::Fragment full_scan;
+  full_scan.aggs = {{AggFunc::kSum, 2}};
+  auto cold = db->Query("lineitem", full_scan, false);
+  DISAGG_CHECK(cold.ok());
+  uint64_t warm_ns = 0;
+  for (auto _ : state) {
+    auto warm = db->Query("lineitem", full_scan, false);
+    DISAGG_CHECK(warm.ok());
+    warm_ns += warm->sim_ns;
+  }
+  state.counters["cold_sim_ms"] = static_cast<double>(cold->sim_ns) / 1e6;
+  state.counters["warm_sim_ms"] = static_cast<double>(warm_ns) / 1e6;
+}
+
+BENCHMARK(BM_E4_VwElasticity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E4_Pruning)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_E4_WarmCacheRepeatQuery)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

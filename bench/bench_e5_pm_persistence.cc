@@ -1,0 +1,93 @@
+// Experiment E5 (DESIGN.md): remote-PM persistence disciplines, reproducing
+// Kalia et al. (Sec. 2.3):
+//  - a bare one-sided WRITE is fastest but NOT persistent (data can sit in
+//    NIC/PCIe buffers);
+//  - WRITE + flush-READ guarantees persistence at the cost of a second
+//    round trip;
+//  - a two-sided RPC persist needs ONE round trip and beats the one-sided
+//    persist — the paper's counterintuitive result.
+// Size sweep 64 B .. 64 KB.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "pm/pm_node.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kWrites = 200;
+
+struct PmFixture {
+  PmFixture() : pm(&fabric, "pm0", 256 << 20), client(&fabric, &pm) {
+    auto a = pm.AllocLocal(1 << 20);
+    DISAGG_CHECK(a.ok());
+    addr = *a;
+  }
+  Fabric fabric;
+  PmNode pm;
+  PmClient client;
+  GlobalAddr addr;
+};
+
+void BM_E5_UnsafeWrite_NotPersistent(benchmark::State& state) {
+  PmFixture f;
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kWrites; i++) {
+      DISAGG_CHECK_OK(f.client.WriteUnsafe(&ctx, f.addr, data));
+    }
+  }
+  f.pm.Crash();  // demonstrate: everything written above is GONE
+  bench::ReportSim(state, ctx, kWrites);
+  state.counters["survives_crash"] = 0;
+}
+
+void BM_E5_OneSidedPersist_WriteThenFlushRead(benchmark::State& state) {
+  PmFixture f;
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kWrites; i++) {
+      DISAGG_CHECK_OK(f.client.WritePersistOneSided(&ctx, f.addr, data));
+    }
+  }
+  bench::ReportSim(state, ctx, kWrites);
+  state.counters["survives_crash"] = 1;
+}
+
+void BM_E5_TwoSidedPersist_Rpc(benchmark::State& state) {
+  PmFixture f;
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kWrites; i++) {
+      DISAGG_CHECK_OK(f.client.WritePersistRpc(&ctx, f.addr, data));
+    }
+  }
+  bench::ReportSim(state, ctx, kWrites);
+  state.counters["survives_crash"] = 1;
+}
+
+BENCHMARK(BM_E5_UnsafeWrite_NotPersistent)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Iterations(1);
+BENCHMARK(BM_E5_OneSidedPersist_WriteThenFlushRead)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Iterations(1);
+BENCHMARK(BM_E5_TwoSidedPersist_Rpc)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Experiment E6 (DESIGN.md): Exadata's counterintuitive observation
+// (Sec. 2.3) — accessing PM REMOTELY over RDMA is faster than accessing it
+// LOCALLY through the kernel I/O stack, because the stack's software
+// overhead (~10 us) dwarfs both the media and the network round trip.
+// Sweep read sizes; the gap narrows as media/byte costs grow but the local
+// path never catches up at these sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "pm/pm_node.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kReads = 300;
+
+void BM_E6_LocalPm_ThroughIoStack(benchmark::State& state) {
+  Fabric fabric;
+  PmNode pm(&fabric, "pm0", 256 << 20);
+  PmClient client(&fabric, &pm);
+  auto addr = pm.AllocLocal(1 << 20);
+  DISAGG_CHECK(addr.ok());
+  std::string buf(static_cast<size_t>(state.range(0)), '\0');
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kReads; i++) {
+      DISAGG_CHECK_OK(
+          client.ReadLocalViaIoStack(&ctx, *addr, buf.data(), buf.size()));
+    }
+  }
+  bench::ReportSim(state, ctx, kReads);
+}
+
+void BM_E6_RemotePm_OverRdma(benchmark::State& state) {
+  Fabric fabric;
+  PmNode pm(&fabric, "pm0", 256 << 20);
+  PmClient client(&fabric, &pm);
+  auto addr = pm.AllocLocal(1 << 20);
+  DISAGG_CHECK(addr.ok());
+  std::string buf(static_cast<size_t>(state.range(0)), '\0');
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kReads; i++) {
+      DISAGG_CHECK_OK(client.ReadRemote(&ctx, *addr, buf.data(), buf.size()));
+    }
+  }
+  bench::ReportSim(state, ctx, kReads);
+}
+
+BENCHMARK(BM_E6_LocalPm_ThroughIoStack)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1);
+BENCHMARK(BM_E6_RemotePm_OverRdma)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment E7 (DESIGN.md): PilotDB's PM-tier optimizations (Sec. 2.3).
+//  - Compute-node-driven logging (FAA + one-sided WRITE + flush) vs
+//    RPC-driven logging: the one-sided path never consumes PM-server CPU.
+//  - Optimistic page reads: sweep the fraction of reads that catch the
+//    background applier lagging; stale reads pay an extra log-suffix read
+//    plus local replay, fresh reads cost a single READ.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "pm/pilot_log.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kOps = 200;
+
+struct PilotFixture {
+  PilotFixture()
+      : pm(&fabric, "pm0", 256 << 20),
+        log(&fabric, &pm, 8 << 20, /*max_pages=*/64) {
+    NetContext setup;
+    for (PageId id = 1; id <= 16; id++) {
+      Page page(id);
+      DISAGG_CHECK(page.Insert("seed").ok());
+      page.set_lsn(1);
+      DISAGG_CHECK_OK(log.CreatePage(&setup, page));
+    }
+  }
+  Fabric fabric;
+  PmNode pm;
+  PilotLog log;
+  Lsn next_lsn = 2;
+
+  LogRecord Update(PageId page) {
+    LogRecord r;
+    r.lsn = next_lsn++;
+    r.txn_id = 1;
+    r.type = LogType::kUpdate;
+    r.page_id = page;
+    r.slot = 0;
+    r.payload = "upd!";
+    return r;
+  }
+};
+
+void BM_E7_Logging(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? PilotLog::LogMode::kOneSided
+                                        : PilotLog::LogMode::kRpc;
+  PilotFixture f;
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      DISAGG_CHECK_OK(
+          f.log.AppendLog(&ctx, {f.Update(1 + i % 16)}, mode));
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  state.counters["server_rpcs"] = static_cast<double>(ctx.rpcs);
+}
+
+void BM_E7_OptimisticReads_StaleFractionSweep(benchmark::State& state) {
+  // range = percent of reads that observe an outdated page.
+  const int stale_pct = static_cast<int>(state.range(0));
+  PilotFixture f;
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; i++) {
+      const PageId page = 1 + i % 16;
+      DISAGG_CHECK_OK(f.log.AppendLog(&ctx, {f.Update(page)}));
+      const bool keep_stale = (i % 100) < stale_pct;
+      if (!keep_stale) f.log.ApplyOnPmSide();
+      auto got = f.log.ReadPage(&ctx, page, f.next_lsn - 1);
+      DISAGG_CHECK(got.ok());
+    }
+  }
+  bench::ReportSim(state, ctx, kOps);
+  state.counters["fast_reads"] = static_cast<double>(f.log.stats().fast_reads);
+  state.counters["replay_reads"] =
+      static_cast<double>(f.log.stats().replay_reads);
+}
+
+BENCHMARK(BM_E7_Logging)->Arg(0)->Arg(1)->Iterations(1);
+BENCHMARK(BM_E7_OptimisticReads_StaleFractionSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Experiment E9 (DESIGN.md): PolarDB Serverless's shared remote buffer pool
+// (Sec. 3.1). Compute-node-count sweep on a read-mostly workload:
+//  - memory footprint: private-buffer designs replicate the working set per
+//    node; the shared pool holds ONE copy regardless of node count;
+//  - freshness: secondaries revalidate cached pages with one small read
+//    instead of replaying logs — cheap when the working set is warm.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/serverless_db.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+constexpr uint64_t kKeys = 500;
+constexpr int kOpsPerNode = 500;
+
+void BM_E9_ComputeNodeSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  Fabric fabric;
+  ServerlessDb db(&fabric, /*max_pages=*/256);
+  auto primary = db.AttachCompute(16, /*writer=*/true);
+  NetContext setup;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    DISAGG_CHECK_OK(primary->Put(&setup, k, "serverless-row-payload"));
+  }
+  std::vector<std::unique_ptr<ServerlessDb::Compute>> secondaries;
+  for (int n = 1; n < nodes; n++) {
+    secondaries.push_back(db.AttachCompute(16, false));
+  }
+  YcsbGenerator gen(kKeys, YcsbGenerator::Mix::B(), 0.99, 5);
+  NetContext primary_ctx;
+  std::vector<NetContext> secondary_ctx(secondaries.size());
+  for (auto _ : state) {
+    for (int i = 0; i < kOpsPerNode; i++) {
+      auto op = gen.Next();
+      if (op.type == YcsbGenerator::OpType::kUpdate) {
+        DISAGG_CHECK_OK(primary->Put(&primary_ctx, op.key, "updated-row!!"));
+      } else {
+        DISAGG_CHECK(primary->Get(&primary_ctx, op.key).ok());
+      }
+      // Every secondary reads the same key stream (read-only replicas).
+      for (size_t s = 0; s < secondaries.size(); s++) {
+        DISAGG_CHECK(secondaries[s]->Get(&secondary_ctx[s], op.key).ok());
+      }
+    }
+  }
+  NetContext total = primary_ctx;
+  MergeParallel(&total, secondary_ctx.data(), secondary_ctx.size());
+  bench::ReportSim(state, total, kOpsPerNode);
+  // Shared pool memory: one copy total. Private-buffer baseline: one copy
+  // per node.
+  const double pool_mb =
+      static_cast<double>(db.pool()->allocated_bytes()) / 1e6;
+  state.counters["shared_pool_mb"] = pool_mb;
+  state.counters["private_buffers_mb_equiv"] = pool_mb * nodes;
+  uint64_t local_hits = 0;
+  for (const auto& s : secondaries) local_hits += s->pool_stats().local_hits;
+  state.counters["secondary_local_hits"] = static_cast<double>(local_hits);
+}
+
+BENCHMARK(BM_E9_ComputeNodeSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Experiment E1 / Figure 1 (DESIGN.md): shared-storage architectures on a
+// TPC-C-lite write workload. Reproduces the paper's Sec. 2.1 contrast:
+//  - Aurora ships ONLY redo records ("the log is the database");
+//  - PolarDB ships pages AND logs (more bytes per transaction);
+//  - Socrates lands the log on the XLOG tier only (page servers async);
+//  - Taurus replicates the log but sends redo to a single page store;
+//  - the monolithic baseline pays local fsync, no network.
+// Expected shape: bytes_out_per_op Monolithic ~= 0 network, Aurora small,
+// Socrates/Taurus small, Polar largest; commit latency ordering follows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/engines.h"
+#include "workload/tpcc_lite.h"
+
+namespace disagg {
+namespace {
+
+constexpr int kTxns = 200;
+
+template <typename Db>
+void RunTpcc(benchmark::State& state, Db* db) {
+  TpccLite tpcc(db, {});
+  NetContext load_ctx;
+  DISAGG_CHECK_OK(tpcc.Load(&load_ctx));
+  NetContext ctx;
+  for (auto _ : state) {
+    for (int i = 0; i < kTxns; i++) {
+      DISAGG_CHECK(tpcc.NewOrder(&ctx).ok());
+      DISAGG_CHECK(tpcc.Payment(&ctx).ok());
+    }
+  }
+  bench::ReportSim(state, ctx, 2 * kTxns);
+}
+
+void BM_Fig1_Monolithic(benchmark::State& state) {
+  MonolithicDb db;
+  RunTpcc(state, &db);
+}
+
+void BM_Fig1_Aurora_LogShipping(benchmark::State& state) {
+  Fabric fabric;
+  AuroraDb db(&fabric);
+  RunTpcc(state, &db);
+}
+
+void BM_Fig1_Polar_PageShipping(benchmark::State& state) {
+  Fabric fabric;
+  PolarDb db(&fabric);
+  RunTpcc(state, &db);
+}
+
+void BM_Fig1_Socrates_Tiered(benchmark::State& state) {
+  Fabric fabric;
+  SocratesDb db(&fabric);
+  RunTpcc(state, &db);
+}
+
+void BM_Fig1_Taurus_GossipPages(benchmark::State& state) {
+  Fabric fabric;
+  TaurusDb db(&fabric);
+  RunTpcc(state, &db);
+}
+
+BENCHMARK(BM_Fig1_Monolithic)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_Aurora_LogShipping)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_Polar_PageShipping)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_Socrates_Tiered)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_Taurus_GossipPages)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

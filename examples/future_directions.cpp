@@ -1,0 +1,78 @@
+// The paper's Sec. 4 future directions, running today on the platform:
+//  - multi-writer transactions over disaggregated shared memory;
+//  - one-sided distributed OCC transactions on PM (FORD, Sec. 2.3 ref);
+//  - a disaggregated blockchain with parallel validation (FlexChain).
+//
+//   ./build/examples/future_directions
+
+#include <cstdio>
+
+#include "chain/flexchain.h"
+#include "core/multi_writer.h"
+#include "pm/ford_txn.h"
+
+using namespace disagg;
+
+int main() {
+  Fabric fabric;
+
+  // ---------------- Multiple writers, one shared pool ------------------
+  MultiWriterDb db(&fabric, /*max_pages=*/128);
+  auto alice = db.AttachWriter();
+  auto bob = db.AttachWriter();
+  NetContext actx, bctx;
+  (void)alice->Put(&actx, 1, "written-by-alice");
+  (void)bob->Put(&bctx, 2, "written-by-bob");
+  (void)bob->Put(&bctx, 1, "bob-updated-alices-row");
+  auto row = alice->Get(&actx, 1);
+  std::printf("multi-writer: alice reads key 1 -> '%s'\n",
+              row.ok() ? row->c_str() : "?");
+  std::printf("  two concurrent writers, zero log shipping between them —\n"
+              "  coordination is a CAS lock table in the memory pool.\n\n");
+
+  // ---------------- FORD: distributed txn across two PM nodes ----------
+  PmNode pm0(&fabric, "pm0", 32 << 20), pm1(&fabric, "pm1", 32 << 20);
+  FordTxnManager ford(&fabric, {&pm0, &pm1}, /*records_per_node=*/16);
+  NetContext fctx;
+  auto txn = ford.Begin(&fctx);
+  (void)txn.Write(0, "on-pm0");    // record 0 lives on pm0
+  (void)txn.Write(20, "on-pm1");   // record 20 lives on pm1
+  Status commit = txn.Commit();
+  std::printf("FORD commit across 2 PM nodes: %s, %llu round trips, "
+              "%llu RPCs (all one-sided)\n",
+              commit.ToString().c_str(),
+              (unsigned long long)fctx.round_trips,
+              (unsigned long long)fctx.rpcs);
+  pm0.Crash();
+  auto survived = ford.ReadCommitted(&fctx, 0);
+  std::printf("  after pm0 power-fail: record 0 = '%s' (persisted)\n\n",
+              survived.ok() ? survived->c_str() : "?");
+
+  // ---------------- FlexChain: parallel validation ---------------------
+  MemoryNode pool(&fabric, "chain-pool", 128 << 20);
+  FlexChain chain(&fabric, &pool, /*hot_cache=*/32);
+  std::vector<FlexChain::ChainTxn> block;
+  for (int i = 0; i < 16; i++) {
+    FlexChain::ChainTxn t;
+    t.id = "txn" + std::to_string(i);
+    t.write_set = {{"account:" + std::to_string(i), "balance:100"}};
+    block.push_back(std::move(t));
+  }
+  NetContext cctx;
+  auto serial_block = block;
+  for (auto& t : serial_block) {
+    t.id += "-s";
+    t.write_set[0].first += "-s";
+  }
+  auto parallel = chain.CommitBlock(&cctx, block, /*parallel=*/true);
+  auto serial = chain.CommitBlock(&cctx, serial_block, /*parallel=*/false);
+  if (parallel.ok() && serial.ok()) {
+    std::printf("FlexChain 16-txn block validation: parallel %.0f us vs "
+                "serial %.0f us (%zu dependency level%s)\n",
+                static_cast<double>(parallel->validate_sim_ns) / 1e3,
+                static_cast<double>(serial->validate_sim_ns) / 1e3,
+                parallel->dependency_levels,
+                parallel->dependency_levels == 1 ? "" : "s");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a disaggregated data center on the simulated fabric,
+// run an Aurora-style log-as-the-database engine on it, and inspect what a
+// transaction actually costs in network terms.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engines.h"
+
+using namespace disagg;
+
+int main() {
+  // The fabric is the simulated data center: nodes + interconnect models.
+  Fabric fabric;
+
+  // AuroraDb wires up its own storage pool: a 6-replica / 3-AZ quorum
+  // segment whose replicas materialize pages from the shipped log.
+  AuroraDb db(&fabric);
+
+  // Every call takes a NetContext that accumulates simulated time, bytes,
+  // and round trips — the currency of disaggregated designs.
+  NetContext ctx;
+
+  // Autocommit writes.
+  for (uint64_t k = 1; k <= 100; k++) {
+    Status st = db.Put(&ctx, k, "row-" + std::to_string(k));
+    if (!st.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // A multi-statement transaction.
+  TxnId txn = db.Begin();
+  (void)db.Update(&ctx, txn, 1, "updated-inside-txn");
+  (void)db.Insert(&ctx, txn, 101, "inserted-inside-txn");
+  if (Status st = db.Commit(&ctx, txn); !st.ok()) {
+    std::fprintf(stderr, "commit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Reads. The compute node is stateless: drop its buffer ("crash") and the
+  // rows come back from shared storage.
+  db.DropBuffer();
+  auto row = db.GetRow(&ctx, 1);
+  std::printf("row 1 after compute restart: %s\n",
+              row.ok() ? row->c_str() : row.status().ToString().c_str());
+
+  std::printf("\n-- what it cost (simulated) --\n");
+  std::printf("simulated time  : %.2f ms\n", ctx.SimMillis());
+  std::printf("bytes shipped   : %llu out / %llu in\n",
+              (unsigned long long)ctx.bytes_out,
+              (unsigned long long)ctx.bytes_in);
+  std::printf("round trips     : %llu (%llu of them RPCs)\n",
+              (unsigned long long)ctx.round_trips,
+              (unsigned long long)ctx.rpcs);
+  std::printf("rows stored     : %zu\n", db.row_count());
+  std::printf("\nNote: only log records ever crossed the network on the\n"
+              "write path -- \"the log is the database\" (Sec. 2.1).\n");
+  return 0;
+}

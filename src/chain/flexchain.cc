@@ -1,0 +1,164 @@
+#include "chain/flexchain.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace disagg {
+
+namespace {
+
+RaceHash MakeState(Fabric* fabric, MemoryNode* pool) {
+  NetContext setup;
+  auto table = RaceHash::Create(&setup, fabric, pool, 1024);
+  DISAGG_CHECK(table.ok());
+  return RaceHash(fabric, pool, *table);
+}
+
+constexpr uint64_t kVersionCheckNs = 120;  // validator-local version probe
+
+}  // namespace
+
+FlexChain::FlexChain(Fabric* fabric, MemoryNode* pool,
+                     size_t hot_cache_entries)
+    : fabric_(fabric),
+      pool_(pool),
+      state_(MakeState(fabric, pool)),
+      hot_cache_entries_(hot_cache_entries) {}
+
+Result<std::pair<std::string, uint64_t>> FlexChain::ReadState(
+    NetContext* ctx, const std::string& key) {
+  auto hit = hot_cache_.find(key);
+  if (hit != hot_cache_.end()) {
+    stats_.cache_hits++;
+    ctx->Charge(InterconnectModel::LocalDram().ReadCost(
+        hit->second.first.size()));
+    return hit->second;
+  }
+  stats_.remote_reads++;
+  auto value = state_.Get(ctx, key);
+  if (!value.ok()) return value.status();
+  auto vit = versions_.find(key);
+  const uint64_t version = vit == versions_.end() ? 0 : vit->second;
+  if (hot_cache_.size() >= hot_cache_entries_) {
+    hot_cache_.erase(hot_cache_.begin());
+  }
+  auto entry = std::make_pair(*value, version);
+  hot_cache_[key] = entry;
+  return entry;
+}
+
+bool FlexChain::ValidateAndApply(NetContext* ctx, const ChainTxn& txn,
+                                 uint64_t* cost_ns) {
+  NetContext local;
+  // Serializability check: every read must still be at the version the
+  // execute phase observed.
+  bool valid = true;
+  for (const auto& [key, version] : txn.read_set) {
+    local.Charge(kVersionCheckNs);
+    auto it = versions_.find(key);
+    const uint64_t current = it == versions_.end() ? 0 : it->second;
+    if (current != version) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& [key, value] : txn.write_set) {
+      Status st = state_.Put(&local, key, value);
+      if (!st.ok()) {
+        valid = false;
+        break;
+      }
+      versions_[key]++;
+      auto hit = hot_cache_.find(key);
+      if (hit != hot_cache_.end()) {
+        hit->second = {value, versions_[key]};
+      }
+    }
+  }
+  *cost_ns = local.sim_ns;
+  ctx->bytes_out += local.bytes_out;
+  ctx->bytes_in += local.bytes_in;
+  ctx->round_trips += local.round_trips;
+  return valid;
+}
+
+Result<FlexChain::BlockResult> FlexChain::CommitBlock(
+    NetContext* ctx, const std::vector<ChainTxn>& block, bool parallel) {
+  BlockResult result;
+  height_++;
+
+  // Dependency graph: txn j depends on an earlier txn i if their key sets
+  // conflict (i writes something j reads or writes, or j writes something
+  // i reads). Level = longest dependency chain prefix.
+  std::vector<size_t> level(block.size(), 0);
+  auto keys_of = [](const ChainTxn& t) {
+    std::set<std::string> reads, writes;
+    for (const auto& [k, v] : t.read_set) reads.insert(k);
+    for (const auto& [k, v] : t.write_set) writes.insert(k);
+    return std::make_pair(reads, writes);
+  };
+  std::vector<std::pair<std::set<std::string>, std::set<std::string>>> sets;
+  sets.reserve(block.size());
+  for (const ChainTxn& t : block) sets.push_back(keys_of(t));
+  for (size_t j = 0; j < block.size(); j++) {
+    for (size_t i = 0; i < j; i++) {
+      const auto& [ri, wi] = sets[i];
+      const auto& [rj, wj] = sets[j];
+      auto intersects = [](const std::set<std::string>& a,
+                           const std::set<std::string>& b) {
+        for (const auto& k : a) {
+          if (b.count(k)) return true;
+        }
+        return false;
+      };
+      const bool conflict = intersects(wi, rj) || intersects(wi, wj) ||
+                            intersects(ri, wj);
+      if (conflict) level[j] = std::max(level[j], level[i] + 1);
+    }
+  }
+  size_t max_level = 0;
+  for (size_t l : level) max_level = std::max(max_level, l);
+  result.dependency_levels = max_level + 1;
+
+  if (parallel) {
+    // Validate level by level; within a level all txns run concurrently
+    // (charge the max), levels are sequential barriers.
+    for (size_t l = 0; l <= max_level; l++) {
+      uint64_t level_max_ns = 0;
+      for (size_t j = 0; j < block.size(); j++) {
+        if (level[j] != l) continue;
+        uint64_t cost = 0;
+        if (ValidateAndApply(ctx, block[j], &cost)) {
+          result.committed++;
+        } else {
+          result.aborted++;
+        }
+        level_max_ns = std::max(level_max_ns, cost);
+      }
+      result.validate_sim_ns += level_max_ns;
+    }
+  } else {
+    // Serial baseline: one validator thread.
+    for (const ChainTxn& txn : block) {
+      uint64_t cost = 0;
+      if (ValidateAndApply(ctx, txn, &cost)) {
+        result.committed++;
+      } else {
+        result.aborted++;
+      }
+      result.validate_sim_ns += cost;
+    }
+  }
+  ctx->Charge(result.validate_sim_ns);
+  return result;
+}
+
+uint64_t FlexChain::Version(const std::string& key) const {
+  auto it = versions_.find(key);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+}  // namespace disagg

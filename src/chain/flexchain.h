@@ -1,0 +1,81 @@
+#ifndef DISAGG_CHAIN_FLEXCHAIN_H_
+#define DISAGG_CHAIN_FLEXCHAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memnode/memory_node.h"
+#include "rindex/race_hash.h"
+
+namespace disagg {
+
+/// FlexChain (Sec. 3.1): a permissioned XOV (execute-order-validate)
+/// blockchain whose WORLD STATE lives in a tiered key-value store over
+/// disaggregated memory — hot keys cached in compute-local DRAM, the full
+/// state in the remote pool — decoupling the chain's compute and memory
+/// scaling. The disaggregated architecture moves the bottleneck to the
+/// VALIDATION phase, which FlexChain re-parallelizes with a transaction
+/// dependency graph: transactions whose read/write sets do not conflict
+/// validate concurrently.
+class FlexChain {
+ public:
+  /// A simulated XOV transaction: the execute phase produced read and write
+  /// sets against world-state keys, each read tagged with the version it
+  /// observed.
+  struct ChainTxn {
+    std::string id;
+    std::vector<std::pair<std::string, uint64_t>> read_set;  // key, version
+    std::vector<std::pair<std::string, std::string>> write_set;
+  };
+
+  struct BlockResult {
+    size_t committed = 0;
+    size_t aborted = 0;           // stale reads (serializability violations)
+    size_t dependency_levels = 0;  // depth of the dependency graph
+    uint64_t validate_sim_ns = 0;  // parallel (per-level max) validation time
+  };
+
+  struct Stats {
+    uint64_t cache_hits = 0;
+    uint64_t remote_reads = 0;
+  };
+
+  FlexChain(Fabric* fabric, MemoryNode* pool, size_t hot_cache_entries);
+
+  /// Execute-phase helper: reads a key (through the tiered store) and
+  /// returns {value, version} for building read sets.
+  Result<std::pair<std::string, uint64_t>> ReadState(NetContext* ctx,
+                                                     const std::string& key);
+
+  /// Orders and validates one block. `parallel` selects FlexChain's
+  /// dependency-graph validation (conflict-free transactions validate
+  /// concurrently, charging the max over each level) vs the serial
+  /// baseline (sum over all transactions).
+  Result<BlockResult> CommitBlock(NetContext* ctx,
+                                  const std::vector<ChainTxn>& block,
+                                  bool parallel);
+
+  uint64_t Version(const std::string& key) const;
+  size_t block_height() const { return height_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Validates one transaction against current versions; applies its writes
+  /// on success. Charges the per-txn cost into `cost_ns`.
+  bool ValidateAndApply(NetContext* ctx, const ChainTxn& txn,
+                        uint64_t* cost_ns);
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  RaceHash state_;  // world state in disaggregated memory
+  size_t hot_cache_entries_;
+  std::map<std::string, std::pair<std::string, uint64_t>> hot_cache_;
+  std::map<std::string, uint64_t> versions_;  // validator-side version table
+  size_t height_ = 0;
+  Stats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CHAIN_FLEXCHAIN_H_

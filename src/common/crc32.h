@@ -1,0 +1,16 @@
+#ifndef DISAGG_COMMON_CRC32_H_
+#define DISAGG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace disagg {
+
+/// CRC-32C (Castagnoli) over a byte range. Used to checksum pages, log
+/// records, and replicated segments so corruption injection in tests is
+/// detectable, as in production storage engines.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace disagg
+
+#endif  // DISAGG_COMMON_CRC32_H_

@@ -1,0 +1,32 @@
+#ifndef DISAGG_COMMON_LOGGING_H_
+#define DISAGG_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace disagg {
+
+/// Minimal check macros: invariant violations abort with location info.
+/// These guard internal invariants only; recoverable conditions use Status.
+#define DISAGG_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define DISAGG_CHECK_OK(expr)                                             \
+  do {                                                                    \
+    ::disagg::Status _st = (expr);                                        \
+    if (!_st.ok()) {                                                      \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, _st.ToString().c_str());                     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+}  // namespace disagg
+
+#endif  // DISAGG_COMMON_LOGGING_H_

@@ -1,0 +1,383 @@
+#include "core/engines.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace disagg {
+
+namespace {
+
+/// Quorum sink that owns its segment (so the sink's lifetime covers the
+/// engine's).
+class OwningQuorumSink : public LogSink {
+ public:
+  OwningQuorumSink(Fabric* fabric, const ReplicatedSegment::Config& config)
+      : segment_(std::make_unique<ReplicatedSegment>(fabric, config,
+                                                     "aurora-seg")) {}
+
+  ReplicatedSegment* segment() { return segment_.get(); }
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    return segment_->AppendLog(ctx, records);
+  }
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    (void)ctx;
+    // Recovery reads go through the quorum protocol (RecoverDurableLsn);
+    // full log reads are served by the replicas' log services directly.
+    return segment_->replica(0).log_service->SnapshotFrom(0);
+  }
+
+ private:
+  std::unique_ptr<ReplicatedSegment> segment_;
+};
+
+/// PolarFS sink: the WAL rides a 3-way RaftLite replication group.
+class RaftLogSink : public LogSink {
+ public:
+  explicit RaftLogSink(Fabric* fabric)
+      : raft_(std::make_unique<RaftLiteGroup>(fabric, 3,
+                                              InterconnectModel::Ssd(),
+                                              "polarfs")) {}
+
+  RaftLiteGroup* raft() { return raft_.get(); }
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    auto idx = raft_->Append(ctx, LogRecord::EncodeBatch(records));
+    if (!idx.ok()) return idx.status();
+    Lsn max_lsn = kInvalidLsn;
+    for (const LogRecord& r : records) max_lsn = std::max(max_lsn, r.lsn);
+    return max_lsn;
+  }
+
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    (void)ctx;
+    std::vector<LogRecord> out;
+    for (uint64_t i = 0;; i++) {
+      auto entry = raft_->ReadCommitted(i);
+      if (!entry.ok()) break;
+      auto batch = LogRecord::DecodeBatch(entry->payload);
+      if (!batch.ok()) return batch.status();
+      for (LogRecord& r : *batch) out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+ private:
+  std::unique_ptr<RaftLiteGroup> raft_;
+};
+
+/// XLOG sink: one fast log service node (Socrates' log tier).
+class XlogSink : public LogSink {
+ public:
+  explicit XlogSink(Fabric* fabric) {
+    node_ = fabric->AddNode("xlog", NodeKind::kLog, InterconnectModel::Ssd());
+    service_ = std::make_unique<LogStoreService>(fabric, node_);
+    client_ = std::make_unique<LogStoreClient>(fabric, node_);
+  }
+
+  NodeId node() const { return node_; }
+  LogStoreService* service() { return service_.get(); }
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    return client_->Append(ctx, records);
+  }
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    return client_->ReadFrom(ctx, 0, ~0ull);
+  }
+
+ private:
+  NodeId node_ = 0;
+  std::unique_ptr<LogStoreService> service_;
+  std::unique_ptr<LogStoreClient> client_;
+};
+
+/// Taurus sink: N log stores, majority ack, parallel fan-out.
+class MultiLogSink : public LogSink {
+ public:
+  MultiLogSink(Fabric* fabric, int n) : fabric_(fabric) {
+    for (int i = 0; i < n; i++) {
+      NodeId node = fabric->AddNode("taurus-log" + std::to_string(i),
+                                    NodeKind::kLog, InterconnectModel::Ssd());
+      services_.push_back(std::make_unique<LogStoreService>(fabric, node));
+      nodes_.push_back(node);
+    }
+  }
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    std::vector<NetContext> branch(nodes_.size());
+    int acks = 0;
+    Lsn lsn = kInvalidLsn;
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      LogStoreClient client(fabric_, nodes_[i]);
+      auto r = client.Append(&branch[i], records);
+      if (r.ok()) {
+        acks++;
+        lsn = std::max(lsn, *r);
+      }
+    }
+    MergeParallel(ctx, branch.data(), branch.size());
+    const int majority = static_cast<int>(nodes_.size()) / 2 + 1;
+    if (acks < majority) return Status::Unavailable("log-store majority lost");
+    return lsn;
+  }
+
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      LogStoreClient client(fabric_, nodes_[i]);
+      auto r = client.ReadFrom(ctx, 0, ~0ull);
+      if (r.ok()) return r;
+    }
+    return Status::Unavailable("no log store reachable");
+  }
+
+ private:
+  Fabric* fabric_;
+  std::vector<NodeId> nodes_;
+  std::vector<std::unique_ptr<LogStoreService>> services_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- Monolithic
+
+MonolithicDb::MonolithicDb()
+    : RowEngine(std::make_unique<LocalDiskSink>()),
+      disk_(InterconnectModel::Ssd()) {}
+
+Result<Page> MonolithicDb::FetchPage(NetContext* ctx, PageId id) {
+  return disk_.FetchPage(ctx, id);
+}
+
+Status MonolithicDb::CheckpointPages(NetContext* ctx) {
+  for (PageId id : dirty_) {
+    auto it = buffer_.find(id);
+    if (it == buffer_.end()) continue;
+    DISAGG_RETURN_NOT_OK(disk_.WritePage(ctx, it->second));
+  }
+  dirty_.clear();
+  return Status::OK();
+}
+
+// -------------------------------------------------------------------- Aurora
+
+AuroraDb::AuroraDb(Fabric* fabric, ReplicatedSegment::Config config)
+    : RowEngine(std::make_unique<OwningQuorumSink>(fabric, config)),
+      segment_(static_cast<OwningQuorumSink*>(sink_.get())->segment()) {}
+
+Result<Page> AuroraDb::FetchPage(NetContext* ctx, PageId id) {
+  return segment_->ReadPage(ctx, id, /*min_lsn=*/0);
+}
+
+AuroraReader::AuroraReader(AuroraDb* writer, size_t cache_pages)
+    : writer_(writer), cache_capacity_(cache_pages) {}
+
+Result<std::string> AuroraReader::Get(NetContext* ctx, uint64_t key) {
+  DISAGG_ASSIGN_OR_RETURN(RowEngine::RowLoc loc, writer_->Lookup(key));
+  const Lsn required = writer_->PageLsn(loc.page);
+  auto it = cache_.find(loc.page);
+  if (it != cache_.end() && it->second.lsn() >= required) {
+    cache_hits_++;
+    ctx->Charge(InterconnectModel::LocalDram().ReadCost(kPageSize));
+  } else {
+    segment_reads_++;
+    DISAGG_ASSIGN_OR_RETURN(Page page,
+                            writer_->segment()->ReadPage(ctx, loc.page,
+                                                         required));
+    if (cache_.size() >= cache_capacity_ && it == cache_.end()) {
+      cache_.erase(cache_.begin());
+    }
+    it = cache_.insert_or_assign(loc.page, std::move(page)).first;
+  }
+  DISAGG_ASSIGN_OR_RETURN(Slice row, it->second.Get(loc.slot));
+  return row.ToString();
+}
+
+// -------------------------------------------------------------------- Polar
+
+PolarDb::PolarDb(Fabric* fabric)
+    : RowEngine(std::make_unique<RaftLogSink>(fabric)),
+      fabric_(fabric),
+      raft_(static_cast<RaftLogSink*>(sink_.get())->raft()) {
+  for (int i = 0; i < kPageReplicas; i++) {
+    NodeId node = fabric_->AddNode("polar-pages" + std::to_string(i),
+                                   NodeKind::kStorage,
+                                   InterconnectModel::Ssd(),
+                                   static_cast<uint32_t>(i));
+    page_nodes_.push_back(node);
+    page_services_.push_back(std::make_unique<PageStoreService>(fabric_, node));
+  }
+}
+
+Result<Page> PolarDb::FetchPage(NetContext* ctx, PageId id) {
+  for (NodeId node : page_nodes_) {
+    PageStoreClient client(fabric_, node);
+    auto page = client.GetPage(ctx, id);
+    if (page.ok() || page.status().IsNotFound()) return page;
+  }
+  return Status::Unavailable("no page replica reachable");
+}
+
+Status PolarDb::OnCommit(NetContext* ctx,
+                         const std::vector<LogRecord>& records) {
+  // PolarDB ships whole page images in addition to the log.
+  std::set<PageId> touched;
+  for (const LogRecord& r : records) {
+    if (r.page_id != kInvalidPageId) touched.insert(r.page_id);
+  }
+  std::vector<NetContext> branch(page_nodes_.size());
+  for (PageId id : touched) {
+    auto it = buffer_.find(id);
+    if (it == buffer_.end()) continue;
+    for (size_t i = 0; i < page_nodes_.size(); i++) {
+      PageStoreClient client(fabric_, page_nodes_[i]);
+      DISAGG_RETURN_NOT_OK(client.PutPage(&branch[i], it->second));
+    }
+    dirty_.erase(id);
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Socrates
+
+SocratesDb::SocratesDb(Fabric* fabric, int page_servers)
+    : RowEngine(std::make_unique<XlogSink>(fabric)), fabric_(fabric) {
+  auto* sink = static_cast<XlogSink*>(sink_.get());
+  xlog_node_ = sink->node();
+  xlog_service_ = sink->service();
+  for (int i = 0; i < page_servers; i++) {
+    NodeId node = fabric_->AddNode("socrates-ps" + std::to_string(i),
+                                   NodeKind::kStorage,
+                                   InterconnectModel::Ssd());
+    page_nodes_.push_back(node);
+    page_services_.push_back(std::make_unique<PageStoreService>(fabric_, node));
+  }
+  xstore_node_ = fabric_->AddNode("xstore", NodeKind::kObject,
+                                  InterconnectModel::ObjectStore());
+  xstore_service_ = std::make_unique<ObjectStoreService>(fabric_, xstore_node_);
+}
+
+Status SocratesDb::PropagateLogs(NetContext* ctx) {
+  LogStoreClient xlog(fabric_, xlog_node_);
+  DISAGG_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
+                          xlog.ReadFrom(ctx, propagated_lsn_, ~0ull));
+  if (records.empty()) return Status::OK();
+  std::vector<NetContext> branch(page_nodes_.size());
+  for (size_t i = 0; i < page_nodes_.size(); i++) {
+    PageStoreClient client(fabric_, page_nodes_[i]);
+    DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i], records).status());
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  propagated_lsn_ = records.back().lsn;
+  return Status::OK();
+}
+
+Status SocratesDb::CheckpointToXStore(NetContext* ctx) {
+  ObjectStoreClient xstore(fabric_, xstore_node_);
+  for (auto& [id, page] : buffer_) {
+    Page sealed = page;
+    sealed.Seal();
+    const std::string key = "ckpt/" + std::to_string(sealed.lsn()) + "/" +
+                            std::to_string(id);
+    Status st = xstore.Put(ctx, key, Slice(sealed.data(), kPageSize));
+    if (!st.ok() && !st.IsInvalidArgument()) return st;  // exists = already
+  }
+  return Status::OK();
+}
+
+Result<Page> SocratesDb::FetchPage(NetContext* ctx, PageId id) {
+  for (NodeId node : page_nodes_) {
+    PageStoreClient client(fabric_, node);
+    auto page = client.GetPage(ctx, id);
+    if (page.ok()) return page;
+  }
+  // Availability tier empty: fall back to the durable XStore checkpoint.
+  ObjectStoreClient xstore(fabric_, xstore_node_);
+  DISAGG_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                          xstore.List(ctx, "ckpt/"));
+  const std::string suffix = "/" + std::to_string(id);
+  std::string best;
+  Lsn best_lsn = kInvalidLsn;
+  for (const std::string& key : keys) {
+    if (key.size() < suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const Lsn lsn = std::strtoull(key.c_str() + 5, nullptr, 10);
+    if (best.empty() || lsn > best_lsn) {
+      best = key;
+      best_lsn = lsn;
+    }
+  }
+  if (best.empty()) return Status::NotFound("page in no tier");
+  DISAGG_ASSIGN_OR_RETURN(std::string blob, xstore.Get(ctx, best));
+  return Page::FromBytes(blob);
+}
+
+// -------------------------------------------------------------------- Taurus
+
+TaurusDb::TaurusDb(Fabric* fabric, int log_stores, int page_stores)
+    : RowEngine(std::make_unique<MultiLogSink>(fabric, log_stores)),
+      fabric_(fabric) {
+  std::vector<PageStoreService*> raw;
+  for (int i = 0; i < page_stores; i++) {
+    NodeId node = fabric_->AddNode("taurus-ps" + std::to_string(i),
+                                   NodeKind::kStorage,
+                                   InterconnectModel::Ssd());
+    page_nodes_.push_back(node);
+    page_services_.push_back(std::make_unique<PageStoreService>(fabric_, node));
+    raw.push_back(page_services_.back().get());
+  }
+  gossip_ = std::make_unique<GossipGroup>(fabric_, raw);
+}
+
+Status TaurusDb::OnCommit(NetContext* ctx,
+                          const std::vector<LogRecord>& records) {
+  // Each page has ONE home page store (sharded by page id) that receives
+  // its redo; gossip spreads the materialized pages to the others
+  // (Sec. 2.1: "propagated to one page store ... gossip protocol to achieve
+  // consistency among different page stores").
+  if (records.empty()) return Status::OK();
+  std::map<size_t, std::vector<LogRecord>> by_store;
+  for (const LogRecord& r : records) {
+    const size_t store =
+        r.page_id == kInvalidPageId
+            ? 0
+            : (r.page_id * 0x9E3779B97F4A7C15ull) % page_nodes_.size();
+    by_store[store].push_back(r);
+  }
+  std::vector<NetContext> branch(by_store.size());
+  size_t i = 0;
+  for (auto& [store, batch] : by_store) {
+    PageStoreClient client(fabric_, page_nodes_[store]);
+    DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i++], batch).status());
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  return Status::OK();
+}
+
+size_t TaurusDb::RunGossipRound(NetContext* ctx) {
+  return gossip_->RunRound(ctx);
+}
+
+Result<Page> TaurusDb::FetchPage(NetContext* ctx, PageId id) {
+  // Page stores may be mutually stale; take the freshest copy.
+  std::vector<NetContext> branch(page_nodes_.size());
+  Result<Page> best = Status::NotFound("page in no store");
+  for (size_t i = 0; i < page_nodes_.size(); i++) {
+    PageStoreClient client(fabric_, page_nodes_[i]);
+    auto page = client.GetPage(&branch[i], id);
+    if (page.ok() && (!best.ok() || page->lsn() > best->lsn())) {
+      best = std::move(page);
+    }
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  return best;
+}
+
+}  // namespace disagg

@@ -1,0 +1,149 @@
+#include "core/multi_writer.h"
+
+#include "common/logging.h"
+
+namespace disagg {
+
+MultiWriterDb::MultiWriterDb(Fabric* fabric, size_t max_pages,
+                             ReplicatedSegment::Config storage_config)
+    : fabric_(fabric) {
+  pool_ = std::make_unique<MemoryNode>(
+      fabric_, "multiwriter-pool",
+      (max_pages + 16) * kPageSize + max_pages * 64 + (1 << 20));
+  home_ = std::make_unique<SharedBufferPoolHome>(fabric_, pool_.get(),
+                                                 max_pages);
+  auto locks = pool_->AllocLocal(kLockSlots * 8);
+  DISAGG_CHECK(locks.ok());
+  lock_table_ = *locks;
+  segment_ = std::make_unique<ReplicatedSegment>(fabric_, storage_config,
+                                                 "multiwriter-seg");
+}
+
+std::unique_ptr<MultiWriterDb::Writer> MultiWriterDb::AttachWriter(
+    size_t local_cache_pages) {
+  return std::make_unique<Writer>(this, local_cache_pages);
+}
+
+MultiWriterDb::Writer::Writer(MultiWriterDb* db, size_t local_cache_pages)
+    : db_(db),
+      pool_client_(db->fabric_, db->home_.get(), local_cache_pages),
+      writer_id_(db->next_writer_id_.fetch_add(1)) {}
+
+Status MultiWriterDb::Writer::LockKey(NetContext* ctx, uint64_t key) {
+  auto observed =
+      db_->fabric_->CompareAndSwap(ctx, db_->LockAddr(key), 0, writer_id_);
+  if (!observed.ok()) return observed.status();
+  if (*observed != 0) {
+    stats_.lock_conflicts++;
+    return Status::Busy("row locked by writer " + std::to_string(*observed));
+  }
+  return Status::OK();
+}
+
+Status MultiWriterDb::Writer::UnlockKey(NetContext* ctx, uint64_t key) {
+  auto observed = db_->fabric_->CompareAndSwap(ctx, db_->LockAddr(key),
+                                               writer_id_, 0);
+  if (!observed.ok()) return observed.status();
+  return *observed == writer_id_
+             ? Status::OK()
+             : Status::Corruption("lock word clobbered");
+}
+
+Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
+  DISAGG_RETURN_NOT_OK(LockKey(ctx, key));
+  Status st = [&]() -> Status {
+    // Is the key already placed?
+    bool exists = false;
+    RowLoc loc{};
+    {
+      std::lock_guard<std::mutex> lock(db_->index_mu_);
+      auto it = db_->index_.find(key);
+      if (it != db_->index_.end()) {
+        exists = true;
+        loc = it->second;
+      }
+    }
+
+    LogRecord rec;
+    rec.lsn = db_->next_lsn_.fetch_add(1);
+    rec.txn_id = writer_id_;
+    rec.row_key = key;
+
+    if (exists) {
+      DISAGG_ASSIGN_OR_RETURN(Page page, pool_client_.ReadPage(ctx, loc.page));
+      auto before = page.Get(loc.slot);
+      if (!before.ok()) return before.status();
+      if (row.size() <= before->size()) {
+        rec.type = LogType::kUpdate;
+        rec.page_id = loc.page;
+        rec.slot = loc.slot;
+        rec.payload = row.ToString();
+        DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
+        DISAGG_RETURN_NOT_OK(page.Update(loc.slot, row));
+        page.set_lsn(rec.lsn);
+        return pool_client_.WritePage(ctx, page);
+      }
+      // Grow-update: tombstone the old slot, fall through to re-insert.
+      rec.type = LogType::kDelete;
+      rec.page_id = loc.page;
+      rec.slot = loc.slot;
+      rec.undo_payload = before->ToString();
+      DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
+      DISAGG_RETURN_NOT_OK(page.Delete(loc.slot));
+      page.set_lsn(rec.lsn);
+      DISAGG_RETURN_NOT_OK(pool_client_.WritePage(ctx, page));
+      rec.lsn = db_->next_lsn_.fetch_add(1);
+      rec.undo_payload.clear();
+    }
+
+    // Insert into this writer's private insert page (no cross-writer page
+    // contention on inserts).
+    Page page(kInvalidPageId);
+    bool fresh = false;
+    if (insert_page_ != kInvalidPageId) {
+      DISAGG_ASSIGN_OR_RETURN(page, pool_client_.ReadPage(ctx, insert_page_));
+      if (page.FreeSpace() < row.size()) fresh = true;
+    } else {
+      fresh = true;
+    }
+    if (fresh) {
+      insert_page_ = db_->next_page_id_.fetch_add(1);
+      page = Page(insert_page_);
+    }
+    rec.type = LogType::kInsert;
+    rec.page_id = page.page_id();
+    rec.slot = page.slot_count();
+    rec.payload = row.ToString();
+    DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
+    auto slot = page.Insert(row);
+    if (!slot.ok()) return slot.status();
+    page.set_lsn(rec.lsn);
+    DISAGG_RETURN_NOT_OK(pool_client_.WritePage(ctx, page));
+    {
+      std::lock_guard<std::mutex> lock(db_->index_mu_);
+      db_->index_[key] = RowLoc{page.page_id(), *slot};
+    }
+    return Status::OK();
+  }();
+  Status unlock = UnlockKey(ctx, key);
+  if (st.ok()) {
+    st = unlock;
+    stats_.commits++;
+  }
+  return st;
+}
+
+Result<std::string> MultiWriterDb::Writer::Get(NetContext* ctx, uint64_t key) {
+  RowLoc loc{};
+  {
+    std::lock_guard<std::mutex> lock(db_->index_mu_);
+    auto it = db_->index_.find(key);
+    if (it == db_->index_.end()) return Status::NotFound("no such key");
+    loc = it->second;
+  }
+  DISAGG_ASSIGN_OR_RETURN(Page page, pool_client_.ReadPage(ctx, loc.page));
+  DISAGG_ASSIGN_OR_RETURN(Slice row, page.Get(loc.slot));
+  return row.ToString();
+}
+
+}  // namespace disagg

@@ -1,0 +1,37 @@
+#include "core/platform.h"
+
+namespace disagg {
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMonolithic:
+      return "monolithic";
+    case EngineKind::kAurora:
+      return "aurora";
+    case EngineKind::kPolar:
+      return "polardb";
+    case EngineKind::kSocrates:
+      return "socrates";
+    case EngineKind::kTaurus:
+      return "taurus";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RowEngine> MakeEngine(Fabric* fabric, EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMonolithic:
+      return std::make_unique<MonolithicDb>();
+    case EngineKind::kAurora:
+      return std::make_unique<AuroraDb>(fabric);
+    case EngineKind::kPolar:
+      return std::make_unique<PolarDb>(fabric);
+    case EngineKind::kSocrates:
+      return std::make_unique<SocratesDb>(fabric);
+    case EngineKind::kTaurus:
+      return std::make_unique<TaurusDb>(fabric);
+  }
+  return nullptr;
+}
+
+}  // namespace disagg

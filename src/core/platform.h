@@ -1,0 +1,35 @@
+#ifndef DISAGG_CORE_PLATFORM_H_
+#define DISAGG_CORE_PLATFORM_H_
+
+#include <array>
+#include <memory>
+
+#include "core/engines.h"
+
+namespace disagg {
+
+/// The surveyed OLTP architectures, addressable uniformly — the heart of the
+/// "comprehensive evaluation platform" the paper's Future Directions section
+/// asks for: one workload, N architectures, comparable cost ledgers.
+enum class EngineKind {
+  kMonolithic,
+  kAurora,
+  kPolar,
+  kSocrates,
+  kTaurus,
+};
+
+inline constexpr std::array<EngineKind, 5> kAllEngineKinds = {
+    EngineKind::kMonolithic, EngineKind::kAurora, EngineKind::kPolar,
+    EngineKind::kSocrates, EngineKind::kTaurus,
+};
+
+const char* EngineName(EngineKind kind);
+
+/// Builds an engine of the given architecture on `fabric` (which may be
+/// nullptr only for kMonolithic).
+std::unique_ptr<RowEngine> MakeEngine(Fabric* fabric, EngineKind kind);
+
+}  // namespace disagg
+
+#endif  // DISAGG_CORE_PLATFORM_H_

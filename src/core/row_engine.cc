@@ -1,0 +1,176 @@
+#include "core/row_engine.h"
+
+#include "common/logging.h"
+
+namespace disagg {
+
+Result<Page*> RowEngine::GetPage(NetContext* ctx, PageId id) {
+  auto it = buffer_.find(id);
+  if (it != buffer_.end()) {
+    ctx->Charge(InterconnectModel::LocalDram().ReadCost(kPageSize));
+    return &it->second;
+  }
+  stats_.page_fetches++;
+  DISAGG_ASSIGN_OR_RETURN(Page page, FetchPage(ctx, id));
+  auto [nit, inserted] = buffer_.emplace(id, std::move(page));
+  return &nit->second;
+}
+
+Result<Page*> RowEngine::PageForInsert(NetContext* ctx, size_t bytes) {
+  if (insert_page_ != kInvalidPageId) {
+    auto page = GetPage(ctx, insert_page_);
+    if (page.ok() && (*page)->FreeSpace() >= bytes) return *page;
+  }
+  insert_page_ = next_page_id_++;
+  auto [it, inserted] = buffer_.emplace(insert_page_, Page(insert_page_));
+  return &it->second;
+}
+
+Status RowEngine::Insert(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  if (index_.count(key)) return Status::InvalidArgument("key exists");
+  DISAGG_ASSIGN_OR_RETURN(Page * page, PageForInsert(ctx, row.size()));
+  const uint16_t slot = page->slot_count();
+  const Lsn lsn = tm_.LogInsert(txn, page->page_id(), slot, row, key);
+  auto got = page->Insert(row);
+  if (!got.ok()) return got.status();
+  DISAGG_CHECK(*got == slot);
+  page->set_lsn(lsn);
+  dirty_.insert(page->page_id());
+  index_[key] = RowLoc{page->page_id(), slot};
+  return Status::OK();
+}
+
+Status RowEngine::Update(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
+  DISAGG_ASSIGN_OR_RETURN(Slice before, page->Get(it->second.slot));
+  if (row.size() <= before.size()) {
+    const Lsn lsn = tm_.LogUpdate(txn, page->page_id(), it->second.slot,
+                                  before, row, key);
+    DISAGG_RETURN_NOT_OK(page->Update(it->second.slot, row));
+    page->set_lsn(lsn);
+    dirty_.insert(page->page_id());
+    return Status::OK();
+  }
+  // Grow-update: delete + insert elsewhere.
+  const Lsn del_lsn = tm_.LogDelete(txn, page->page_id(), it->second.slot,
+                                   before, key);
+  DISAGG_RETURN_NOT_OK(page->Delete(it->second.slot));
+  page->set_lsn(del_lsn);
+  dirty_.insert(page->page_id());
+  DISAGG_ASSIGN_OR_RETURN(Page * npage, PageForInsert(ctx, row.size()));
+  const uint16_t slot = npage->slot_count();
+  const Lsn ins_lsn = tm_.LogInsert(txn, npage->page_id(), slot, row, key);
+  auto got = npage->Insert(row);
+  if (!got.ok()) return got.status();
+  npage->set_lsn(ins_lsn);
+  dirty_.insert(npage->page_id());
+  it->second = RowLoc{npage->page_id(), slot};
+  return Status::OK();
+}
+
+Status RowEngine::Delete(NetContext* ctx, TxnId txn, uint64_t key) {
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
+  DISAGG_ASSIGN_OR_RETURN(Slice before, page->Get(it->second.slot));
+  const Lsn lsn = tm_.LogDelete(txn, page->page_id(), it->second.slot,
+                                before, key);
+  DISAGG_RETURN_NOT_OK(page->Delete(it->second.slot));
+  page->set_lsn(lsn);
+  dirty_.insert(page->page_id());
+  index_.erase(it);
+  return Status::OK();
+}
+
+Result<std::string> RowEngine::Read(NetContext* ctx, TxnId txn, uint64_t key) {
+  DISAGG_RETURN_NOT_OK(tm_.LockShared(txn, key));
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
+  DISAGG_ASSIGN_OR_RETURN(Slice row, page->Get(it->second.slot));
+  return row.ToString();
+}
+
+Status RowEngine::Commit(NetContext* ctx, TxnId txn) {
+  const std::vector<LogRecord> records = tm_.PendingRecords(txn);
+  DISAGG_RETURN_NOT_OK(tm_.Commit(ctx, txn));  // WAL flush = durability
+  stats_.commits++;
+  return OnCommit(ctx, records);
+}
+
+Status RowEngine::Abort(NetContext* ctx, TxnId txn) {
+  const std::vector<LogRecord> undo = tm_.Abort(txn);  // newest first
+  stats_.aborts++;
+  for (const LogRecord& r : undo) {
+    DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, r.page_id));
+    switch (r.type) {
+      case LogType::kInsert: {
+        DISAGG_RETURN_NOT_OK(page->Delete(r.slot));
+        auto iit = index_.find(r.row_key);
+        if (iit != index_.end() && iit->second.page == r.page_id &&
+            iit->second.slot == r.slot) {
+          index_.erase(iit);
+        }
+        break;
+      }
+      case LogType::kUpdate:
+        DISAGG_RETURN_NOT_OK(page->Update(r.slot, r.undo_payload));
+        break;
+      case LogType::kDelete: {
+        // Undo of delete restores the row. Page slots are tombstoned and
+        // never reused, so the row re-inserts into a fresh slot and the
+        // index entry for the logged key is repointed there. The CLR must
+        // carry the fresh slot so recovery can redo this exact rollback.
+        auto slot = page->Insert(r.undo_payload);
+        if (!slot.ok()) return slot.status();
+        index_[r.row_key] = RowLoc{r.page_id, *slot};
+        tm_.LogClr(txn, r.page_id, *slot, r.undo_payload, r.lsn);
+        break;
+      }
+      default:
+        break;
+    }
+    dirty_.insert(r.page_id);
+  }
+  return Status::OK();
+}
+
+Status RowEngine::Put(NetContext* ctx, uint64_t key, Slice row) {
+  const TxnId txn = Begin();
+  Status st = index_.count(key) ? Update(ctx, txn, key, row)
+                                : Insert(ctx, txn, key, row);
+  if (!st.ok()) {
+    (void)Abort(ctx, txn);
+    return st;
+  }
+  return Commit(ctx, txn);
+}
+
+Result<std::string> RowEngine::GetRow(NetContext* ctx, uint64_t key) {
+  const TxnId txn = Begin();
+  auto row = Read(ctx, txn, key);
+  if (!row.ok()) {
+    (void)Abort(ctx, txn);
+    return row.status();
+  }
+  DISAGG_RETURN_NOT_OK(Commit(ctx, txn));
+  return row;
+}
+
+Lsn RowEngine::PageLsn(PageId id) const {
+  auto it = buffer_.find(id);
+  return it == buffer_.end() ? kInvalidLsn : it->second.lsn();
+}
+
+void RowEngine::DropBuffer() {
+  buffer_.clear();
+  dirty_.clear();
+  insert_page_ = kInvalidPageId;
+}
+
+}  // namespace disagg

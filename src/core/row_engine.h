@@ -1,0 +1,106 @@
+#ifndef DISAGG_CORE_ROW_ENGINE_H_
+#define DISAGG_CORE_ROW_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "txn/txn_manager.h"
+
+namespace disagg {
+
+/// Shared OLTP engine core: a keyed row store (uint64 key -> byte-string
+/// row) on slotted pages with strict 2PL and ARIES-style logging. The
+/// surveyed architectures differ ONLY in the two virtual hooks:
+///
+///   - where the write-ahead log goes (the LogSink passed in), and
+///   - what happens to data pages (`FetchPage` miss path + `OnCommit`
+///     shipping hook).
+///
+/// Monolithic: local WAL + local pages.  Aurora: quorum WAL and *nothing*
+/// shipped at commit — the log is the database.  PolarDB: Raft WAL + whole
+/// pages shipped.  Socrates: XLOG WAL, page servers fed from the log,
+/// checkpoints to XStore.  Taurus: replicated log stores + single-page-store
+/// propagation with gossip.
+class RowEngine {
+ public:
+  struct EngineStats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t page_fetches = 0;
+  };
+
+  virtual ~RowEngine() = default;
+
+  // -- Transactions ---------------------------------------------------
+  TxnId Begin() { return tm_.Begin(); }
+  Status Insert(NetContext* ctx, TxnId txn, uint64_t key, Slice row);
+  Status Update(NetContext* ctx, TxnId txn, uint64_t key, Slice row);
+  Status Delete(NetContext* ctx, TxnId txn, uint64_t key);
+  Result<std::string> Read(NetContext* ctx, TxnId txn, uint64_t key);
+  Status Commit(NetContext* ctx, TxnId txn);
+  Status Abort(NetContext* ctx, TxnId txn);
+
+  // -- Autocommit convenience ------------------------------------------
+  Status Put(NetContext* ctx, uint64_t key, Slice row);
+  Result<std::string> GetRow(NetContext* ctx, uint64_t key);
+
+  /// Location of a row (the shared metadata reader nodes consult).
+  struct RowLoc {
+    PageId page = kInvalidPageId;
+    uint16_t slot = 0;
+  };
+  Result<RowLoc> Lookup(uint64_t key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return Status::NotFound("no such key");
+    return it->second;
+  }
+
+  size_t row_count() const { return index_.size(); }
+  const EngineStats& stats() const { return stats_; }
+  WalManager* wal() { return &wal_; }
+  LogSink* sink() { return sink_.get(); }
+
+  /// LSN of the newest buffered image of `id` (metadata for reader nodes).
+  Lsn PageLsn(PageId id) const;
+
+  /// Drops the local page buffer (compute crash / restart simulation);
+  /// the index survives as it models the shared metadata service.
+  void DropBuffer();
+
+ protected:
+  explicit RowEngine(std::unique_ptr<LogSink> sink)
+      : sink_(std::move(sink)), wal_(sink_.get()), tm_(&wal_, &locks_) {}
+
+  /// Buffer-miss path: where this architecture reads pages from.
+  virtual Result<Page> FetchPage(NetContext* ctx, PageId id) = 0;
+
+  /// Post-durability hook: ship pages / redo records per architecture.
+  /// `records` are this transaction's stamped data records.
+  virtual Status OnCommit(NetContext* ctx,
+                          const std::vector<LogRecord>& records) {
+    (void)ctx;
+    (void)records;
+    return Status::OK();
+  }
+
+  Result<Page*> GetPage(NetContext* ctx, PageId id);
+  /// Page with room for `bytes`, appending a fresh page when needed.
+  Result<Page*> PageForInsert(NetContext* ctx, size_t bytes);
+
+  std::unique_ptr<LogSink> sink_;
+  WalManager wal_;
+  LockManager locks_;
+  TxnManager tm_;
+  std::unordered_map<uint64_t, RowLoc> index_;
+  std::map<PageId, Page> buffer_;
+  std::set<PageId> dirty_;
+  PageId next_page_id_ = 1;
+  PageId insert_page_ = kInvalidPageId;
+  EngineStats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CORE_ROW_ENGINE_H_

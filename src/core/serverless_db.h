@@ -1,0 +1,76 @@
+#ifndef DISAGG_CORE_SERVERLESS_DB_H_
+#define DISAGG_CORE_SERVERLESS_DB_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "memnode/shared_buffer_pool.h"
+#include "storage/quorum.h"
+#include "txn/txn_manager.h"
+
+namespace disagg {
+
+/// PolarDB Serverless (Sec. 3.1): storage disaggregation (quorum log on
+/// shared storage) PLUS memory disaggregation — all data pages live in ONE
+/// shared remote-memory buffer pool used by every compute node. Properties
+/// reproduced:
+///   - compute nodes hold no private buffers, only small validated caches,
+///     so memory use does not multiply with the node count;
+///   - secondary nodes see the newest pages without any log replay
+///     (seqlock-coherent shared pool);
+///   - compute crash/restart loses nothing and needs no page rebuild.
+class ServerlessDb {
+ public:
+  /// Builds the shared infrastructure: memory pool + quorum storage.
+  ServerlessDb(Fabric* fabric, size_t max_pages,
+               ReplicatedSegment::Config storage_config = {});
+
+  /// One compute node attached to the shared pool. Node 0 by convention is
+  /// the single read-write primary (the paper's model); others are
+  /// read-only secondaries.
+  class Compute {
+   public:
+    Compute(ServerlessDb* db, size_t local_cache_pages, bool writer);
+
+    Status Put(NetContext* ctx, uint64_t key, Slice row);
+    Result<std::string> Get(NetContext* ctx, uint64_t key);
+
+    const SharedBufferPoolClient::Stats& pool_stats() const {
+      return pool_client_.stats();
+    }
+
+   private:
+    ServerlessDb* db_;
+    SharedBufferPoolClient pool_client_;
+    bool writer_;
+  };
+
+  std::unique_ptr<Compute> AttachCompute(size_t local_cache_pages,
+                                         bool writer);
+
+  MemoryNode* pool() { return pool_.get(); }
+  ReplicatedSegment* storage() { return segment_.get(); }
+  size_t row_count() const { return index_.size(); }
+
+ private:
+  friend class Compute;
+
+  struct RowLoc {
+    PageId page;
+    uint16_t slot;
+  };
+
+  Fabric* fabric_;
+  std::unique_ptr<MemoryNode> pool_;
+  std::unique_ptr<SharedBufferPoolHome> home_;
+  std::unique_ptr<ReplicatedSegment> segment_;
+  // Shared metadata service (index + page fill state + WAL).
+  std::unordered_map<uint64_t, RowLoc> index_;
+  PageId next_page_id_ = 1;
+  PageId insert_page_ = kInvalidPageId;
+  Lsn next_lsn_ = 1;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CORE_SERVERLESS_DB_H_

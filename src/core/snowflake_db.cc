@@ -1,0 +1,134 @@
+#include "core/snowflake_db.h"
+
+#include <algorithm>
+
+namespace disagg {
+
+SnowflakeDb::SnowflakeDb(Fabric* fabric, size_t rows_per_file)
+    : fabric_(fabric), rows_per_file_(rows_per_file) {
+  storage_node_ = fabric_->AddNode("snowflake-s3", NodeKind::kObject,
+                                   InterconnectModel::ObjectStore());
+  service_ = std::make_unique<ObjectStoreService>(fabric_, storage_node_);
+  vw_caches_.resize(1);
+}
+
+Status SnowflakeDb::LoadTable(NetContext* ctx, const std::string& name,
+                              Schema schema, const std::vector<Tuple>& rows) {
+  if (tables_.count(name)) return Status::InvalidArgument("table exists");
+  TableMeta meta;
+  meta.schema = schema;
+  ObjectStoreClient client(fabric_, storage_node_);
+  for (size_t start = 0; start < rows.size(); start += rows_per_file_) {
+    const size_t end = std::min(rows.size(), start + rows_per_file_);
+    std::vector<Tuple> part(rows.begin() + start, rows.begin() + end);
+    auto chunk = ColumnarChunk::FromRows(schema, std::move(part));
+    FileMeta file;
+    file.key = name + "/part-" + std::to_string(start / rows_per_file_);
+    file.mins = chunk.mins();
+    file.maxs = chunk.maxs();
+    file.rows = chunk.row_count();
+    DISAGG_RETURN_NOT_OK(client.Put(ctx, file.key, chunk.Serialize()));
+    meta.files.push_back(std::move(file));
+  }
+  tables_[name] = std::move(meta);
+  return Status::OK();
+}
+
+void SnowflakeDb::SetWarehouses(int n) {
+  vw_caches_.resize(static_cast<size_t>(std::max(1, n)));
+}
+
+Result<SnowflakeDb::QueryStats> SnowflakeDb::Query(
+    const std::string& table, const ops::Fragment& fragment,
+    bool use_pruning) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table");
+  const TableMeta& meta = it->second;
+
+  QueryStats stats;
+  stats.files_total = meta.files.size();
+
+  // Prune with zone maps, then assign surviving files round-robin to VWs.
+  std::vector<const FileMeta*> work;
+  for (const FileMeta& file : meta.files) {
+    if (use_pruning && !fragment.predicate.MayMatch(file.mins, file.maxs)) {
+      stats.files_pruned++;
+      continue;
+    }
+    work.push_back(&file);
+  }
+
+  const size_t num_vw = vw_caches_.size();
+  std::vector<NetContext> vw_ctx(num_vw);
+  std::vector<std::vector<Tuple>> vw_partials(num_vw);
+  ObjectStoreClient client(fabric_, storage_node_);
+  for (size_t i = 0; i < work.size(); i++) {
+    const size_t vw = i % num_vw;
+    const FileMeta& file = *work[i];
+    auto& cache = vw_caches_[vw];
+    auto cit = cache.find(file.key);
+    if (cit == cache.end()) {
+      DISAGG_ASSIGN_OR_RETURN(std::string blob,
+                              client.Get(&vw_ctx[vw], file.key));
+      auto chunk = ColumnarChunk::Deserialize(meta.schema, blob);
+      if (!chunk.ok()) return chunk.status();
+      cit = cache.emplace(file.key, std::move(chunk).value()).first;
+    } else {
+      stats.cache_hits++;
+      // Local SSD cache read.
+      vw_ctx[vw].Charge(
+          InterconnectModel::Ssd().ReadCost(file.rows * 32));
+    }
+    stats.files_scanned++;
+    std::vector<Tuple> part = fragment.Execute(&vw_ctx[vw],
+                                               cit->second.rows());
+    auto& sink = vw_partials[vw];
+    sink.insert(sink.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+
+  // Merge VW partials on the coordinator.
+  NetContext total;
+  MergeParallel(&total, vw_ctx.data(), vw_ctx.size());
+  std::vector<Tuple> all;
+  for (auto& part : vw_partials) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  if (!fragment.aggs.empty()) {
+    // Combine partial aggregates: re-aggregate with the combining function.
+    for (const AggSpec& a : fragment.aggs) {
+      if (a.func == AggFunc::kAvg) {
+        return Status::NotSupported("distributed AVG: use SUM and COUNT");
+      }
+    }
+    std::vector<AggSpec> combine;
+    std::vector<int> group_cols;
+    for (size_t g = 0; g < fragment.group_cols.size(); g++) {
+      group_cols.push_back(static_cast<int>(g));
+    }
+    for (size_t a = 0; a < fragment.aggs.size(); a++) {
+      const int col = static_cast<int>(fragment.group_cols.size() + a);
+      switch (fragment.aggs[a].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+          combine.push_back({AggFunc::kSum, col});
+          break;
+        case AggFunc::kMin:
+          combine.push_back({AggFunc::kMin, col});
+          break;
+        case AggFunc::kMax:
+          combine.push_back({AggFunc::kMax, col});
+          break;
+        case AggFunc::kAvg:
+          break;  // rejected above
+      }
+    }
+    all = ops::HashAggregate(&total, all, group_cols, combine);
+  }
+  stats.rows = std::move(all);
+  stats.sim_ns = total.sim_ns;
+  return stats;
+}
+
+}  // namespace disagg

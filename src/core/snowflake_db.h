@@ -1,0 +1,73 @@
+#ifndef DISAGG_CORE_SNOWFLAKE_DB_H_
+#define DISAGG_CORE_SNOWFLAKE_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/columnar.h"
+#include "query/operators.h"
+#include "storage/object_store.h"
+
+namespace disagg {
+
+/// Snowflake-style disaggregated OLAP engine (Sec. 2.2): tables are split
+/// into immutable columnar files in cloud object storage; elastic Virtual
+/// Warehouses (VWs) execute queries, each with a local file cache; min-max
+/// zone maps prune files before any I/O. VWs scale independently of data —
+/// the architecture's core elasticity claim.
+class SnowflakeDb {
+ public:
+  struct QueryStats {
+    size_t files_total = 0;
+    size_t files_pruned = 0;
+    size_t files_scanned = 0;
+    size_t cache_hits = 0;
+    uint64_t sim_ns = 0;  // parallel (max-over-VW) simulated time
+    std::vector<Tuple> rows;
+  };
+
+  SnowflakeDb(Fabric* fabric, size_t rows_per_file = 1024);
+
+  /// Loads a table: chunks rows, writes immutable files, records zone maps.
+  Status LoadTable(NetContext* ctx, const std::string& name, Schema schema,
+                   const std::vector<Tuple>& rows);
+
+  /// Elasticity: resize the VW fleet (caches persist per VW slot).
+  void SetWarehouses(int n);
+  int warehouses() const { return static_cast<int>(vw_caches_.size()); }
+
+  /// Executes fragment over the table across all VWs. Aggregates are
+  /// merged with the matching combine function (COUNT->sum, SUM->sum,
+  /// MIN->min, MAX->max; AVG unsupported distributed).
+  Result<QueryStats> Query(const std::string& table,
+                           const ops::Fragment& fragment,
+                           bool use_pruning = true);
+
+  ObjectStoreService* storage_service() { return service_.get(); }
+
+ private:
+  struct FileMeta {
+    std::string key;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+    size_t rows = 0;
+  };
+  struct TableMeta {
+    Schema schema;
+    std::vector<FileMeta> files;
+  };
+
+  Fabric* fabric_;
+  NodeId storage_node_ = 0;
+  std::unique_ptr<ObjectStoreService> service_;
+  size_t rows_per_file_;
+  std::map<std::string, TableMeta> tables_;
+  // Per-VW local SSD file cache: file key -> deserialized chunk.
+  std::vector<std::map<std::string, ColumnarChunk>> vw_caches_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CORE_SNOWFLAKE_DB_H_

@@ -1,0 +1,44 @@
+#ifndef DISAGG_CXL_CXL_MEMORY_H_
+#define DISAGG_CXL_CXL_MEMORY_H_
+
+#include <string>
+
+#include "memnode/memory_node.h"
+
+namespace disagg {
+
+/// A CXL Type-3 memory expander (Sec. 3.3): load/store-accessible memory
+/// behind the CXL.mem protocol. Reuses the MemoryNode pool machinery with the
+/// CXL cost model — byte-addressable, cache-coherent by construction (single
+/// process), latency between local DRAM and RDMA (DirectCXL measures RDMA at
+/// ~6.2x CXL latency).
+class CxlMemory {
+ public:
+  CxlMemory(Fabric* fabric, const std::string& name, size_t capacity_bytes)
+      : pool_(fabric, name, capacity_bytes, InterconnectModel::Cxl()),
+        fabric_(fabric) {
+    // CXL devices have no server CPU at all; nothing to dispatch RPCs.
+    fabric_->node(pool_.node())->set_cpu_scale(1.0);
+  }
+
+  NodeId node() const { return pool_.node(); }
+  MemoryNode* pool() { return &pool_; }
+
+  Result<GlobalAddr> Alloc(size_t bytes) { return pool_.AllocLocal(bytes); }
+
+  /// Load/store accessors, charged at CXL.mem cost.
+  Status Load(NetContext* ctx, GlobalAddr addr, void* dst, size_t n) {
+    return fabric_->Read(ctx, addr, dst, n);
+  }
+  Status Store(NetContext* ctx, GlobalAddr addr, const void* src, size_t n) {
+    return fabric_->Write(ctx, addr, src, n);
+  }
+
+ private:
+  MemoryNode pool_;
+  Fabric* fabric_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CXL_CXL_MEMORY_H_

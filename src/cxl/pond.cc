@@ -1,0 +1,84 @@
+#include "cxl/pond.h"
+
+#include <algorithm>
+
+namespace disagg {
+
+PondPool::PondPool(int hosts_per_pod, size_t dram_per_host,
+                   double pool_fraction) {
+  const size_t pooled =
+      static_cast<size_t>(static_cast<double>(dram_per_host) * pool_fraction);
+  for (int i = 0; i < hosts_per_pod; i++) {
+    hosts_.push_back(dram_per_host - pooled);
+    pool_free_ += pooled;
+    total_bytes_ += dram_per_host;
+  }
+}
+
+double PondPool::PredictSlowdown(const VmRequest& vm, double pool_share) {
+  // Only touched memory suffers the CXL penalty; latency-sensitive accesses
+  // amplify it. Coefficients give ~25% worst case (all memory remote, fully
+  // sensitive) matching the DirectCXL/Ahn-style measured ranges.
+  const double touched = 1.0 - vm.untouched_fraction;
+  return 0.25 * pool_share * touched *
+         (0.3 + 0.7 * vm.latency_sensitivity);
+}
+
+Result<PondPool::Placement> PondPool::Allocate(const VmRequest& vm) {
+  if (vms_.count(vm.name)) return Status::InvalidArgument("vm exists");
+  // Binary-search the largest SLO-compliant pool share; untouched memory is
+  // free to pool, so the share starts there.
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 32; i++) {
+    const double mid = (lo + hi) / 2;
+    if (PredictSlowdown(vm, mid) <= vm.max_slowdown) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double share = lo;
+
+  Placement p;
+  p.pool_bytes = std::min(
+      static_cast<size_t>(static_cast<double>(vm.memory_bytes) * share),
+      pool_free_);
+  p.local_bytes = vm.memory_bytes - p.pool_bytes;
+  p.predicted_slowdown = PredictSlowdown(
+      vm, static_cast<double>(p.pool_bytes) /
+              std::max<size_t>(vm.memory_bytes, 1));
+
+  // First-fit host for the local part.
+  for (size_t h = 0; h < hosts_.size(); h++) {
+    if (hosts_[h] >= p.local_bytes) {
+      p.host = static_cast<int>(h);
+      break;
+    }
+  }
+  if (p.host < 0) return Status::Unavailable("no host fits the local share");
+  hosts_[p.host] -= p.local_bytes;
+  pool_free_ -= p.pool_bytes;
+  vms_[vm.name] = {p, vm.memory_bytes};
+  return p;
+}
+
+Status PondPool::Release(const std::string& vm_name) {
+  auto it = vms_.find(vm_name);
+  if (it == vms_.end()) return Status::NotFound(vm_name);
+  hosts_[it->second.first.host] += it->second.first.local_bytes;
+  pool_free_ += it->second.first.pool_bytes;
+  vms_.erase(it);
+  return Status::OK();
+}
+
+double PondPool::StrandedFraction() const {
+  // Stranded = free local memory on hosts that cannot accept new VMs because
+  // their free share is a small unusable remainder. With pooling, the pooled
+  // part is fungible across the pod, so only local leftovers strand.
+  size_t stranded = 0;
+  for (size_t free_bytes : hosts_) stranded += free_bytes;
+  // Pool memory is never stranded — any host can map it.
+  return static_cast<double>(stranded) / static_cast<double>(total_bytes_);
+}
+
+}  // namespace disagg

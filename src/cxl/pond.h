@@ -1,0 +1,72 @@
+#ifndef DISAGG_CXL_POND_H_
+#define DISAGG_CXL_POND_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace disagg {
+
+/// Pond-style CXL memory pooling for a cloud cluster (Sec. 3.3). Two insights
+/// from the paper are modeled:
+///  1. pooling across a SMALL number of sockets (a pod) already recovers most
+///     stranded memory, so pods are the pooling granularity;
+///  2. a lightweight ML model predicts how much of a VM's memory can live in
+///     the (slower) pool without violating its performance target, using
+///     workload features (latency sensitivity, fraction of memory untouched).
+class PondPool {
+ public:
+  struct HostConfig {
+    size_t dram_bytes = 0;  // per host
+  };
+
+  struct VmRequest {
+    std::string name;
+    size_t memory_bytes = 0;
+    /// Feature: fraction of accesses that are latency-critical (0..1).
+    double latency_sensitivity = 0.5;
+    /// Feature: fraction of allocated memory the VM never touches (0..1).
+    double untouched_fraction = 0.0;
+    /// SLO: maximum tolerated slowdown (e.g. 0.05 = 5%).
+    double max_slowdown = 0.05;
+  };
+
+  struct Placement {
+    size_t local_bytes = 0;
+    size_t pool_bytes = 0;
+    int host = -1;
+    double predicted_slowdown = 0.0;
+  };
+
+  /// `hosts_per_pod` sockets contribute `pool_fraction` of their DRAM to a
+  /// shared CXL pool.
+  PondPool(int hosts_per_pod, size_t dram_per_host, double pool_fraction);
+
+  /// Predicted slowdown of a VM if `pool_share` of its touched memory lives
+  /// in the CXL pool. Linear in the features — the same shape Pond's model
+  /// family (tuned on counters) produces.
+  static double PredictSlowdown(const VmRequest& vm, double pool_share);
+
+  /// Places a VM: chooses the largest pool share whose predicted slowdown
+  /// meets the VM's SLO, then finds a host with enough local memory.
+  Result<Placement> Allocate(const VmRequest& vm);
+  Status Release(const std::string& vm_name);
+
+  /// Fraction of total cluster DRAM currently unusable by any VM (stranded).
+  double StrandedFraction() const;
+  size_t pool_free() const { return pool_free_; }
+  size_t local_free(int host) const { return hosts_[host]; }
+
+ private:
+  std::vector<size_t> hosts_;  // free local bytes per host
+  size_t pool_free_ = 0;
+  size_t total_bytes_ = 0;
+  std::map<std::string, std::pair<Placement, size_t>> vms_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CXL_POND_H_

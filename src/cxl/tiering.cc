@@ -1,0 +1,81 @@
+#include "cxl/tiering.h"
+
+#include <algorithm>
+
+namespace disagg {
+
+CxlTieringManager::CxlTieringManager(size_t dram_capacity, size_t cxl_capacity,
+                                     CxlPlacementPolicy policy)
+    : dram_capacity_(dram_capacity),
+      cxl_capacity_(cxl_capacity),
+      policy_(policy) {}
+
+Status CxlTieringManager::AddSegment(uint64_t id, const std::string& name,
+                                     size_t bytes, double heat) {
+  size_t used = 0;
+  for (const auto& [sid, s] : segments_) used += s.bytes;
+  if (used + bytes > dram_capacity_ + cxl_capacity_) {
+    return Status::Unavailable("both memory tiers full");
+  }
+  if (segments_.count(id)) return Status::InvalidArgument("duplicate segment");
+  segments_[id] = SegmentInfo{name, bytes, heat, true};
+  Rebalance();
+  return Status::OK();
+}
+
+void CxlTieringManager::Rebalance() {
+  std::vector<std::pair<uint64_t, SegmentInfo*>> order;
+  for (auto& [id, s] : segments_) order.emplace_back(id, &s);
+
+  if (policy_ == CxlPlacementPolicy::kTiered) {
+    // Hottest segments claim DRAM first — the explicit-management mode.
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      return a.second->heat > b.second->heat;
+    });
+  } else {
+    // Unified space: the OS spreads pages with no knowledge of heat; model
+    // as id-order placement (arbitrary with respect to heat).
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    });
+  }
+
+  size_t dram_used = 0;
+  for (auto& [id, seg] : order) {
+    const bool fits = dram_used + seg->bytes <= dram_capacity_;
+    const bool was_dram = seg->in_dram;
+    seg->in_dram = fits;
+    if (fits) dram_used += seg->bytes;
+    if (was_dram != seg->in_dram) stats_.migrations++;
+  }
+}
+
+Status CxlTieringManager::Access(NetContext* ctx, uint64_t id, size_t bytes) {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  if (it->second.in_dram) {
+    stats_.dram_accesses++;
+    ctx->Charge(dram_.ReadCost(bytes));
+  } else {
+    stats_.cxl_accesses++;
+    ctx->Charge(cxl_.ReadCost(bytes));
+  }
+  return Status::OK();
+}
+
+Result<CxlTieringManager::SegmentInfo> CxlTieringManager::segment(
+    uint64_t id) const {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  return it->second;
+}
+
+size_t CxlTieringManager::dram_used() const {
+  size_t used = 0;
+  for (const auto& [id, s] : segments_) {
+    if (s.in_dram) used += s.bytes;
+  }
+  return used;
+}
+
+}  // namespace disagg

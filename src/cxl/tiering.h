@@ -1,0 +1,72 @@
+#ifndef DISAGG_CXL_TIERING_H_
+#define DISAGG_CXL_TIERING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/interconnect.h"
+#include "net/net_context.h"
+
+namespace disagg {
+
+/// Ahn et al.'s two ways of using CXL memory in an in-memory DBMS (Sec. 3.3):
+///  - kUnified: CXL is fused with local DRAM into one space; the application
+///    is unmodified, so data lands on either tier obliviously (modeled as
+///    proportional placement by capacity).
+///  - kTiered: the DBMS explicitly places hot/operational data (HANA: delta
+///    storage) in DRAM and cold bulk data (HANA: main storage) in CXL.
+enum class CxlPlacementPolicy { kUnified, kTiered };
+
+/// Capacity-aware placement of memory segments across DRAM and CXL, with
+/// per-access cost accounting. Segments model coarse DBMS allocations
+/// (column chunks, delta stores, hash tables) with a heat score.
+class CxlTieringManager {
+ public:
+  struct SegmentInfo {
+    std::string name;
+    size_t bytes = 0;
+    double heat = 0.0;    // accesses per second, supplied by the DBMS
+    bool in_dram = true;  // decided by Rebalance()
+  };
+
+  struct Stats {
+    uint64_t dram_accesses = 0;
+    uint64_t cxl_accesses = 0;
+    uint64_t migrations = 0;
+  };
+
+  CxlTieringManager(size_t dram_capacity, size_t cxl_capacity,
+                    CxlPlacementPolicy policy);
+
+  /// Registers a segment; fails when both tiers are full.
+  Status AddSegment(uint64_t id, const std::string& name, size_t bytes,
+                    double heat);
+
+  /// Re-places all segments according to the policy:
+  ///  - kTiered: hottest-first into DRAM until it is full;
+  ///  - kUnified: pseudo-random proportional split (OS-interleaved pages).
+  void Rebalance();
+
+  /// Charges one access of `bytes` at the segment's current tier.
+  Status Access(NetContext* ctx, uint64_t id, size_t bytes);
+
+  Result<SegmentInfo> segment(uint64_t id) const;
+  const Stats& stats() const { return stats_; }
+  size_t dram_used() const;
+
+ private:
+  size_t dram_capacity_;
+  size_t cxl_capacity_;
+  CxlPlacementPolicy policy_;
+  std::map<uint64_t, SegmentInfo> segments_;
+  Stats stats_;
+  InterconnectModel dram_ = InterconnectModel::LocalDram();
+  InterconnectModel cxl_ = InterconnectModel::Cxl();
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_CXL_TIERING_H_

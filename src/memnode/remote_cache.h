@@ -1,0 +1,76 @@
+#ifndef DISAGG_MEMNODE_REMOTE_CACHE_H_
+#define DISAGG_MEMNODE_REMOTE_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "memnode/memory_node.h"
+
+namespace disagg {
+
+/// Redy-style remote-memory cache (Sec. 3.2): key-value blobs placed in
+/// stranded disaggregated memory, read/written with one-sided verbs — a
+/// lower-latency alternative to an SSD cache. Stranded memory is ephemeral:
+/// when the host reclaims it, `MigrateTo` moves the cache to a new pool, the
+/// dynamic-availability mechanism Redy introduces.
+class RemoteCache {
+ public:
+  explicit RemoteCache(Fabric* fabric, MemoryNode* pool);
+
+  Status Put(NetContext* ctx, const std::string& key, Slice value);
+  Result<std::string> Get(NetContext* ctx, const std::string& key);
+  Status Erase(NetContext* ctx, const std::string& key);
+
+  /// Copies every entry into `new_pool` and frees the old allocations —
+  /// what Redy's memory manager does when the VM allocator reclaims the
+  /// stranded memory backing the cache.
+  Status MigrateTo(NetContext* ctx, MemoryNode* new_pool);
+
+  size_t size() const { return index_.size(); }
+  NodeId pool_node() const { return pool_->node(); }
+
+ private:
+  struct Loc {
+    GlobalAddr addr;
+    size_t len = 0;
+  };
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  std::unordered_map<std::string, Loc> index_;  // client-side directory
+};
+
+/// CompuCache-style near-data processing (Sec. 3.2): the cache server runs
+/// stored procedures so a pointer-chasing lookup costs a single round trip
+/// instead of one per hop. The chain is a linked list of fixed-size records
+/// in the pool region: {next_offset u64, payload[kPayload]}.
+class PointerChain {
+ public:
+  static constexpr size_t kPayload = 56;
+  static constexpr size_t kNodeSize = 8 + kPayload;
+
+  /// Builds a chain of `values` (each at most kPayload bytes) in `pool` and
+  /// registers the "cache.chase" stored procedure on the pool node.
+  PointerChain(Fabric* fabric, MemoryNode* pool);
+
+  Result<GlobalAddr> Build(NetContext* ctx,
+                           const std::vector<std::string>& values);
+
+  /// Client-side traversal: one one-sided read per hop (k round trips).
+  Result<std::string> ChaseClientSide(NetContext* ctx, GlobalAddr head,
+                                      size_t hops);
+
+  /// Server-side stored procedure: single RPC, the pool CPU walks the chain.
+  Result<std::string> ChaseServerSide(NetContext* ctx, GlobalAddr head,
+                                      size_t hops);
+
+ private:
+  Status HandleChase(Slice req, std::string* resp, RpcServerContext* sctx);
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_MEMNODE_REMOTE_CACHE_H_

@@ -1,0 +1,169 @@
+#include "memnode/shared_buffer_pool.h"
+
+#include "common/coding.h"
+#include <thread>
+
+#include "common/logging.h"
+
+namespace disagg {
+
+namespace {
+constexpr int kMaxRetries = 20000;
+
+uint64_t HashPageId(PageId id) { return id * 0x9E3779B97F4A7C15ull; }
+}  // namespace
+
+SharedBufferPoolHome::SharedBufferPoolHome(Fabric* fabric, MemoryNode* pool,
+                                           size_t max_pages)
+    : fabric_(fabric), pool_(pool) {
+  dir_slots_ = max_pages * 2;  // 50% max load factor
+  max_frames_ = max_pages;
+  auto counter = pool_->AllocLocal(8);
+  DISAGG_CHECK(counter.ok());
+  counter_offset_ = counter->offset;
+  auto dir = pool_->AllocLocal(dir_slots_ * 32);
+  DISAGG_CHECK(dir.ok());
+  dir_offset_ = dir->offset;
+  auto frames = pool_->AllocLocal(max_frames_ * kPageSize);
+  DISAGG_CHECK(frames.ok());
+  frames_offset_ = frames->offset;
+}
+
+SharedBufferPoolClient::SharedBufferPoolClient(
+    Fabric* fabric, const SharedBufferPoolHome* home, size_t local_cache_pages)
+    : fabric_(fabric), home_(home), local_cache_pages_(local_cache_pages) {}
+
+Result<SharedBufferPoolClient::Entry> SharedBufferPoolClient::ReadEntry(
+    NetContext* ctx, uint64_t slot) {
+  char buf[32];
+  Status st = fabric_->Read(ctx, At(SlotAddrOffset(slot)), buf, 32);
+  if (!st.ok()) return st;
+  Entry e;
+  e.page_id = DecodeFixed64(buf);
+  e.seq = DecodeFixed64(buf + 8);
+  e.frame_plus1 = DecodeFixed64(buf + 16);
+  return e;
+}
+
+Result<uint64_t> SharedBufferPoolClient::FindSlot(NetContext* ctx, PageId id,
+                                                  bool create) {
+  DISAGG_CHECK(id != 0);  // 0 marks an empty directory slot
+  const size_t slots = home_->dir_slots();
+  uint64_t slot = HashPageId(id) % slots;
+  for (size_t probe = 0; probe < slots; probe++, slot = (slot + 1) % slots) {
+    DISAGG_ASSIGN_OR_RETURN(Entry e, ReadEntry(ctx, slot));
+    if (e.page_id == id) return slot;
+    if (e.page_id == 0) {
+      if (!create) return Status::NotFound("page not in shared pool");
+      auto observed =
+          fabric_->CompareAndSwap(ctx, At(SlotAddrOffset(slot)), 0, id);
+      if (!observed.ok()) return observed.status();
+      if (*observed == 0 ||
+          *observed == id) {  // we created it, or a racer did
+        return slot;
+      }
+      // Someone else claimed the slot for another page; keep probing.
+    }
+  }
+  return Status::Unavailable("shared pool directory full");
+}
+
+Result<uint64_t> SharedBufferPoolClient::EnsureFrame(NetContext* ctx,
+                                                     uint64_t slot) {
+  for (int retry = 0; retry < kMaxRetries; retry++) {
+    DISAGG_ASSIGN_OR_RETURN(Entry e, ReadEntry(ctx, slot));
+    if (e.frame_plus1 != 0) return e.frame_plus1 - 1;
+    // Allocate a frame index and try to install it.
+    auto frame = fabric_->FetchAdd(
+        ctx, At(home_->counter_offset()), 1);
+    if (!frame.ok()) return frame.status();
+    if (*frame >= home_->max_frames()) {
+      return Status::Unavailable("shared pool frames exhausted");
+    }
+    auto observed = fabric_->CompareAndSwap(
+        ctx, At(SlotAddrOffset(slot) + 16), 0, *frame + 1);
+    if (!observed.ok()) return observed.status();
+    if (*observed == 0) return *frame;
+    // Lost the race; the winner's frame stands (ours leaks, acceptable in a
+    // bump-allocated pool) — reread and use theirs.
+  }
+  return Status::TimedOut("frame installation did not converge");
+}
+
+Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id) {
+  DISAGG_ASSIGN_OR_RETURN(uint64_t slot, FindSlot(ctx, id, /*create=*/false));
+  for (int retry = 0; retry < kMaxRetries; retry++) {
+    DISAGG_ASSIGN_OR_RETURN(Entry e, ReadEntry(ctx, slot));
+    if (e.seq % 2 == 1) {  // writer in progress
+      stats_.retries++;
+      std::this_thread::yield();
+      continue;
+    }
+    if (e.frame_plus1 == 0) return Status::NotFound("page has no frame yet");
+
+    // Local cache revalidation: same seq means the cached copy is current.
+    auto cit = local_cache_.find(id);
+    if (cit != local_cache_.end() && cit->second.second == e.seq) {
+      stats_.local_hits++;
+      return cit->second.first;
+    }
+
+    Page page(id);
+    DISAGG_RETURN_NOT_OK(fabric_->Read(
+        ctx, At(FrameOffset(e.frame_plus1 - 1)), page.data(), kPageSize));
+    // Seqlock validation read.
+    auto seq2 = fabric_->ReadAtomic64(ctx, At(SlotAddrOffset(slot) + 8));
+    if (!seq2.ok()) return seq2.status();
+    if (*seq2 != e.seq) {
+      stats_.retries++;
+      std::this_thread::yield();
+      continue;
+    }
+    stats_.frame_reads++;
+    if (local_cache_pages_ > 0) {
+      if (local_cache_.size() >= local_cache_pages_ &&
+          local_cache_.find(id) == local_cache_.end()) {
+        local_cache_.erase(local_cache_.begin());  // random-ish eviction
+      }
+      local_cache_.insert_or_assign(id, std::make_pair(page, e.seq));
+    }
+    return page;
+  }
+  return Status::TimedOut("seqlock read did not stabilize");
+}
+
+Status SharedBufferPoolClient::WritePage(NetContext* ctx, const Page& page) {
+  DISAGG_ASSIGN_OR_RETURN(uint64_t slot,
+                          FindSlot(ctx, page.page_id(), /*create=*/true));
+  DISAGG_ASSIGN_OR_RETURN(uint64_t frame, EnsureFrame(ctx, slot));
+  const GlobalAddr seq_addr = At(SlotAddrOffset(slot) + 8);
+  for (int retry = 0; retry < kMaxRetries; retry++) {
+    auto seq = fabric_->ReadAtomic64(ctx, seq_addr);
+    if (!seq.ok()) return seq.status();
+    if (*seq % 2 == 1) {  // another writer holds the seqlock
+      stats_.retries++;
+      std::this_thread::yield();
+      continue;
+    }
+    auto observed = fabric_->CompareAndSwap(ctx, seq_addr, *seq, *seq + 1);
+    if (!observed.ok()) return observed.status();
+    if (*observed != *seq) {
+      stats_.retries++;
+      std::this_thread::yield();
+      continue;
+    }
+    DISAGG_RETURN_NOT_OK(fabric_->Write(ctx, At(FrameOffset(frame)),
+                                        page.data(), kPageSize));
+    const uint64_t published = *seq + 2;
+    DISAGG_RETURN_NOT_OK(fabric_->Write(ctx, seq_addr, &published, 8));
+    stats_.frame_writes++;
+    if (local_cache_pages_ > 0) {
+      local_cache_.insert_or_assign(page.page_id(),
+                                    std::make_pair(page, published));
+    }
+    return Status::OK();
+  }
+  return Status::TimedOut("seqlock write did not converge");
+}
+
+}  // namespace disagg

@@ -1,0 +1,105 @@
+#ifndef DISAGG_MEMNODE_SHARED_BUFFER_POOL_H_
+#define DISAGG_MEMNODE_SHARED_BUFFER_POOL_H_
+
+#include <unordered_map>
+
+#include "memnode/memory_node.h"
+#include "storage/page.h"
+
+namespace disagg {
+
+/// PolarDB Serverless's shared remote buffer pool (Sec. 3.1): one elastic
+/// pool of page frames in disaggregated memory shared by ALL compute nodes.
+/// Benefits modeled here: compute nodes own no private buffers (only small
+/// caches), and secondary nodes see up-to-date pages without log replay.
+///
+/// On-pool layout (built on a MemoryNode region):
+///   counter word   -- next free frame (allocated with remote fetch-add)
+///   directory      -- open-addressed array of 32-byte entries
+///                     {page_id, seq, frame+1, pad}
+///   frame area     -- page images
+///
+/// Coherence is a per-entry seqlock driven entirely by one-sided verbs, as
+/// hardware cache coherence does not span compute nodes (Sec. 3.1):
+/// writers CAS seq even->odd, write the frame, then publish seq+2; readers
+/// retry on odd or changed seq. Compute-local caches revalidate with one
+/// small read of the entry instead of refetching the whole frame.
+class SharedBufferPoolHome {
+ public:
+  /// Carves directory + frames out of `pool`. `max_pages` bounds both.
+  SharedBufferPoolHome(Fabric* fabric, MemoryNode* pool, size_t max_pages);
+
+  NodeId node() const { return pool_->node(); }
+  uint32_t region() const { return pool_->region(); }
+  uint64_t counter_offset() const { return counter_offset_; }
+  uint64_t dir_offset() const { return dir_offset_; }
+  uint64_t frames_offset() const { return frames_offset_; }
+  size_t dir_slots() const { return dir_slots_; }
+  size_t max_frames() const { return max_frames_; }
+
+ private:
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  uint64_t counter_offset_ = 0;
+  uint64_t dir_offset_ = 0;
+  uint64_t frames_offset_ = 0;
+  size_t dir_slots_ = 0;
+  size_t max_frames_ = 0;
+};
+
+/// Per-compute-node client of the shared pool, with an optional local cache
+/// (`local_cache_pages` = 0 disables it).
+class SharedBufferPoolClient {
+ public:
+  struct Stats {
+    uint64_t local_hits = 0;    // revalidated local copy, no frame transfer
+    uint64_t frame_reads = 0;   // full page pulled from the pool
+    uint64_t frame_writes = 0;  // full page pushed to the pool
+    uint64_t retries = 0;       // seqlock conflicts observed
+  };
+
+  SharedBufferPoolClient(Fabric* fabric, const SharedBufferPoolHome* home,
+                         size_t local_cache_pages);
+
+  /// Reads a page coherently (seqlock-validated). Uses the local cache when
+  /// the remote entry's seq still matches.
+  Result<Page> ReadPage(NetContext* ctx, PageId id);
+
+  /// Publishes a new page image; creates the directory entry on first write.
+  Status WritePage(NetContext* ctx, const Page& page);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t page_id = 0;
+    uint64_t seq = 0;
+    uint64_t frame_plus1 = 0;
+  };
+
+  uint64_t SlotAddrOffset(uint64_t slot) const {
+    return home_->dir_offset() + slot * 32;
+  }
+  GlobalAddr At(uint64_t offset) const {
+    return GlobalAddr{home_->node(), home_->region(), offset};
+  }
+  uint64_t FrameOffset(uint64_t frame) const {
+    return home_->frames_offset() + frame * kPageSize;
+  }
+
+  Result<Entry> ReadEntry(NetContext* ctx, uint64_t slot);
+  /// Finds (optionally creating) the directory slot for `id`.
+  Result<uint64_t> FindSlot(NetContext* ctx, PageId id, bool create);
+  /// Ensures the slot has a frame, allocating one if needed.
+  Result<uint64_t> EnsureFrame(NetContext* ctx, uint64_t slot);
+
+  Fabric* fabric_;
+  const SharedBufferPoolHome* home_;
+  size_t local_cache_pages_;
+  std::unordered_map<PageId, std::pair<Page, uint64_t>> local_cache_;
+  Stats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_MEMNODE_SHARED_BUFFER_POOL_H_

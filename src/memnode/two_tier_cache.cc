@@ -1,0 +1,135 @@
+#include "memnode/two_tier_cache.h"
+
+namespace disagg {
+
+TwoTierCache::TwoTierCache(Fabric* fabric, MemoryNode* remote_pool,
+                           PageSource* storage, size_t l1_capacity,
+                           size_t l2_capacity)
+    : fabric_(fabric),
+      pool_(remote_pool),
+      storage_(storage),
+      l1_capacity_(l1_capacity),
+      l2_capacity_(l2_capacity) {}
+
+Result<Page*> TwoTierCache::Get(NetContext* ctx, PageId id) {
+  // L1 (compute-local DRAM).
+  auto it = l1_.find(id);
+  if (it != l1_.end()) {
+    stats_.l1_hits++;
+    ctx->Charge(InterconnectModel::LocalDram().ReadCost(kPageSize));
+    l1_lru_.erase(it->second.lru_it);
+    l1_lru_.push_front(id);
+    it->second.lru_it = l1_lru_.begin();
+    return &it->second.page;
+  }
+
+  // L2 (remote memory pool): promote to L1 with a one-sided read.
+  auto it2 = l2_.find(id);
+  if (it2 != l2_.end()) {
+    stats_.l2_hits++;
+    Page page(id);
+    DISAGG_RETURN_NOT_OK(fabric_->Read(ctx, it2->second.addr, page.data(),
+                                       kPageSize));
+    const bool dirty = it2->second.dirty;
+    l2_lru_.erase(it2->second.lru_it);
+    DISAGG_RETURN_NOT_OK(pool_->FreeLocal(it2->second.addr, kPageSize));
+    l2_.erase(it2);
+    Page* out = nullptr;
+    DISAGG_RETURN_NOT_OK(InsertL1(ctx, std::move(page), dirty, &out));
+    return out;
+  }
+
+  // Miss: fetch from disaggregated storage.
+  stats_.misses++;
+  Page page(id);
+  DISAGG_ASSIGN_OR_RETURN(page, storage_->FetchPage(ctx, id));
+  Page* out = nullptr;
+  DISAGG_RETURN_NOT_OK(InsertL1(ctx, std::move(page), false, &out));
+  return out;
+}
+
+Status TwoTierCache::InsertL1(NetContext* ctx, Page page, bool dirty,
+                              Page** out) {
+  while (l1_.size() >= l1_capacity_ && !l1_lru_.empty()) {
+    const PageId victim = l1_lru_.back();
+    l1_lru_.pop_back();
+    auto vit = l1_.find(victim);
+    DISAGG_RETURN_NOT_OK(
+        DemoteToL2(ctx, victim, vit->second.page, vit->second.dirty));
+    l1_.erase(vit);
+    stats_.demotions++;
+  }
+  const PageId id = page.page_id();
+  l1_lru_.push_front(id);
+  auto [it, inserted] =
+      l1_.emplace(id, L1Entry{std::move(page), dirty, l1_lru_.begin()});
+  it->second.lru_it = l1_lru_.begin();
+  *out = &it->second.page;
+  return Status::OK();
+}
+
+Status TwoTierCache::DemoteToL2(NetContext* ctx, PageId id, const Page& page,
+                                bool dirty) {
+  while (l2_.size() >= l2_capacity_ && !l2_lru_.empty()) {
+    DISAGG_RETURN_NOT_OK(EvictFromL2(ctx));
+  }
+  DISAGG_ASSIGN_OR_RETURN(GlobalAddr addr, pool_->AllocLocal(kPageSize));
+  DISAGG_RETURN_NOT_OK(fabric_->Write(ctx, addr, page.data(), kPageSize));
+  l2_lru_.push_front(id);
+  l2_.emplace(id, L2Entry{addr, dirty, l2_lru_.begin()});
+  return Status::OK();
+}
+
+Status TwoTierCache::EvictFromL2(NetContext* ctx) {
+  const PageId victim = l2_lru_.back();
+  l2_lru_.pop_back();
+  auto it = l2_.find(victim);
+  if (it->second.dirty) {
+    Page page(victim);
+    DISAGG_RETURN_NOT_OK(
+        fabric_->Read(ctx, it->second.addr, page.data(), kPageSize));
+    DISAGG_RETURN_NOT_OK(storage_->WritePage(ctx, page));
+    stats_.writebacks++;
+  }
+  DISAGG_RETURN_NOT_OK(pool_->FreeLocal(it->second.addr, kPageSize));
+  l2_.erase(it);
+  stats_.l2_evictions++;
+  return Status::OK();
+}
+
+Status TwoTierCache::MarkDirty(PageId id) {
+  auto it = l1_.find(id);
+  if (it == l1_.end()) {
+    return Status::NotFound("page not resident in L1");
+  }
+  it->second.dirty = true;
+  return Status::OK();
+}
+
+Status TwoTierCache::FlushAll(NetContext* ctx) {
+  for (auto& [id, entry] : l1_) {
+    if (entry.dirty) {
+      DISAGG_RETURN_NOT_OK(storage_->WritePage(ctx, entry.page));
+      entry.dirty = false;
+      stats_.writebacks++;
+    }
+  }
+  for (auto& [id, entry] : l2_) {
+    if (entry.dirty) {
+      Page page(id);
+      DISAGG_RETURN_NOT_OK(
+          fabric_->Read(ctx, entry.addr, page.data(), kPageSize));
+      DISAGG_RETURN_NOT_OK(storage_->WritePage(ctx, page));
+      entry.dirty = false;
+      stats_.writebacks++;
+    }
+  }
+  return Status::OK();
+}
+
+void TwoTierCache::DropL1() {
+  l1_.clear();
+  l1_lru_.clear();
+}
+
+}  // namespace disagg

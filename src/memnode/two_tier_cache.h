@@ -1,0 +1,91 @@
+#ifndef DISAGG_MEMNODE_TWO_TIER_CACHE_H_
+#define DISAGG_MEMNODE_TWO_TIER_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "memnode/memory_node.h"
+#include "memnode/page_source.h"
+
+namespace disagg {
+
+/// LegoBase's two-level buffer management (Sec. 3.1): a small compute-local
+/// DRAM cache (L1) in front of a large remote-memory pool tier (L2), both in
+/// front of disaggregated storage. Each tier runs its own LRU list —
+/// "two LRU lists (one for local cache and the other for remote memory pool)
+/// to maximize the cache hit ratios."
+///
+/// Data movement is real: L2 frames live in the MemoryNode's region and are
+/// moved with one-sided reads/writes, so every hit level has its faithful
+/// network cost.
+class TwoTierCache {
+ public:
+  struct Stats {
+    uint64_t l1_hits = 0;
+    uint64_t l2_hits = 0;
+    uint64_t misses = 0;        // went to storage
+    uint64_t demotions = 0;     // L1 -> L2
+    uint64_t l2_evictions = 0;  // L2 -> dropped/storage
+    uint64_t writebacks = 0;    // dirty page written to storage
+
+    double L1HitRate() const {
+      const uint64_t total = l1_hits + l2_hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(l1_hits) / total;
+    }
+  };
+
+  /// `l1_capacity`/`l2_capacity` are in pages. The L2 frames are allocated
+  /// from `remote_pool` on demand.
+  TwoTierCache(Fabric* fabric, MemoryNode* remote_pool, PageSource* storage,
+               size_t l1_capacity, size_t l2_capacity);
+
+  /// Returns a pointer to the L1-resident page (valid until the next call
+  /// that may evict). Promotes from L2/storage as needed.
+  Result<Page*> Get(NetContext* ctx, PageId id);
+
+  /// Marks an L1-resident page dirty so demotion/eviction writes it back.
+  Status MarkDirty(PageId id);
+
+  /// Writes all dirty pages (in either tier) back to storage.
+  Status FlushAll(NetContext* ctx);
+
+  /// Drops the L1 tier, simulating a compute-node crash. L2 (remote memory)
+  /// survives — the property LegoBase's fast recovery exploits.
+  void DropL1();
+
+  const Stats& stats() const { return stats_; }
+  size_t l1_size() const { return l1_.size(); }
+  size_t l2_size() const { return l2_.size(); }
+
+ private:
+  struct L1Entry {
+    Page page;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_it;
+  };
+  struct L2Entry {
+    GlobalAddr addr;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  /// Inserts into L1, demoting the LRU victim to L2 if full.
+  Status InsertL1(NetContext* ctx, Page page, bool dirty, Page** out);
+  Status DemoteToL2(NetContext* ctx, PageId id, const Page& page, bool dirty);
+  Status EvictFromL2(NetContext* ctx);
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  PageSource* storage_;
+  size_t l1_capacity_;
+  size_t l2_capacity_;
+  std::unordered_map<PageId, L1Entry> l1_;
+  std::list<PageId> l1_lru_;  // front = most recent
+  std::unordered_map<PageId, L2Entry> l2_;
+  std::list<PageId> l2_lru_;
+  Stats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_MEMNODE_TWO_TIER_CACHE_H_

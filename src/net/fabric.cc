@@ -1,0 +1,197 @@
+#include "net/fabric.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace disagg {
+
+MemoryRegion* Node::AddRegion(const std::string& name, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = static_cast<uint32_t>(regions_.size());
+  regions_.push_back(std::make_unique<MemoryRegion>(id, name, size));
+  return regions_.back().get();
+}
+
+MemoryRegion* Node::region(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= regions_.size()) return nullptr;
+  return regions_[id].get();
+}
+
+const MemoryRegion* Node::region(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= regions_.size()) return nullptr;
+  return regions_[id].get();
+}
+
+void Node::RegisterHandler(const std::string& method, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[method] = std::move(handler);
+}
+
+const RpcHandler* Node::handler(const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handlers_.find(method);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+NodeId Fabric::AddNode(const std::string& name, NodeKind kind,
+                       InterconnectModel model, uint32_t az) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.empty()) nodes_.push_back(nullptr);  // id 0 = null node
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, name, kind, az, std::move(model)));
+  return id;
+}
+
+Node* Fabric::node(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= nodes_.size()) return nullptr;
+  return nodes_[id].get();
+}
+
+const Node* Fabric::node(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= nodes_.size()) return nullptr;
+  return nodes_[id].get();
+}
+
+Status Fabric::CheckTarget(NodeId id, Node** out) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::InvalidArgument("no such node");
+  if (n->failed()) return Status::Unavailable("node " + n->name() + " failed");
+  *out = n;
+  return Status::OK();
+}
+
+Status Fabric::Read(NetContext* ctx, GlobalAddr src, void* dst, size_t n) {
+  Node* target = nullptr;
+  DISAGG_RETURN_NOT_OK(CheckTarget(src.node, &target));
+  MemoryRegion* mr = target->region(src.region);
+  if (mr == nullptr || !mr->Contains(src.offset, n)) {
+    return Status::InvalidArgument("read out of region bounds");
+  }
+  std::memcpy(dst, mr->data() + src.offset, n);
+  ctx->Charge(target->model().ReadCost(n));
+  ctx->bytes_in += n;
+  ctx->round_trips++;
+  return Status::OK();
+}
+
+Status Fabric::Write(NetContext* ctx, GlobalAddr dst, const void* src,
+                     size_t n) {
+  Node* target = nullptr;
+  DISAGG_RETURN_NOT_OK(CheckTarget(dst.node, &target));
+  MemoryRegion* mr = target->region(dst.region);
+  if (mr == nullptr || !mr->Contains(dst.offset, n)) {
+    return Status::InvalidArgument("write out of region bounds");
+  }
+  std::memcpy(mr->data() + dst.offset, src, n);
+  ctx->Charge(target->model().WriteCost(n));
+  ctx->bytes_out += n;
+  ctx->round_trips++;
+  return Status::OK();
+}
+
+Result<uint64_t> Fabric::CompareAndSwap(NetContext* ctx, GlobalAddr addr,
+                                        uint64_t expected, uint64_t desired) {
+  Node* target = nullptr;
+  Status st = CheckTarget(addr.node, &target);
+  if (!st.ok()) return st;
+  MemoryRegion* mr = target->region(addr.region);
+  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
+      (addr.offset % 8) != 0) {
+    return Status::InvalidArgument("CAS requires an aligned 8-byte word");
+  }
+  auto* word =
+      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
+  uint64_t observed = expected;
+  word->compare_exchange_strong(observed, desired, std::memory_order_acq_rel);
+  ctx->Charge(target->model().AtomicCost());
+  ctx->bytes_out += 16;
+  ctx->bytes_in += 8;
+  ctx->round_trips++;
+  return observed;
+}
+
+Result<uint64_t> Fabric::FetchAdd(NetContext* ctx, GlobalAddr addr,
+                                  uint64_t delta) {
+  Node* target = nullptr;
+  Status st = CheckTarget(addr.node, &target);
+  if (!st.ok()) return st;
+  MemoryRegion* mr = target->region(addr.region);
+  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
+      (addr.offset % 8) != 0) {
+    return Status::InvalidArgument("FAA requires an aligned 8-byte word");
+  }
+  auto* word =
+      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
+  const uint64_t prev = word->fetch_add(delta, std::memory_order_acq_rel);
+  ctx->Charge(target->model().AtomicCost());
+  ctx->bytes_out += 16;
+  ctx->bytes_in += 8;
+  ctx->round_trips++;
+  return prev;
+}
+
+Result<uint64_t> Fabric::ReadAtomic64(NetContext* ctx, GlobalAddr addr) {
+  Node* target = nullptr;
+  Status st = CheckTarget(addr.node, &target);
+  if (!st.ok()) return st;
+  MemoryRegion* mr = target->region(addr.region);
+  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
+      (addr.offset % 8) != 0) {
+    return Status::InvalidArgument("atomic read requires aligned 8 bytes");
+  }
+  auto* word =
+      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
+  const uint64_t v = word->load(std::memory_order_acquire);
+  ctx->Charge(target->model().ReadCost(8));
+  ctx->bytes_in += 8;
+  ctx->round_trips++;
+  return v;
+}
+
+Status Fabric::WriteBatch(NetContext* ctx, NodeId node_id,
+                          const std::vector<WriteOp>& ops) {
+  Node* target = nullptr;
+  DISAGG_RETURN_NOT_OK(CheckTarget(node_id, &target));
+  size_t total = 0;
+  for (const WriteOp& op : ops) {
+    MemoryRegion* mr = target->region(op.addr.region);
+    if (mr == nullptr || !mr->Contains(op.addr.offset, op.n)) {
+      return Status::InvalidArgument("batched write out of region bounds");
+    }
+    std::memcpy(mr->data() + op.addr.offset, op.src, op.n);
+    total += op.n;
+  }
+  // Doorbell batching: one base latency for the whole batch.
+  ctx->Charge(target->model().WriteCost(total));
+  ctx->bytes_out += total;
+  ctx->round_trips++;
+  return Status::OK();
+}
+
+Status Fabric::Call(NetContext* ctx, NodeId node_id, const std::string& method,
+                    Slice request, std::string* response) {
+  Node* target = nullptr;
+  DISAGG_RETURN_NOT_OK(CheckTarget(node_id, &target));
+  const RpcHandler* h = target->handler(method);
+  if (h == nullptr) {
+    return Status::NotSupported("no handler for '" + method + "' on " +
+                                target->name());
+  }
+  RpcServerContext server_ctx;
+  response->clear();
+  Status st = (*h)(request, response, &server_ctx);
+  ctx->Charge(target->model().RpcCost(request.size(), response->size()));
+  ctx->Charge(static_cast<uint64_t>(
+      static_cast<double>(server_ctx.compute_ns) * target->cpu_scale()));
+  ctx->bytes_out += request.size();
+  ctx->bytes_in += response->size();
+  ctx->round_trips++;
+  ctx->rpcs++;
+  return st;
+}
+
+}  // namespace disagg

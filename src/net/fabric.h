@@ -1,0 +1,197 @@
+#ifndef DISAGG_NET_FABRIC_H_
+#define DISAGG_NET_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/interconnect.h"
+#include "net/net_context.h"
+
+namespace disagg {
+
+using NodeId = uint32_t;
+
+/// Role of a node in the disaggregated data center (Sec. 1 of the paper:
+/// compute pool, memory pool, storage pool; plus specialized pools).
+enum class NodeKind : uint8_t {
+  kCompute,
+  kMemory,
+  kStorage,
+  kPm,
+  kLog,
+  kObject,
+};
+
+/// Address of a byte range inside a registered memory region on some node.
+struct RemoteAddr {
+  uint32_t region = 0;
+  uint64_t offset = 0;
+};
+
+/// Fully-qualified remote pointer (node + region + offset); the unit of
+/// addressing for remote data structures such as the RACE hash table and the
+/// Sherman B+tree.
+struct GlobalAddr {
+  NodeId node = 0;
+  uint32_t region = 0;
+  uint64_t offset = 0;
+
+  RemoteAddr remote() const { return RemoteAddr{region, offset}; }
+  bool is_null() const { return node == 0 && region == 0 && offset == 0; }
+};
+
+/// A registered memory region ("MR" in RDMA terms) hosted by a node. The
+/// bytes live in process memory; one-sided verbs copy directly in and out,
+/// exactly like DMA by a NIC, with no remote-CPU involvement.
+class MemoryRegion {
+ public:
+  MemoryRegion(uint32_t id, std::string name, size_t size)
+      : id_(id), name_(std::move(name)), data_(size, 0) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  size_t size() const { return data_.size(); }
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  bool Contains(uint64_t offset, size_t n) const {
+    return offset + n <= data_.size() && offset + n >= offset;
+  }
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  std::vector<char> data_;
+};
+
+/// Server-side context passed to RPC handlers so they can report the CPU work
+/// they performed; the fabric scales it by the node's `cpu_scale` (pool-side
+/// CPUs are wimpy, Sec. 1) and charges it to the caller's simulated clock.
+struct RpcServerContext {
+  uint64_t compute_ns = 0;
+  void ChargeCompute(uint64_t ns) { compute_ns += ns; }
+};
+
+using RpcHandler =
+    std::function<Status(Slice request, std::string* response,
+                         RpcServerContext* server_ctx)>;
+
+/// A node in the fabric: owns memory regions and RPC handlers. Access cost is
+/// determined by the node's interconnect model (how far away it is).
+class Node {
+ public:
+  Node(NodeId id, std::string name, NodeKind kind, uint32_t az,
+       InterconnectModel model)
+      : id_(id),
+        name_(std::move(name)),
+        kind_(kind),
+        az_(az),
+        model_(std::move(model)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  NodeKind kind() const { return kind_; }
+  uint32_t az() const { return az_; }
+  const InterconnectModel& model() const { return model_; }
+  void set_model(InterconnectModel m) { model_ = std::move(m); }
+
+  /// Pool-side CPUs are weaker than compute-pool CPUs; handler compute time
+  /// is multiplied by this factor.
+  double cpu_scale() const { return cpu_scale_; }
+  void set_cpu_scale(double s) { cpu_scale_ = s; }
+
+  /// Failure injection: a failed node rejects all operations with
+  /// Status::Unavailable until revived.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  void Fail() { failed_.store(true, std::memory_order_release); }
+  void Revive() { failed_.store(false, std::memory_order_release); }
+
+  MemoryRegion* AddRegion(const std::string& name, size_t size);
+  MemoryRegion* region(uint32_t id);
+  const MemoryRegion* region(uint32_t id) const;
+
+  void RegisterHandler(const std::string& method, RpcHandler handler);
+  const RpcHandler* handler(const std::string& method) const;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  NodeKind kind_;
+  uint32_t az_;
+  InterconnectModel model_;
+  double cpu_scale_ = 1.0;
+  std::atomic<bool> failed_{false};
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+  std::map<std::string, RpcHandler> handlers_;
+  mutable std::mutex mu_;  // guards regions_/handlers_ vectors (not bytes)
+};
+
+/// The simulated data-center fabric: a registry of nodes plus the one-sided
+/// and two-sided primitives. Data movement is real (memcpy / atomics on the
+/// region bytes); time is simulated via the interconnect cost models.
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Creates a node reachable at the cost of `model`. `az` groups nodes into
+  /// availability zones for quorum experiments.
+  NodeId AddNode(const std::string& name, NodeKind kind,
+                 InterconnectModel model, uint32_t az = 0);
+
+  Node* node(NodeId id);
+  const Node* node(NodeId id) const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // ---- One-sided verbs (no remote CPU) -------------------------------
+
+  Status Read(NetContext* ctx, GlobalAddr src, void* dst, size_t n);
+  Status Write(NetContext* ctx, GlobalAddr dst, const void* src, size_t n);
+
+  /// 8-byte atomic compare-and-swap on remote memory; returns the value
+  /// observed before the swap (swap happened iff it equals `expected`).
+  Result<uint64_t> CompareAndSwap(NetContext* ctx, GlobalAddr addr,
+                                  uint64_t expected, uint64_t desired);
+  Result<uint64_t> FetchAdd(NetContext* ctx, GlobalAddr addr, uint64_t delta);
+
+  /// Atomic 8-byte read (used for version words / LSNs published via CAS).
+  Result<uint64_t> ReadAtomic64(NetContext* ctx, GlobalAddr addr);
+
+  /// Doorbell-batched writes to one node: pays a single base latency plus the
+  /// summed byte cost (Sherman's batched in-order writes, Sec. 3.1).
+  struct WriteOp {
+    RemoteAddr addr;
+    const void* src;
+    size_t n;
+  };
+  Status WriteBatch(NetContext* ctx, NodeId node_id,
+                    const std::vector<WriteOp>& ops);
+
+  // ---- Two-sided (RPC, involves remote CPU) --------------------------
+
+  Status Call(NetContext* ctx, NodeId node_id, const std::string& method,
+              Slice request, std::string* response);
+
+ private:
+  Status CheckTarget(NodeId id, Node** out);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_FABRIC_H_

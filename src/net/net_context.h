@@ -1,0 +1,55 @@
+#ifndef DISAGG_NET_NET_CONTEXT_H_
+#define DISAGG_NET_NET_CONTEXT_H_
+
+#include <cstdint>
+
+namespace disagg {
+
+/// Per-client accounting of simulated time and traffic. Every fabric
+/// operation issued with this context charges its cost here; benchmarks
+/// derive throughput and latency from the accumulated simulated nanoseconds,
+/// which is deterministic and independent of host speed or core count.
+struct NetContext {
+  uint64_t sim_ns = 0;        ///< total simulated time consumed
+  uint64_t bytes_out = 0;     ///< bytes this client pushed onto the fabric
+  uint64_t bytes_in = 0;      ///< bytes this client pulled off the fabric
+  uint64_t round_trips = 0;   ///< network round trips (RDMA verbs + RPCs)
+  uint64_t rpcs = 0;          ///< two-sided operations among the round trips
+
+  void Charge(uint64_t ns) { sim_ns += ns; }
+
+  void Reset() { *this = NetContext{}; }
+
+  /// Merges another context's counters (e.g. per-thread contexts at the end
+  /// of a benchmark).
+  void Merge(const NetContext& o) {
+    sim_ns += o.sim_ns;
+    bytes_out += o.bytes_out;
+    bytes_in += o.bytes_in;
+    round_trips += o.round_trips;
+    rpcs += o.rpcs;
+  }
+
+  double SimMillis() const { return static_cast<double>(sim_ns) / 1e6; }
+};
+
+/// Folds the contexts of operations issued *in parallel* (e.g. fan-out to
+/// quorum replicas) into a parent context: elapsed simulated time is the max
+/// of the branches, while traffic counters are summed.
+inline void MergeParallel(NetContext* parent,
+                          const NetContext* branches, size_t n) {
+  uint64_t max_ns = 0;
+  for (size_t i = 0; i < n; i++) {
+    const NetContext& b = branches[i];
+    if (b.sim_ns > max_ns) max_ns = b.sim_ns;
+    parent->bytes_out += b.bytes_out;
+    parent->bytes_in += b.bytes_in;
+    parent->round_trips += b.round_trips;
+    parent->rpcs += b.rpcs;
+  }
+  parent->sim_ns += max_ns;
+}
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_NET_CONTEXT_H_

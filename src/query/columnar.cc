@@ -1,0 +1,78 @@
+#include "query/columnar.h"
+
+#include <cstring>
+#include <limits>
+
+namespace disagg {
+
+ColumnarChunk ColumnarChunk::FromRows(Schema schema, std::vector<Tuple> rows) {
+  ColumnarChunk chunk;
+  chunk.schema_ = std::move(schema);
+  chunk.rows_ = std::move(rows);
+  const size_t ncols = chunk.schema_.size();
+  chunk.mins_.assign(ncols, std::numeric_limits<double>::infinity());
+  chunk.maxs_.assign(ncols, -std::numeric_limits<double>::infinity());
+  for (const Tuple& row : chunk.rows_) {
+    for (size_t c = 0; c < ncols; c++) {
+      if (std::holds_alternative<std::string>(row[c])) {
+        chunk.mins_[c] = -std::numeric_limits<double>::infinity();
+        chunk.maxs_[c] = std::numeric_limits<double>::infinity();
+      } else {
+        const double v = AsDouble(row[c]);
+        chunk.mins_[c] = std::min(chunk.mins_[c], v);
+        chunk.maxs_[c] = std::max(chunk.maxs_[c], v);
+      }
+    }
+  }
+  return chunk;
+}
+
+std::string ColumnarChunk::Serialize() const {
+  std::string out;
+  PutVarint64(&out, rows_.size());
+  for (size_t c = 0; c < schema_.size(); c++) {
+    uint64_t lo_bits, hi_bits;
+    std::memcpy(&lo_bits, &mins_[c], 8);
+    std::memcpy(&hi_bits, &maxs_[c], 8);
+    PutFixed64(&out, lo_bits);
+    PutFixed64(&out, hi_bits);
+  }
+  // Column-major payload.
+  for (size_t c = 0; c < schema_.size(); c++) {
+    for (const Tuple& row : rows_) {
+      EncodeTuple({row[c]}, &out);
+    }
+  }
+  return out;
+}
+
+Result<ColumnarChunk> ColumnarChunk::Deserialize(const Schema& schema,
+                                                 Slice input) {
+  ColumnarChunk chunk;
+  chunk.schema_ = schema;
+  uint64_t count = 0;
+  if (!GetVarint64(&input, &count)) return Status::Corruption("row count");
+  chunk.mins_.resize(schema.size());
+  chunk.maxs_.resize(schema.size());
+  for (size_t c = 0; c < schema.size(); c++) {
+    uint64_t lo_bits = 0, hi_bits = 0;
+    if (!GetFixed64(&input, &lo_bits) || !GetFixed64(&input, &hi_bits)) {
+      return Status::Corruption("zone map");
+    }
+    std::memcpy(&chunk.mins_[c], &lo_bits, 8);
+    std::memcpy(&chunk.maxs_[c], &hi_bits, 8);
+  }
+  chunk.rows_.assign(count, Tuple());
+  for (size_t c = 0; c < schema.size(); c++) {
+    Schema one;
+    one.columns.push_back(schema.columns[c]);
+    for (uint64_t r = 0; r < count; r++) {
+      auto v = DecodeTuple(one, &input);
+      if (!v.ok()) return v.status();
+      chunk.rows_[r].push_back(std::move((*v)[0]));
+    }
+  }
+  return chunk;
+}
+
+}  // namespace disagg

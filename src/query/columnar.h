@@ -1,0 +1,48 @@
+#ifndef DISAGG_QUERY_COLUMNAR_H_
+#define DISAGG_QUERY_COLUMNAR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/types.h"
+
+namespace disagg {
+
+/// One immutable columnar file fragment — the unit Snowflake stores in cloud
+/// object storage (Sec. 2.2). Values are serialized column-major and the
+/// header carries per-column min/max ("small materialized aggregates"), the
+/// light-weight zone-map index Snowflake uses for pruning.
+class ColumnarChunk {
+ public:
+  ColumnarChunk() = default;
+
+  static ColumnarChunk FromRows(Schema schema, std::vector<Tuple> rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Per-column numeric extremes (strings get ±infinity, never pruned).
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+  /// Zone-map test for a predicate.
+  bool MayMatch(const Predicate& predicate) const {
+    return predicate.MayMatch(mins_, maxs_);
+  }
+
+  /// Column-major serialization (header, zone maps, then per-column data).
+  std::string Serialize() const;
+  static Result<ColumnarChunk> Deserialize(const Schema& schema, Slice input);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_QUERY_COLUMNAR_H_

@@ -1,0 +1,120 @@
+#include "query/expr.h"
+
+namespace disagg {
+
+namespace {
+
+template <typename T>
+bool ApplyOp(const T& a, CmpOp op, const T& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (std::holds_alternative<std::string>(lhs) ||
+      std::holds_alternative<std::string>(rhs)) {
+    return ApplyOp(AsString(lhs), op, AsString(rhs));
+  }
+  // Mixed numeric comparisons promote to double.
+  if (std::holds_alternative<int64_t>(lhs) &&
+      std::holds_alternative<int64_t>(rhs)) {
+    return ApplyOp(AsInt(lhs), op, AsInt(rhs));
+  }
+  return ApplyOp(AsDouble(lhs), op, AsDouble(rhs));
+}
+
+bool Predicate::Matches(const Tuple& tuple) const {
+  for (const Term& t : terms) {
+    if (t.column < 0 || static_cast<size_t>(t.column) >= tuple.size()) {
+      return false;
+    }
+    if (!CompareValues(tuple[t.column], t.op, t.constant)) return false;
+  }
+  return true;
+}
+
+bool Predicate::MayMatch(const std::vector<double>& mins,
+                         const std::vector<double>& maxs) const {
+  for (const Term& t : terms) {
+    if (std::holds_alternative<std::string>(t.constant)) continue;
+    if (t.column < 0 || static_cast<size_t>(t.column) >= mins.size()) {
+      continue;
+    }
+    const double c = AsDouble(t.constant);
+    const double lo = mins[t.column];
+    const double hi = maxs[t.column];
+    switch (t.op) {
+      case CmpOp::kEq:
+        if (c < lo || c > hi) return false;
+        break;
+      case CmpOp::kLt:
+        if (lo >= c) return false;
+        break;
+      case CmpOp::kLe:
+        if (lo > c) return false;
+        break;
+      case CmpOp::kGt:
+        if (hi <= c) return false;
+        break;
+      case CmpOp::kGe:
+        if (hi < c) return false;
+        break;
+      case CmpOp::kNe:
+        break;  // only prunable when min==max==c; skip for simplicity
+    }
+  }
+  return true;
+}
+
+void Predicate::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, terms.size());
+  for (const Term& t : terms) {
+    PutVarint64(dst, static_cast<uint64_t>(t.column));
+    dst->push_back(static_cast<char>(t.op));
+    Tuple one = {t.constant};
+    EncodeTuple(one, dst);
+  }
+}
+
+Result<Predicate> Predicate::DecodeFrom(Slice* input) {
+  Predicate p;
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return Status::Corruption("term count");
+  for (uint64_t i = 0; i < n; i++) {
+    Term t;
+    uint64_t col = 0;
+    if (!GetVarint64(input, &col)) return Status::Corruption("column");
+    t.column = static_cast<int>(col);
+    if (input->empty()) return Status::Corruption("op");
+    t.op = static_cast<CmpOp>((*input)[0]);
+    input->remove_prefix(1);
+    // Decode the single-value "tuple"; type is self-describing, so a
+    // one-column schema of any type works (tag drives decoding).
+    if (input->empty()) return Status::Corruption("constant");
+    const ColumnType tag = static_cast<ColumnType>((*input)[0]);
+    Schema one;
+    one.columns.push_back({"c", tag});
+    auto v = DecodeTuple(one, input);
+    if (!v.ok()) return v.status();
+    t.constant = (*v)[0];
+    p.terms.push_back(std::move(t));
+  }
+  return p;
+}
+
+}  // namespace disagg

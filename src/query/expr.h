@@ -1,0 +1,47 @@
+#ifndef DISAGG_QUERY_EXPR_H_
+#define DISAGG_QUERY_EXPR_H_
+
+#include <vector>
+
+#include "query/types.h"
+
+namespace disagg {
+
+/// Comparison operators for predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A conjunctive predicate: every term `column OP constant` must hold.
+/// Deliberately simple — enough for the TPC-H-lite queries and for min-max
+/// pruning — and serializable so it can be shipped to a memory node
+/// (TELEPORT) or matched against zone maps (Snowflake).
+struct Predicate {
+  struct Term {
+    int column = 0;
+    CmpOp op = CmpOp::kEq;
+    Value constant;
+  };
+  std::vector<Term> terms;
+
+  static Predicate True() { return Predicate{}; }
+  Predicate& And(int column, CmpOp op, Value constant) {
+    terms.push_back(Term{column, op, std::move(constant)});
+    return *this;
+  }
+
+  bool Matches(const Tuple& tuple) const;
+
+  /// Zone-map test: can any row with column values inside [min, max] match?
+  /// `mins`/`maxs` are per-column extremes (numeric columns only; string
+  /// columns are never pruned). Conservative: true = must scan.
+  bool MayMatch(const std::vector<double>& mins,
+                const std::vector<double>& maxs) const;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Predicate> DecodeFrom(Slice* input);
+};
+
+bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs);
+
+}  // namespace disagg
+
+#endif  // DISAGG_QUERY_EXPR_H_

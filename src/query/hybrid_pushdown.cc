@@ -1,0 +1,99 @@
+#include "query/hybrid_pushdown.h"
+
+namespace disagg {
+
+Result<std::unique_ptr<HybridTable>> HybridTable::Create(
+    NetContext* ctx, Fabric* fabric, MemoryNode* pool, Schema schema,
+    const std::vector<Tuple>& rows, size_t num_segments,
+    size_t cache_segments) {
+  auto table = std::unique_ptr<HybridTable>(new HybridTable());
+  table->fabric_ = fabric;
+  table->schema_ = schema;
+  table->cache_capacity_ = cache_segments;
+  const size_t per_segment = (rows.size() + num_segments - 1) / num_segments;
+  for (size_t s = 0; s < num_segments; s++) {
+    const size_t begin = s * per_segment;
+    const size_t end = std::min(rows.size(), begin + per_segment);
+    if (begin >= end) break;
+    std::vector<Tuple> part(rows.begin() + begin, rows.begin() + end);
+    auto segment = RemoteTable::Create(ctx, fabric, pool, schema, part);
+    if (!segment.ok()) return segment.status();
+    table->segments_.push_back(
+        std::make_unique<RemoteTable>(std::move(segment).value()));
+  }
+  return table;
+}
+
+Result<std::vector<Tuple>> HybridTable::Query(NetContext* ctx,
+                                              const ops::Fragment& fragment,
+                                              Mode mode, QueryStats* stats) {
+  QueryStats local_stats;
+  std::vector<Tuple> out;
+  for (size_t s = 0; s < segments_.size(); s++) {
+    touch_counts_[s]++;
+    auto cached = cache_.find(s);
+    std::vector<Tuple> part;
+    if (cached != cache_.end()) {
+      // Local execution over the cached segment.
+      local_stats.cached_segments++;
+      part = fragment.Execute(ctx, cached->second);
+    } else if (mode == Mode::kPushdownOnly ||
+               (mode == Mode::kHybrid &&
+                (touch_counts_[s] < 2 || cache_.size() >= cache_capacity_))) {
+      // Cold segment: push the fragment down. Hybrid admits a segment only
+      // on re-touch and NEVER thrashes: once the cache is full, the
+      // overflow keeps using pushdown (FPDB's insight that the two
+      // mechanisms complement rather than compete).
+      local_stats.pushed_segments++;
+      DISAGG_ASSIGN_OR_RETURN(part, segments_[s]->Pushdown(ctx, fragment));
+    } else {
+      // Pull the segment up, cache it, execute locally.
+      local_stats.fetched_segments++;
+      DISAGG_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                              segments_[s]->FetchAll(ctx));
+      part = fragment.Execute(ctx, rows);
+      if (cache_.size() >= cache_capacity_ && cache_capacity_ > 0) {
+        // Evict the least-touched cached segment.
+        size_t victim = cache_.begin()->first;
+        for (const auto& [seg, rows_cached] : cache_) {
+          if (touch_counts_[seg] < touch_counts_[victim]) victim = seg;
+        }
+        cache_.erase(victim);
+      }
+      if (cache_capacity_ > 0) cache_[s] = std::move(rows);
+    }
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  // Partial-aggregate merge when the fragment aggregates (same combining
+  // approach as the Snowflake engine: SUM/COUNT->sum, MIN/MAX->min/max).
+  if (!fragment.aggs.empty()) {
+    std::vector<int> group_cols;
+    for (size_t g = 0; g < fragment.group_cols.size(); g++) {
+      group_cols.push_back(static_cast<int>(g));
+    }
+    std::vector<AggSpec> combine;
+    for (size_t a = 0; a < fragment.aggs.size(); a++) {
+      const int col = static_cast<int>(fragment.group_cols.size() + a);
+      switch (fragment.aggs[a].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+          combine.push_back({AggFunc::kSum, col});
+          break;
+        case AggFunc::kMin:
+          combine.push_back({AggFunc::kMin, col});
+          break;
+        case AggFunc::kMax:
+          combine.push_back({AggFunc::kMax, col});
+          break;
+        case AggFunc::kAvg:
+          return Status::NotSupported("distributed AVG: use SUM and COUNT");
+      }
+    }
+    out = ops::HashAggregate(ctx, out, group_cols, combine);
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace disagg

@@ -1,0 +1,59 @@
+#ifndef DISAGG_QUERY_HYBRID_PUSHDOWN_H_
+#define DISAGG_QUERY_HYBRID_PUSHDOWN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "query/pushdown.h"
+
+namespace disagg {
+
+/// FlexPushdownDB-style hybrid execution (Sec. 1 reference [48]): a table
+/// split into segments resident in disaggregated memory, queried with a mix
+/// of LOCAL CACHING and PUSHDOWN — the two classic ways to cut data
+/// movement, which FPDB shows are complementary:
+///  - cached segments execute locally (no network at all);
+///  - uncached segments push the fragment down (only results move);
+///  - a pull-up policy admits frequently-touched segments into the cache.
+/// Modes kCacheOnly / kPushdownOnly / kHybrid let experiments separate the
+/// two effects.
+class HybridTable {
+ public:
+  enum class Mode { kCacheOnly, kPushdownOnly, kHybrid };
+
+  struct QueryStats {
+    size_t cached_segments = 0;
+    size_t pushed_segments = 0;
+    size_t fetched_segments = 0;  // cache misses that pulled a segment up
+  };
+
+  /// Splits `rows` into `num_segments` remote tables. `cache_segments` is
+  /// the local cache capacity (in segments).
+  static Result<std::unique_ptr<HybridTable>> Create(
+      NetContext* ctx, Fabric* fabric, MemoryNode* pool, Schema schema,
+      const std::vector<Tuple>& rows, size_t num_segments,
+      size_t cache_segments);
+
+  /// Executes the fragment over all segments under the given mode.
+  Result<std::vector<Tuple>> Query(NetContext* ctx,
+                                   const ops::Fragment& fragment, Mode mode,
+                                   QueryStats* stats = nullptr);
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t cached_now() const { return cache_.size(); }
+
+ private:
+  HybridTable() = default;
+
+  Fabric* fabric_ = nullptr;
+  Schema schema_;
+  size_t cache_capacity_ = 0;
+  std::vector<std::unique_ptr<RemoteTable>> segments_;
+  std::map<size_t, std::vector<Tuple>> cache_;   // segment -> local rows
+  std::map<size_t, uint64_t> touch_counts_;      // admission heuristic
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_QUERY_HYBRID_PUSHDOWN_H_

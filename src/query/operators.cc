@@ -1,0 +1,223 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace disagg {
+namespace ops {
+
+namespace {
+// Modeled per-row CPU costs (ns) for a compute-pool core.
+constexpr uint64_t kFilterNsPerRowTerm = 2;
+constexpr uint64_t kProjectNsPerRow = 3;
+constexpr uint64_t kJoinNsPerRow = 25;
+constexpr uint64_t kAggNsPerRow = 15;
+constexpr uint64_t kSortNsPerRowLog = 12;
+
+void Charge(NetContext* ctx, uint64_t ns) {
+  if (ctx != nullptr) ctx->Charge(ns);
+}
+
+std::string GroupKey(const Tuple& row, const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) EncodeTuple({row[c]}, &key);
+  return key;
+}
+
+}  // namespace
+
+std::vector<Tuple> Filter(NetContext* ctx, const std::vector<Tuple>& rows,
+                          const Predicate& predicate) {
+  std::vector<Tuple> out;
+  for (const Tuple& row : rows) {
+    if (predicate.Matches(row)) out.push_back(row);
+  }
+  Charge(ctx, kFilterNsPerRowTerm * rows.size() *
+                  std::max<size_t>(1, predicate.terms.size()));
+  return out;
+}
+
+std::vector<Tuple> Project(NetContext* ctx, const std::vector<Tuple>& rows,
+                           const std::vector<int>& columns) {
+  if (columns.empty()) return rows;
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (int c : columns) projected.push_back(row[c]);
+    out.push_back(std::move(projected));
+  }
+  Charge(ctx, kProjectNsPerRow * rows.size());
+  return out;
+}
+
+std::vector<Tuple> HashJoin(NetContext* ctx, const std::vector<Tuple>& left,
+                            const std::vector<Tuple>& right, int left_col,
+                            int right_col) {
+  // Build on the smaller side conceptually; here build on left for clarity.
+  std::unordered_multimap<std::string, const Tuple*> build;
+  build.reserve(left.size());
+  for (const Tuple& row : left) {
+    std::string key;
+    EncodeTuple({row[left_col]}, &key);
+    build.emplace(std::move(key), &row);
+  }
+  std::vector<Tuple> out;
+  for (const Tuple& row : right) {
+    std::string key;
+    EncodeTuple({row[right_col]}, &key);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      Tuple joined = *it->second;
+      joined.insert(joined.end(), row.begin(), row.end());
+      out.push_back(std::move(joined));
+    }
+  }
+  Charge(ctx, kJoinNsPerRow * (left.size() + right.size() + out.size()));
+  return out;
+}
+
+std::vector<Tuple> HashAggregate(NetContext* ctx,
+                                 const std::vector<Tuple>& rows,
+                                 const std::vector<int>& group_cols,
+                                 const std::vector<AggSpec>& aggs) {
+  struct AggState {
+    Tuple group;
+    uint64_t count = 0;
+    std::vector<double> sum;
+    std::vector<double> min;
+    std::vector<double> max;
+  };
+  std::map<std::string, AggState> groups;
+  for (const Tuple& row : rows) {
+    AggState& st = groups[GroupKey(row, group_cols)];
+    if (st.count == 0) {
+      for (int c : group_cols) st.group.push_back(row[c]);
+      st.sum.assign(aggs.size(), 0.0);
+      st.min.assign(aggs.size(), std::numeric_limits<double>::infinity());
+      st.max.assign(aggs.size(), -std::numeric_limits<double>::infinity());
+    }
+    st.count++;
+    for (size_t a = 0; a < aggs.size(); a++) {
+      if (aggs[a].func == AggFunc::kCount) continue;
+      const double v = AsDouble(row[aggs[a].column]);
+      st.sum[a] += v;
+      st.min[a] = std::min(st.min[a], v);
+      st.max[a] = std::max(st.max[a], v);
+    }
+  }
+  std::vector<Tuple> out;
+  for (auto& [key, st] : groups) {
+    Tuple row = st.group;
+    for (size_t a = 0; a < aggs.size(); a++) {
+      switch (aggs[a].func) {
+        case AggFunc::kCount:
+          row.emplace_back(static_cast<int64_t>(st.count));
+          break;
+        case AggFunc::kSum:
+          row.emplace_back(st.sum[a]);
+          break;
+        case AggFunc::kMin:
+          row.emplace_back(st.min[a]);
+          break;
+        case AggFunc::kMax:
+          row.emplace_back(st.max[a]);
+          break;
+        case AggFunc::kAvg:
+          row.emplace_back(st.sum[a] / static_cast<double>(st.count));
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  Charge(ctx, kAggNsPerRow * rows.size());
+  return out;
+}
+
+std::vector<Tuple> SortBy(NetContext* ctx, std::vector<Tuple> rows,
+                          const std::vector<int>& columns, bool descending) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     for (int c : columns) {
+                       if (CompareValues(a[c], CmpOp::kLt, b[c])) {
+                         return !descending;
+                       }
+                       if (CompareValues(b[c], CmpOp::kLt, a[c])) {
+                         return descending;
+                       }
+                     }
+                     return false;
+                   });
+  const size_t n = std::max<size_t>(rows.size(), 2);
+  Charge(ctx, kSortNsPerRowLog * n *
+                  static_cast<uint64_t>(std::log2(static_cast<double>(n))));
+  return rows;
+}
+
+std::vector<Tuple> Limit(std::vector<Tuple> rows, size_t n) {
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+void Fragment::EncodeTo(std::string* dst) const {
+  predicate.EncodeTo(dst);
+  PutVarint64(dst, project.size());
+  for (int c : project) PutVarint64(dst, static_cast<uint64_t>(c));
+  PutVarint64(dst, group_cols.size());
+  for (int c : group_cols) PutVarint64(dst, static_cast<uint64_t>(c));
+  PutVarint64(dst, aggs.size());
+  for (const AggSpec& a : aggs) {
+    dst->push_back(static_cast<char>(a.func));
+    PutVarint64(dst, static_cast<uint64_t>(a.column));
+  }
+}
+
+Result<Fragment> Fragment::DecodeFrom(Slice* input) {
+  Fragment f;
+  auto pred = Predicate::DecodeFrom(input);
+  if (!pred.ok()) return pred.status();
+  f.predicate = std::move(pred).value();
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return Status::Corruption("project count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t c = 0;
+    if (!GetVarint64(input, &c)) return Status::Corruption("project col");
+    f.project.push_back(static_cast<int>(c));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("group count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t c = 0;
+    if (!GetVarint64(input, &c)) return Status::Corruption("group col");
+    f.group_cols.push_back(static_cast<int>(c));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("agg count");
+  for (uint64_t i = 0; i < n; i++) {
+    if (input->empty()) return Status::Corruption("agg func");
+    AggSpec a;
+    a.func = static_cast<AggFunc>((*input)[0]);
+    input->remove_prefix(1);
+    uint64_t c = 0;
+    if (!GetVarint64(input, &c)) return Status::Corruption("agg col");
+    a.column = static_cast<int>(c);
+    f.aggs.push_back(a);
+  }
+  return f;
+}
+
+std::vector<Tuple> Fragment::Execute(NetContext* ctx,
+                                     const std::vector<Tuple>& rows) const {
+  std::vector<Tuple> current = Filter(ctx, rows, predicate);
+  if (!aggs.empty()) {
+    // Aggregation consumes the unprojected rows (columns refer to the
+    // original schema), projection is implicit in the output.
+    return HashAggregate(ctx, current, group_cols, aggs);
+  }
+  return Project(ctx, current, project);
+}
+
+}  // namespace ops
+}  // namespace disagg

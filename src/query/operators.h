@@ -1,0 +1,73 @@
+#ifndef DISAGG_QUERY_OPERATORS_H_
+#define DISAGG_QUERY_OPERATORS_H_
+
+#include <optional>
+#include <vector>
+
+#include "net/net_context.h"
+#include "query/expr.h"
+#include "query/types.h"
+
+namespace disagg {
+
+/// Aggregate functions for HashAggregate.
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  int column = 0;  // ignored for kCount
+};
+
+/// Relational operators over materialized tuple vectors. Each charges its
+/// modeled CPU time to the NetContext so that compute-pushdown economics
+/// (client CPU vs pool CPU vs bytes moved) come out of the same ledger as
+/// the network costs. Pass nullptr to skip accounting.
+namespace ops {
+
+std::vector<Tuple> Filter(NetContext* ctx, const std::vector<Tuple>& rows,
+                          const Predicate& predicate);
+
+std::vector<Tuple> Project(NetContext* ctx, const std::vector<Tuple>& rows,
+                           const std::vector<int>& columns);
+
+/// Inner equi-join; output tuples are left columns followed by right columns.
+std::vector<Tuple> HashJoin(NetContext* ctx, const std::vector<Tuple>& left,
+                            const std::vector<Tuple>& right, int left_col,
+                            int right_col);
+
+/// Group-by + aggregates. Output: group columns then one value per AggSpec.
+/// Empty `group_cols` produces a single global row.
+std::vector<Tuple> HashAggregate(NetContext* ctx,
+                                 const std::vector<Tuple>& rows,
+                                 const std::vector<int>& group_cols,
+                                 const std::vector<AggSpec>& aggs);
+
+/// Stable ascending (or descending) sort by the given columns.
+std::vector<Tuple> SortBy(NetContext* ctx, std::vector<Tuple> rows,
+                          const std::vector<int>& columns,
+                          bool descending = false);
+
+std::vector<Tuple> Limit(std::vector<Tuple> rows, size_t n);
+
+/// Serialized fragment = (predicate, projection, optional aggregation) —
+/// the unit TELEPORT ships to the memory pool and Farview programs into its
+/// operator stack.
+struct Fragment {
+  Predicate predicate;
+  std::vector<int> project;      // empty = all columns
+  std::vector<int> group_cols;   // with aggs
+  std::vector<AggSpec> aggs;     // empty = no aggregation stage
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Fragment> DecodeFrom(Slice* input);
+
+  /// Runs the fragment stages in order over `rows`.
+  std::vector<Tuple> Execute(NetContext* ctx,
+                             const std::vector<Tuple>& rows) const;
+};
+
+}  // namespace ops
+
+}  // namespace disagg
+
+#endif  // DISAGG_QUERY_OPERATORS_H_

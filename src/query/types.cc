@@ -1,0 +1,62 @@
+#include "query/types.h"
+
+#include <cstring>
+
+namespace disagg {
+
+void EncodeTuple(const Tuple& tuple, std::string* dst) {
+  for (const Value& v : tuple) {
+    if (std::holds_alternative<int64_t>(v)) {
+      dst->push_back(static_cast<char>(ColumnType::kInt64));
+      PutVarint64(dst, static_cast<uint64_t>(std::get<int64_t>(v)));
+    } else if (std::holds_alternative<double>(v)) {
+      dst->push_back(static_cast<char>(ColumnType::kDouble));
+      uint64_t bits;
+      const double d = std::get<double>(v);
+      std::memcpy(&bits, &d, 8);
+      PutFixed64(dst, bits);
+    } else {
+      dst->push_back(static_cast<char>(ColumnType::kString));
+      PutLengthPrefixedSlice(dst, std::get<std::string>(v));
+    }
+  }
+}
+
+Result<Tuple> DecodeTuple(const Schema& schema, Slice* input) {
+  Tuple tuple;
+  tuple.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); i++) {
+    if (input->empty()) return Status::Corruption("truncated tuple");
+    const ColumnType tag = static_cast<ColumnType>((*input)[0]);
+    input->remove_prefix(1);
+    switch (tag) {
+      case ColumnType::kInt64: {
+        uint64_t raw = 0;
+        if (!GetVarint64(input, &raw)) return Status::Corruption("int64");
+        tuple.emplace_back(static_cast<int64_t>(raw));
+        break;
+      }
+      case ColumnType::kDouble: {
+        uint64_t bits = 0;
+        if (!GetFixed64(input, &bits)) return Status::Corruption("double");
+        double d;
+        std::memcpy(&d, &bits, 8);
+        tuple.emplace_back(d);
+        break;
+      }
+      case ColumnType::kString: {
+        Slice s;
+        if (!GetLengthPrefixedSlice(input, &s)) {
+          return Status::Corruption("string");
+        }
+        tuple.emplace_back(s.ToString());
+        break;
+      }
+      default:
+        return Status::Corruption("unknown column tag");
+    }
+  }
+  return tuple;
+}
+
+}  // namespace disagg

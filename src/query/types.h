@@ -1,0 +1,61 @@
+#ifndef DISAGG_QUERY_TYPES_H_
+#define DISAGG_QUERY_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace disagg {
+
+/// Column types supported by the relational layer.
+enum class ColumnType : uint8_t { kInt64, kDouble, kString };
+
+/// A single cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline int64_t AsInt(const Value& v) { return std::get<int64_t>(v); }
+inline double AsDouble(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  return std::get<double>(v);
+}
+inline const std::string& AsString(const Value& v) {
+  return std::get<std::string>(v);
+}
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Relation schema: ordered, named, typed columns.
+struct Schema {
+  struct Column {
+    std::string name;
+    ColumnType type;
+  };
+  std::vector<Column> columns;
+
+  size_t size() const { return columns.size(); }
+
+  /// Index of a column by name, -1 if absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); i++) {
+      if (columns[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Serializes a tuple for storage in pages / remote regions / shuffle
+/// channels. Layout: per column, type tag then value.
+void EncodeTuple(const Tuple& tuple, std::string* dst);
+Result<Tuple> DecodeTuple(const Schema& schema, Slice* input);
+
+}  // namespace disagg
+
+#endif  // DISAGG_QUERY_TYPES_H_

@@ -1,0 +1,41 @@
+#ifndef DISAGG_RINDEX_CLIENT_SLAB_H_
+#define DISAGG_RINDEX_CLIENT_SLAB_H_
+
+#include "memnode/memory_node.h"
+
+namespace disagg {
+
+/// Client-side sub-allocator over a remote memory pool: grabs large chunks
+/// from the pool's allocator (one RPC per chunk) and bump-allocates blocks
+/// locally, so the common-case allocation costs zero round trips — the
+/// standard trick one-sided index designs (RACE, Sherman) rely on.
+class ClientSlab {
+ public:
+  static constexpr size_t kChunkBytes = 64 << 10;
+
+  ClientSlab(Fabric* fabric, NodeId pool_node)
+      : alloc_(fabric, pool_node) {}
+
+  Result<GlobalAddr> Alloc(NetContext* ctx, size_t bytes) {
+    if (bytes > kChunkBytes) {
+      return alloc_.Alloc(ctx, bytes);  // large blocks go straight through
+    }
+    if (chunk_.is_null() || used_ + bytes > kChunkBytes) {
+      DISAGG_ASSIGN_OR_RETURN(chunk_, alloc_.Alloc(ctx, kChunkBytes));
+      used_ = 0;
+    }
+    GlobalAddr out = chunk_;
+    out.offset += used_;
+    used_ += (bytes + 7) & ~size_t{7};  // keep 8-byte alignment
+    return out;
+  }
+
+ private:
+  RemoteAllocator alloc_;
+  GlobalAddr chunk_{};
+  size_t used_ = 0;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_RINDEX_CLIENT_SLAB_H_

@@ -1,0 +1,203 @@
+#include "rindex/race_hash.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace disagg {
+
+namespace {
+constexpr int kMaxChain = 64;
+constexpr int kMaxRetries = 64;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+uint64_t RaceHash::HashKey(const std::string& key) { return Fnv1a(key); }
+
+uint64_t RaceHash::Pack(uint8_t fp, uint16_t size, uint64_t offset) {
+  return (uint64_t{fp} << 56) | (uint64_t{size} << 40) |
+         (offset & ((uint64_t{1} << 40) - 1));
+}
+
+void RaceHash::Unpack(uint64_t word, uint8_t* fp, uint16_t* size,
+                      uint64_t* offset) {
+  *fp = static_cast<uint8_t>(word >> 56);
+  *size = static_cast<uint16_t>(word >> 40);
+  *offset = word & ((uint64_t{1} << 40) - 1);
+}
+
+Result<RaceHash::TableRef> RaceHash::Create(NetContext* ctx, Fabric* fabric,
+                                            MemoryNode* pool,
+                                            uint64_t num_buckets) {
+  (void)ctx;
+  (void)fabric;
+  uint64_t n = 1;
+  while (n < num_buckets) n <<= 1;
+  auto addr = pool->AllocLocal(n * kBucketBytes);
+  if (!addr.ok()) return addr.status();
+  TableRef ref;
+  ref.buckets = *addr;
+  ref.num_buckets = n;
+  return ref;
+}
+
+RaceHash::RaceHash(Fabric* fabric, MemoryNode* pool, TableRef table)
+    : fabric_(fabric), pool_(pool), table_(table),
+      slab_(fabric, pool->node()) {}
+
+Result<GlobalAddr> RaceHash::WriteBlock(NetContext* ctx,
+                                        const std::string& key,
+                                        const std::string& value,
+                                        uint16_t* size) {
+  const size_t block_size = 4 + key.size() + value.size();
+  if (block_size > 0xFFFF) {
+    return Status::InvalidArgument("key+value too large for a KV block");
+  }
+  std::string block;
+  block.resize(block_size);
+  const uint16_t klen = static_cast<uint16_t>(key.size());
+  const uint16_t vlen = static_cast<uint16_t>(value.size());
+  std::memcpy(block.data(), &klen, 2);
+  std::memcpy(block.data() + 2, &vlen, 2);
+  std::memcpy(block.data() + 4, key.data(), key.size());
+  std::memcpy(block.data() + 4 + key.size(), value.data(), value.size());
+  DISAGG_ASSIGN_OR_RETURN(GlobalAddr addr, slab_.Alloc(ctx, block_size));
+  Status st = fabric_->Write(ctx, addr, block.data(), block.size());
+  if (!st.ok()) return st;
+  *size = static_cast<uint16_t>(block_size);
+  return addr;
+}
+
+Status RaceHash::FindSlot(NetContext* ctx, const std::string& key,
+                          bool want_empty, SlotMatch* match,
+                          std::string* value_out) {
+  const uint64_t h = HashKey(key);
+  const uint8_t fp = static_cast<uint8_t>(h >> 48);
+  uint64_t bucket_offset =
+      table_.buckets.offset + (h & (table_.num_buckets - 1)) * kBucketBytes;
+
+  SlotMatch first_empty;
+  bool have_empty = false;
+
+  for (int depth = 0; depth < kMaxChain; depth++) {
+    char bucket[kBucketBytes];
+    GlobalAddr bucket_addr{table_.buckets.node, table_.buckets.region,
+                           bucket_offset};
+    DISAGG_RETURN_NOT_OK(fabric_->Read(ctx, bucket_addr, bucket,
+                                       kBucketBytes));
+    for (size_t i = 0; i < kSlotsPerBucket; i++) {
+      const uint64_t word = DecodeFixed64(bucket + i * 8);
+      GlobalAddr slot_addr = bucket_addr;
+      slot_addr.offset += i * 8;
+      if (word == 0) {
+        if (!have_empty) {
+          first_empty = SlotMatch{slot_addr, 0};
+          have_empty = true;
+        }
+        continue;
+      }
+      uint8_t sfp;
+      uint16_t size;
+      uint64_t offset;
+      Unpack(word, &sfp, &size, &offset);
+      if (sfp != fp) continue;
+      // Fingerprint hit: fetch the block and compare the full key.
+      std::string block(size, '\0');
+      GlobalAddr block_addr{table_.buckets.node, table_.buckets.region,
+                            offset};
+      DISAGG_RETURN_NOT_OK(
+          fabric_->Read(ctx, block_addr, block.data(), size));
+      uint16_t klen, vlen;
+      std::memcpy(&klen, block.data(), 2);
+      std::memcpy(&vlen, block.data() + 2, 2);
+      if (4 + size_t{klen} + vlen != size) {
+        return Status::Corruption("KV block length mismatch");
+      }
+      if (klen == key.size() &&
+          std::memcmp(block.data() + 4, key.data(), klen) == 0) {
+        *match = SlotMatch{slot_addr, word};
+        if (value_out != nullptr) value_out->assign(block, 4 + klen, vlen);
+        return Status::OK();
+      }
+    }
+
+    const uint64_t overflow = DecodeFixed64(bucket + kSlotsPerBucket * 8);
+    if (overflow != 0) {
+      bucket_offset = overflow;
+      continue;
+    }
+    if (!want_empty || have_empty) break;
+
+    // Chain exhausted with no empty slot: install an overflow bucket.
+    DISAGG_ASSIGN_OR_RETURN(GlobalAddr fresh,
+                            slab_.Alloc(ctx, kBucketBytes));
+    char zeros[kBucketBytes] = {0};
+    DISAGG_RETURN_NOT_OK(fabric_->Write(ctx, fresh, zeros, kBucketBytes));
+    GlobalAddr overflow_addr = bucket_addr;
+    overflow_addr.offset += kSlotsPerBucket * 8;
+    auto observed =
+        fabric_->CompareAndSwap(ctx, overflow_addr, 0, fresh.offset);
+    if (!observed.ok()) return observed.status();
+    stats_.overflow_allocs++;
+    // Follow whichever bucket won the race.
+    bucket_offset = (*observed == 0) ? fresh.offset : *observed;
+  }
+
+  if (want_empty && have_empty) {
+    *match = first_empty;
+    return Status::NotFound("key absent; empty slot located");
+  }
+  return Status::NotFound("key absent");
+}
+
+Status RaceHash::Put(NetContext* ctx, const std::string& key,
+                     const std::string& value) {
+  for (int attempt = 0; attempt < kMaxRetries; attempt++) {
+    SlotMatch match;
+    Status found = FindSlot(ctx, key, /*want_empty=*/true, &match, nullptr);
+    if (!found.ok() && !found.IsNotFound()) return found;
+    uint16_t size = 0;
+    DISAGG_ASSIGN_OR_RETURN(GlobalAddr block,
+                            WriteBlock(ctx, key, value, &size));
+    const uint64_t new_word =
+        Pack(static_cast<uint8_t>(HashKey(key) >> 48), size, block.offset);
+    auto observed = fabric_->CompareAndSwap(ctx, match.slot_addr,
+                                            match.slot_word, new_word);
+    if (!observed.ok()) return observed.status();
+    if (*observed == match.slot_word) return Status::OK();
+    stats_.cas_retries++;  // another client raced us; retry from scratch
+  }
+  return Status::TimedOut("Put did not converge under contention");
+}
+
+Result<std::string> RaceHash::Get(NetContext* ctx, const std::string& key) {
+  SlotMatch match;
+  std::string value;
+  Status st = FindSlot(ctx, key, /*want_empty=*/false, &match, &value);
+  if (!st.ok()) return st;
+  return value;
+}
+
+Status RaceHash::Delete(NetContext* ctx, const std::string& key) {
+  for (int attempt = 0; attempt < kMaxRetries; attempt++) {
+    SlotMatch match;
+    DISAGG_RETURN_NOT_OK(
+        FindSlot(ctx, key, /*want_empty=*/false, &match, nullptr));
+    auto observed =
+        fabric_->CompareAndSwap(ctx, match.slot_addr, match.slot_word, 0);
+    if (!observed.ok()) return observed.status();
+    if (*observed == match.slot_word) return Status::OK();
+    stats_.cas_retries++;
+  }
+  return Status::TimedOut("Delete did not converge under contention");
+}
+
+}  // namespace disagg

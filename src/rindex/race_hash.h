@@ -1,0 +1,84 @@
+#ifndef DISAGG_RINDEX_RACE_HASH_H_
+#define DISAGG_RINDEX_RACE_HASH_H_
+
+#include <string>
+
+#include "memnode/memory_node.h"
+#include "rindex/client_slab.h"
+
+namespace disagg {
+
+/// RACE-style hash index on disaggregated memory (Sec. 3.1): all operations
+/// are ONE-SIDED (no memory-node CPU) and lock-free — concurrent writers
+/// coordinate purely with RDMA compare-and-swap on 8-byte slot words.
+///
+/// Layout on the memory node:
+///   bucket array, each bucket = 8 slot words + 1 overflow pointer word;
+///   KV blocks allocated from a client slab.
+/// A slot word packs {fingerprint:8, block_size:16, offset:40}; 0 = empty.
+/// Protocol per op (round trips):
+///   Search: read bucket (1) + read matching block (1 per fp match)
+///   Insert: read bucket (1) + write block (1) + CAS slot (1)
+///   Delete: search + CAS slot to 0 (1)
+/// Simplification vs the paper: the bucket array is sized at construction
+/// and overflow buckets chain instead of extendible-directory doubling; the
+/// concurrency protocol — the part the paper's claims rest on — is faithful.
+class RaceHash {
+ public:
+  static constexpr size_t kSlotsPerBucket = 8;
+  static constexpr size_t kBucketBytes = (kSlotsPerBucket + 1) * 8;
+
+  struct Stats {
+    uint64_t cas_retries = 0;
+    uint64_t overflow_allocs = 0;
+  };
+
+  /// Creates a fresh table with `num_buckets` (rounded up to a power of 2)
+  /// in `pool`. The creating client shares `TableRef` with other clients.
+  struct TableRef {
+    GlobalAddr buckets{};
+    uint64_t num_buckets = 0;
+  };
+  static Result<TableRef> Create(NetContext* ctx, Fabric* fabric,
+                                 MemoryNode* pool, uint64_t num_buckets);
+
+  /// Attaches a client to an existing table.
+  RaceHash(Fabric* fabric, MemoryNode* pool, TableRef table);
+
+  /// Inserts or updates. Keys/values up to ~60000 bytes.
+  Status Put(NetContext* ctx, const std::string& key, const std::string& value);
+  Result<std::string> Get(NetContext* ctx, const std::string& key);
+  Status Delete(NetContext* ctx, const std::string& key);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SlotMatch {
+    GlobalAddr slot_addr{};
+    uint64_t slot_word = 0;  // current packed value (0 if empty)
+  };
+
+  static uint64_t HashKey(const std::string& key);
+  static uint64_t Pack(uint8_t fp, uint16_t size, uint64_t offset);
+  static void Unpack(uint64_t word, uint8_t* fp, uint16_t* size,
+                     uint64_t* offset);
+
+  /// Walks the bucket chain looking for `key`. On hit fills `match` with the
+  /// occupied slot; on miss fills it with the first empty slot encountered
+  /// (allocating an overflow bucket if every slot in the chain is taken).
+  Status FindSlot(NetContext* ctx, const std::string& key, bool want_empty,
+                  SlotMatch* match, std::string* value_out);
+
+  Result<GlobalAddr> WriteBlock(NetContext* ctx, const std::string& key,
+                                const std::string& value, uint16_t* size);
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  TableRef table_;
+  ClientSlab slab_;
+  Stats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_RINDEX_RACE_HASH_H_

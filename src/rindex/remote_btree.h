@@ -1,0 +1,121 @@
+#ifndef DISAGG_RINDEX_REMOTE_BTREE_H_
+#define DISAGG_RINDEX_REMOTE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memnode/memory_node.h"
+#include "rindex/client_slab.h"
+
+namespace disagg {
+
+/// B+tree on disaggregated memory, configurable to act as either of the two
+/// designs the paper contrasts (Sec. 3.1):
+///
+///  - **Sherman-style** (`Sherman()`): optimistic version-validated reads
+///    (no locks, one READ per level) and write-combining via doorbell
+///    batching; writers coordinate through a lock table emulating Sherman's
+///    on-NIC lock words.
+///  - **Lock-coupling** (`LockCoupling()`, Ziegler et al.): every traversal
+///    step acquires the node's lock — correct but three round trips
+///    (CAS + READ + unlock WRITE) per level for reads too.
+///
+/// Keys and values are uint64_t. Structure modifications (splits, root
+/// growth) serialize on a single SMO lock — a documented simplification of
+/// Sherman's hierarchical locking that leaves the measured read/write paths
+/// faithful.
+class RemoteBTree {
+ public:
+  static constexpr size_t kFanout = 32;
+
+  struct Options {
+    bool optimistic_reads = true;
+    bool batched_writes = true;
+    std::string name = "sherman";
+
+    static Options Sherman() { return Options{true, true, "sherman"}; }
+    static Options LockCoupling() {
+      return Options{false, false, "lock-coupling"};
+    }
+  };
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t optimistic_retries = 0;
+    uint64_t lock_waits = 0;
+    uint64_t splits = 0;
+  };
+
+  /// Shared handle to a tree (created once, attached by any client).
+  struct TreeRef {
+    GlobalAddr root_ptr{};    // 8-byte word holding the root node offset
+    GlobalAddr lock_table{};  // array of lock words
+    uint64_t lock_slots = 0;
+  };
+
+  static Result<TreeRef> Create(NetContext* ctx, Fabric* fabric,
+                                MemoryNode* pool);
+
+  RemoteBTree(Fabric* fabric, MemoryNode* pool, TreeRef tree, Options options);
+
+  Status Put(NetContext* ctx, uint64_t key, uint64_t value);
+  Result<uint64_t> Get(NetContext* ctx, uint64_t key);
+  Status Delete(NetContext* ctx, uint64_t key);
+
+  /// Ascending scan of up to `limit` pairs with key >= `from`.
+  Result<std::vector<std::pair<uint64_t, uint64_t>>> Scan(NetContext* ctx,
+                                                          uint64_t from,
+                                                          size_t limit);
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  // On-pool node image. POD, memcpy'd wholesale.
+  struct NodeImage {
+    uint64_t version_front;
+    uint32_t level;  // 0 = leaf
+    uint32_t nkeys;
+    uint64_t keys[kFanout];
+    uint64_t vals[kFanout];  // child offsets (internal) or values (leaf)
+    uint64_t next;           // right-sibling offset (leaves), 0 = none
+    uint64_t version_back;
+  };
+  static constexpr size_t kNodeBytes = sizeof(NodeImage);
+
+  GlobalAddr NodeAddr(uint64_t offset) const {
+    return GlobalAddr{tree_.root_ptr.node, tree_.root_ptr.region, offset};
+  }
+  GlobalAddr LockAddr(uint64_t node_offset) const;
+
+  Result<uint64_t> ReadRoot(NetContext* ctx);
+  /// Reads a node; with optimistic reads, retries torn/in-flight images.
+  Status ReadNode(NetContext* ctx, uint64_t offset, NodeImage* out);
+  /// Writes a node image with a bumped version, honoring the batching mode.
+  Status WriteNode(NetContext* ctx, uint64_t offset, NodeImage* node);
+
+  Status AcquireLock(NetContext* ctx, GlobalAddr lock);
+  Status ReleaseLock(NetContext* ctx, GlobalAddr lock);
+
+  /// Descends to the leaf that owns `key`, recording the path (offsets).
+  Status DescendToLeaf(NetContext* ctx, uint64_t key,
+                       std::vector<uint64_t>* path, NodeImage* leaf);
+
+  /// Split path under the SMO lock.
+  Status InsertWithSplit(NetContext* ctx, uint64_t key, uint64_t value);
+
+  Result<uint64_t> AllocNode(NetContext* ctx);
+
+  Fabric* fabric_;
+  MemoryNode* pool_;
+  TreeRef tree_;
+  Options options_;
+  ClientSlab slab_;
+  Stats stats_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_RINDEX_REMOTE_BTREE_H_

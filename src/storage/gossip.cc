@@ -1,0 +1,83 @@
+#include "storage/gossip.h"
+
+#include <algorithm>
+
+namespace disagg {
+
+GossipGroup::GossipGroup(Fabric* fabric, std::vector<PageStoreService*> stores,
+                         uint64_t seed)
+    : fabric_(fabric), stores_(std::move(stores)), rng_(seed) {}
+
+size_t GossipGroup::PullFrom(NetContext* ctx, PageStoreService* dst,
+                             PageStoreService* src) {
+  const auto src_versions = src->PageVersions();
+  const auto dst_versions = dst->PageVersions();
+  const Node* src_node = fabric_->node(src->node());
+  if (src_node->failed()) return 0;
+
+  // Version-vector exchange: one RPC-sized message each way.
+  ctx->Charge(src_node->model().RpcCost(16 * dst_versions.size(),
+                                        16 * src_versions.size()));
+  ctx->round_trips++;
+
+  size_t transferred = 0;
+  for (const auto& [page_id, src_lsn] : src_versions) {
+    auto it = dst_versions.find(page_id);
+    if (it != dst_versions.end() && it->second >= src_lsn) continue;
+    src->MaterializeAll();
+    auto page = src->PeekPage(page_id);
+    if (!page.ok()) continue;
+    dst->IngestPage(*page);
+    ctx->Charge(src_node->model().ReadCost(kPageSize));
+    ctx->bytes_in += kPageSize;
+    ctx->round_trips++;
+    transferred++;
+  }
+  return transferred;
+}
+
+size_t GossipGroup::RunRound(NetContext* ctx) {
+  size_t transferred = 0;
+  for (size_t i = 0; i < stores_.size(); i++) {
+    if (fabric_->node(stores_[i]->node())->failed()) continue;
+    // Pick a random peer other than self.
+    if (stores_.size() < 2) break;
+    size_t j = rng_.Uniform(stores_.size() - 1);
+    if (j >= i) j++;
+    transferred += PullFrom(ctx, stores_[i], stores_[j]);
+  }
+  return transferred;
+}
+
+size_t GossipGroup::RunUntilConverged(NetContext* ctx, size_t max_rounds) {
+  for (size_t round = 1; round <= max_rounds; round++) {
+    RunRound(ctx);
+    if (Converged()) return round;
+  }
+  return max_rounds;
+}
+
+bool GossipGroup::Converged() const { return MaxStaleness() == 0; }
+
+uint64_t GossipGroup::MaxStaleness() const {
+  // newest[p] = max version anywhere; oldest[p] = min version over stores
+  // that should have p (all stores, with "absent" = 0).
+  std::map<PageId, Lsn> newest;
+  for (PageStoreService* s : stores_) {
+    for (const auto& [p, lsn] : s->PageVersions()) {
+      newest[p] = std::max(newest[p], lsn);
+    }
+  }
+  uint64_t worst = 0;
+  for (const auto& [p, newest_lsn] : newest) {
+    for (PageStoreService* s : stores_) {
+      const auto versions = s->PageVersions();
+      auto it = versions.find(p);
+      const Lsn have = it == versions.end() ? 0 : it->second;
+      worst = std::max<uint64_t>(worst, newest_lsn - have);
+    }
+  }
+  return worst;
+}
+
+}  // namespace disagg

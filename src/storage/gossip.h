@@ -1,0 +1,48 @@
+#ifndef DISAGG_STORAGE_GOSSIP_H_
+#define DISAGG_STORAGE_GOSSIP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "net/fabric.h"
+#include "storage/page_store.h"
+
+namespace disagg {
+
+/// Taurus-style gossip among page stores (Sec. 2.1): the writer propagates
+/// each updated page to only ONE page store; anti-entropy gossip rounds
+/// spread newer page versions to the rest, trading write-path latency for
+/// temporary staleness. `RunRound` performs one round in which every store
+/// pulls from one random peer; costs are charged to `ctx` using the peer
+/// node's interconnect model.
+class GossipGroup {
+ public:
+  GossipGroup(Fabric* fabric, std::vector<PageStoreService*> stores,
+              uint64_t seed = 17);
+
+  /// One anti-entropy round; returns the number of page images transferred.
+  size_t RunRound(NetContext* ctx);
+
+  /// Rounds until every store has every page at its newest version (bounded
+  /// by `max_rounds`); returns rounds executed.
+  size_t RunUntilConverged(NetContext* ctx, size_t max_rounds = 64);
+
+  /// True when all stores agree on all page versions.
+  bool Converged() const;
+
+  /// Max over pages of (newest version anywhere - oldest version anywhere),
+  /// a staleness measure in LSN units.
+  uint64_t MaxStaleness() const;
+
+ private:
+  size_t PullFrom(NetContext* ctx, PageStoreService* dst,
+                  PageStoreService* src);
+
+  Fabric* fabric_;
+  std::vector<PageStoreService*> stores_;
+  Random rng_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_STORAGE_GOSSIP_H_

@@ -1,0 +1,138 @@
+#include "storage/log_store.h"
+
+#include "common/coding.h"
+
+namespace disagg {
+
+namespace {
+// Modeled CPU cost of durably appending / scanning one log record on the
+// storage-side CPU.
+constexpr uint64_t kAppendNsPerRecord = 150;
+constexpr uint64_t kScanNsPerRecord = 40;
+}  // namespace
+
+LogStoreService::LogStoreService(Fabric* fabric, NodeId node)
+    : fabric_(fabric), node_(node) {
+  Node* n = fabric_->node(node_);
+  n->RegisterHandler("log.append",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleAppend(req, resp, sctx);
+                     });
+  n->RegisterHandler("log.read",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleRead(req, resp, sctx);
+                     });
+  n->RegisterHandler("log.truncate",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleTruncate(req, resp, sctx);
+                     });
+}
+
+Lsn LogStoreService::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+size_t LogStoreService::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<LogRecord> LogStoreService::SnapshotFrom(Lsn from_exclusive) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : records_) {
+    if (r.lsn > from_exclusive) out.push_back(r);
+  }
+  return out;
+}
+
+Status LogStoreService::HandleAppend(Slice req, std::string* resp,
+                                     RpcServerContext* sctx) {
+  auto batch = LogRecord::DecodeBatch(req);
+  if (!batch.ok()) return batch.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LogRecord& r : *batch) {
+    if (r.lsn <= durable_lsn_) continue;  // idempotent re-send
+    durable_lsn_ = r.lsn;
+    records_.push_back(std::move(r));
+  }
+  sctx->ChargeCompute(kAppendNsPerRecord * batch->size());
+  resp->clear();
+  PutVarint64(resp, durable_lsn_);
+  return Status::OK();
+}
+
+Status LogStoreService::HandleRead(Slice req, std::string* resp,
+                                   RpcServerContext* sctx) {
+  uint64_t from = 0, max_records = 0;
+  if (!GetVarint64(&req, &from) || !GetVarint64(&req, &max_records)) {
+    return Status::InvalidArgument("malformed log.read");
+  }
+  std::vector<LogRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LogRecord& r : records_) {
+      if (r.lsn > from) {
+        out.push_back(r);
+        if (out.size() >= max_records) break;
+      }
+    }
+    sctx->ChargeCompute(kScanNsPerRecord * records_.size());
+  }
+  *resp = LogRecord::EncodeBatch(out);
+  return Status::OK();
+}
+
+Status LogStoreService::HandleTruncate(Slice req, std::string* resp,
+                                       RpcServerContext* sctx) {
+  uint64_t up_to = 0;
+  if (!GetVarint64(&req, &up_to)) {
+    return Status::InvalidArgument("malformed log.truncate");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> kept;
+  for (LogRecord& r : records_) {
+    if (r.lsn > up_to) kept.push_back(std::move(r));
+  }
+  sctx->ChargeCompute(kScanNsPerRecord * records_.size());
+  records_ = std::move(kept);
+  resp->clear();
+  return Status::OK();
+}
+
+Result<Lsn> LogStoreClient::Append(NetContext* ctx,
+                                   const std::vector<LogRecord>& records) {
+  const std::string req = LogRecord::EncodeBatch(records);
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, "log.append", req, &resp);
+  if (!st.ok()) return st;
+  Slice in(resp);
+  uint64_t lsn = 0;
+  if (!GetVarint64(&in, &lsn)) return Status::Corruption("append response");
+  return lsn;
+}
+
+Result<std::vector<LogRecord>> LogStoreClient::ReadFrom(NetContext* ctx,
+                                                        Lsn from_exclusive,
+                                                        uint64_t max_records) {
+  std::string req;
+  PutVarint64(&req, from_exclusive);
+  PutVarint64(&req, max_records);
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, "log.read", req, &resp);
+  if (!st.ok()) return st;
+  return LogRecord::DecodeBatch(resp);
+}
+
+Status LogStoreClient::Truncate(NetContext* ctx, Lsn up_to_inclusive) {
+  std::string req;
+  PutVarint64(&req, up_to_inclusive);
+  std::string resp;
+  return fabric_->Call(ctx, node_, "log.truncate", req, &resp);
+}
+
+}  // namespace disagg

@@ -1,0 +1,64 @@
+#ifndef DISAGG_STORAGE_LOG_STORE_H_
+#define DISAGG_STORAGE_LOG_STORE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+#include "storage/log_record.h"
+
+namespace disagg {
+
+/// Durable log service hosted on a log/storage node (Aurora's log tier,
+/// Socrates' XLOG landing zone). Exposes RPCs:
+///   log.append   -- append a batch, returns the new durable LSN
+///   log.read     -- read records with lsn > from_lsn (bounded count)
+///   log.truncate -- drop records up to an LSN (after archiving)
+/// All state is behind a mutex; handler compute time is charged to callers
+/// via RpcServerContext.
+class LogStoreService {
+ public:
+  LogStoreService(Fabric* fabric, NodeId node);
+
+  NodeId node() const { return node_; }
+
+  /// Highest LSN made durable here (test/inspection accessor).
+  Lsn durable_lsn() const;
+  size_t record_count() const;
+
+  /// Direct (non-fabric) access used by co-located recovery paths.
+  std::vector<LogRecord> SnapshotFrom(Lsn from_exclusive) const;
+
+ private:
+  Status HandleAppend(Slice req, std::string* resp, RpcServerContext* sctx);
+  Status HandleRead(Slice req, std::string* resp, RpcServerContext* sctx);
+  Status HandleTruncate(Slice req, std::string* resp, RpcServerContext* sctx);
+
+  Fabric* fabric_;
+  NodeId node_;
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  Lsn durable_lsn_ = kInvalidLsn;
+};
+
+/// Compute-side client for a LogStoreService.
+class LogStoreClient {
+ public:
+  LogStoreClient(Fabric* fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  Result<Lsn> Append(NetContext* ctx, const std::vector<LogRecord>& records);
+  Result<std::vector<LogRecord>> ReadFrom(NetContext* ctx, Lsn from_exclusive,
+                                          uint64_t max_records = 1024);
+  Status Truncate(NetContext* ctx, Lsn up_to_inclusive);
+
+ private:
+  Fabric* fabric_;
+  NodeId node_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_STORAGE_LOG_STORE_H_

@@ -1,0 +1,109 @@
+#ifndef DISAGG_STORAGE_PAGE_H_
+#define DISAGG_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace disagg {
+
+using PageId = uint64_t;
+using Lsn = uint64_t;
+
+constexpr Lsn kInvalidLsn = 0;
+constexpr PageId kInvalidPageId = ~0ull;
+
+/// Database page size. Small relative to production (8 KB is typical there
+/// too); all cost models are per-byte so the choice only scales experiments.
+constexpr size_t kPageSize = 8192;
+
+/// Slotted database page: header, slot directory growing down from the front,
+/// record heap growing up from the back. Carries the LSN of the last redo
+/// record applied to it (the basis of log-as-the-database materialization and
+/// of PilotDB's optimistic read validation) and a CRC for torn/corrupt page
+/// detection.
+class Page {
+ public:
+  /// Byte layout of the page header (first kHeaderSize bytes of data_).
+  struct Header {
+    PageId page_id;
+    Lsn lsn;
+    uint32_t checksum;
+    uint16_t slot_count;
+    uint16_t free_start;  // first free byte after the slot directory
+    uint16_t free_end;    // one past the last free byte before record heap
+    uint16_t padding;
+  };
+  static constexpr size_t kHeaderSize = sizeof(Header);
+  static constexpr size_t kSlotSize = 4;  // offset u16 + length u16
+
+  Page();
+  explicit Page(PageId id);
+
+  PageId page_id() const { return header().page_id; }
+  Lsn lsn() const { return header().lsn; }
+  void set_lsn(Lsn lsn) { mutable_header()->lsn = lsn; }
+  uint16_t slot_count() const { return header().slot_count; }
+
+  /// Raw bytes (for shipping whole pages over the fabric).
+  const char* data() const { return data_.data(); }
+  char* data() { return data_.data(); }
+  static constexpr size_t size() { return kPageSize; }
+
+  /// Free bytes available for one more record (including its slot).
+  size_t FreeSpace() const;
+
+  /// Appends a record; returns its slot number or Status::Busy if full.
+  Result<uint16_t> Insert(const Slice& record);
+
+  /// Reads the record in `slot`; NotFound for deleted/out-of-range slots.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// In-place update. The new record must not be longer than the old one
+  /// (engines above handle grow-updates as delete+insert).
+  Status Update(uint16_t slot, const Slice& record);
+
+  /// Tombstones the slot (slot numbers are stable; space is not reclaimed
+  /// until compaction, which the engines above never need at this scale).
+  Status Delete(uint16_t slot);
+
+  /// Recomputes and stores the checksum; call before shipping/persisting.
+  void Seal();
+  /// Verifies the stored checksum.
+  bool VerifyChecksum() const;
+
+  /// Deserializes from exactly kPageSize bytes.
+  static Result<Page> FromBytes(const Slice& bytes);
+
+ private:
+  const Header& header() const {
+    return *reinterpret_cast<const Header*>(data_.data());
+  }
+  Header* mutable_header() { return reinterpret_cast<Header*>(data_.data()); }
+
+  uint16_t SlotOffset(uint16_t slot) const {
+    uint16_t v;
+    std::memcpy(&v, data_.data() + kHeaderSize + slot * kSlotSize, 2);
+    return v;
+  }
+  uint16_t SlotLength(uint16_t slot) const {
+    uint16_t v;
+    std::memcpy(&v, data_.data() + kHeaderSize + slot * kSlotSize + 2, 2);
+    return v;
+  }
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+    std::memcpy(data_.data() + kHeaderSize + slot * kSlotSize, &offset, 2);
+    std::memcpy(data_.data() + kHeaderSize + slot * kSlotSize + 2, &length, 2);
+  }
+
+  std::vector<char> data_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_STORAGE_PAGE_H_

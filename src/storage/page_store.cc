@@ -1,0 +1,196 @@
+#include "storage/page_store.h"
+
+#include "common/coding.h"
+
+namespace disagg {
+
+namespace {
+constexpr uint64_t kApplyNsPerRecord = 250;
+constexpr uint64_t kPageLookupNs = 400;
+}  // namespace
+
+PageStoreService::PageStoreService(Fabric* fabric, NodeId node)
+    : fabric_(fabric), node_(node) {
+  Node* n = fabric_->node(node_);
+  n->RegisterHandler("page.apply_log",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleApplyLog(req, resp, sctx);
+                     });
+  n->RegisterHandler("page.put",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandlePut(req, resp, sctx);
+                     });
+  n->RegisterHandler("page.get",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleGet(req, resp, sctx);
+                     });
+}
+
+Lsn PageStoreService::high_water_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_lsn_;
+}
+
+size_t PageStoreService::materialized_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+size_t PageStoreService::pending_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, recs] : pending_) n += recs.size();
+  return n;
+}
+
+size_t PageStoreService::MaterializeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t applied = 0;
+  for (auto& [id, recs] : pending_) applied += recs.size();
+  std::vector<PageId> ids;
+  for (const auto& [id, recs] : pending_) ids.push_back(id);
+  for (PageId id : ids) {
+    Status st = MaterializeLocked(id);
+    (void)st;  // materialization errors surface on reads
+  }
+  return applied;
+}
+
+std::map<PageId, Lsn> PageStoreService::PageVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<PageId, Lsn> out;
+  for (const auto& [id, page] : pages_) out[id] = page.lsn();
+  for (const auto& [id, recs] : pending_) {
+    if (!recs.empty()) {
+      Lsn last = recs.back().lsn;
+      auto it = out.find(id);
+      if (it == out.end() || it->second < last) out[id] = last;
+    }
+  }
+  return out;
+}
+
+void PageStoreService::IngestPage(const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(page.page_id());
+  if (it == pages_.end() || it->second.lsn() < page.lsn()) {
+    pages_.insert_or_assign(page.page_id(), page);
+    // Drop pending redo the ingested image already covers.
+    auto pit = pending_.find(page.page_id());
+    if (pit != pending_.end()) {
+      std::vector<LogRecord> keep;
+      for (LogRecord& r : pit->second) {
+        if (r.lsn > page.lsn()) keep.push_back(std::move(r));
+      }
+      pit->second = std::move(keep);
+    }
+    high_water_lsn_ = std::max(high_water_lsn_, page.lsn());
+  }
+}
+
+Result<Page> PageStoreService::PeekPage(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return Status::NotFound("no such page");
+  return it->second;
+}
+
+Status PageStoreService::MaterializeLocked(PageId id) {
+  auto pit = pending_.find(id);
+  if (pit == pending_.end() || pit->second.empty()) return Status::OK();
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    it = pages_.emplace(id, Page(id)).first;
+  }
+  for (const LogRecord& r : pit->second) {
+    DISAGG_RETURN_NOT_OK(ApplyRedo(&it->second, r));
+  }
+  pit->second.clear();
+  return Status::OK();
+}
+
+Status PageStoreService::HandleApplyLog(Slice req, std::string* resp,
+                                        RpcServerContext* sctx) {
+  auto batch = LogRecord::DecodeBatch(req);
+  if (!batch.ok()) return batch.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LogRecord& r : *batch) {
+    if (r.lsn > high_water_lsn_) high_water_lsn_ = r.lsn;
+    if (r.page_id == kInvalidPageId) continue;  // txn control records
+    pending_[r.page_id].push_back(std::move(r));
+  }
+  // Receiving/queueing is cheap; replay cost is paid at materialization.
+  sctx->ChargeCompute(30 * batch->size());
+  resp->clear();
+  PutVarint64(resp, high_water_lsn_);
+  return Status::OK();
+}
+
+Status PageStoreService::HandlePut(Slice req, std::string* resp,
+                                   RpcServerContext* sctx) {
+  auto page = Page::FromBytes(req);
+  if (!page.ok()) return page.status();
+  if (!page->VerifyChecksum()) {
+    return Status::Corruption("page checksum mismatch on put");
+  }
+  IngestPage(*page);
+  sctx->ChargeCompute(kPageLookupNs);
+  resp->clear();
+  return Status::OK();
+}
+
+Status PageStoreService::HandleGet(Slice req, std::string* resp,
+                                   RpcServerContext* sctx) {
+  uint64_t id = 0;
+  if (!GetVarint64(&req, &id)) return Status::InvalidArgument("page.get");
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pending_count = 0;
+  auto pit = pending_.find(id);
+  if (pit != pending_.end()) pending_count = pit->second.size();
+  DISAGG_RETURN_NOT_OK(MaterializeLocked(id));
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return Status::NotFound("no such page");
+  it->second.Seal();
+  resp->assign(it->second.data(), kPageSize);
+  sctx->ChargeCompute(kPageLookupNs + kApplyNsPerRecord * pending_count);
+  return Status::OK();
+}
+
+Result<Lsn> PageStoreClient::ApplyLog(NetContext* ctx,
+                                      const std::vector<LogRecord>& records) {
+  const std::string req = LogRecord::EncodeBatch(records);
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, "page.apply_log", req, &resp);
+  if (!st.ok()) return st;
+  Slice in(resp);
+  uint64_t lsn = 0;
+  if (!GetVarint64(&in, &lsn)) return Status::Corruption("apply_log response");
+  return lsn;
+}
+
+Status PageStoreClient::PutPage(NetContext* ctx, const Page& page) {
+  Page copy = page;
+  copy.Seal();
+  std::string resp;
+  return fabric_->Call(ctx, node_, "page.put", Slice(copy.data(), kPageSize),
+                       &resp);
+}
+
+Result<Page> PageStoreClient::GetPage(NetContext* ctx, PageId id) {
+  std::string req;
+  PutVarint64(&req, id);
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, "page.get", req, &resp);
+  if (!st.ok()) return st;
+  auto page = Page::FromBytes(resp);
+  if (!page.ok()) return page.status();
+  if (!page->VerifyChecksum()) {
+    return Status::Corruption("page checksum mismatch on get");
+  }
+  return page;
+}
+
+}  // namespace disagg

@@ -1,0 +1,84 @@
+#ifndef DISAGG_STORAGE_PAGE_STORE_H_
+#define DISAGG_STORAGE_PAGE_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+#include "storage/log_record.h"
+#include "storage/page.h"
+
+namespace disagg {
+
+/// Page service hosted on a storage node. Supports both architectures the
+/// paper contrasts in Sec. 2.1:
+///  - log shipping (Aurora/Socrates/Taurus): compute sends only redo records
+///    ("page.apply_log"); the store materializes pages from logs lazily, i.e.
+///    "generates data pages based on logs asynchronously";
+///  - page shipping (PolarDB): compute sends whole pages ("page.put").
+/// Reads ("page.get") materialize any pending redo first and return the full
+/// page image plus its LSN.
+class PageStoreService {
+ public:
+  PageStoreService(Fabric* fabric, NodeId node);
+
+  NodeId node() const { return node_; }
+
+  /// Highest LSN received in any redo record (durability watermark).
+  Lsn high_water_lsn() const;
+  size_t materialized_pages() const;
+  size_t pending_records() const;
+
+  /// Applies all pending redo (normally done lazily on read). Returns the
+  /// number of records applied. Exposed so benchmarks can measure the
+  /// foreground vs background split.
+  size_t MaterializeAll();
+
+  /// Gossip support (Taurus, Sec. 2.1): version vector of page → LSN, and
+  /// direct ingestion of a peer's newer page image.
+  std::map<PageId, Lsn> PageVersions() const;
+  void IngestPage(const Page& page);
+  Result<Page> PeekPage(PageId id) const;
+
+ private:
+  Status HandleApplyLog(Slice req, std::string* resp, RpcServerContext* sctx);
+  Status HandlePut(Slice req, std::string* resp, RpcServerContext* sctx);
+  Status HandleGet(Slice req, std::string* resp, RpcServerContext* sctx);
+
+  // Applies pending redo for one page (mu_ held).
+  Status MaterializeLocked(PageId id);
+
+  Fabric* fabric_;
+  NodeId node_;
+  mutable std::mutex mu_;
+  std::map<PageId, Page> pages_;
+  std::map<PageId, std::vector<LogRecord>> pending_;
+  Lsn high_water_lsn_ = kInvalidLsn;
+};
+
+/// Compute-side client for a PageStoreService.
+class PageStoreClient {
+ public:
+  PageStoreClient(Fabric* fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  /// Ships redo records (log shipping). Returns the store's high-water LSN.
+  Result<Lsn> ApplyLog(NetContext* ctx, const std::vector<LogRecord>& records);
+
+  /// Ships a full page image (page shipping).
+  Status PutPage(NetContext* ctx, const Page& page);
+
+  /// Fetches the current image of a page (materializing pending redo).
+  Result<Page> GetPage(NetContext* ctx, PageId id);
+
+ private:
+  Fabric* fabric_;
+  NodeId node_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_STORAGE_PAGE_STORE_H_

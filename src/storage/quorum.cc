@@ -1,0 +1,109 @@
+#include "storage/quorum.h"
+
+#include <algorithm>
+#include <string>
+
+namespace disagg {
+
+ReplicatedSegment::ReplicatedSegment(Fabric* fabric, const Config& config,
+                                     const std::string& name_prefix)
+    : fabric_(fabric), config_(config) {
+  for (int i = 0; i < config_.replicas; i++) {
+    const uint32_t az = static_cast<uint32_t>(i % config_.num_azs);
+    SegmentReplica replica;
+    replica.az = az;
+    replica.node = fabric_->AddNode(
+        name_prefix + "-r" + std::to_string(i), NodeKind::kStorage,
+        config_.model, az);
+    fabric_->node(replica.node)->set_cpu_scale(2.0);  // wimpy storage CPU
+    replica.log_service =
+        std::make_unique<LogStoreService>(fabric_, replica.node);
+    replica.page_service =
+        std::make_unique<PageStoreService>(fabric_, replica.node);
+    replicas_.push_back(std::move(replica));
+  }
+  acked_lsn_.assign(replicas_.size(), kInvalidLsn);
+}
+
+Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
+                                         const std::vector<LogRecord>& records) {
+  std::vector<NetContext> branch(replicas_.size());
+  int acks = 0;
+  Lsn lsn = kInvalidLsn;
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    LogStoreClient log_client(fabric_, replicas_[i].node);
+    PageStoreClient page_client(fabric_, replicas_[i].node);
+    auto r = log_client.Append(&branch[i], records);
+    if (!r.ok()) continue;
+    // The segment also queues the redo for page materialization.
+    auto p = page_client.ApplyLog(&branch[i], records);
+    if (!p.ok()) continue;
+    acked_lsn_[i] = *r;
+    lsn = std::max(lsn, *r);
+    acks++;
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  if (acks < config_.write_quorum) {
+    return Status::Unavailable("write quorum not met: " +
+                               std::to_string(acks) + "/" +
+                               std::to_string(config_.write_quorum));
+  }
+  return lsn;
+}
+
+Result<Page> ReplicatedSegment::ReadPage(NetContext* ctx, PageId id,
+                                         Lsn min_lsn) {
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    if (acked_lsn_[i] < min_lsn) continue;
+    if (fabric_->node(replicas_[i].node)->failed()) continue;
+    PageStoreClient page_client(fabric_, replicas_[i].node);
+    auto page = page_client.GetPage(ctx, id);
+    if (page.ok()) return page;
+  }
+  return Status::Unavailable("no reachable replica covers the required LSN");
+}
+
+Result<Lsn> ReplicatedSegment::RecoverDurableLsn(NetContext* ctx) {
+  std::vector<NetContext> branch(replicas_.size());
+  std::vector<Lsn> seen;
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    if (static_cast<int>(seen.size()) >= config_.read_quorum) break;
+    LogStoreClient log_client(fabric_, replicas_[i].node);
+    // An empty read acts as a durable-LSN probe.
+    auto recs = log_client.ReadFrom(&branch[i], 0, 1);
+    if (!recs.ok()) continue;
+    seen.push_back(replicas_[i].log_service->durable_lsn());
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  if (static_cast<int>(seen.size()) < config_.read_quorum) {
+    return Status::Unavailable("read quorum not met");
+  }
+  // With W + R > V, the max over any R replicas is at least the highest
+  // quorum-committed LSN.
+  return *std::max_element(seen.begin(), seen.end());
+}
+
+void ReplicatedSegment::FailAz(uint32_t az) {
+  for (auto& r : replicas_) {
+    if (r.az == az) fabric_->node(r.node)->Fail();
+  }
+}
+
+void ReplicatedSegment::ReviveAz(uint32_t az) {
+  for (auto& r : replicas_) {
+    if (r.az == az) fabric_->node(r.node)->Revive();
+  }
+}
+
+int ReplicatedSegment::CountDurable(Lsn lsn) const {
+  int n = 0;
+  for (const auto& r : replicas_) {
+    if (!fabric_->node(r.node)->failed() &&
+        r.log_service->durable_lsn() >= lsn) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace disagg

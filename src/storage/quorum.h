@@ -1,0 +1,80 @@
+#ifndef DISAGG_STORAGE_QUORUM_H_
+#define DISAGG_STORAGE_QUORUM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+#include "storage/log_store.h"
+#include "storage/page_store.h"
+
+namespace disagg {
+
+/// One replica of an Aurora-style storage segment: a storage node hosting
+/// both a log service and a page service (the segment materializes pages
+/// from the logs it receives).
+struct SegmentReplica {
+  NodeId node = 0;
+  uint32_t az = 0;
+  std::unique_ptr<LogStoreService> log_service;
+  std::unique_ptr<PageStoreService> page_service;
+};
+
+/// Aurora's replicated segment (Sec. 2.1): V copies spread over `num_azs`
+/// availability zones with write quorum W and read quorum R (Aurora uses
+/// V=6, AZs=3, W=4, R=3 so that one whole-AZ failure plus one extra node
+/// never blocks writes). Writes fan out in parallel; the caller's simulated
+/// clock advances by the W-th fastest ack (we approximate with the max of
+/// the successful branch costs, a slight over-charge).
+class ReplicatedSegment {
+ public:
+  struct Config {
+    int replicas = 6;
+    int num_azs = 3;
+    int write_quorum = 4;
+    int read_quorum = 3;
+    InterconnectModel model = InterconnectModel::Ssd();
+  };
+
+  /// Builds the replica nodes and services on `fabric`.
+  ReplicatedSegment(Fabric* fabric, const Config& config,
+                    const std::string& name_prefix = "seg");
+
+  const Config& config() const { return config_; }
+  size_t replica_count() const { return replicas_.size(); }
+  const SegmentReplica& replica(size_t i) const { return replicas_[i]; }
+
+  /// Ships redo records to all replicas; succeeds once `write_quorum` acks
+  /// arrive. Records are queued for page materialization on each replica.
+  Result<Lsn> AppendLog(NetContext* ctx, const std::vector<LogRecord>& records);
+
+  /// Reads a page from the first reachable replica whose durable LSN covers
+  /// `min_lsn` (the compute node tracks acked LSNs, as in Aurora where reads
+  /// normally touch a single replica).
+  Result<Page> ReadPage(NetContext* ctx, PageId id, Lsn min_lsn);
+
+  /// Establishes the recovery LSN by polling a read quorum — the crash
+  /// recovery path where R + W > V guarantees the result is at least the
+  /// highest quorum-committed LSN (it may exceed it if an interrupted write
+  /// reached some replicas; Aurora completes or truncates those during
+  /// repair).
+  Result<Lsn> RecoverDurableLsn(NetContext* ctx);
+
+  /// Fails / revives every replica in an AZ (failure-injection helper).
+  void FailAz(uint32_t az);
+  void ReviveAz(uint32_t az);
+
+  /// Number of replicas that currently acknowledge `lsn` as durable.
+  int CountDurable(Lsn lsn) const;
+
+ private:
+  Fabric* fabric_;
+  Config config_;
+  std::vector<SegmentReplica> replicas_;
+  std::vector<Lsn> acked_lsn_;  // per-replica LSN acked to this client
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_STORAGE_QUORUM_H_

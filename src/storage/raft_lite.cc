@@ -1,0 +1,254 @@
+#include "storage/raft_lite.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace disagg {
+
+namespace {
+
+// AppendEntries request wire format.
+void EncodeAppendEntries(std::string* dst, uint64_t term, uint64_t prev_index,
+                         uint64_t prev_term, uint64_t leader_commit,
+                         const std::vector<RaftEntry>& entries) {
+  PutVarint64(dst, term);
+  PutVarint64(dst, prev_index);
+  PutVarint64(dst, prev_term);
+  PutVarint64(dst, leader_commit);
+  PutVarint64(dst, entries.size());
+  for (const RaftEntry& e : entries) {
+    PutVarint64(dst, e.term);
+    PutLengthPrefixedSlice(dst, e.payload);
+  }
+}
+
+}  // namespace
+
+RaftReplicaService::RaftReplicaService(Fabric* fabric, NodeId node)
+    : fabric_(fabric), node_(node) {
+  fabric_->node(node_)->RegisterHandler(
+      "raft.append_entries",
+      [this](Slice req, std::string* resp, RpcServerContext* sctx) {
+        return HandleAppendEntries(req, resp, sctx);
+      });
+}
+
+uint64_t RaftReplicaService::current_term() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return term_;
+}
+
+uint64_t RaftReplicaService::log_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+uint64_t RaftReplicaService::commit_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_;
+}
+
+Result<RaftEntry> RaftReplicaService::entry(uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= log_.size()) return Status::NotFound("no such entry");
+  return log_[index];
+}
+
+void RaftReplicaService::BecomeLeader(uint64_t term) {
+  std::lock_guard<std::mutex> lock(mu_);
+  term_ = term;
+}
+
+uint64_t RaftReplicaService::AppendLocal(RaftEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.push_back(std::move(entry));
+  return log_.size() - 1;
+}
+
+void RaftReplicaService::AdvanceCommitLocal(uint64_t commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  commit_ = std::max(commit_, std::min<uint64_t>(commit, log_.size()));
+}
+
+Status RaftReplicaService::HandleAppendEntries(Slice req, std::string* resp,
+                                               RpcServerContext* sctx) {
+  uint64_t term = 0, prev_index = 0, prev_term = 0, leader_commit = 0, n = 0;
+  if (!GetVarint64(&req, &term) || !GetVarint64(&req, &prev_index) ||
+      !GetVarint64(&req, &prev_term) || !GetVarint64(&req, &leader_commit) ||
+      !GetVarint64(&req, &n)) {
+    return Status::InvalidArgument("malformed append_entries");
+  }
+  std::vector<RaftEntry> entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    RaftEntry e;
+    Slice payload;
+    if (!GetVarint64(&req, &e.term) ||
+        !GetLengthPrefixedSlice(&req, &payload)) {
+      return Status::InvalidArgument("malformed entry");
+    }
+    e.payload = payload.ToString();
+    entries.push_back(std::move(e));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  resp->clear();
+  if (term < term_) {
+    PutVarint64(resp, 0);  // success=false
+    PutVarint64(resp, term_);
+    return Status::OK();
+  }
+  term_ = term;
+  // Log-matching: prev_index entries must exist and the last must match
+  // prev_term. prev_index == 0 means "from the beginning".
+  if (prev_index > log_.size() ||
+      (prev_index > 0 && log_[prev_index - 1].term != prev_term)) {
+    PutVarint64(resp, 0);
+    PutVarint64(resp, term_);
+    sctx->ChargeCompute(200);
+    return Status::OK();
+  }
+  // Truncate conflicting suffix, then append.
+  uint64_t idx = prev_index;
+  for (RaftEntry& e : entries) {
+    if (idx < log_.size()) {
+      if (log_[idx].term != e.term) {
+        log_.resize(idx);
+        log_.push_back(std::move(e));
+      }
+    } else {
+      log_.push_back(std::move(e));
+    }
+    idx++;
+  }
+  commit_ = std::max(commit_, std::min<uint64_t>(leader_commit, log_.size()));
+  sctx->ChargeCompute(200 + 150 * entries.size());
+  PutVarint64(resp, 1);  // success
+  PutVarint64(resp, term_);
+  return Status::OK();
+}
+
+RaftLiteGroup::RaftLiteGroup(Fabric* fabric, int replicas,
+                             InterconnectModel model,
+                             const std::string& name_prefix)
+    : fabric_(fabric) {
+  for (int i = 0; i < replicas; i++) {
+    Member m;
+    m.node = fabric_->AddNode(name_prefix + "-" + std::to_string(i),
+                              NodeKind::kStorage, model,
+                              static_cast<uint32_t>(i));
+    m.service = std::make_unique<RaftReplicaService>(fabric_, m.node);
+    m.next_index = 0;
+    replicas_.push_back(std::move(m));
+  }
+  replicas_[leader_].service->BecomeLeader(term_);
+}
+
+Status RaftLiteGroup::ReplicateTo(NetContext* ctx, int follower_idx) {
+  Member& follower = replicas_[follower_idx];
+  RaftReplicaService* leader_svc = replicas_[leader_].service.get();
+  for (int attempts = 0; attempts < 64; attempts++) {
+    const uint64_t prev_index = follower.next_index;
+    uint64_t prev_term = 0;
+    if (prev_index > 0) {
+      auto e = leader_svc->entry(prev_index - 1);
+      if (!e.ok()) return e.status();
+      prev_term = e->term;
+    }
+    std::vector<RaftEntry> suffix;
+    for (uint64_t i = prev_index; i < leader_svc->log_size(); i++) {
+      suffix.push_back(std::move(leader_svc->entry(i)).value());
+    }
+    std::string req;
+    EncodeAppendEntries(&req, term_, prev_index, prev_term,
+                        leader_svc->commit_index(), suffix);
+    std::string resp;
+    DISAGG_RETURN_NOT_OK(fabric_->Call(ctx, follower.node,
+                                       "raft.append_entries", req, &resp));
+    Slice in(resp);
+    uint64_t success = 0, follower_term = 0;
+    if (!GetVarint64(&in, &success) || !GetVarint64(&in, &follower_term)) {
+      return Status::Corruption("append_entries response");
+    }
+    if (follower_term > term_) {
+      return Status::Aborted("deposed: follower has a newer term");
+    }
+    if (success) {
+      follower.next_index = leader_svc->log_size();
+      return Status::OK();
+    }
+    // Log mismatch: back off one entry and retry.
+    if (follower.next_index == 0) {
+      return Status::Corruption("log mismatch at index 0");
+    }
+    follower.next_index--;
+  }
+  return Status::TimedOut("replication did not converge");
+}
+
+Result<uint64_t> RaftLiteGroup::Append(NetContext* ctx, std::string payload) {
+  RaftReplicaService* leader_svc = replicas_[leader_].service.get();
+  const uint64_t index =
+      leader_svc->AppendLocal(RaftEntry{term_, std::move(payload)});
+
+  int acks = 1;  // leader itself
+  std::vector<NetContext> branch(replicas_.size());
+  for (int i = 0; i < size(); i++) {
+    if (i == leader_) continue;
+    if (ReplicateTo(&branch[i], i).ok()) acks++;
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+
+  const int majority = size() / 2 + 1;
+  if (acks < majority) {
+    return Status::Unavailable("no majority: " + std::to_string(acks) + "/" +
+                               std::to_string(majority));
+  }
+  leader_svc->AdvanceCommitLocal(index + 1);
+  // Lazily piggyback the new commit index on the next AppendEntries; tests
+  // that need immediate propagation call Append again or ElectLeader.
+  return index;
+}
+
+Result<int> RaftLiteGroup::ElectLeader(NetContext* ctx, int preferred) {
+  // Find the most up-to-date live replica (Raft's election restriction).
+  int best = -1;
+  uint64_t best_len = 0;
+  for (int i = 0; i < size(); i++) {
+    if (fabric_->node(replicas_[i].node)->failed()) continue;
+    const uint64_t len = replicas_[i].service->log_size();
+    if (best == -1 || len > best_len) {
+      best = i;
+      best_len = len;
+    }
+  }
+  if (best == -1) return Status::Unavailable("no live replica");
+  if (preferred >= 0 && preferred < size() &&
+      !fabric_->node(replicas_[preferred].node)->failed() &&
+      replicas_[preferred].service->log_size() == best_len) {
+    best = preferred;
+  }
+  term_++;
+  leader_ = best;
+  replicas_[leader_].service->BecomeLeader(term_);
+  for (auto& m : replicas_) m.next_index = 0;
+  // Re-assert leadership / sync live followers.
+  std::vector<NetContext> branch(replicas_.size());
+  for (int i = 0; i < size(); i++) {
+    if (i == leader_) continue;
+    (void)ReplicateTo(&branch[i], i);
+  }
+  MergeParallel(ctx, branch.data(), branch.size());
+  return leader_;
+}
+
+Result<RaftEntry> RaftLiteGroup::ReadCommitted(uint64_t index) {
+  RaftReplicaService* leader_svc = replicas_[leader_].service.get();
+  if (index >= leader_svc->commit_index()) {
+    return Status::NotFound("entry not committed");
+  }
+  return leader_svc->entry(index);
+}
+
+}  // namespace disagg

@@ -1,0 +1,44 @@
+#ifndef DISAGG_TXN_LOCK_MANAGER_H_
+#define DISAGG_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/log_record.h"
+
+namespace disagg {
+
+/// Row-level S/X lock table (strict two-phase locking). No blocking waits:
+/// conflicting requests fail with Status::Busy and the transaction aborts
+/// and retries — the no-wait policy common in distributed/disaggregated
+/// settings where blocking a remote caller is worse than restarting it.
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  /// Acquires (or upgrades) `key` for `txn`. Busy on conflict.
+  Status Acquire(TxnId txn, uint64_t key, Mode mode);
+
+  /// Releases everything `txn` holds (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  size_t held_locks() const;
+
+ private:
+  struct Entry {
+    std::set<TxnId> sharers;
+    TxnId exclusive = 0;  // 0 = none
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> table_;
+  std::map<TxnId, std::vector<uint64_t>> held_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_TXN_LOCK_MANAGER_H_

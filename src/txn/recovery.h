@@ -1,0 +1,39 @@
+#ifndef DISAGG_TXN_RECOVERY_H_
+#define DISAGG_TXN_RECOVERY_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/log_record.h"
+#include "storage/page.h"
+
+namespace disagg {
+
+/// ARIES-style crash recovery over a log (analysis / redo / undo). Operates
+/// on in-memory structures; the engines decide where the log and the starting
+/// page images come from (local disk, log service, remote-memory checkpoint —
+/// the axis LegoBase's two-tier protocol varies).
+class AriesRecovery {
+ public:
+  struct Outcome {
+    std::map<PageId, Page> pages;      ///< recovered page images
+    std::set<TxnId> winners;           ///< committed transactions
+    std::set<TxnId> losers;            ///< in-flight at crash, rolled back
+    std::vector<LogRecord> clr_log;    ///< compensation records produced
+    size_t redo_applied = 0;
+    size_t undo_applied = 0;
+  };
+
+  /// Replays `log` starting from `checkpoint_pages` (empty map = from
+  /// scratch). Redo pass applies every page record with lsn > page lsn
+  /// (repeating history); undo pass rolls back losers in reverse LSN order,
+  /// emitting CLRs.
+  static Result<Outcome> Recover(const std::vector<LogRecord>& log,
+                                 std::map<PageId, Page> checkpoint_pages);
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_TXN_RECOVERY_H_

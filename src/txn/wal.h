@@ -1,0 +1,122 @@
+#ifndef DISAGG_TXN_WAL_H_
+#define DISAGG_TXN_WAL_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/net_context.h"
+#include "storage/log_record.h"
+#include "storage/log_store.h"
+#include "storage/quorum.h"
+
+namespace disagg {
+
+/// Destination of the write-ahead log. The choice of sink is exactly what
+/// differentiates the surveyed architectures: a local disk (monolithic), one
+/// log service (Socrates XLOG), or an Aurora quorum segment.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual Result<Lsn> Append(NetContext* ctx,
+                             const std::vector<LogRecord>& records) = 0;
+  virtual Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) = 0;
+};
+
+/// Local-disk sink (the monolithic baseline): records buffered in process,
+/// charged at SSD cost per flush.
+class LocalDiskSink : public LogSink {
+ public:
+  explicit LocalDiskSink(InterconnectModel model = InterconnectModel::Ssd())
+      : model_(std::move(model)) {}
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override;
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override;
+
+  /// Crash helper: everything appended survives (it was fsync'ed).
+  size_t record_count() const { return records_.size(); }
+
+ private:
+  InterconnectModel model_;
+  std::mutex mu_;
+  std::vector<LogRecord> records_;
+  Lsn durable_ = kInvalidLsn;
+};
+
+/// Sink writing to a LogStoreService over the fabric.
+class LogServiceSink : public LogSink {
+ public:
+  LogServiceSink(Fabric* fabric, NodeId node) : client_(fabric, node) {}
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    return client_.Append(ctx, records);
+  }
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    return client_.ReadFrom(ctx, 0, ~0ull);
+  }
+
+ private:
+  LogStoreClient client_;
+};
+
+/// Sink writing through an Aurora-style replicated segment quorum.
+class QuorumSink : public LogSink {
+ public:
+  explicit QuorumSink(ReplicatedSegment* segment) : segment_(segment) {}
+
+  Result<Lsn> Append(NetContext* ctx,
+                     const std::vector<LogRecord>& records) override {
+    return segment_->AppendLog(ctx, records);
+  }
+  Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    (void)ctx;
+    return Status::NotSupported("read from segment replicas directly");
+  }
+
+ private:
+  ReplicatedSegment* segment_;
+};
+
+/// Write-ahead-log manager on the compute node: allocates LSNs, chains each
+/// transaction's records, group-buffers appends, and flushes to the sink at
+/// commit (the durability point).
+class WalManager {
+ public:
+  explicit WalManager(LogSink* sink) : sink_(sink) {}
+
+  /// Stamps `*record` with the next LSN and the transaction's prev_lsn
+  /// chain, then buffers a copy. Returns the assigned LSN.
+  Lsn Append(LogRecord* record);
+  Lsn Append(LogRecord&& record) {
+    LogRecord r = std::move(record);
+    return Append(&r);
+  }
+  Lsn Append(const LogRecord& record) {
+    LogRecord r = record;
+    return Append(&r);
+  }
+
+  /// Flushes all buffered records to the sink (group commit).
+  Status Flush(NetContext* ctx);
+
+  Lsn next_lsn() const { return next_lsn_; }
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Last LSN written by `txn` (for prev_lsn chaining), 0 if none.
+  Lsn LastLsnOf(TxnId txn) const;
+
+ private:
+  LogSink* sink_;
+  mutable std::mutex mu_;
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = kInvalidLsn;
+  std::vector<LogRecord> buffer_;
+  std::map<TxnId, Lsn> last_lsn_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_TXN_WAL_H_

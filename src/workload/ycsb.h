@@ -1,0 +1,89 @@
+#ifndef DISAGG_WORKLOAD_YCSB_H_
+#define DISAGG_WORKLOAD_YCSB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace disagg {
+
+/// YCSB-lite operation stream generator: configurable read/update/insert
+/// mix over a Zipfian or uniform key distribution. The consumer (a remote
+/// index, a cache hierarchy, an engine) applies the ops to whatever API it
+/// exposes; this class only decides *what* to touch, the skew being the
+/// property the contention experiments depend on.
+class YcsbGenerator {
+ public:
+  enum class OpType : uint8_t { kRead, kUpdate, kInsert };
+
+  struct Op {
+    OpType type;
+    uint64_t key;
+  };
+
+  struct Mix {
+    double read = 0.5;
+    double update = 0.5;
+    double insert = 0.0;
+
+    static Mix A() { return {0.5, 0.5, 0.0}; }    // update-heavy
+    static Mix B() { return {0.95, 0.05, 0.0}; }  // read-mostly
+    static Mix C() { return {1.0, 0.0, 0.0}; }    // read-only
+    static Mix D() { return {0.95, 0.0, 0.05}; }  // read-latest-ish
+  };
+
+  /// `zipf_theta` <= 0 selects a uniform distribution.
+  YcsbGenerator(uint64_t key_space, Mix mix, double zipf_theta = 0.99,
+                uint64_t seed = 7)
+      : key_space_(key_space),
+        mix_(mix),
+        rng_(seed),
+        zipf_(key_space, zipf_theta <= 0 ? 0.01 : zipf_theta, seed ^ 0x5bd1),
+        uniform_(zipf_theta <= 0),
+        next_insert_(key_space) {}
+
+  Op Next() {
+    const double dice = rng_.NextDouble();
+    Op op;
+    if (dice < mix_.read) {
+      op.type = OpType::kRead;
+      op.key = NextKey();
+    } else if (dice < mix_.read + mix_.update) {
+      op.type = OpType::kUpdate;
+      op.key = NextKey();
+    } else {
+      op.type = OpType::kInsert;
+      op.key = next_insert_++;
+    }
+    return op;
+  }
+
+  std::vector<Op> Batch(size_t n) {
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; i++) ops.push_back(Next());
+    return ops;
+  }
+
+  std::string ValueFor(uint64_t key, size_t size = 100) {
+    (void)key;
+    return rng_.RandomString(size);
+  }
+
+ private:
+  uint64_t NextKey() {
+    return uniform_ ? rng_.Uniform(key_space_) : zipf_.Next();
+  }
+
+  uint64_t key_space_;
+  Mix mix_;
+  Random rng_;
+  ZipfianGenerator zipf_;
+  bool uniform_;
+  uint64_t next_insert_;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_WORKLOAD_YCSB_H_

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "chain/flexchain.h"
+#include "common/random.h"
+
+namespace disagg {
+namespace {
+
+class FlexChainTest : public ::testing::Test {
+ protected:
+  FlexChainTest()
+      : pool_(&fabric_, "chain-pool", 256 << 20),
+        chain_(&fabric_, &pool_, /*hot_cache=*/16) {}
+
+  FlexChain::ChainTxn Write(const std::string& id, const std::string& key,
+                            const std::string& value) {
+    FlexChain::ChainTxn txn;
+    txn.id = id;
+    txn.write_set = {{key, value}};
+    return txn;
+  }
+
+  Fabric fabric_;
+  MemoryNode pool_;
+  FlexChain chain_;
+  NetContext ctx_;
+};
+
+TEST_F(FlexChainTest, CommitsBlockAndBumpsVersions) {
+  auto result = chain_.CommitBlock(
+      &ctx_, {Write("t1", "acct:a", "100"), Write("t2", "acct:b", "200")},
+      /*parallel=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->committed, 2u);
+  EXPECT_EQ(result->aborted, 0u);
+  EXPECT_EQ(chain_.Version("acct:a"), 1u);
+  EXPECT_EQ(chain_.block_height(), 1u);
+  auto read = chain_.ReadState(&ctx_, "acct:a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->first, "100");
+  EXPECT_EQ(read->second, 1u);
+}
+
+TEST_F(FlexChainTest, StaleReadsAbortInValidation) {
+  ASSERT_TRUE(chain_.CommitBlock(&ctx_, {Write("t0", "k", "v0")}, true).ok());
+  // Execute phase read k @ version 1.
+  auto read = chain_.ReadState(&ctx_, "k");
+  ASSERT_TRUE(read.ok());
+  FlexChain::ChainTxn stale;
+  stale.id = "stale";
+  stale.read_set = {{"k", read->second}};
+  stale.write_set = {{"out", "x"}};
+  // Another block updates k first: the stale txn must fail validation.
+  ASSERT_TRUE(chain_.CommitBlock(&ctx_, {Write("t1", "k", "v1")}, true).ok());
+  auto result = chain_.CommitBlock(&ctx_, {stale}, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->committed, 0u);
+  EXPECT_EQ(result->aborted, 1u);
+  EXPECT_EQ(chain_.Version("out"), 0u);  // write discarded
+}
+
+TEST_F(FlexChainTest, IndependentTxnsValidateInOneLevel) {
+  std::vector<FlexChain::ChainTxn> block;
+  for (int i = 0; i < 8; i++) {
+    block.push_back(Write("t" + std::to_string(i),
+                          "key" + std::to_string(i), "v"));
+  }
+  auto result = chain_.CommitBlock(&ctx_, block, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dependency_levels, 1u);
+  EXPECT_EQ(result->committed, 8u);
+}
+
+TEST_F(FlexChainTest, ConflictChainSerializesByLevels) {
+  // t0 -> t1 -> t2 all touch the same key: 3 dependency levels.
+  std::vector<FlexChain::ChainTxn> block = {
+      Write("t0", "hot", "a"), Write("t1", "hot", "b"),
+      Write("t2", "hot", "c")};
+  auto result = chain_.CommitBlock(&ctx_, block, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dependency_levels, 3u);
+  auto read = chain_.ReadState(&ctx_, "hot");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->first, "c");  // block order respected
+}
+
+TEST_F(FlexChainTest, ParallelValidationIsFasterWhenIndependent) {
+  std::vector<FlexChain::ChainTxn> block;
+  for (int i = 0; i < 16; i++) {
+    block.push_back(Write("t" + std::to_string(i),
+                          "key" + std::to_string(i), "value"));
+  }
+  auto parallel = chain_.CommitBlock(&ctx_, block, true);
+  // Fresh keys for the serial run to keep work comparable.
+  std::vector<FlexChain::ChainTxn> block2;
+  for (int i = 0; i < 16; i++) {
+    block2.push_back(Write("s" + std::to_string(i),
+                           "skey" + std::to_string(i), "value"));
+  }
+  auto serial = chain_.CommitBlock(&ctx_, block2, false);
+  ASSERT_TRUE(parallel.ok() && serial.ok());
+  EXPECT_LT(parallel->validate_sim_ns * 4, serial->validate_sim_ns);
+}
+
+TEST_F(FlexChainTest, HotCacheServesRepeatedReads) {
+  ASSERT_TRUE(chain_.CommitBlock(&ctx_, {Write("t", "popular", "v")}, true)
+                  .ok());
+  ASSERT_TRUE(chain_.ReadState(&ctx_, "popular").ok());  // miss -> remote
+  const uint64_t remote_before = chain_.stats().remote_reads;
+  NetContext cheap;
+  ASSERT_TRUE(chain_.ReadState(&cheap, "popular").ok());
+  EXPECT_EQ(chain_.stats().remote_reads, remote_before);
+  EXPECT_GT(chain_.stats().cache_hits, 0u);
+  EXPECT_LT(cheap.sim_ns, 1000u);  // local DRAM, not RDMA
+}
+
+TEST_F(FlexChainTest, ReadMissingKeyIsNotFound) {
+  EXPECT_TRUE(chain_.ReadState(&ctx_, "ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace disagg

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "storage/quorum.h"
+
+namespace disagg {
+namespace {
+
+// Parameterized sweep over replication configurations: the quorum
+// intersection invariant (W + R > V => reads always see committed writes,
+// writes survive V - W failures) must hold for every geometry, not just
+// Aurora's 6/3/4/3.
+
+struct QuorumGeometry {
+  int replicas;
+  int azs;
+  int write_quorum;
+  int read_quorum;
+  const char* name;
+};
+
+class QuorumPropertyTest : public ::testing::TestWithParam<QuorumGeometry> {};
+
+LogRecord Rec(Lsn lsn) {
+  LogRecord r;
+  r.lsn = lsn;
+  r.txn_id = 1;
+  r.type = LogType::kInsert;
+  r.page_id = 1;
+  r.slot = static_cast<uint16_t>(lsn - 1);
+  r.payload = "p" + std::to_string(lsn);
+  return r;
+}
+
+TEST_P(QuorumPropertyTest, WritesSurviveMaxTolerableFailures) {
+  const QuorumGeometry g = GetParam();
+  Fabric fabric;
+  ReplicatedSegment::Config cfg;
+  cfg.replicas = g.replicas;
+  cfg.num_azs = g.azs;
+  cfg.write_quorum = g.write_quorum;
+  cfg.read_quorum = g.read_quorum;
+  ReplicatedSegment segment(&fabric, cfg);
+  NetContext ctx;
+
+  ASSERT_TRUE(segment.AppendLog(&ctx, {Rec(1)}).ok());
+
+  // Fail exactly V - W replicas: writes must still make quorum.
+  const int tolerable = g.replicas - g.write_quorum;
+  for (int i = 0; i < tolerable; i++) {
+    fabric.node(segment.replica(static_cast<size_t>(i)).node)->Fail();
+  }
+  ASSERT_TRUE(segment.AppendLog(&ctx, {Rec(2)}).ok())
+      << g.name << " should tolerate " << tolerable << " failures";
+
+  // One more failure blocks writes...
+  if (tolerable + 1 < g.replicas) {
+    fabric.node(segment.replica(static_cast<size_t>(tolerable)).node)->Fail();
+    EXPECT_TRUE(segment.AppendLog(&ctx, {Rec(3)}).status().IsUnavailable());
+    // ...but as long as R replicas live, recovery still sees LSN 2.
+    if (g.replicas - tolerable - 1 >= g.read_quorum) {
+      auto durable = segment.RecoverDurableLsn(&ctx);
+      ASSERT_TRUE(durable.ok());
+      EXPECT_GE(*durable, 2u) << g.name;
+    }
+  }
+}
+
+TEST_P(QuorumPropertyTest, ReadQuorumAlwaysOverlapsWriteQuorum) {
+  const QuorumGeometry g = GetParam();
+  ASSERT_GT(g.write_quorum + g.read_quorum, g.replicas)
+      << "geometry must satisfy W + R > V";
+  Fabric fabric;
+  ReplicatedSegment::Config cfg;
+  cfg.replicas = g.replicas;
+  cfg.num_azs = g.azs;
+  cfg.write_quorum = g.write_quorum;
+  cfg.read_quorum = g.read_quorum;
+  ReplicatedSegment segment(&fabric, cfg);
+  NetContext ctx;
+  for (Lsn lsn = 1; lsn <= 5; lsn++) {
+    ASSERT_TRUE(segment.AppendLog(&ctx, {Rec(lsn)}).ok());
+  }
+  // Whatever R live replicas recovery polls, it must see LSN >= 5.
+  auto durable = segment.RecoverDurableLsn(&ctx);
+  ASSERT_TRUE(durable.ok());
+  EXPECT_GE(*durable, 5u);
+  EXPECT_GE(segment.CountDurable(5), g.write_quorum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, QuorumPropertyTest,
+    ::testing::Values(QuorumGeometry{6, 3, 4, 3, "aurora"},
+                      QuorumGeometry{3, 3, 2, 2, "simple_majority"},
+                      QuorumGeometry{5, 5, 3, 3, "five_majority"},
+                      QuorumGeometry{4, 2, 3, 2, "four_three"},
+                      QuorumGeometry{7, 7, 4, 4, "seven_majority"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace disagg

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "rindex/dlsm.h"
+#include "rindex/race_hash.h"
+#include "rindex/remote_btree.h"
+
+namespace disagg {
+namespace {
+
+class RaceHashTest : public ::testing::Test {
+ protected:
+  RaceHashTest() : pool_(&fabric_, "mem0", 64 << 20) {
+    auto table = RaceHash::Create(&ctx_, &fabric_, &pool_, 64);
+    DISAGG_CHECK(table.ok());
+    hash_ = std::make_unique<RaceHash>(&fabric_, &pool_, *table);
+  }
+
+  Fabric fabric_;
+  MemoryNode pool_;
+  std::unique_ptr<RaceHash> hash_;
+  NetContext ctx_;
+};
+
+TEST_F(RaceHashTest, PutGetDelete) {
+  ASSERT_TRUE(hash_->Put(&ctx_, "alpha", "1").ok());
+  ASSERT_TRUE(hash_->Put(&ctx_, "beta", "2").ok());
+  EXPECT_EQ(*hash_->Get(&ctx_, "alpha"), "1");
+  EXPECT_EQ(*hash_->Get(&ctx_, "beta"), "2");
+  EXPECT_TRUE(hash_->Get(&ctx_, "gamma").status().IsNotFound());
+  ASSERT_TRUE(hash_->Delete(&ctx_, "alpha").ok());
+  EXPECT_TRUE(hash_->Get(&ctx_, "alpha").status().IsNotFound());
+  EXPECT_TRUE(hash_->Delete(&ctx_, "alpha").IsNotFound());
+}
+
+TEST_F(RaceHashTest, UpdateReplacesValue) {
+  ASSERT_TRUE(hash_->Put(&ctx_, "k", "v1").ok());
+  ASSERT_TRUE(hash_->Put(&ctx_, "k", "v2-longer").ok());
+  EXPECT_EQ(*hash_->Get(&ctx_, "k"), "v2-longer");
+}
+
+TEST_F(RaceHashTest, OperationsAreOneSidedOnly) {
+  // RACE's defining property: index ops never invoke the memory-node CPU.
+  ASSERT_TRUE(hash_->Put(&ctx_, "key", "value").ok());
+  const uint64_t rpcs_after_put = ctx_.rpcs;  // only slab chunk allocation
+  ASSERT_TRUE(hash_->Get(&ctx_, "key").ok());
+  ASSERT_TRUE(hash_->Put(&ctx_, "key", "v2").ok());
+  ASSERT_TRUE(hash_->Delete(&ctx_, "key").ok());
+  EXPECT_EQ(ctx_.rpcs, rpcs_after_put);  // no further RPCs
+}
+
+TEST_F(RaceHashTest, OverflowChainsAbsorbCollisions) {
+  // 64 buckets x 8 slots; 2000 keys force overflow buckets.
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        hash_->Put(&ctx_, "key" + std::to_string(i), "v" + std::to_string(i))
+            .ok());
+  }
+  EXPECT_GT(hash_->stats().overflow_allocs, 0u);
+  for (int i = 0; i < 2000; i++) {
+    auto v = hash_->Get(&ctx_, "key" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(RaceHashTest, RandomOpsMatchUnorderedMapModel) {
+  // Property test: the remote hash behaves exactly like a hash map.
+  std::unordered_map<std::string, std::string> model;
+  Random rng(99);
+  for (int op = 0; op < 3000; op++) {
+    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    const uint64_t action = rng.Uniform(10);
+    if (action < 5) {
+      const std::string value = rng.RandomString(1 + rng.Uniform(40));
+      ASSERT_TRUE(hash_->Put(&ctx_, key, value).ok());
+      model[key] = value;
+    } else if (action < 7) {
+      const Status st = hash_->Delete(&ctx_, key);
+      if (model.erase(key)) {
+        EXPECT_TRUE(st.ok());
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    } else {
+      auto v = hash_->Get(&ctx_, key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(v.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(v.ok()) << key;
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+}
+
+struct BTreeParam {
+  bool optimistic;
+  const char* name;
+};
+
+class RemoteBTreeTest : public ::testing::TestWithParam<BTreeParam> {
+ protected:
+  RemoteBTreeTest() : pool_(&fabric_, "mem0", 256 << 20) {
+    auto ref = RemoteBTree::Create(&ctx_, &fabric_, &pool_);
+    DISAGG_CHECK(ref.ok());
+    const auto opts = GetParam().optimistic
+                          ? RemoteBTree::Options::Sherman()
+                          : RemoteBTree::Options::LockCoupling();
+    tree_ = std::make_unique<RemoteBTree>(&fabric_, &pool_, *ref, opts);
+  }
+
+  Fabric fabric_;
+  MemoryNode pool_;
+  std::unique_ptr<RemoteBTree> tree_;
+  NetContext ctx_;
+};
+
+TEST_P(RemoteBTreeTest, PutGetDeleteBasic) {
+  ASSERT_TRUE(tree_->Put(&ctx_, 10, 100).ok());
+  ASSERT_TRUE(tree_->Put(&ctx_, 20, 200).ok());
+  EXPECT_EQ(*tree_->Get(&ctx_, 10), 100u);
+  EXPECT_EQ(*tree_->Get(&ctx_, 20), 200u);
+  EXPECT_TRUE(tree_->Get(&ctx_, 30).status().IsNotFound());
+  ASSERT_TRUE(tree_->Put(&ctx_, 10, 111).ok());  // update
+  EXPECT_EQ(*tree_->Get(&ctx_, 10), 111u);
+  ASSERT_TRUE(tree_->Delete(&ctx_, 10).ok());
+  EXPECT_TRUE(tree_->Get(&ctx_, 10).status().IsNotFound());
+  EXPECT_TRUE(tree_->Delete(&ctx_, 10).IsNotFound());
+}
+
+TEST_P(RemoteBTreeTest, SplitsPreserveAllKeys) {
+  // Enough keys to force multiple leaf and internal splits.
+  for (uint64_t k = 1; k <= 5000; k++) {
+    ASSERT_TRUE(tree_->Put(&ctx_, k * 7 % 5001 + 1, k).ok()) << k;
+  }
+  EXPECT_GT(tree_->stats().splits, 50u);
+  for (uint64_t k = 1; k <= 5000; k++) {
+    EXPECT_TRUE(tree_->Get(&ctx_, k * 7 % 5001 + 1).ok()) << k;
+  }
+}
+
+TEST_P(RemoteBTreeTest, ScanReturnsSortedRange) {
+  for (uint64_t k = 100; k > 0; k--) {
+    ASSERT_TRUE(tree_->Put(&ctx_, k * 2, k).ok());
+  }
+  auto range = tree_->Scan(&ctx_, 50, 10);
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->size(), 10u);
+  EXPECT_EQ((*range)[0].first, 50u);
+  for (size_t i = 1; i < range->size(); i++) {
+    EXPECT_LT((*range)[i - 1].first, (*range)[i].first);
+  }
+}
+
+TEST_P(RemoteBTreeTest, RandomOpsMatchMapModel) {
+  std::map<uint64_t, uint64_t> model;
+  Random rng(GetParam().optimistic ? 1 : 2);
+  for (int op = 0; op < 4000; op++) {
+    const uint64_t key = 1 + rng.Uniform(500);
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      const uint64_t value = rng.Next();
+      ASSERT_TRUE(tree_->Put(&ctx_, key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      const Status st = tree_->Delete(&ctx_, key);
+      if (model.erase(key)) {
+        EXPECT_TRUE(st.ok());
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    } else {
+      auto v = tree_->Get(&ctx_, key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(v.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(v.ok()) << key;
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  // Final full-content check via scan.
+  auto all = tree_->Scan(&ctx_, 0, 10000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RemoteBTreeTest,
+                         ::testing::Values(BTreeParam{true, "sherman"},
+                                           BTreeParam{false, "lockcoupling"}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(BTreeModeComparisonTest, OptimisticReadsAreCheaper) {
+  // Sherman reads: 1 READ per level. Lock coupling: CAS + READ + unlock
+  // WRITE per level — ~3x the round trips, the gap the paper highlights.
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 256 << 20);
+  NetContext setup;
+  auto ref = RemoteBTree::Create(&setup, &fabric, &pool);
+  ASSERT_TRUE(ref.ok());
+  RemoteBTree sherman(&fabric, &pool, *ref, RemoteBTree::Options::Sherman());
+  RemoteBTree coupled(&fabric, &pool, *ref,
+                      RemoteBTree::Options::LockCoupling());
+  for (uint64_t k = 1; k <= 2000; k++) {
+    ASSERT_TRUE(sherman.Put(&setup, k, k).ok());
+  }
+  NetContext opt_ctx, lock_ctx;
+  for (uint64_t k = 1; k <= 100; k++) {
+    ASSERT_TRUE(sherman.Get(&opt_ctx, k * 17 % 2000 + 1).ok());
+    ASSERT_TRUE(coupled.Get(&lock_ctx, k * 17 % 2000 + 1).ok());
+  }
+  EXPECT_LT(opt_ctx.round_trips * 2, lock_ctx.round_trips);
+  EXPECT_LT(opt_ctx.sim_ns, lock_ctx.sim_ns);
+}
+
+TEST(BTreeModeComparisonTest, BatchedWritesSaveRoundTrips) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 256 << 20);
+  NetContext setup;
+  auto ref1 = RemoteBTree::Create(&setup, &fabric, &pool);
+  auto ref2 = RemoteBTree::Create(&setup, &fabric, &pool);
+  ASSERT_TRUE(ref1.ok() && ref2.ok());
+  RemoteBTree batched(&fabric, &pool, *ref1, RemoteBTree::Options::Sherman());
+  RemoteBTree::Options naive = RemoteBTree::Options::Sherman();
+  naive.batched_writes = false;
+  RemoteBTree unbatched(&fabric, &pool, *ref2, naive);
+  NetContext b_ctx, u_ctx;
+  for (uint64_t k = 1; k <= 200; k++) {
+    ASSERT_TRUE(batched.Put(&b_ctx, k, k).ok());
+    ASSERT_TRUE(unbatched.Put(&u_ctx, k, k).ok());
+  }
+  EXPECT_LT(b_ctx.round_trips, u_ctx.round_trips);
+  EXPECT_LT(b_ctx.sim_ns, u_ctx.sim_ns);
+}
+
+class DLsmTest : public ::testing::Test {
+ protected:
+  DLsmTest()
+      : pool_(&fabric_, "mem0", 64 << 20),
+        shard_(&fabric_, &pool_, /*memtable_limit=*/8) {}
+
+  Fabric fabric_;
+  MemoryNode pool_;
+  DLsmShard shard_;
+  NetContext ctx_;
+};
+
+TEST_F(DLsmTest, MemtableThenFlushThenRemoteRead) {
+  for (uint64_t k = 1; k <= 5; k++) {
+    ASSERT_TRUE(shard_.Put(&ctx_, k, k * 10).ok());
+  }
+  EXPECT_EQ(shard_.num_runs(), 0u);
+  EXPECT_EQ(*shard_.Get(&ctx_, 3), 30u);
+  EXPECT_EQ(shard_.stats().memtable_hits, 1u);
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  EXPECT_EQ(shard_.num_runs(), 1u);
+  EXPECT_EQ(shard_.memtable_size(), 0u);
+  EXPECT_EQ(*shard_.Get(&ctx_, 3), 30u);  // now a remote binary search
+  EXPECT_GT(shard_.stats().run_probes, 0u);
+}
+
+TEST_F(DLsmTest, NewerRunsShadowOlder) {
+  ASSERT_TRUE(shard_.Put(&ctx_, 5, 1).ok());
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  ASSERT_TRUE(shard_.Put(&ctx_, 5, 2).ok());
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  EXPECT_EQ(*shard_.Get(&ctx_, 5), 2u);
+}
+
+TEST_F(DLsmTest, TombstonesDeleteAcrossRuns) {
+  ASSERT_TRUE(shard_.Put(&ctx_, 5, 1).ok());
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  ASSERT_TRUE(shard_.Delete(&ctx_, 5).ok());
+  EXPECT_TRUE(shard_.Get(&ctx_, 5).status().IsNotFound());
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  EXPECT_TRUE(shard_.Get(&ctx_, 5).status().IsNotFound());
+}
+
+TEST_F(DLsmTest, LocalAndRemoteCompactionAgree) {
+  for (uint64_t k = 1; k <= 40; k++) {
+    ASSERT_TRUE(shard_.Put(&ctx_, k % 20, k).ok());
+  }
+  ASSERT_TRUE(shard_.Flush(&ctx_).ok());
+  ASSERT_GT(shard_.num_runs(), 1u);
+  ASSERT_TRUE(shard_.CompactRemote(&ctx_).ok());
+  EXPECT_EQ(shard_.num_runs(), 1u);
+  for (uint64_t k = 0; k < 20; k++) {
+    ASSERT_TRUE(shard_.Get(&ctx_, k).ok()) << k;
+  }
+}
+
+TEST_F(DLsmTest, RemoteCompactionMovesFarFewerBytes) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 64 << 20);
+  DLsmShard local_shard(&fabric, &pool, 64);
+  DLsmShard remote_shard(&fabric, &pool, 64);
+  NetContext fill;
+  for (uint64_t k = 0; k < 512; k++) {
+    ASSERT_TRUE(local_shard.Put(&fill, k, k).ok());
+    ASSERT_TRUE(remote_shard.Put(&fill, k, k).ok());
+  }
+  ASSERT_TRUE(local_shard.Flush(&fill).ok());
+  ASSERT_TRUE(remote_shard.Flush(&fill).ok());
+  NetContext local_ctx, remote_ctx;
+  ASSERT_TRUE(local_shard.CompactLocal(&local_ctx).ok());
+  ASSERT_TRUE(remote_shard.CompactRemote(&remote_ctx).ok());
+  EXPECT_GT(local_ctx.bytes_in + local_ctx.bytes_out, 8u * 1024);
+  EXPECT_LT(remote_ctx.bytes_in + remote_ctx.bytes_out, 256u);
+}
+
+TEST(DLsmShardedTest, RandomOpsMatchMapModel) {
+  Fabric fabric;
+  MemoryNode pool(&fabric, "mem0", 256 << 20);
+  DLsm lsm(&fabric, &pool, /*shards=*/4, /*memtable_limit=*/16);
+  std::map<uint64_t, uint64_t> model;
+  Random rng(7);
+  NetContext ctx;
+  for (int op = 0; op < 3000; op++) {
+    const uint64_t key = rng.Uniform(300);
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      const uint64_t value = rng.Uniform(1u << 30);
+      ASSERT_TRUE(lsm.Put(&ctx, key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      ASSERT_TRUE(lsm.Delete(&ctx, key).ok());
+      model.erase(key);
+    } else {
+      auto v = lsm.Get(&ctx, key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(v.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(v.ok()) << key;
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  // Compact every shard both ways and re-verify.
+  for (size_t s = 0; s < lsm.num_shards(); s++) {
+    ASSERT_TRUE(lsm.shard(s)->Flush(&ctx).ok());
+    ASSERT_TRUE(lsm.shard(s)->CompactRemote(&ctx).ok());
+  }
+  for (const auto& [k, v] : model) {
+    auto got = lsm.Get(&ctx, k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+}  // namespace
+}  // namespace disagg

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "memnode/page_source.h"
+#include "txn/lock_manager.h"
+#include "txn/recovery.h"
+#include "txn/two_tier_aries.h"
+#include "txn/txn_manager.h"
+#include "txn/wal.h"
+
+namespace disagg {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockManager::Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockManager::Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, 100, LockManager::Mode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ExclusiveExcludes) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockManager::Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockManager::Mode::kShared).IsBusy());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockManager::Mode::kExclusive).IsBusy());
+  // Re-entrant for the holder.
+  EXPECT_TRUE(lm.Acquire(1, 100, LockManager::Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockManager::Mode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeOnlyWhenSoleSharer) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 5, LockManager::Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 5, LockManager::Mode::kExclusive).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(1, 5, LockManager::Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 5, LockManager::Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 5, LockManager::Mode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, LockManager::Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 2, LockManager::Mode::kShared).ok());
+  EXPECT_EQ(lm.held_locks(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.held_locks(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 1, LockManager::Mode::kExclusive).ok());
+}
+
+TEST(WalManagerTest, LsnsMonotonicAndChained) {
+  LocalDiskSink sink;
+  WalManager wal(&sink);
+  LogRecord a;
+  a.txn_id = 7;
+  a.type = LogType::kInsert;
+  const Lsn l1 = wal.Append(a);
+  const Lsn l2 = wal.Append(a);
+  EXPECT_LT(l1, l2);
+  EXPECT_EQ(wal.LastLsnOf(7), l2);
+  EXPECT_EQ(wal.LastLsnOf(99), kInvalidLsn);
+}
+
+TEST(WalManagerTest, FlushDrainsBufferToSink) {
+  LocalDiskSink sink;
+  WalManager wal(&sink);
+  LogRecord r;
+  r.txn_id = 1;
+  r.type = LogType::kInsert;
+  r.page_id = 3;
+  r.payload = "x";
+  wal.Append(r);
+  wal.Append(r);
+  EXPECT_EQ(wal.buffered(), 2u);
+  NetContext ctx;
+  ASSERT_TRUE(wal.Flush(&ctx).ok());
+  EXPECT_EQ(wal.buffered(), 0u);
+  EXPECT_EQ(sink.record_count(), 2u);
+  EXPECT_EQ(wal.flushed_lsn(), 2u);
+  EXPECT_GT(ctx.sim_ns, 0u);  // the fsync was charged
+}
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  TxnManagerTest() : wal_(&sink_), tm_(&wal_, &locks_) {}
+
+  LocalDiskSink sink_;
+  WalManager wal_;
+  LockManager locks_;
+  TxnManager tm_;
+  NetContext ctx_;
+};
+
+TEST_F(TxnManagerTest, CommitFlushesAndReleases) {
+  const TxnId t = tm_.Begin();
+  ASSERT_TRUE(tm_.LockExclusive(t, 42).ok());
+  tm_.LogInsert(t, 1, 0, "row");
+  ASSERT_TRUE(tm_.Commit(&ctx_, t).ok());
+  EXPECT_EQ(locks_.held_locks(), 0u);
+  EXPECT_EQ(tm_.active_txns(), 0u);
+  EXPECT_EQ(sink_.record_count(), 3u);  // begin, insert, commit
+}
+
+TEST_F(TxnManagerTest, AbortReturnsUndoNewestFirst) {
+  const TxnId t = tm_.Begin();
+  tm_.LogInsert(t, 1, 0, "v0");
+  tm_.LogUpdate(t, 1, 0, "v0", "v1");
+  auto undo = tm_.Abort(t);
+  ASSERT_EQ(undo.size(), 2u);
+  EXPECT_EQ(undo[0].type, LogType::kUpdate);
+  EXPECT_EQ(undo[0].undo_payload, "v0");
+  EXPECT_EQ(undo[1].type, LogType::kInsert);
+  EXPECT_EQ(locks_.held_locks(), 0u);
+}
+
+TEST_F(TxnManagerTest, NoWaitConflictAbortsSecondTxn) {
+  const TxnId t1 = tm_.Begin();
+  const TxnId t2 = tm_.Begin();
+  ASSERT_TRUE(tm_.LockExclusive(t1, 7).ok());
+  EXPECT_TRUE(tm_.LockExclusive(t2, 7).IsBusy());
+  (void)tm_.Abort(t2);
+  ASSERT_TRUE(tm_.Commit(&ctx_, t1).ok());
+  const TxnId t3 = tm_.Begin();
+  EXPECT_TRUE(tm_.LockExclusive(t3, 7).ok());
+}
+
+// --- ARIES recovery -------------------------------------------------------
+
+std::vector<LogRecord> BuildLog() {
+  // txn 1 commits (insert + update), txn 2 does not (insert).
+  std::vector<LogRecord> log;
+  auto push = [&log](Lsn lsn, TxnId txn, LogType type, PageId page,
+                     uint16_t slot, std::string payload, std::string undo) {
+    LogRecord r;
+    r.lsn = lsn;
+    r.txn_id = txn;
+    r.type = type;
+    r.page_id = page;
+    r.slot = slot;
+    r.payload = std::move(payload);
+    r.undo_payload = std::move(undo);
+    log.push_back(std::move(r));
+  };
+  push(1, 1, LogType::kTxnBegin, kInvalidPageId, 0, "", "");
+  push(2, 1, LogType::kInsert, 10, 0, "committed-v0", "");
+  push(3, 2, LogType::kTxnBegin, kInvalidPageId, 0, "", "");
+  push(4, 2, LogType::kInsert, 10, 1, "loser-row", "");
+  push(5, 1, LogType::kUpdate, 10, 0, "committed-v1", "committed-v0");
+  push(6, 1, LogType::kTxnCommit, kInvalidPageId, 0, "", "");
+  return log;
+}
+
+TEST(AriesRecoveryTest, RedoWinnersUndoLosers) {
+  auto out = AriesRecovery::Recover(BuildLog(), {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->winners.count(1), 1u);
+  EXPECT_EQ(out->losers.count(2), 1u);
+  ASSERT_EQ(out->pages.count(10), 1u);
+  const Page& page = out->pages.at(10);
+  EXPECT_EQ(page.Get(0)->ToString(), "committed-v1");  // winner survives
+  EXPECT_TRUE(page.Get(1).status().IsNotFound());       // loser rolled back
+  EXPECT_EQ(out->clr_log.size(), 1u);
+  EXPECT_EQ(out->clr_log[0].type, LogType::kClr);
+}
+
+TEST(AriesRecoveryTest, RecoveryIsIdempotent) {
+  // Crash during recovery = run recovery again over log + CLRs; the result
+  // must be the same page image.
+  auto once = AriesRecovery::Recover(BuildLog(), {});
+  ASSERT_TRUE(once.ok());
+  std::vector<LogRecord> log2 = BuildLog();
+  for (const LogRecord& clr : once->clr_log) log2.push_back(clr);
+  auto twice = AriesRecovery::Recover(log2, {});
+  ASSERT_TRUE(twice.ok());
+  const Page& a = once->pages.at(10);
+  const Page& b = twice->pages.at(10);
+  EXPECT_EQ(a.Get(0)->ToString(), b.Get(0)->ToString());
+  EXPECT_TRUE(b.Get(1).status().IsNotFound());
+}
+
+TEST(AriesRecoveryTest, CheckpointSkipsOldRedo) {
+  auto full = AriesRecovery::Recover(BuildLog(), {});
+  ASSERT_TRUE(full.ok());
+  // Re-recover starting from the recovered pages: nothing to redo.
+  auto from_ckpt = AriesRecovery::Recover(BuildLog(), full->pages);
+  ASSERT_TRUE(from_ckpt.ok());
+  EXPECT_EQ(from_ckpt->redo_applied, 0u);
+  EXPECT_EQ(from_ckpt->pages.at(10).Get(0)->ToString(), "committed-v1");
+}
+
+TEST(AriesRecoveryTest, EmptyLogIsFine) {
+  auto out = AriesRecovery::Recover({}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->pages.empty());
+}
+
+// --- Two-tier ARIES (LegoBase) --------------------------------------------
+
+class TwoTierAriesTest : public ::testing::Test {
+ protected:
+  TwoTierAriesTest()
+      : pool_(&fabric_, "mem0", 64 << 20),
+        aries_(&fabric_, &pool_, &storage_, &sink_),
+        wal_(&sink_) {}
+
+  /// Runs two committed transactions, checkpoints after the first.
+  void RunWorkload() {
+    LogRecord r;
+    r.txn_id = 1;
+    r.type = LogType::kTxnBegin;
+    r.page_id = kInvalidPageId;
+    wal_.Append(r);
+    r.type = LogType::kInsert;
+    r.page_id = 5;
+    r.slot = 0;
+    r.payload = "first";
+    wal_.Append(r);
+    r.type = LogType::kTxnCommit;
+    r.page_id = kInvalidPageId;
+    wal_.Append(r);
+    DISAGG_CHECK_OK(wal_.Flush(&ctx_));
+
+    // Materialize the page state at checkpoint time.
+    Page page(5);
+    DISAGG_CHECK(page.Insert("first").ok());
+    page.set_lsn(2);
+    DISAGG_CHECK_OK(aries_.Checkpoint(&ctx_, {{5, page}}, /*lsn=*/2));
+
+    r.txn_id = 2;
+    r.type = LogType::kTxnBegin;
+    r.page_id = kInvalidPageId;
+    wal_.Append(r);
+    r.type = LogType::kInsert;
+    r.page_id = 5;
+    r.slot = 1;
+    r.payload = "second";
+    wal_.Append(r);
+    r.type = LogType::kTxnCommit;
+    r.page_id = kInvalidPageId;
+    wal_.Append(r);
+    DISAGG_CHECK_OK(wal_.Flush(&ctx_));
+  }
+
+  Fabric fabric_;
+  MemoryNode pool_;
+  InMemoryPageSource storage_;
+  LocalDiskSink sink_;
+  TwoTierAries aries_;
+  WalManager wal_;
+  NetContext ctx_;
+};
+
+TEST_F(TwoTierAriesTest, RecoversFromRemoteMemoryFast) {
+  RunWorkload();
+  bool used_remote = false;
+  NetContext rec_ctx;
+  auto out = aries_.Recover(&rec_ctx, &used_remote);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(used_remote);
+  const Page& page = out->pages.at(5);
+  EXPECT_EQ(page.Get(0)->ToString(), "first");
+  EXPECT_EQ(page.Get(1)->ToString(), "second");  // log tail replayed
+}
+
+TEST_F(TwoTierAriesTest, FallsBackToStorageWhenPoolLost) {
+  RunWorkload();
+  aries_.InvalidateRemoteTier();
+  bool used_remote = true;
+  NetContext rec_ctx;
+  auto out = aries_.Recover(&rec_ctx, &used_remote);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(used_remote);
+  const Page& page = out->pages.at(5);
+  EXPECT_EQ(page.Get(0)->ToString(), "first");
+  EXPECT_EQ(page.Get(1)->ToString(), "second");
+}
+
+TEST_F(TwoTierAriesTest, RemoteRecoveryIsFasterThanStorage) {
+  RunWorkload();
+  NetContext fast_ctx, slow_ctx;
+  bool used_remote = false;
+  ASSERT_TRUE(aries_.Recover(&fast_ctx, &used_remote).ok());
+  ASSERT_TRUE(used_remote);
+  aries_.InvalidateRemoteTier();
+  ASSERT_TRUE(aries_.Recover(&slow_ctx, &used_remote).ok());
+  ASSERT_FALSE(used_remote);
+  EXPECT_LT(fast_ctx.sim_ns, slow_ctx.sim_ns);  // LegoBase's fast recovery
+}
+
+}  // namespace
+}  // namespace disagg

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engines.h"
+#include "workload/tpcc_lite.h"
+#include "workload/tpch_lite.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace {
+
+TEST(TpccLiteTest, LoadsAndRunsOnMonolithic) {
+  MonolithicDb db;
+  TpccLite tpcc(&db, {});
+  NetContext ctx;
+  ASSERT_TRUE(tpcc.Load(&ctx).ok());
+  const size_t loaded = db.row_count();
+  EXPECT_GT(loaded, 100u);
+  for (int i = 0; i < 50; i++) {
+    auto no = tpcc.NewOrder(&ctx);
+    ASSERT_TRUE(no.ok()) << no.status().ToString();
+    auto pay = tpcc.Payment(&ctx);
+    ASSERT_TRUE(pay.ok()) << pay.status().ToString();
+  }
+  EXPECT_EQ(tpcc.stats().committed, 100u);
+  EXPECT_GT(db.row_count(), loaded);  // orders inserted
+}
+
+TEST(TpccLiteTest, RunsOnAurora) {
+  Fabric fabric;
+  AuroraDb db(&fabric);
+  TpccLite tpcc(&db, {});
+  NetContext ctx;
+  ASSERT_TRUE(tpcc.Load(&ctx).ok());
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(tpcc.NewOrder(&ctx).ok());
+  }
+  EXPECT_EQ(tpcc.stats().committed, 20u);
+  EXPECT_EQ(tpcc.stats().aborted, 0u);
+}
+
+TEST(TpccLiteTest, DistrictCountersAdvance) {
+  MonolithicDb db;
+  TpccLite::Config cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = 1;
+  TpccLite tpcc(&db, cfg);
+  NetContext ctx;
+  ASSERT_TRUE(tpcc.Load(&ctx).ok());
+  for (int i = 0; i < 10; i++) ASSERT_TRUE(tpcc.NewOrder(&ctx).ok());
+  auto district = db.GetRow(&ctx, TpccLite::DistrictKey(0, 0));
+  ASSERT_TRUE(district.ok());
+  // next_o_id started at 1 and advanced by 10.
+  uint64_t next;
+  memcpy(&next, district->data(), 8);
+  EXPECT_EQ(next, 11u);
+}
+
+TEST(TpchLiteTest, GeneratorsAreDeterministic) {
+  auto a = tpch::GenLineitem(100, 5);
+  auto b = tpch::GenLineitem(100, 5);
+  auto c = tpch::GenLineitem(100, 6);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(AsInt(a[7][0]), AsInt(b[7][0]));
+  EXPECT_DOUBLE_EQ(AsDouble(a[7][2]), AsDouble(b[7][2]));
+  bool any_diff = false;
+  for (size_t i = 0; i < 100; i++) {
+    if (AsInt(a[i][0]) != AsInt(c[i][0])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchLiteTest, Q1GroupsByReturnFlag) {
+  auto lineitem = tpch::GenLineitem(2000);
+  NetContext ctx;
+  auto result = tpch::Q1(&ctx, lineitem, /*cutoff=*/2000);
+  ASSERT_LE(result.size(), 3u);  // at most A/N/R
+  ASSERT_GE(result.size(), 2u);
+  int64_t total = 0;
+  for (const Tuple& row : result) total += AsInt(row[1]);
+  // Counts must equal the number of rows passing the filter.
+  Predicate p;
+  p.And(4, CmpOp::kLe, int64_t{2000});
+  EXPECT_EQ(total,
+            static_cast<int64_t>(ops::Filter(nullptr, lineitem, p).size()));
+}
+
+TEST(TpchLiteTest, Q3ReturnsTopTenByRevenue) {
+  auto customer = tpch::GenCustomer(100);
+  auto orders = tpch::GenOrders(400);
+  auto lineitem = tpch::GenLineitem(2000);
+  NetContext ctx;
+  auto result = tpch::Q3(&ctx, customer, orders, lineitem, "BUILDING");
+  ASSERT_LE(result.size(), 10u);
+  for (size_t i = 1; i < result.size(); i++) {
+    EXPECT_GE(AsDouble(result[i - 1][1]), AsDouble(result[i][1]));
+  }
+}
+
+TEST(TpchLiteTest, Q6SumsFilteredRevenue) {
+  auto lineitem = tpch::GenLineitem(2000);
+  NetContext ctx;
+  auto result = tpch::Q6(&ctx, lineitem, 100, 465, 24);
+  ASSERT_EQ(result.size(), 1u);
+  const double sum = AsDouble(result[0][0]);
+  const int64_t count = AsInt(result[0][1]);
+  EXPECT_GT(count, 0);
+  EXPECT_GT(sum, 0.0);
+  // Narrower window -> no more revenue.
+  auto narrower = tpch::Q6(&ctx, lineitem, 100, 200, 24);
+  ASSERT_EQ(narrower.size(), 1u);
+  EXPECT_LE(AsDouble(narrower[0][0]), sum);
+}
+
+TEST(YcsbTest, MixProportionsRoughlyHold) {
+  YcsbGenerator gen(1000, YcsbGenerator::Mix::B(), 0.99, 3);
+  int reads = 0, updates = 0;
+  for (int i = 0; i < 10000; i++) {
+    auto op = gen.Next();
+    if (op.type == YcsbGenerator::OpType::kRead) reads++;
+    if (op.type == YcsbGenerator::OpType::kUpdate) updates++;
+  }
+  EXPECT_GT(reads, 9200);
+  EXPECT_LT(updates, 800);
+}
+
+TEST(YcsbTest, ZipfSkewsAndUniformDoesNot) {
+  YcsbGenerator zipf(1000, YcsbGenerator::Mix::C(), 0.99, 3);
+  YcsbGenerator uniform(1000, YcsbGenerator::Mix::C(), 0, 3);
+  std::map<uint64_t, int> zcount, ucount;
+  for (int i = 0; i < 20000; i++) {
+    zcount[zipf.Next().key]++;
+    ucount[uniform.Next().key]++;
+  }
+  int zmax = 0, umax = 0;
+  for (auto& [k, c] : zcount) zmax = std::max(zmax, c);
+  for (auto& [k, c] : ucount) umax = std::max(umax, c);
+  EXPECT_GT(zmax, 5 * umax);
+}
+
+TEST(YcsbTest, InsertsUseFreshKeys) {
+  YcsbGenerator gen(100, {0, 0, 1.0}, 0.99, 3);
+  auto ops = gen.Batch(10);
+  for (size_t i = 0; i < ops.size(); i++) {
+    EXPECT_EQ(ops[i].type, YcsbGenerator::OpType::kInsert);
+    EXPECT_EQ(ops[i].key, 100 + i);
+  }
+}
+
+}  // namespace
+}  // namespace disagg
