@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_remote_index.dir/bench_e10_remote_index.cc.o"
+  "CMakeFiles/bench_e10_remote_index.dir/bench_e10_remote_index.cc.o.d"
+  "bench_e10_remote_index"
+  "bench_e10_remote_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_remote_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

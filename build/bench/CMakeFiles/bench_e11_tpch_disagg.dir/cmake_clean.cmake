@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_tpch_disagg.dir/bench_e11_tpch_disagg.cc.o"
+  "CMakeFiles/bench_e11_tpch_disagg.dir/bench_e11_tpch_disagg.cc.o.d"
+  "bench_e11_tpch_disagg"
+  "bench_e11_tpch_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_tpch_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

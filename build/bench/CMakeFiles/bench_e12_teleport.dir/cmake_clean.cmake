@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_teleport.dir/bench_e12_teleport.cc.o"
+  "CMakeFiles/bench_e12_teleport.dir/bench_e12_teleport.cc.o.d"
+  "bench_e12_teleport"
+  "bench_e12_teleport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_teleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

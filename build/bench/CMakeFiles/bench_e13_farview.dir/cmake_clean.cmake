@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_farview.dir/bench_e13_farview.cc.o"
+  "CMakeFiles/bench_e13_farview.dir/bench_e13_farview.cc.o.d"
+  "bench_e13_farview"
+  "bench_e13_farview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_farview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

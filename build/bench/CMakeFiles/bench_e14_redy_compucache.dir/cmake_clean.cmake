@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_redy_compucache.dir/bench_e14_redy_compucache.cc.o"
+  "CMakeFiles/bench_e14_redy_compucache.dir/bench_e14_redy_compucache.cc.o.d"
+  "bench_e14_redy_compucache"
+  "bench_e14_redy_compucache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_redy_compucache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

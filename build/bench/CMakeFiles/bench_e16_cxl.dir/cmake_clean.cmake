@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_cxl.dir/bench_e16_cxl.cc.o"
+  "CMakeFiles/bench_e16_cxl.dir/bench_e16_cxl.cc.o.d"
+  "bench_e16_cxl"
+  "bench_e16_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_dlsm.dir/bench_e17_dlsm.cc.o"
+  "CMakeFiles/bench_e17_dlsm.dir/bench_e17_dlsm.cc.o.d"
+  "bench_e17_dlsm"
+  "bench_e17_dlsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_dlsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_flexchain.dir/bench_e18_flexchain.cc.o"
+  "CMakeFiles/bench_e18_flexchain.dir/bench_e18_flexchain.cc.o.d"
+  "bench_e18_flexchain"
+  "bench_e18_flexchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_flexchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_ford_txn.dir/bench_e19_ford_txn.cc.o"
+  "CMakeFiles/bench_e19_ford_txn.dir/bench_e19_ford_txn.cc.o.d"
+  "bench_e19_ford_txn"
+  "bench_e19_ford_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_ford_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_multi_writer.dir/bench_e20_multi_writer.cc.o"
+  "CMakeFiles/bench_e20_multi_writer.dir/bench_e20_multi_writer.cc.o.d"
+  "bench_e20_multi_writer"
+  "bench_e20_multi_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_multi_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

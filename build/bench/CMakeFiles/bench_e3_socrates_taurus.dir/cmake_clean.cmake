@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_socrates_taurus.dir/bench_e3_socrates_taurus.cc.o"
+  "CMakeFiles/bench_e3_socrates_taurus.dir/bench_e3_socrates_taurus.cc.o.d"
+  "bench_e3_socrates_taurus"
+  "bench_e3_socrates_taurus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_socrates_taurus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_pm_persistence.dir/bench_e5_pm_persistence.cc.o"
+  "CMakeFiles/bench_e5_pm_persistence.dir/bench_e5_pm_persistence.cc.o.d"
+  "bench_e5_pm_persistence"
+  "bench_e5_pm_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pm_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_exadata_remote_pm.dir/bench_e6_exadata_remote_pm.cc.o"
+  "CMakeFiles/bench_e6_exadata_remote_pm.dir/bench_e6_exadata_remote_pm.cc.o.d"
+  "bench_e6_exadata_remote_pm"
+  "bench_e6_exadata_remote_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_exadata_remote_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_pilotdb.dir/bench_e7_pilotdb.cc.o"
+  "CMakeFiles/bench_e7_pilotdb.dir/bench_e7_pilotdb.cc.o.d"
+  "bench_e7_pilotdb"
+  "bench_e7_pilotdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_pilotdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_serverless.dir/bench_e9_serverless.cc.o"
+  "CMakeFiles/bench_e9_serverless.dir/bench_e9_serverless.cc.o.d"
+  "bench_e9_serverless"
+  "bench_e9_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

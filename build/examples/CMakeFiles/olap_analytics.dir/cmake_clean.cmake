@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_analytics.dir/olap_analytics.cpp.o"
+  "CMakeFiles/olap_analytics.dir/olap_analytics.cpp.o.d"
+  "olap_analytics"
+  "olap_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

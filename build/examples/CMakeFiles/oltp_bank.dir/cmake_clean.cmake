@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_bank.dir/oltp_bank.cpp.o"
+  "CMakeFiles/oltp_bank.dir/oltp_bank.cpp.o.d"
+  "oltp_bank"
+  "oltp_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_index_tour.dir/remote_index_tour.cpp.o"
+  "CMakeFiles/remote_index_tour.dir/remote_index_tour.cpp.o.d"
+  "remote_index_tour"
+  "remote_index_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_index_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

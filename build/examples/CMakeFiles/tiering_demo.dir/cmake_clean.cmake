@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_demo.dir/tiering_demo.cpp.o"
+  "CMakeFiles/tiering_demo.dir/tiering_demo.cpp.o.d"
+  "tiering_demo"
+  "tiering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/flexchain.cc" "src/CMakeFiles/disagg.dir/chain/flexchain.cc.o" "gcc" "src/CMakeFiles/disagg.dir/chain/flexchain.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/disagg.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/disagg.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/disagg.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/disagg.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/disagg.dir/common/status.cc.o" "gcc" "src/CMakeFiles/disagg.dir/common/status.cc.o.d"
+  "/root/repo/src/core/engines.cc" "src/CMakeFiles/disagg.dir/core/engines.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/engines.cc.o.d"
+  "/root/repo/src/core/multi_writer.cc" "src/CMakeFiles/disagg.dir/core/multi_writer.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/multi_writer.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/CMakeFiles/disagg.dir/core/platform.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/platform.cc.o.d"
+  "/root/repo/src/core/row_engine.cc" "src/CMakeFiles/disagg.dir/core/row_engine.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/row_engine.cc.o.d"
+  "/root/repo/src/core/serverless_db.cc" "src/CMakeFiles/disagg.dir/core/serverless_db.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/serverless_db.cc.o.d"
+  "/root/repo/src/core/snowflake_db.cc" "src/CMakeFiles/disagg.dir/core/snowflake_db.cc.o" "gcc" "src/CMakeFiles/disagg.dir/core/snowflake_db.cc.o.d"
+  "/root/repo/src/cxl/pond.cc" "src/CMakeFiles/disagg.dir/cxl/pond.cc.o" "gcc" "src/CMakeFiles/disagg.dir/cxl/pond.cc.o.d"
+  "/root/repo/src/cxl/tiering.cc" "src/CMakeFiles/disagg.dir/cxl/tiering.cc.o" "gcc" "src/CMakeFiles/disagg.dir/cxl/tiering.cc.o.d"
+  "/root/repo/src/memnode/memory_node.cc" "src/CMakeFiles/disagg.dir/memnode/memory_node.cc.o" "gcc" "src/CMakeFiles/disagg.dir/memnode/memory_node.cc.o.d"
+  "/root/repo/src/memnode/remote_cache.cc" "src/CMakeFiles/disagg.dir/memnode/remote_cache.cc.o" "gcc" "src/CMakeFiles/disagg.dir/memnode/remote_cache.cc.o.d"
+  "/root/repo/src/memnode/shared_buffer_pool.cc" "src/CMakeFiles/disagg.dir/memnode/shared_buffer_pool.cc.o" "gcc" "src/CMakeFiles/disagg.dir/memnode/shared_buffer_pool.cc.o.d"
+  "/root/repo/src/memnode/two_tier_cache.cc" "src/CMakeFiles/disagg.dir/memnode/two_tier_cache.cc.o" "gcc" "src/CMakeFiles/disagg.dir/memnode/two_tier_cache.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/disagg.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/disagg.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/interconnect.cc" "src/CMakeFiles/disagg.dir/net/interconnect.cc.o" "gcc" "src/CMakeFiles/disagg.dir/net/interconnect.cc.o.d"
+  "/root/repo/src/pm/ford_txn.cc" "src/CMakeFiles/disagg.dir/pm/ford_txn.cc.o" "gcc" "src/CMakeFiles/disagg.dir/pm/ford_txn.cc.o.d"
+  "/root/repo/src/pm/pilot_log.cc" "src/CMakeFiles/disagg.dir/pm/pilot_log.cc.o" "gcc" "src/CMakeFiles/disagg.dir/pm/pilot_log.cc.o.d"
+  "/root/repo/src/pm/pm_node.cc" "src/CMakeFiles/disagg.dir/pm/pm_node.cc.o" "gcc" "src/CMakeFiles/disagg.dir/pm/pm_node.cc.o.d"
+  "/root/repo/src/query/columnar.cc" "src/CMakeFiles/disagg.dir/query/columnar.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/columnar.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/disagg.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/hybrid_pushdown.cc" "src/CMakeFiles/disagg.dir/query/hybrid_pushdown.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/hybrid_pushdown.cc.o.d"
+  "/root/repo/src/query/operators.cc" "src/CMakeFiles/disagg.dir/query/operators.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/operators.cc.o.d"
+  "/root/repo/src/query/pushdown.cc" "src/CMakeFiles/disagg.dir/query/pushdown.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/pushdown.cc.o.d"
+  "/root/repo/src/query/types.cc" "src/CMakeFiles/disagg.dir/query/types.cc.o" "gcc" "src/CMakeFiles/disagg.dir/query/types.cc.o.d"
+  "/root/repo/src/rindex/dlsm.cc" "src/CMakeFiles/disagg.dir/rindex/dlsm.cc.o" "gcc" "src/CMakeFiles/disagg.dir/rindex/dlsm.cc.o.d"
+  "/root/repo/src/rindex/race_hash.cc" "src/CMakeFiles/disagg.dir/rindex/race_hash.cc.o" "gcc" "src/CMakeFiles/disagg.dir/rindex/race_hash.cc.o.d"
+  "/root/repo/src/rindex/remote_btree.cc" "src/CMakeFiles/disagg.dir/rindex/remote_btree.cc.o" "gcc" "src/CMakeFiles/disagg.dir/rindex/remote_btree.cc.o.d"
+  "/root/repo/src/storage/gossip.cc" "src/CMakeFiles/disagg.dir/storage/gossip.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/gossip.cc.o.d"
+  "/root/repo/src/storage/log_record.cc" "src/CMakeFiles/disagg.dir/storage/log_record.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/log_record.cc.o.d"
+  "/root/repo/src/storage/log_store.cc" "src/CMakeFiles/disagg.dir/storage/log_store.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/log_store.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/disagg.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/disagg.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/disagg.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/quorum.cc" "src/CMakeFiles/disagg.dir/storage/quorum.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/quorum.cc.o.d"
+  "/root/repo/src/storage/raft_lite.cc" "src/CMakeFiles/disagg.dir/storage/raft_lite.cc.o" "gcc" "src/CMakeFiles/disagg.dir/storage/raft_lite.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/disagg.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/disagg.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/CMakeFiles/disagg.dir/txn/recovery.cc.o" "gcc" "src/CMakeFiles/disagg.dir/txn/recovery.cc.o.d"
+  "/root/repo/src/txn/two_tier_aries.cc" "src/CMakeFiles/disagg.dir/txn/two_tier_aries.cc.o" "gcc" "src/CMakeFiles/disagg.dir/txn/two_tier_aries.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/disagg.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/disagg.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/CMakeFiles/disagg.dir/txn/wal.cc.o" "gcc" "src/CMakeFiles/disagg.dir/txn/wal.cc.o.d"
+  "/root/repo/src/workload/tpcc_lite.cc" "src/CMakeFiles/disagg.dir/workload/tpcc_lite.cc.o" "gcc" "src/CMakeFiles/disagg.dir/workload/tpcc_lite.cc.o.d"
+  "/root/repo/src/workload/tpch_lite.cc" "src/CMakeFiles/disagg.dir/workload/tpch_lite.cc.o" "gcc" "src/CMakeFiles/disagg.dir/workload/tpch_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

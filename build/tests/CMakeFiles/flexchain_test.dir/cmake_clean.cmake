@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexchain_test.dir/flexchain_test.cc.o"
+  "CMakeFiles/flexchain_test.dir/flexchain_test.cc.o.d"
+  "flexchain_test"
+  "flexchain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

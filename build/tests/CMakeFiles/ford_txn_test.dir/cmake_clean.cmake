@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ford_txn_test.dir/ford_txn_test.cc.o"
+  "CMakeFiles/ford_txn_test.dir/ford_txn_test.cc.o.d"
+  "ford_txn_test"
+  "ford_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ford_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnode_test.dir/memnode_test.cc.o"
+  "CMakeFiles/memnode_test.dir/memnode_test.cc.o.d"
+  "memnode_test"
+  "memnode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

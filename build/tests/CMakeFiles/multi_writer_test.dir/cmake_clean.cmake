@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_writer_test.dir/multi_writer_test.cc.o"
+  "CMakeFiles/multi_writer_test.dir/multi_writer_test.cc.o.d"
+  "multi_writer_test"
+  "multi_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

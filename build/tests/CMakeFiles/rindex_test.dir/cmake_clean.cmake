@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rindex_test.dir/rindex_test.cc.o"
+  "CMakeFiles/rindex_test.dir/rindex_test.cc.o.d"
+  "rindex_test"
+  "rindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rindex_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_services_test.dir/storage_services_test.cc.o"
+  "CMakeFiles/storage_services_test.dir/storage_services_test.cc.o.d"
+  "storage_services_test"
+  "storage_services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
