@@ -3,6 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "net/interceptors.h"
 #include "net/net_context.h"
 
 namespace disagg::bench {
@@ -11,6 +17,10 @@ namespace disagg::bench {
 /// benchmark counters. Simulated time is the deterministic output of the
 /// fabric cost model, independent of host speed — wall-clock time of these
 /// benchmarks is irrelevant and iterations are pinned to 1.
+///
+/// Alongside the aggregates, the per-verb breakdown maintained by the op
+/// pipeline is reported for every verb the workload actually used, plus the
+/// retry/backoff/fault counters when a bench installs those interceptors.
 inline void ReportSim(benchmark::State& state, const NetContext& ctx,
                       uint64_t ops) {
   if (ops == 0) ops = 1;
@@ -26,6 +36,44 @@ inline void ReportSim(benchmark::State& state, const NetContext& ctx,
       ctx.sim_ns == 0 ? 0.0
                       : static_cast<double>(ops) * 1e9 /
                             static_cast<double>(ctx.sim_ns);
+  for (size_t v = 0; v < kNumFabricVerbs; v++) {
+    const VerbCounters& pv = ctx.per_verb[v];
+    if (pv.ops == 0) continue;
+    const std::string verb = FabricVerbName(static_cast<FabricVerb>(v));
+    state.counters[verb + "_ops"] = static_cast<double>(pv.ops);
+    state.counters[verb + "_sim_us"] = static_cast<double>(pv.sim_ns) / 1e3;
+  }
+  if (ctx.retries != 0) {
+    state.counters["retries"] = static_cast<double>(ctx.retries);
+    state.counters["backoff_us"] = static_cast<double>(ctx.backoff_ns) / 1e3;
+  }
+  if (ctx.faults_injected != 0) {
+    state.counters["faults_injected"] =
+        static_cast<double>(ctx.faults_injected);
+  }
+}
+
+/// Installs a TraceInterceptor on `fabric` when the DISAGG_TRACE environment
+/// variable is set (its value is the ring-buffer capacity; 0 or non-numeric
+/// keeps histograms only). Returns the interceptor, or nullptr when tracing
+/// is off. Pair with DumpTrace() after the measured section.
+inline std::shared_ptr<TraceInterceptor> MaybeTraceFromEnv(Fabric* fabric) {
+  const char* env = std::getenv("DISAGG_TRACE");
+  if (env == nullptr) return nullptr;
+  const size_t capacity =
+      static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  auto trace = std::make_shared<TraceInterceptor>(capacity);
+  fabric->AddInterceptor(trace);
+  return trace;
+}
+
+/// Prints the op-trace JSON to stderr (benchmark counters cannot carry
+/// structured payloads). No-op when tracing is off.
+inline void DumpTrace(const std::shared_ptr<TraceInterceptor>& trace,
+                      const char* label) {
+  if (trace == nullptr) return;
+  std::fprintf(stderr, "DISAGG_TRACE %s %s\n", label,
+               trace->DumpJson().c_str());
 }
 
 }  // namespace disagg::bench

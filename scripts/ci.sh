@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the fabric/txn core.
+#
+#   scripts/ci.sh          # full: build + ctest + ASan/UBSan net+txn tests
+#   scripts/ci.sh --fast   # tier-1 only (skip the sanitizer build)
+#
+# Requires: cmake >= 3.16, a C++20 compiler, GTest and google-benchmark dev
+# packages (see .github/workflows/ci.yml for the Ubuntu package list).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> --fast: skipping sanitizer pass"
+  exit 0
+fi
+
+# ASan/UBSan over the layers with the most concurrency and raw-pointer
+# traffic: the fabric op pipeline and the transaction stack.
+SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test)
+
+echo "==> sanitizer pass: ${SAN_TESTS[*]}"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "${JOBS}" --target "${SAN_TESTS[@]}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+  -R "^($(IFS='|'; echo "${SAN_TESTS[*]}"))$"
+
+echo "==> CI OK"

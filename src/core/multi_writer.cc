@@ -69,8 +69,15 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
     rec.txn_id = writer_id_;
     rec.row_key = key;
 
+    bool grow_update = false;
+    std::string old_payload;
     if (exists) {
-      DISAGG_ASSIGN_OR_RETURN(Page page, pool_client_.ReadPage(ctx, loc.page));
+      // Row locks serialize writers per KEY, but distinct keys share pages,
+      // so the page read-modify-write must be optimistic: publish only if
+      // the page is still at the version we read (Busy -> caller retries).
+      uint64_t page_version = 0;
+      DISAGG_ASSIGN_OR_RETURN(
+          Page page, pool_client_.ReadPage(ctx, loc.page, &page_version));
       auto before = page.Get(loc.slot);
       if (!before.ok()) return before.status();
       if (row.size() <= before->size()) {
@@ -81,27 +88,24 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
         DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
         DISAGG_RETURN_NOT_OK(page.Update(loc.slot, row));
         page.set_lsn(rec.lsn);
-        return pool_client_.WritePage(ctx, page);
+        return pool_client_.WritePageIf(ctx, page, page_version);
       }
-      // Grow-update: tombstone the old slot, fall through to re-insert.
-      rec.type = LogType::kDelete;
-      rec.page_id = loc.page;
-      rec.slot = loc.slot;
-      rec.undo_payload = before->ToString();
-      DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
-      DISAGG_RETURN_NOT_OK(page.Delete(loc.slot));
-      page.set_lsn(rec.lsn);
-      DISAGG_RETURN_NOT_OK(pool_client_.WritePage(ctx, page));
-      rec.lsn = db_->next_lsn_.fetch_add(1);
-      rec.undo_payload.clear();
+      // Grow-update: insert the larger copy first, repoint the index, THEN
+      // tombstone the old slot (below). Tombstoning first would leave the
+      // index aimed at a dead slot if any later step aborts with Busy.
+      grow_update = true;
+      old_payload = before->ToString();
     }
 
-    // Insert into this writer's private insert page (no cross-writer page
-    // contention on inserts).
+    // Insert into this writer's private insert page. Inserts never contend
+    // with other writers' inserts, but other writers can update rows that
+    // live on this page, so the publish is version-checked too.
     Page page(kInvalidPageId);
+    uint64_t page_version = 0;
     bool fresh = false;
     if (insert_page_ != kInvalidPageId) {
-      DISAGG_ASSIGN_OR_RETURN(page, pool_client_.ReadPage(ctx, insert_page_));
+      DISAGG_ASSIGN_OR_RETURN(
+          page, pool_client_.ReadPage(ctx, insert_page_, &page_version));
       if (page.FreeSpace() < row.size()) fresh = true;
     } else {
       fresh = true;
@@ -109,6 +113,7 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
     if (fresh) {
       insert_page_ = db_->next_page_id_.fetch_add(1);
       page = Page(insert_page_);
+      page_version = 0;  // nobody has published this page yet
     }
     rec.type = LogType::kInsert;
     rec.page_id = page.page_id();
@@ -118,10 +123,35 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
     auto slot = page.Insert(row);
     if (!slot.ok()) return slot.status();
     page.set_lsn(rec.lsn);
-    DISAGG_RETURN_NOT_OK(pool_client_.WritePage(ctx, page));
+    DISAGG_RETURN_NOT_OK(pool_client_.WritePageIf(ctx, page, page_version));
     {
       std::lock_guard<std::mutex> lock(db_->index_mu_);
       db_->index_[key] = RowLoc{page.page_id(), *slot};
+    }
+
+    if (grow_update) {
+      // The index now points at the new copy; reclaim the old slot. Another
+      // writer may publish the old page concurrently, so re-read and retry
+      // the version-checked tombstone. On persistent conflict the old slot
+      // is left as an unreferenced ghost record — safe, merely unreclaimed.
+      LogRecord del;
+      del.lsn = db_->next_lsn_.fetch_add(1);
+      del.txn_id = writer_id_;
+      del.row_key = key;
+      del.type = LogType::kDelete;
+      del.page_id = loc.page;
+      del.slot = loc.slot;
+      del.undo_payload = old_payload;
+      DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {del}).status());
+      for (int attempt = 0; attempt < 64; attempt++) {
+        uint64_t old_version = 0;
+        DISAGG_ASSIGN_OR_RETURN(
+            Page old_page, pool_client_.ReadPage(ctx, loc.page, &old_version));
+        DISAGG_RETURN_NOT_OK(old_page.Delete(loc.slot));
+        old_page.set_lsn(del.lsn);
+        Status st = pool_client_.WritePageIf(ctx, old_page, old_version);
+        if (!st.IsBusy()) return st;
+      }
     }
     return Status::OK();
   }();

@@ -87,10 +87,11 @@ Result<uint64_t> SharedBufferPoolClient::EnsureFrame(NetContext* ctx,
     // Lost the race; the winner's frame stands (ours leaks, acceptable in a
     // bump-allocated pool) — reread and use theirs.
   }
-  return Status::TimedOut("frame installation did not converge");
+  return Status::Busy("frame installation did not converge");
 }
 
-Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id) {
+Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id,
+                                              uint64_t* version) {
   DISAGG_ASSIGN_OR_RETURN(uint64_t slot, FindSlot(ctx, id, /*create=*/false));
   for (int retry = 0; retry < kMaxRetries; retry++) {
     DISAGG_ASSIGN_OR_RETURN(Entry e, ReadEntry(ctx, slot));
@@ -105,6 +106,7 @@ Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id) {
     auto cit = local_cache_.find(id);
     if (cit != local_cache_.end() && cit->second.second == e.seq) {
       stats_.local_hits++;
+      if (version != nullptr) *version = e.seq;
       return cit->second.first;
     }
 
@@ -127,9 +129,10 @@ Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id) {
       }
       local_cache_.insert_or_assign(id, std::make_pair(page, e.seq));
     }
+    if (version != nullptr) *version = e.seq;
     return page;
   }
-  return Status::TimedOut("seqlock read did not stabilize");
+  return Status::Busy("seqlock read did not stabilize");
 }
 
 Status SharedBufferPoolClient::WritePage(NetContext* ctx, const Page& page) {
@@ -163,7 +166,35 @@ Status SharedBufferPoolClient::WritePage(NetContext* ctx, const Page& page) {
     }
     return Status::OK();
   }
-  return Status::TimedOut("seqlock write did not converge");
+  return Status::Busy("seqlock write did not converge");
+}
+
+Status SharedBufferPoolClient::WritePageIf(NetContext* ctx, const Page& page,
+                                           uint64_t expected_version) {
+  DISAGG_CHECK(expected_version % 2 == 0);  // stable versions are even
+  DISAGG_ASSIGN_OR_RETURN(uint64_t slot,
+                          FindSlot(ctx, page.page_id(), /*create=*/true));
+  DISAGG_ASSIGN_OR_RETURN(uint64_t frame, EnsureFrame(ctx, slot));
+  const GlobalAddr seq_addr = At(SlotAddrOffset(slot) + 8);
+  // One CAS attempt: even `expected_version` -> odd locks the entry only if
+  // nobody has published since the caller's validated read.
+  auto observed = fabric_->CompareAndSwap(ctx, seq_addr, expected_version,
+                                          expected_version + 1);
+  if (!observed.ok()) return observed.status();
+  if (*observed != expected_version) {
+    stats_.retries++;
+    return Status::Busy("page moved past expected version");
+  }
+  DISAGG_RETURN_NOT_OK(
+      fabric_->Write(ctx, At(FrameOffset(frame)), page.data(), kPageSize));
+  const uint64_t published = expected_version + 2;
+  DISAGG_RETURN_NOT_OK(fabric_->Write(ctx, seq_addr, &published, 8));
+  stats_.frame_writes++;
+  if (local_cache_pages_ > 0) {
+    local_cache_.insert_or_assign(page.page_id(),
+                                  std::make_pair(page, published));
+  }
+  return Status::OK();
 }
 
 }  // namespace disagg

@@ -62,11 +62,23 @@ class SharedBufferPoolClient {
                          size_t local_cache_pages);
 
   /// Reads a page coherently (seqlock-validated). Uses the local cache when
-  /// the remote entry's seq still matches.
-  Result<Page> ReadPage(NetContext* ctx, PageId id);
+  /// the remote entry's seq still matches. When `version` is non-null it
+  /// receives the seqlock value the snapshot was validated at, for use with
+  /// WritePageIf().
+  Result<Page> ReadPage(NetContext* ctx, PageId id, uint64_t* version = nullptr);
 
   /// Publishes a new page image; creates the directory entry on first write.
+  /// Last-writer-wins: concurrent read-modify-write cycles through this call
+  /// can lose updates — use ReadPage(version) + WritePageIf for those.
   Status WritePage(NetContext* ctx, const Page& page);
+
+  /// Optimistic publish: writes `page` only if the remote copy is still at
+  /// `expected_version` (as returned by ReadPage, or 0 for a page this
+  /// writer just created). Returns Status::Busy when another writer has
+  /// published in between — the caller re-reads and retries, which makes a
+  /// remote page read-modify-write atomic without a page lock.
+  Status WritePageIf(NetContext* ctx, const Page& page,
+                     uint64_t expected_version);
 
   const Stats& stats() const { return stats_; }
 

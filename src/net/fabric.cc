@@ -64,134 +64,244 @@ Status Fabric::CheckTarget(NodeId id, Node** out) {
   return Status::OK();
 }
 
-Status Fabric::Read(NetContext* ctx, GlobalAddr src, void* dst, size_t n) {
-  Node* target = nullptr;
-  DISAGG_RETURN_NOT_OK(CheckTarget(src.node, &target));
-  MemoryRegion* mr = target->region(src.region);
-  if (mr == nullptr || !mr->Contains(src.offset, n)) {
-    return Status::InvalidArgument("read out of region bounds");
+// ---- Interceptor chain ---------------------------------------------------
+
+void Fabric::AddInterceptor(std::shared_ptr<FabricInterceptor> interceptor) {
+  std::lock_guard<std::mutex> lock(interceptor_mu_);
+  auto chain = interceptors_ ? std::make_shared<InterceptorChain>(*interceptors_)
+                             : std::make_shared<InterceptorChain>();
+  chain->push_back(std::move(interceptor));
+  interceptors_ = std::move(chain);
+}
+
+void Fabric::ClearInterceptors() {
+  std::lock_guard<std::mutex> lock(interceptor_mu_);
+  interceptors_.reset();
+}
+
+size_t Fabric::num_interceptors() const {
+  std::lock_guard<std::mutex> lock(interceptor_mu_);
+  return interceptors_ ? interceptors_->size() : 0;
+}
+
+Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
+  std::shared_ptr<const InterceptorChain> chain;
+  {
+    std::lock_guard<std::mutex> lock(interceptor_mu_);
+    chain = interceptors_;
   }
-  std::memcpy(dst, mr->data() + src.offset, n);
-  ctx->Charge(target->model().ReadCost(n));
-  ctx->bytes_in += n;
+  if (chain == nullptr || chain->empty()) return ExecuteCore(op, ctx);
+  return InvokeChain(*chain, 0, op, ctx);
+}
+
+Status Fabric::InvokeChain(const InterceptorChain& chain, size_t index,
+                           FabricOp* op, NetContext* ctx) {
+  if (index == chain.size()) return ExecuteCore(op, ctx);
+  FabricOpInvoker next = [this, &chain, index](FabricOp* o, NetContext* c) {
+    return InvokeChain(chain, index + 1, o, c);
+  };
+  return chain[index]->Intercept(this, op, ctx, next);
+}
+
+namespace {
+
+/// Mirrors a successful op's charges into both the aggregate counters and the
+/// per-verb breakdown. The aggregate arithmetic is identical to the
+/// pre-pipeline verbs, so an unperturbed run is bit-identical.
+void ChargeOp(NetContext* ctx, FabricVerb verb, uint64_t ns, uint64_t out,
+              uint64_t in) {
+  ctx->Charge(ns);
+  ctx->bytes_out += out;
+  ctx->bytes_in += in;
   ctx->round_trips++;
-  return Status::OK();
+  VerbCounters& pv = ctx->per_verb[VerbIndex(verb)];
+  pv.ops++;
+  pv.sim_ns += ns;
+  pv.bytes_out += out;
+  pv.bytes_in += in;
+}
+
+}  // namespace
+
+Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
+  Node* target = nullptr;
+  DISAGG_RETURN_NOT_OK(CheckTarget(op->node, &target));
+
+  switch (op->verb) {
+    case FabricVerb::kRead: {
+      MemoryRegion* mr = target->region(op->addr.region);
+      if (mr == nullptr || !mr->Contains(op->addr.offset, op->n)) {
+        return Status::InvalidArgument("read out of region bounds");
+      }
+      std::memcpy(op->dst, mr->data() + op->addr.offset, op->n);
+      ChargeOp(ctx, op->verb, target->model().ReadCost(op->n), 0, op->n);
+      return Status::OK();
+    }
+
+    case FabricVerb::kWrite: {
+      MemoryRegion* mr = target->region(op->addr.region);
+      if (mr == nullptr || !mr->Contains(op->addr.offset, op->n)) {
+        return Status::InvalidArgument("write out of region bounds");
+      }
+      std::memcpy(mr->data() + op->addr.offset, op->src, op->n);
+      ChargeOp(ctx, op->verb, target->model().WriteCost(op->n), op->n, 0);
+      return Status::OK();
+    }
+
+    case FabricVerb::kCas: {
+      MemoryRegion* mr = target->region(op->addr.region);
+      if (mr == nullptr || !mr->Contains(op->addr.offset, 8) ||
+          (op->addr.offset % 8) != 0) {
+        return Status::InvalidArgument("CAS requires an aligned 8-byte word");
+      }
+      auto* word =
+          reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + op->addr.offset);
+      uint64_t observed = op->arg0;
+      word->compare_exchange_strong(observed, op->arg1,
+                                    std::memory_order_acq_rel);
+      op->result = observed;
+      ChargeOp(ctx, op->verb, target->model().AtomicCost(), 16, 8);
+      return Status::OK();
+    }
+
+    case FabricVerb::kFetchAdd: {
+      MemoryRegion* mr = target->region(op->addr.region);
+      if (mr == nullptr || !mr->Contains(op->addr.offset, 8) ||
+          (op->addr.offset % 8) != 0) {
+        return Status::InvalidArgument("FAA requires an aligned 8-byte word");
+      }
+      auto* word =
+          reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + op->addr.offset);
+      op->result = word->fetch_add(op->arg0, std::memory_order_acq_rel);
+      ChargeOp(ctx, op->verb, target->model().AtomicCost(), 16, 8);
+      return Status::OK();
+    }
+
+    case FabricVerb::kReadAtomic: {
+      MemoryRegion* mr = target->region(op->addr.region);
+      if (mr == nullptr || !mr->Contains(op->addr.offset, 8) ||
+          (op->addr.offset % 8) != 0) {
+        return Status::InvalidArgument("atomic read requires aligned 8 bytes");
+      }
+      auto* word =
+          reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + op->addr.offset);
+      op->result = word->load(std::memory_order_acquire);
+      ChargeOp(ctx, op->verb, target->model().ReadCost(8), 0, 8);
+      return Status::OK();
+    }
+
+    case FabricVerb::kWriteBatch: {
+      size_t total = 0;
+      for (const WriteOp& w : *op->batch) {
+        MemoryRegion* mr = target->region(w.addr.region);
+        if (mr == nullptr || !mr->Contains(w.addr.offset, w.n)) {
+          return Status::InvalidArgument("batched write out of region bounds");
+        }
+        std::memcpy(mr->data() + w.addr.offset, w.src, w.n);
+        total += w.n;
+      }
+      // Doorbell batching: one base latency for the whole batch.
+      ChargeOp(ctx, op->verb, target->model().WriteCost(total), total, 0);
+      return Status::OK();
+    }
+
+    case FabricVerb::kRpc: {
+      const RpcHandler* h = target->handler(*op->method);
+      if (h == nullptr) {
+        return Status::NotSupported("no handler for '" + *op->method + "' on " +
+                                    target->name());
+      }
+      RpcServerContext server_ctx;
+      op->response->clear();
+      Status st = (*h)(op->request, op->response, &server_ctx);
+      const uint64_t ns =
+          target->model().RpcCost(op->request.size(), op->response->size()) +
+          static_cast<uint64_t>(static_cast<double>(server_ctx.compute_ns) *
+                                target->cpu_scale());
+      ChargeOp(ctx, op->verb, ns, op->request.size(), op->response->size());
+      ctx->rpcs++;
+      return st;
+    }
+  }
+  return Status::InvalidArgument("unknown fabric verb");
+}
+
+// ---- Verb wrappers (lower into a FabricOp and Execute) -------------------
+
+Status Fabric::Read(NetContext* ctx, GlobalAddr src, void* dst, size_t n) {
+  FabricOp op;
+  op.verb = FabricVerb::kRead;
+  op.node = src.node;
+  op.addr = src;
+  op.dst = dst;
+  op.n = n;
+  return Execute(&op, ctx);
 }
 
 Status Fabric::Write(NetContext* ctx, GlobalAddr dst, const void* src,
                      size_t n) {
-  Node* target = nullptr;
-  DISAGG_RETURN_NOT_OK(CheckTarget(dst.node, &target));
-  MemoryRegion* mr = target->region(dst.region);
-  if (mr == nullptr || !mr->Contains(dst.offset, n)) {
-    return Status::InvalidArgument("write out of region bounds");
-  }
-  std::memcpy(mr->data() + dst.offset, src, n);
-  ctx->Charge(target->model().WriteCost(n));
-  ctx->bytes_out += n;
-  ctx->round_trips++;
-  return Status::OK();
+  FabricOp op;
+  op.verb = FabricVerb::kWrite;
+  op.node = dst.node;
+  op.addr = dst;
+  op.src = src;
+  op.n = n;
+  return Execute(&op, ctx);
 }
 
 Result<uint64_t> Fabric::CompareAndSwap(NetContext* ctx, GlobalAddr addr,
                                         uint64_t expected, uint64_t desired) {
-  Node* target = nullptr;
-  Status st = CheckTarget(addr.node, &target);
+  FabricOp op;
+  op.verb = FabricVerb::kCas;
+  op.node = addr.node;
+  op.addr = addr;
+  op.arg0 = expected;
+  op.arg1 = desired;
+  Status st = Execute(&op, ctx);
   if (!st.ok()) return st;
-  MemoryRegion* mr = target->region(addr.region);
-  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
-      (addr.offset % 8) != 0) {
-    return Status::InvalidArgument("CAS requires an aligned 8-byte word");
-  }
-  auto* word =
-      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
-  uint64_t observed = expected;
-  word->compare_exchange_strong(observed, desired, std::memory_order_acq_rel);
-  ctx->Charge(target->model().AtomicCost());
-  ctx->bytes_out += 16;
-  ctx->bytes_in += 8;
-  ctx->round_trips++;
-  return observed;
+  return op.result;
 }
 
 Result<uint64_t> Fabric::FetchAdd(NetContext* ctx, GlobalAddr addr,
                                   uint64_t delta) {
-  Node* target = nullptr;
-  Status st = CheckTarget(addr.node, &target);
+  FabricOp op;
+  op.verb = FabricVerb::kFetchAdd;
+  op.node = addr.node;
+  op.addr = addr;
+  op.arg0 = delta;
+  Status st = Execute(&op, ctx);
   if (!st.ok()) return st;
-  MemoryRegion* mr = target->region(addr.region);
-  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
-      (addr.offset % 8) != 0) {
-    return Status::InvalidArgument("FAA requires an aligned 8-byte word");
-  }
-  auto* word =
-      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
-  const uint64_t prev = word->fetch_add(delta, std::memory_order_acq_rel);
-  ctx->Charge(target->model().AtomicCost());
-  ctx->bytes_out += 16;
-  ctx->bytes_in += 8;
-  ctx->round_trips++;
-  return prev;
+  return op.result;
 }
 
 Result<uint64_t> Fabric::ReadAtomic64(NetContext* ctx, GlobalAddr addr) {
-  Node* target = nullptr;
-  Status st = CheckTarget(addr.node, &target);
+  FabricOp op;
+  op.verb = FabricVerb::kReadAtomic;
+  op.node = addr.node;
+  op.addr = addr;
+  Status st = Execute(&op, ctx);
   if (!st.ok()) return st;
-  MemoryRegion* mr = target->region(addr.region);
-  if (mr == nullptr || !mr->Contains(addr.offset, 8) ||
-      (addr.offset % 8) != 0) {
-    return Status::InvalidArgument("atomic read requires aligned 8 bytes");
-  }
-  auto* word =
-      reinterpret_cast<std::atomic<uint64_t>*>(mr->data() + addr.offset);
-  const uint64_t v = word->load(std::memory_order_acquire);
-  ctx->Charge(target->model().ReadCost(8));
-  ctx->bytes_in += 8;
-  ctx->round_trips++;
-  return v;
+  return op.result;
 }
 
 Status Fabric::WriteBatch(NetContext* ctx, NodeId node_id,
                           const std::vector<WriteOp>& ops) {
-  Node* target = nullptr;
-  DISAGG_RETURN_NOT_OK(CheckTarget(node_id, &target));
-  size_t total = 0;
-  for (const WriteOp& op : ops) {
-    MemoryRegion* mr = target->region(op.addr.region);
-    if (mr == nullptr || !mr->Contains(op.addr.offset, op.n)) {
-      return Status::InvalidArgument("batched write out of region bounds");
-    }
-    std::memcpy(mr->data() + op.addr.offset, op.src, op.n);
-    total += op.n;
-  }
-  // Doorbell batching: one base latency for the whole batch.
-  ctx->Charge(target->model().WriteCost(total));
-  ctx->bytes_out += total;
-  ctx->round_trips++;
-  return Status::OK();
+  FabricOp op;
+  op.verb = FabricVerb::kWriteBatch;
+  op.node = node_id;
+  op.batch = &ops;
+  return Execute(&op, ctx);
 }
 
 Status Fabric::Call(NetContext* ctx, NodeId node_id, const std::string& method,
                     Slice request, std::string* response) {
-  Node* target = nullptr;
-  DISAGG_RETURN_NOT_OK(CheckTarget(node_id, &target));
-  const RpcHandler* h = target->handler(method);
-  if (h == nullptr) {
-    return Status::NotSupported("no handler for '" + method + "' on " +
-                                target->name());
-  }
-  RpcServerContext server_ctx;
-  response->clear();
-  Status st = (*h)(request, response, &server_ctx);
-  ctx->Charge(target->model().RpcCost(request.size(), response->size()));
-  ctx->Charge(static_cast<uint64_t>(
-      static_cast<double>(server_ctx.compute_ns) * target->cpu_scale()));
-  ctx->bytes_out += request.size();
-  ctx->bytes_in += response->size();
-  ctx->round_trips++;
-  ctx->rpcs++;
-  return st;
+  FabricOp op;
+  op.verb = FabricVerb::kRpc;
+  op.node = node_id;
+  op.method = &method;
+  op.request = request;
+  op.response = response;
+  return Execute(&op, ctx);
 }
 
 }  // namespace disagg

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "net/interconnect.h"
 #include "net/net_context.h"
+#include "net/verb.h"
 
 namespace disagg {
 
@@ -30,6 +31,24 @@ enum class NodeKind : uint8_t {
   kLog,
   kObject,
 };
+
+constexpr const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kCompute:
+      return "compute";
+    case NodeKind::kMemory:
+      return "memory";
+    case NodeKind::kStorage:
+      return "storage";
+    case NodeKind::kPm:
+      return "pm";
+    case NodeKind::kLog:
+      return "log";
+    case NodeKind::kObject:
+      return "object";
+  }
+  return "?";
+}
 
 /// Address of a byte range inside a registered memory region on some node.
 struct RemoteAddr {
@@ -138,9 +157,43 @@ class Node {
   mutable std::mutex mu_;  // guards regions_/handlers_ vectors (not bytes)
 };
 
+struct FabricOp;
+class Fabric;
+
+/// Continuation handed to an interceptor: invokes the rest of the chain (and
+/// ultimately the core executor) for an op.
+using FabricOpInvoker = std::function<Status(FabricOp*, NetContext*)>;
+
+/// Middleware around the single op-execution path. Interceptors form an
+/// ordered chain: the one installed *first* is outermost — it sees the op
+/// first on the way in and last on the way out. Each interceptor may observe
+/// or rewrite the op, charge simulated time to the context, short-circuit
+/// (fault injection), or invoke `next` multiple times (retry).
+///
+/// With no interceptors installed the pipeline is a straight call into the
+/// core executor, and every counter a client observes is bit-identical to
+/// the pre-pipeline fabric.
+class FabricInterceptor {
+ public:
+  virtual ~FabricInterceptor() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Processes `op`. Implementations call `next(op, ctx)` zero or more times
+  /// to execute the remainder of the chain. `fabric` is provided for
+  /// metadata lookups (node kind, interconnect model); interceptors must not
+  /// issue new fabric verbs from inside the chain.
+  virtual Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                           const FabricOpInvoker& next) = 0;
+};
+
 /// The simulated data-center fabric: a registry of nodes plus the one-sided
 /// and two-sided primitives. Data movement is real (memcpy / atomics on the
 /// region bytes); time is simulated via the interconnect cost models.
+///
+/// Every public verb below is a thin wrapper that lowers the call into a
+/// `FabricOp` and hands it to `Execute()`, the single instrumented path all
+/// fabric traffic flows through.
 class Fabric {
  public:
   Fabric() = default;
@@ -185,11 +238,72 @@ class Fabric {
   Status Call(NetContext* ctx, NodeId node_id, const std::string& method,
               Slice request, std::string* response);
 
+  // ---- The unified op pipeline ---------------------------------------
+
+  /// Executes one lowered op through the interceptor chain and the core
+  /// executor. Public so harnesses can issue pre-built descriptors, but the
+  /// verb wrappers above are the usual entry points.
+  Status Execute(FabricOp* op, NetContext* ctx);
+
+  /// Appends an interceptor to the chain. Interceptors added first are
+  /// outermost (e.g. install retry before fault injection so retries wrap
+  /// injected faults). Safe to call concurrently with in-flight ops: ops
+  /// already executing finish on the chain they started with.
+  void AddInterceptor(std::shared_ptr<FabricInterceptor> interceptor);
+
+  /// Removes every installed interceptor.
+  void ClearInterceptors();
+
+  size_t num_interceptors() const;
+
  private:
+  using InterceptorChain = std::vector<std::shared_ptr<FabricInterceptor>>;
+
   Status CheckTarget(NodeId id, Node** out);
+
+  /// Terminal stage of the pipeline: target/bounds checks, the real data
+  /// movement, and cost charging (aggregate + per-verb).
+  Status ExecuteCore(FabricOp* op, NetContext* ctx);
+
+  Status InvokeChain(const InterceptorChain& chain, size_t index, FabricOp* op,
+                     NetContext* ctx);
 
   std::vector<std::unique_ptr<Node>> nodes_;
   mutable std::mutex mu_;
+
+  std::shared_ptr<const InterceptorChain> interceptors_;
+  mutable std::mutex interceptor_mu_;  // guards the chain pointer swap
+};
+
+/// A fabric operation lowered to a single descriptor: the verb tag selects
+/// which fields are meaningful. Wrapper verbs fill inputs; `Execute()` fills
+/// outputs. Interceptors may inspect or rewrite any field before passing the
+/// op down the chain.
+struct FabricOp {
+  FabricVerb verb = FabricVerb::kRead;
+  NodeId node = 0;    ///< target node (== addr.node for addressed verbs)
+  GlobalAddr addr{};  ///< one-sided target (read/write/cas/faa/read_atomic)
+
+  // One-sided read/write payloads.
+  void* dst = nullptr;        ///< read destination buffer
+  const void* src = nullptr;  ///< write source buffer
+  size_t n = 0;               ///< byte count
+
+  // Atomics: CAS uses arg0=expected, arg1=desired; FAA uses arg0=delta.
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+
+  // Doorbell batch.
+  const std::vector<Fabric::WriteOp>* batch = nullptr;
+
+  // RPC.
+  const std::string* method = nullptr;
+  Slice request{};
+  std::string* response = nullptr;
+
+  // ---- Outputs -------------------------------------------------------
+  uint64_t result = 0;    ///< CAS observed / FAA previous / atomic-read value
+  uint32_t attempts = 0;  ///< issue count, filled by the retry interceptor
 };
 
 }  // namespace disagg

@@ -1,0 +1,205 @@
+#include "net/interceptors.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace disagg {
+
+// ---- TraceInterceptor ----------------------------------------------------
+
+Status TraceInterceptor::Intercept(Fabric* fabric, FabricOp* op,
+                                   NetContext* ctx,
+                                   const FabricOpInvoker& next) {
+  const uint64_t ns_before = ctx->sim_ns;
+  const uint64_t out_before = ctx->bytes_out;
+  const uint64_t in_before = ctx->bytes_in;
+  Status st = next(op, ctx);
+  const uint64_t ns = ctx->sim_ns - ns_before;
+
+  std::string key = FabricVerbName(op->verb);
+  key += '/';
+  const Node* target = fabric->node(op->node);
+  if (target != nullptr) {
+    key += target->model().name;
+    key += '/';
+    key += NodeKindName(target->kind());
+  } else {
+    key += "?/?";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  if (!st.ok()) failures_++;
+  hists_[key].Record(ns);
+  if (capacity_ > 0) {
+    TraceRecord rec;
+    rec.seq = seq_++;
+    rec.verb = op->verb;
+    rec.node = op->node;
+    rec.bytes_out = ctx->bytes_out - out_before;
+    rec.bytes_in = ctx->bytes_in - in_before;
+    rec.sim_ns = ns;
+    rec.ok = st.ok();
+    if (ring_.size() < capacity_) {
+      ring_.push_back(rec);
+    } else {
+      ring_[ring_next_] = rec;
+      ring_next_ = (ring_next_ + 1) % capacity_;
+    }
+  }
+  return st;
+}
+
+uint64_t TraceInterceptor::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t TraceInterceptor::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+std::vector<std::string> TraceInterceptor::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(hists_.size());
+  for (const auto& [key, hist] : hists_) keys.push_back(key);
+  return keys;
+}
+
+Histogram TraceInterceptor::HistogramFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(key);
+  return it == hists_.end() ? Histogram{} : it->second;
+}
+
+std::vector<TraceInterceptor::TraceRecord> TraceInterceptor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); i++) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::string TraceInterceptor::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"ops\":" << ops_ << ",\"failures\":" << failures_
+     << ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [key, hist] : hists_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":{\"count\":" << hist.count()
+       << ",\"mean_ns\":" << hist.Mean() << ",\"p50_ns\":" << hist.Percentile(50)
+       << ",\"p99_ns\":" << hist.Percentile(99) << ",\"max_ns\":" << hist.max()
+       << '}';
+  }
+  os << "},\"trace\":[";
+  // Oldest-first walk of the ring (inline Snapshot; we already hold mu_).
+  const size_t n = ring_.size();
+  const size_t start = (capacity_ > 0 && n == capacity_) ? ring_next_ : 0;
+  for (size_t i = 0; i < n; i++) {
+    const TraceRecord& r = ring_[(start + i) % n];
+    if (i > 0) os << ',';
+    os << "{\"seq\":" << r.seq << ",\"verb\":\"" << FabricVerbName(r.verb)
+       << "\",\"node\":" << r.node << ",\"bytes_out\":" << r.bytes_out
+       << ",\"bytes_in\":" << r.bytes_in << ",\"sim_ns\":" << r.sim_ns
+       << ",\"ok\":" << (r.ok ? "true" : "false") << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---- FaultInterceptor ----------------------------------------------------
+
+bool FaultInterceptor::Decide(uint64_t seq, uint64_t salt, double p) const {
+  if (p <= 0.0) return false;
+  // Stateless: the decision depends only on (seed, seq, salt), so a given op
+  // position in the stream always faults the same way regardless of thread
+  // interleaving or which probabilities are also enabled.
+  uint64_t mix = policy_.seed;
+  mix ^= (seq + 1) * 0x9E3779B97F4A7C15ull;
+  mix ^= (salt + 1) * 0xC2B2AE3D27D4EB4Full;
+  Random rng(mix);
+  return rng.Bernoulli(p);
+}
+
+Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
+                                   NetContext* ctx,
+                                   const FabricOpInvoker& next) {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+
+  for (const FaultPolicy::Flap& flap : policy_.flaps) {
+    if (flap.node == op->node && seq >= flap.from_seq &&
+        seq < flap.until_seq) {
+      flap_rejections_.fetch_add(1, std::memory_order_relaxed);
+      ctx->Charge(policy_.drop_penalty_ns);
+      ctx->faults_injected++;
+      return Status::Unavailable("injected flap: node " +
+                                 std::to_string(op->node) + " down at op " +
+                                 std::to_string(seq));
+    }
+  }
+
+  if (Decide(seq, /*salt=*/0xD0, policy_.drop_prob)) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    ctx->Charge(policy_.drop_penalty_ns);
+    ctx->faults_injected++;
+    return Status::Unavailable("injected packet loss at op " +
+                               std::to_string(seq));
+  }
+
+  Status st = next(op, ctx);
+
+  if (st.ok() && Decide(seq, /*salt=*/0x5A, policy_.spike_prob)) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    ctx->Charge(policy_.spike_ns);
+    ctx->faults_injected++;
+  }
+  return st;
+}
+
+// ---- RetryInterceptor ----------------------------------------------------
+
+bool RetryInterceptor::Retryable(const Status& st) const {
+  if (st.IsUnavailable()) return policy_.retry_unavailable;
+  if (st.IsTimedOut()) return policy_.retry_timed_out;
+  if (st.IsBusy()) return policy_.retry_busy;
+  return false;
+}
+
+Status RetryInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
+                                   NetContext* ctx,
+                                   const FabricOpInvoker& next) {
+  uint64_t backoff = policy_.initial_backoff_ns;
+  Status st;
+  for (int attempt = 1;; attempt++) {
+    st = next(op, ctx);
+    op->attempts = static_cast<uint32_t>(attempt);
+    if (st.ok() || attempt >= policy_.max_attempts || !Retryable(st)) break;
+    ctx->Charge(backoff);
+    ctx->backoff_ns += backoff;
+    ctx->retries++;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    backoff = std::min<uint64_t>(
+        policy_.max_backoff_ns,
+        static_cast<uint64_t>(static_cast<double>(backoff) *
+                              policy_.backoff_multiplier));
+  }
+  if (!st.ok() && Retryable(st)) {
+    gave_up_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+}  // namespace disagg

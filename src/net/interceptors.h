@@ -1,0 +1,164 @@
+#ifndef DISAGG_NET_INTERCEPTORS_H_
+#define DISAGG_NET_INTERCEPTORS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/fabric.h"
+
+namespace disagg {
+
+/// Observes every op flowing through `Fabric::Execute()`: per-op sim-time
+/// histograms keyed by "verb/interconnect/node-kind", aggregate op/failure
+/// counts, and an optional bounded ring-buffer trace of the most recent ops
+/// dumpable as JSON for benches. Purely observational — charges nothing, so
+/// installing it never changes a client's counters.
+class TraceInterceptor : public FabricInterceptor {
+ public:
+  /// `trace_capacity` bounds the ring-buffer op trace; 0 keeps histograms
+  /// only.
+  explicit TraceInterceptor(size_t trace_capacity = 0)
+      : capacity_(trace_capacity) {}
+
+  const char* name() const override { return "trace"; }
+
+  Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override;
+
+  struct TraceRecord {
+    uint64_t seq = 0;
+    FabricVerb verb = FabricVerb::kRead;
+    NodeId node = 0;
+    uint64_t bytes_out = 0;
+    uint64_t bytes_in = 0;
+    uint64_t sim_ns = 0;
+    bool ok = false;
+  };
+
+  uint64_t ops() const;
+  uint64_t failures() const;
+
+  /// Histogram keys present so far, e.g. "read/rdma/memory".
+  std::vector<std::string> Keys() const;
+
+  /// Copy of the histogram for `key`; zero-count histogram if absent.
+  Histogram HistogramFor(const std::string& key) const;
+
+  /// The retained ring-buffer records, oldest first.
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Dumps histogram summaries plus the retained op trace as a JSON object.
+  std::string DumpJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Histogram> hists_;
+  uint64_t ops_ = 0;
+  uint64_t failures_ = 0;
+  uint64_t seq_ = 0;
+  std::vector<TraceRecord> ring_;  // circular once size() == capacity_
+  size_t ring_next_ = 0;
+};
+
+/// Deterministic seeded fault schedule, the composable replacement for the
+/// binary `Node::Fail()` switch: packet drops and latency spikes are decided
+/// by a stateless hash of (seed, op sequence number), and node flaps take a
+/// node down for a window of op sequence numbers. Same seed and op stream →
+/// identical injected faults and identical charged `sim_ns`.
+struct FaultPolicy {
+  uint64_t seed = 1;
+
+  /// Per-op probability the op is dropped before reaching the target; the
+  /// client is charged `drop_penalty_ns` (timeout detection) and sees
+  /// Status::Unavailable.
+  double drop_prob = 0.0;
+  uint64_t drop_penalty_ns = 2000;
+
+  /// Per-op probability a completed op is charged `spike_ns` extra latency
+  /// (congestion / retransmission on the wire).
+  double spike_prob = 0.0;
+  uint64_t spike_ns = 10000;
+
+  /// Node down for ops whose sequence number lies in [from_seq, until_seq).
+  struct Flap {
+    NodeId node = 0;
+    uint64_t from_seq = 0;
+    uint64_t until_seq = 0;
+  };
+  std::vector<Flap> flaps;
+};
+
+class FaultInterceptor : public FabricInterceptor {
+ public:
+  explicit FaultInterceptor(FaultPolicy policy) : policy_(std::move(policy)) {}
+
+  const char* name() const override { return "fault"; }
+
+  Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override;
+
+  uint64_t ops_seen() const { return seq_.load(std::memory_order_relaxed); }
+  uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+  uint64_t spikes() const { return spikes_.load(std::memory_order_relaxed); }
+  uint64_t flap_rejections() const {
+    return flap_rejections_.load(std::memory_order_relaxed);
+  }
+
+  const FaultPolicy& policy() const { return policy_; }
+
+ private:
+  /// True with probability `p`, as a pure function of (seed, seq, salt).
+  bool Decide(uint64_t seq, uint64_t salt, double p) const;
+
+  const FaultPolicy policy_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> spikes_{0};
+  std::atomic<uint64_t> flap_rejections_{0};
+};
+
+/// Re-issues ops that fail with a retryable status, charging exponential
+/// backoff to the client's simulated clock (`NetContext::backoff_ns` breaks
+/// it out of `sim_ns`) so robustness experiments remain deterministic.
+/// Install *before* a FaultInterceptor so retries wrap injected faults.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< total issues, including the first
+  uint64_t initial_backoff_ns = 1000;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ns = 1 << 20;  ///< ~1 ms cap
+  bool retry_unavailable = true;
+  bool retry_timed_out = true;
+  bool retry_busy = false;  ///< Busy usually signals app-level conflicts
+};
+
+class RetryInterceptor : public FabricInterceptor {
+ public:
+  explicit RetryInterceptor(RetryPolicy policy) : policy_(policy) {}
+
+  const char* name() const override { return "retry"; }
+
+  Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override;
+
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t gave_up() const { return gave_up_.load(std::memory_order_relaxed); }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  bool Retryable(const Status& st) const;
+
+  const RetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> gave_up_{0};
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_INTERCEPTORS_H_

@@ -1,9 +1,31 @@
 #ifndef DISAGG_NET_NET_CONTEXT_H_
 #define DISAGG_NET_NET_CONTEXT_H_
 
+#include <cstddef>
 #include <cstdint>
 
+#include "net/verb.h"
+
 namespace disagg {
+
+/// Per-verb slice of a client's traffic: how many operations of one verb the
+/// client executed and what they cost. On a run with no interceptor-injected
+/// perturbation, summing these over all verbs reproduces the aggregate
+/// fabric-charged counters exactly (local compute charged directly via
+/// `Charge()` by upper layers is aggregate-only by design).
+struct VerbCounters {
+  uint64_t ops = 0;        ///< operations of this verb that reached the target
+  uint64_t sim_ns = 0;     ///< simulated time charged by those operations
+  uint64_t bytes_out = 0;  ///< bytes pushed by those operations
+  uint64_t bytes_in = 0;   ///< bytes pulled by those operations
+
+  void Merge(const VerbCounters& o) {
+    ops += o.ops;
+    sim_ns += o.sim_ns;
+    bytes_out += o.bytes_out;
+    bytes_in += o.bytes_in;
+  }
+};
 
 /// Per-client accounting of simulated time and traffic. Every fabric
 /// operation issued with this context charges its cost here; benchmarks
@@ -15,6 +37,18 @@ struct NetContext {
   uint64_t bytes_in = 0;      ///< bytes this client pulled off the fabric
   uint64_t round_trips = 0;   ///< network round trips (RDMA verbs + RPCs)
   uint64_t rpcs = 0;          ///< two-sided operations among the round trips
+
+  // Interceptor-maintained robustness counters. `backoff_ns` and fault
+  // penalties are *included* in `sim_ns`; these break out where it went.
+  uint64_t retries = 0;          ///< op re-issues by the retry interceptor
+  uint64_t backoff_ns = 0;       ///< sim time spent in retry backoff
+  uint64_t faults_injected = 0;  ///< drops/spikes/flaps hit by this client
+
+  /// Per-verb breakdown of the fabric-charged counters above, maintained by
+  /// `Fabric::Execute()`.
+  VerbCounters per_verb[kNumFabricVerbs] = {};
+
+  const VerbCounters& verb(FabricVerb v) const { return per_verb[VerbIndex(v)]; }
 
   void Charge(uint64_t ns) { sim_ns += ns; }
 
@@ -28,6 +62,10 @@ struct NetContext {
     bytes_in += o.bytes_in;
     round_trips += o.round_trips;
     rpcs += o.rpcs;
+    retries += o.retries;
+    backoff_ns += o.backoff_ns;
+    faults_injected += o.faults_injected;
+    for (size_t v = 0; v < kNumFabricVerbs; v++) per_verb[v].Merge(o.per_verb[v]);
   }
 
   double SimMillis() const { return static_cast<double>(sim_ns) / 1e6; }
@@ -35,7 +73,10 @@ struct NetContext {
 
 /// Folds the contexts of operations issued *in parallel* (e.g. fan-out to
 /// quorum replicas) into a parent context: elapsed simulated time is the max
-/// of the branches, while traffic counters are summed.
+/// of the branches, while traffic counters are summed. Per-verb breakdowns
+/// (like traffic) are attribution counters and are summed, so after a
+/// parallel merge they bound, rather than equal, the parent's elapsed
+/// `sim_ns`.
 inline void MergeParallel(NetContext* parent,
                           const NetContext* branches, size_t n) {
   uint64_t max_ns = 0;
@@ -46,6 +87,12 @@ inline void MergeParallel(NetContext* parent,
     parent->bytes_in += b.bytes_in;
     parent->round_trips += b.round_trips;
     parent->rpcs += b.rpcs;
+    parent->retries += b.retries;
+    parent->backoff_ns += b.backoff_ns;
+    parent->faults_injected += b.faults_injected;
+    for (size_t v = 0; v < kNumFabricVerbs; v++) {
+      parent->per_verb[v].Merge(b.per_verb[v]);
+    }
   }
   parent->sim_ns += max_ns;
 }

@@ -1,0 +1,49 @@
+#ifndef DISAGG_NET_VERB_H_
+#define DISAGG_NET_VERB_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace disagg {
+
+/// The complete set of fabric operations. Every one-sided verb, doorbell
+/// batch, and RPC is lowered to a `FabricOp` tagged with one of these and
+/// executed by the single `Fabric::Execute()` path, so interceptors and
+/// per-verb accounting see a uniform stream of operations.
+enum class FabricVerb : uint8_t {
+  kRead = 0,
+  kWrite,
+  kCas,
+  kFetchAdd,
+  kReadAtomic,
+  kWriteBatch,
+  kRpc,
+};
+
+inline constexpr size_t kNumFabricVerbs = 7;
+
+constexpr size_t VerbIndex(FabricVerb v) { return static_cast<size_t>(v); }
+
+constexpr const char* FabricVerbName(FabricVerb v) {
+  switch (v) {
+    case FabricVerb::kRead:
+      return "read";
+    case FabricVerb::kWrite:
+      return "write";
+    case FabricVerb::kCas:
+      return "cas";
+    case FabricVerb::kFetchAdd:
+      return "faa";
+    case FabricVerb::kReadAtomic:
+      return "read_atomic";
+    case FabricVerb::kWriteBatch:
+      return "write_batch";
+    case FabricVerb::kRpc:
+      return "rpc";
+  }
+  return "?";
+}
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_VERB_H_

@@ -175,7 +175,7 @@ Status RaceHash::Put(NetContext* ctx, const std::string& key,
     if (*observed == match.slot_word) return Status::OK();
     stats_.cas_retries++;  // another client raced us; retry from scratch
   }
-  return Status::TimedOut("Put did not converge under contention");
+  return Status::Busy("Put did not converge under contention");
 }
 
 Result<std::string> RaceHash::Get(NetContext* ctx, const std::string& key) {
@@ -197,7 +197,7 @@ Status RaceHash::Delete(NetContext* ctx, const std::string& key) {
     if (*observed == match.slot_word) return Status::OK();
     stats_.cas_retries++;
   }
-  return Status::TimedOut("Delete did not converge under contention");
+  return Status::Busy("Delete did not converge under contention");
 }
 
 }  // namespace disagg

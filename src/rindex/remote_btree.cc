@@ -73,7 +73,7 @@ Status RemoteBTree::ReadNode(NetContext* ctx, uint64_t offset,
     }
     stats_.optimistic_retries++;
   }
-  return Status::TimedOut("optimistic node read did not stabilize");
+  return Status::Busy("optimistic node read did not stabilize");
 }
 
 Status RemoteBTree::WriteNode(NetContext* ctx, uint64_t offset,
@@ -109,7 +109,7 @@ Status RemoteBTree::AcquireLock(NetContext* ctx, GlobalAddr lock) {
     stats_.lock_waits++;
     std::this_thread::yield();
   }
-  return Status::TimedOut("lock acquisition starved");
+  return Status::Busy("lock acquisition starved");
 }
 
 Status RemoteBTree::ReleaseLock(NetContext* ctx, GlobalAddr lock) {

@@ -20,13 +20,18 @@ class LockManager {
  public:
   enum class Mode { kShared, kExclusive };
 
-  /// Acquires (or upgrades) `key` for `txn`. Busy on conflict.
+  /// Acquires (or upgrades) `key` for `txn`. Every conflict path returns
+  /// Status::Busy — never TimedOut/Aborted — so callers' retry loops can
+  /// key on IsBusy() alone (the contract concurrency_test exercises).
   Status Acquire(TxnId txn, uint64_t key, Mode mode);
 
   /// Releases everything `txn` holds (commit/abort).
   void ReleaseAll(TxnId txn);
 
   size_t held_locks() const;
+
+  /// Conflicting acquisitions rejected with Busy since construction.
+  uint64_t conflicts() const;
 
  private:
   struct Entry {
@@ -37,6 +42,7 @@ class LockManager {
   mutable std::mutex mu_;
   std::map<uint64_t, Entry> table_;
   std::map<TxnId, std::vector<uint64_t>> held_;
+  uint64_t conflicts_ = 0;
 };
 
 }  // namespace disagg

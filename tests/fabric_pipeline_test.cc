@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/interceptors.h"
+
+namespace disagg {
+namespace {
+
+// Exercises the unified FabricOp pipeline: interceptor ordering, cost-model
+// parity with the pre-pipeline verbs, per-verb NetContext breakdowns, seeded
+// fault-schedule determinism, and retry/backoff accounting.
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_node_ = fabric_.AddNode("mem0", NodeKind::kMemory,
+                                InterconnectModel::Rdma());
+    region_ = fabric_.node(mem_node_)->AddRegion("heap", 1 << 20);
+    fabric_.node(mem_node_)->RegisterHandler(
+        "echo", [](Slice req, std::string* resp, RpcServerContext* sctx) {
+          resp->assign(req.data(), req.size());
+          sctx->ChargeCompute(500);
+          return Status::OK();
+        });
+  }
+
+  GlobalAddr At(uint64_t offset) const {
+    return GlobalAddr{mem_node_, region_->id(), offset};
+  }
+
+  /// One op of every verb; returns the number of issued ops.
+  uint64_t RunMixedWorkload(NetContext* ctx) {
+    const std::string payload = "0123456789abcdef";  // 16 bytes
+    EXPECT_TRUE(
+        fabric_.Write(ctx, At(0), payload.data(), payload.size()).ok());
+    char buf[64] = {0};
+    EXPECT_TRUE(fabric_.Read(ctx, At(0), buf, payload.size()).ok());
+    EXPECT_TRUE(fabric_.CompareAndSwap(ctx, At(64), 0, 7).ok());
+    EXPECT_TRUE(fabric_.FetchAdd(ctx, At(64), 3).ok());
+    EXPECT_TRUE(fabric_.ReadAtomic64(ctx, At(64)).ok());
+    std::vector<Fabric::WriteOp> batch = {
+        {{region_->id(), 128}, payload.data(), 8},
+        {{region_->id(), 136}, payload.data(), 8},
+    };
+    EXPECT_TRUE(fabric_.WriteBatch(ctx, mem_node_, batch).ok());
+    std::string resp;
+    EXPECT_TRUE(fabric_.Call(ctx, mem_node_, "echo", "ping", &resp).ok());
+    return 7;
+  }
+
+  Fabric fabric_;
+  NodeId mem_node_ = 0;
+  MemoryRegion* region_ = nullptr;
+};
+
+// An interceptor that logs entry/exit so chain order is observable.
+class TapInterceptor : public FabricInterceptor {
+ public:
+  TapInterceptor(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+  const char* name() const override { return tag_.c_str(); }
+  Status Intercept(Fabric*, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override {
+    log_->push_back("enter:" + tag_);
+    Status st = next(op, ctx);
+    log_->push_back("exit:" + tag_);
+    return st;
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST_F(PipelineTest, InterceptorChainIsAnOnionFirstInstalledOutermost) {
+  std::vector<std::string> log;
+  fabric_.AddInterceptor(std::make_shared<TapInterceptor>("outer", &log));
+  fabric_.AddInterceptor(std::make_shared<TapInterceptor>("inner", &log));
+  EXPECT_EQ(fabric_.num_interceptors(), 2u);
+
+  NetContext ctx;
+  uint64_t v = 1;
+  ASSERT_TRUE(fabric_.Write(&ctx, At(0), &v, 8).ok());
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "enter:outer");
+  EXPECT_EQ(log[1], "enter:inner");
+  EXPECT_EQ(log[2], "exit:inner");
+  EXPECT_EQ(log[3], "exit:outer");
+
+  fabric_.ClearInterceptors();
+  EXPECT_EQ(fabric_.num_interceptors(), 0u);
+}
+
+TEST_F(PipelineTest, BareExecuteMatchesCostModelExactly) {
+  // With no interceptors the pipeline must charge exactly what the
+  // pre-pipeline hand-rolled verbs charged (no cost-model drift).
+  const InterconnectModel m = InterconnectModel::Rdma();
+  NetContext ctx;
+  RunMixedWorkload(&ctx);
+
+  const uint64_t expected_ns =
+      m.WriteCost(16) + m.ReadCost(16) + m.AtomicCost() + m.AtomicCost() +
+      m.ReadCost(8) + m.WriteCost(16) + (m.RpcCost(4, 4) + 500);
+  EXPECT_EQ(ctx.sim_ns, expected_ns);
+  EXPECT_EQ(ctx.round_trips, 7u);
+  EXPECT_EQ(ctx.rpcs, 1u);
+  EXPECT_EQ(ctx.bytes_out, 16u + 16u + 16u + 16u + 4u);  // wr, cas, faa, batch, rpc
+  EXPECT_EQ(ctx.bytes_in, 16u + 8u + 8u + 8u + 4u);  // rd, cas, faa, atomic, rpc
+  EXPECT_EQ(ctx.retries, 0u);
+  EXPECT_EQ(ctx.backoff_ns, 0u);
+  EXPECT_EQ(ctx.faults_injected, 0u);
+}
+
+TEST_F(PipelineTest, PerVerbBreakdownSumsToAggregates) {
+  NetContext ctx;
+  RunMixedWorkload(&ctx);
+
+  EXPECT_EQ(ctx.verb(FabricVerb::kRead).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kWrite).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kCas).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kFetchAdd).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kReadAtomic).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kWriteBatch).ops, 1u);
+  EXPECT_EQ(ctx.verb(FabricVerb::kRpc).ops, 1u);
+
+  uint64_t ops = 0, ns = 0, out = 0, in = 0;
+  for (size_t v = 0; v < kNumFabricVerbs; v++) {
+    ops += ctx.per_verb[v].ops;
+    ns += ctx.per_verb[v].sim_ns;
+    out += ctx.per_verb[v].bytes_out;
+    in += ctx.per_verb[v].bytes_in;
+  }
+  EXPECT_EQ(ops, ctx.round_trips);
+  EXPECT_EQ(ns, ctx.sim_ns);
+  EXPECT_EQ(out, ctx.bytes_out);
+  EXPECT_EQ(in, ctx.bytes_in);
+}
+
+TEST_F(PipelineTest, TraceInterceptorIsObservationOnly) {
+  NetContext bare;
+  RunMixedWorkload(&bare);
+
+  auto trace = std::make_shared<TraceInterceptor>(/*trace_capacity=*/4);
+  fabric_.AddInterceptor(trace);
+  NetContext traced;
+  RunMixedWorkload(&traced);
+
+  // Identical counters: tracing never perturbs the cost model.
+  EXPECT_EQ(traced.sim_ns, bare.sim_ns);
+  EXPECT_EQ(traced.bytes_out, bare.bytes_out);
+  EXPECT_EQ(traced.bytes_in, bare.bytes_in);
+  EXPECT_EQ(traced.round_trips, bare.round_trips);
+
+  EXPECT_EQ(trace->ops(), 7u);
+  EXPECT_EQ(trace->failures(), 0u);
+
+  // Histograms keyed by verb × interconnect × node kind.
+  Histogram h = trace->HistogramFor("read/rdma/memory");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(h.Mean()),
+            InterconnectModel::Rdma().ReadCost(16));
+  EXPECT_FALSE(trace->Keys().empty());
+
+  // Ring buffer keeps only the most recent `capacity` ops, oldest first.
+  auto records = trace->Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().seq, 3u);
+  EXPECT_EQ(records.back().seq, 6u);
+  EXPECT_EQ(records.back().verb, FabricVerb::kRpc);
+
+  const std::string json = trace->DumpJson();
+  EXPECT_NE(json.find("\"ops\":7"), std::string::npos);
+  EXPECT_NE(json.find("read/rdma/memory"), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"rpc\""), std::string::npos);
+}
+
+TEST_F(PipelineTest, SeededFaultScheduleIsDeterministic) {
+  auto run = [&](uint64_t seed) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    RetryPolicy rp;
+    rp.max_attempts = 8;
+    auto retry = std::make_shared<RetryInterceptor>(rp);
+    FaultPolicy fp;
+    fp.seed = seed;
+    fp.drop_prob = 0.2;
+    auto fault = std::make_shared<FaultInterceptor>(fp);
+    fabric.AddInterceptor(retry);  // outermost: retries wrap injected faults
+    fabric.AddInterceptor(fault);
+
+    NetContext ctx;
+    uint64_t v = 42;
+    for (uint64_t i = 0; i < 200; i++) {
+      GlobalAddr addr{node, region->id(), (i % 128) * 8};
+      EXPECT_TRUE(fabric.Write(&ctx, addr, &v, 8).ok());
+    }
+    return ctx;
+  };
+
+  NetContext a = run(1234);
+  NetContext b = run(1234);
+  NetContext c = run(99);
+
+  // Same seed → bit-identical accounting, including injected faults.
+  EXPECT_EQ(a.sim_ns, b.sim_ns);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.backoff_ns, b.backoff_ns);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.round_trips, b.round_trips);
+
+  // The schedule is non-trivial: faults fired, retries recovered them, and
+  // the backoff they cost is visible in the context.
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_GT(a.backoff_ns, 0u);
+  EXPECT_LT(a.backoff_ns, a.sim_ns);
+  EXPECT_EQ(a.round_trips, 200u);  // every op eventually landed
+
+  // A different seed produces a different (still deterministic) schedule.
+  EXPECT_NE(a.sim_ns, c.sim_ns);
+}
+
+TEST_F(PipelineTest, FlapWindowWithRetryAccountsBackoffExactly) {
+  RetryPolicy rp;
+  rp.max_attempts = 5;
+  rp.initial_backoff_ns = 1000;
+  rp.backoff_multiplier = 2.0;
+  auto retry = std::make_shared<RetryInterceptor>(rp);
+  FaultPolicy fp;
+  fp.drop_penalty_ns = 2000;
+  fp.flaps.push_back({mem_node_, /*from_seq=*/0, /*until_seq=*/2});
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric_.AddInterceptor(retry);
+  fabric_.AddInterceptor(fault);
+
+  // Attempts at fault-seq 0 and 1 hit the flap window; the third lands.
+  NetContext ctx;
+  char buf[8];
+  FabricOp op;
+  op.verb = FabricVerb::kRead;
+  op.node = mem_node_;
+  op.addr = At(0);
+  op.dst = buf;
+  op.n = 8;
+  ASSERT_TRUE(fabric_.Execute(&op, &ctx).ok());
+
+  EXPECT_EQ(op.attempts, 3u);
+  EXPECT_EQ(ctx.retries, 2u);
+  EXPECT_EQ(ctx.faults_injected, 2u);
+  EXPECT_EQ(ctx.backoff_ns, 1000u + 2000u);
+  EXPECT_EQ(fault->flap_rejections(), 2u);
+  EXPECT_EQ(retry->retries(), 2u);
+  // sim_ns = two flap penalties + backoffs + the successful read.
+  EXPECT_EQ(ctx.sim_ns, 2 * 2000u + 3000u +
+                            InterconnectModel::Rdma().ReadCost(8));
+  // Only the landed op shows up in the per-verb breakdown.
+  EXPECT_EQ(ctx.verb(FabricVerb::kRead).ops, 1u);
+  EXPECT_EQ(ctx.round_trips, 1u);
+}
+
+TEST_F(PipelineTest, RetryGivesUpOnPermanentFailure) {
+  RetryPolicy rp;
+  rp.max_attempts = 3;
+  rp.initial_backoff_ns = 100;
+  auto retry = std::make_shared<RetryInterceptor>(rp);
+  fabric_.AddInterceptor(retry);
+
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx;
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(ctx.retries, 2u);  // max_attempts - 1
+  EXPECT_EQ(retry->gave_up(), 1u);
+  fabric_.node(mem_node_)->Revive();
+
+  // Non-retryable statuses pass straight through.
+  ctx.Reset();
+  GlobalAddr oob{mem_node_, region_->id(), (1 << 20) - 4};
+  EXPECT_TRUE(fabric_.Read(&ctx, oob, buf, 8).IsInvalidArgument());
+  EXPECT_EQ(ctx.retries, 0u);
+}
+
+TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
+  NetContext a;
+  RunMixedWorkload(&a);
+  a.retries = 2;
+  a.backoff_ns = 3000;
+  a.faults_injected = 1;
+
+  NetContext total;
+  total.Merge(a);
+  total.Merge(a);
+  EXPECT_EQ(total.retries, 4u);
+  EXPECT_EQ(total.backoff_ns, 6000u);
+  EXPECT_EQ(total.faults_injected, 2u);
+  EXPECT_EQ(total.verb(FabricVerb::kRpc).ops, 2u);
+  EXPECT_EQ(total.verb(FabricVerb::kRead).sim_ns,
+            2 * a.verb(FabricVerb::kRead).sim_ns);
+
+  NetContext branches[2] = {a, a};
+  NetContext parent;
+  MergeParallel(&parent, branches, 2);
+  EXPECT_EQ(parent.sim_ns, a.sim_ns);  // max, not sum
+  EXPECT_EQ(parent.retries, 4u);
+  EXPECT_EQ(parent.verb(FabricVerb::kWrite).ops, 2u);  // attribution: summed
+
+  a.Reset();
+  EXPECT_EQ(a.verb(FabricVerb::kRead).ops, 0u);
+  EXPECT_EQ(a.backoff_ns, 0u);
+}
+
+}  // namespace
+}  // namespace disagg
