@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Replays chaos-harness schedules bit-identically from their seeds.
+#
+#   scripts/chaos_replay.sh <seed> [seed...]
+#
+# Every chaos run is a pure function of a single uint64 seed (see
+# DESIGN.md, "Chaos harness & seed replay"): the same seed rebuilds the
+# same fault schedule, flap windows, crash points and workload, and
+# produces the identical op trace. When CI (or a local run) prints a
+# failing seed, paste it here to reproduce the exact run with full
+# per-engine reports.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <seed> [seed...]" >&2
+  exit 2
+fi
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target chaos_test >/dev/null
+
+DISAGG_CHAOS_SEEDS="$*" ./build/tests/chaos_test \
+  --gtest_filter='ChaosReplayTest.ReplaySeedsFromEnv'

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the fabric/txn core.
+# Tier-1 verification, a sanitizer pass over the fabric/txn core, and the
+# chaos stage (fresh commit-derived seeds + mutation self-check).
 #
-#   scripts/ci.sh          # full: build + ctest + ASan/UBSan net+txn tests
-#   scripts/ci.sh --fast   # tier-1 only (skip the sanitizer build)
+#   scripts/ci.sh          # full: build + ctest + ASan/UBSan + chaos
+#   scripts/ci.sh --fast   # tier-1 only (skip sanitizer + chaos stages)
 #
 # Requires: cmake >= 3.16, a C++20 compiler, GTest and google-benchmark dev
 # packages (see .github/workflows/ci.yml for the Ubuntu package list).
@@ -22,8 +23,9 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 # ASan/UBSan over the layers with the most concurrency and raw-pointer
-# traffic: the fabric op pipeline and the transaction stack.
-SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test)
+# traffic: the fabric op pipeline, the transaction stack, and the chaos
+# harness (which exercises every engine's fault paths).
+SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -33,5 +35,24 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "${JOBS}" --target "${SAN_TESTS[@]}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
   -R "^($(IFS='|'; echo "${SAN_TESTS[*]}"))$"
+
+# Chaos stage: beyond the fixed seeds baked into chaos_test, run fresh
+# schedules derived from the commit hash so every commit explores new
+# fault interleavings. The seeds are logged — a failure is reproduced
+# bit-identically with `scripts/chaos_replay.sh <seed>`.
+HEAD_HASH="$(git rev-parse HEAD 2>/dev/null || echo 0000000000000000)"
+CHAOS_SEEDS="$((16#${HEAD_HASH:0:8})) $((16#${HEAD_HASH:8:8})) $((16#${HEAD_HASH:16:8}))"
+echo "==> chaos stage: commit-derived seeds: ${CHAOS_SEEDS}"
+echo "    (replay any failure with: scripts/chaos_replay.sh <seed>)"
+DISAGG_CHAOS_SEEDS="${CHAOS_SEEDS}" ./build-asan/tests/chaos_test \
+  --gtest_filter='ChaosReplayTest.ReplaySeedsFromEnv'
+
+# Mutation self-check: a build that deliberately skips one quorum ack must
+# be caught by the harness's durability audit — proof the checkers can
+# actually detect a weakened engine, not just bless healthy ones.
+echo "==> chaos mutation self-check"
+cmake -B build-mutant -S . -DDISAGG_CHAOS_MUTATION=ON >/dev/null
+cmake --build build-mutant -j "${JOBS}" --target chaos_test
+./build-mutant/tests/chaos_test --gtest_filter='*MutationSelfCheck*'
 
 echo "==> CI OK"

@@ -26,7 +26,18 @@ class OwningQuorumSink : public LogSink {
     (void)ctx;
     // Recovery reads go through the quorum protocol (RecoverDurableLsn);
     // full log reads are served by the replicas' log services directly.
-    return segment_->replica(0).log_service->SnapshotFrom(0);
+    // Under fault schedules individual replicas may lag, so read from the
+    // replica with the highest durable LSN (client-side resync keeps each
+    // replica's log gap-free, so "highest" also means "most complete").
+    const SegmentReplica* best = nullptr;
+    for (size_t i = 0; i < segment_->replica_count(); i++) {
+      const SegmentReplica& r = segment_->replica(i);
+      if (!best ||
+          r.log_service->durable_lsn() > best->log_service->durable_lsn()) {
+        best = &r;
+      }
+    }
+    return best->log_service->SnapshotFrom(0);
   }
 
  private:
@@ -127,12 +138,23 @@ class MultiLogSink : public LogSink {
   }
 
   Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
+    // Majority ack means no single store is guaranteed complete; merge the
+    // reachable stores' logs (dedup by LSN) the way Taurus' recovery scans
+    // its log-store fleet.
+    std::map<Lsn, LogRecord> merged;
+    size_t reachable = 0;
     for (size_t i = 0; i < nodes_.size(); i++) {
       LogStoreClient client(fabric_, nodes_[i]);
       auto r = client.ReadFrom(ctx, 0, ~0ull);
-      if (r.ok()) return r;
+      if (!r.ok()) continue;
+      reachable++;
+      for (LogRecord& rec : *r) merged.emplace(rec.lsn, std::move(rec));
     }
-    return Status::Unavailable("no log store reachable");
+    if (reachable == 0) return Status::Unavailable("no log store reachable");
+    std::vector<LogRecord> out;
+    out.reserve(merged.size());
+    for (auto& [lsn, rec] : merged) out.push_back(std::move(rec));
+    return out;
   }
 
  private:
@@ -170,7 +192,19 @@ AuroraDb::AuroraDb(Fabric* fabric, ReplicatedSegment::Config config)
       segment_(static_cast<OwningQuorumSink*>(sink_.get())->segment()) {}
 
 Result<Page> AuroraDb::FetchPage(NetContext* ctx, PageId id) {
-  return segment_->ReadPage(ctx, id, /*min_lsn=*/0);
+  // Replicas materialize pages independently, so under faults some may lag;
+  // never accept a copy older than what committed transactions made durable.
+  return segment_->ReadPage(ctx, id, RequiredPageLsn(id));
+}
+
+Status AuroraDb::OnCommit(NetContext* ctx,
+                          const std::vector<LogRecord>& records) {
+  (void)ctx;
+  // Nothing is shipped — the log IS the database — but the quorum-durable
+  // log now covers these pages up to their LSNs, so record the freshness
+  // floor fetches must meet.
+  NoteDurablePageLsns(records);
+  return Status::OK();
 }
 
 AuroraReader::AuroraReader(AuroraDb* writer, size_t cache_pages)
@@ -214,12 +248,19 @@ PolarDb::PolarDb(Fabric* fabric)
 }
 
 Result<Page> PolarDb::FetchPage(NetContext* ctx, PageId id) {
+  const Lsn required = RequiredPageLsn(id);
   for (NodeId node : page_nodes_) {
     PageStoreClient client(fabric_, node);
     auto page = client.GetPage(ctx, id);
-    if (page.ok() || page.status().IsNotFound()) return page;
+    if (page.ok()) {
+      if (page->lsn() >= required) return page;
+      continue;  // stale replica (missed a PutPage under faults); keep looking
+    }
+    // A replica that has never seen the page is authoritative only when no
+    // committed transaction is known to have shipped it.
+    if (page.status().IsNotFound() && required == kInvalidLsn) return page;
   }
-  return Status::Unavailable("no page replica reachable");
+  return Status::Unavailable("no sufficiently fresh page replica reachable");
 }
 
 Status PolarDb::OnCommit(NetContext* ctx,
@@ -240,6 +281,8 @@ Status PolarDb::OnCommit(NetContext* ctx,
     dirty_.erase(id);
   }
   MergeParallel(ctx, branch.data(), branch.size());
+  // Every touched page now sits on all replicas at its commit LSN.
+  NoteDurablePageLsns(records);
   return Status::OK();
 }
 
@@ -274,6 +317,8 @@ Status SocratesDb::PropagateLogs(NetContext* ctx) {
   }
   MergeParallel(ctx, branch.data(), branch.size());
   propagated_lsn_ = records.back().lsn;
+  // The availability tier now holds these pages at their logged LSNs.
+  NoteDurablePageLsns(records);
   return Status::OK();
 }
 
@@ -291,10 +336,11 @@ Status SocratesDb::CheckpointToXStore(NetContext* ctx) {
 }
 
 Result<Page> SocratesDb::FetchPage(NetContext* ctx, PageId id) {
+  const Lsn required = RequiredPageLsn(id);
   for (NodeId node : page_nodes_) {
     PageStoreClient client(fabric_, node);
     auto page = client.GetPage(ctx, id);
-    if (page.ok()) return page;
+    if (page.ok() && page->lsn() >= required) return page;
   }
   // Availability tier empty: fall back to the durable XStore checkpoint.
   ObjectStoreClient xstore(fabric_, xstore_node_);
@@ -314,7 +360,14 @@ Result<Page> SocratesDb::FetchPage(NetContext* ctx, PageId id) {
       best_lsn = lsn;
     }
   }
-  if (best.empty()) return Status::NotFound("page in no tier");
+  if (best.empty()) {
+    return required == kInvalidLsn
+               ? Status::NotFound("page in no tier")
+               : Status::Unavailable("no sufficiently fresh copy in any tier");
+  }
+  if (best_lsn < required) {
+    return Status::Unavailable("checkpoint older than durable commits");
+  }
   DISAGG_ASSIGN_OR_RETURN(std::string blob, xstore.Get(ctx, best));
   return Page::FromBytes(blob);
 }
@@ -358,6 +411,9 @@ Status TaurusDb::OnCommit(NetContext* ctx,
     DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i++], batch).status());
   }
   MergeParallel(ctx, branch.data(), branch.size());
+  // Each page's home store now holds its redo; freshest-wins fetches plus
+  // this floor keep reads from ever regressing below the commit.
+  NoteDurablePageLsns(records);
   return Status::OK();
 }
 
@@ -377,6 +433,12 @@ Result<Page> TaurusDb::FetchPage(NetContext* ctx, PageId id) {
     }
   }
   MergeParallel(ctx, branch.data(), branch.size());
+  const Lsn required = RequiredPageLsn(id);
+  if (required != kInvalidLsn && (!best.ok() || best->lsn() < required)) {
+    // Gossip has not yet spread the freshest image and its home store is
+    // unreachable — refusing beats silently reading a stale page.
+    return Status::Unavailable("no page store fresh enough");
+  }
   return best;
 }
 

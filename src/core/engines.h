@@ -41,6 +41,8 @@ class AuroraDb : public RowEngine {
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;
+  Status OnCommit(NetContext* ctx,
+                  const std::vector<LogRecord>& records) override;
 
   ReplicatedSegment* segment_;  // owned by the sink
 };
@@ -104,6 +106,7 @@ class SocratesDb : public RowEngine {
   Status CheckpointToXStore(NetContext* ctx);
 
   size_t page_server_count() const { return page_services_.size(); }
+  NodeId page_server_node(int i) const { return page_nodes_[i]; }
   ObjectStoreService* xstore() { return xstore_service_.get(); }
 
  private:
@@ -130,6 +133,8 @@ class TaurusDb : public RowEngine {
   /// One gossip round among the page stores.
   size_t RunGossipRound(NetContext* ctx);
   bool PageStoresConverged() const { return gossip_->Converged(); }
+  size_t page_store_count() const { return page_services_.size(); }
+  NodeId page_store_node(int i) const { return page_nodes_[i]; }
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;

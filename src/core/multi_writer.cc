@@ -49,6 +49,16 @@ Status MultiWriterDb::Writer::UnlockKey(NetContext* ctx, uint64_t key) {
              : Status::Corruption("lock word clobbered");
 }
 
+Status MultiWriterDb::FenceWriter(NetContext* ctx, uint64_t writer_id) {
+  for (size_t slot = 0; slot < kLockSlots; slot++) {
+    GlobalAddr addr = lock_table_;
+    addr.offset += slot * 8;
+    auto observed = fabric_->CompareAndSwap(ctx, addr, writer_id, 0);
+    if (!observed.ok()) return observed.status();
+  }
+  return Status::OK();
+}
+
 Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
   DISAGG_RETURN_NOT_OK(LockKey(ctx, key));
   Status st = [&]() -> Status {

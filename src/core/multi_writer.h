@@ -44,6 +44,13 @@ class MultiWriterDb {
     Result<std::string> Get(NetContext* ctx, uint64_t key);
 
     const Stats& stats() const { return stats_; }
+    uint64_t writer_id() const { return writer_id_; }
+
+    /// Crash recovery for the shared pool tier (see
+    /// SharedBufferPoolClient::FenceCrashedWriters).
+    Status FencePoolWriters(NetContext* ctx, uint64_t* repaired = nullptr) {
+      return pool_client_.FenceCrashedWriters(ctx, repaired);
+    }
 
    private:
     Status LockKey(NetContext* ctx, uint64_t key);
@@ -57,6 +64,12 @@ class MultiWriterDb {
   };
 
   std::unique_ptr<Writer> AttachWriter(size_t local_cache_pages = 8);
+
+  /// Crash recovery: releases every row lock still held by `writer_id`,
+  /// which must belong to a writer declared dead (its Puts can no longer
+  /// race — a live writer must never be fenced). Without this, a lock whose
+  /// release verb was lost stays held forever and the key wedges Busy.
+  Status FenceWriter(NetContext* ctx, uint64_t writer_id);
 
   size_t row_count() const { return index_.size(); }
   MemoryNode* pool() { return pool_.get(); }

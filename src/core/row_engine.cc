@@ -1,6 +1,7 @@
 #include "core/row_engine.h"
 
 #include "common/logging.h"
+#include "txn/recovery.h"
 
 namespace disagg {
 
@@ -171,6 +172,27 @@ void RowEngine::DropBuffer() {
   buffer_.clear();
   dirty_.clear();
   insert_page_ = kInvalidPageId;
+}
+
+void RowEngine::NoteDurablePageLsns(const std::vector<LogRecord>& records) {
+  for (const LogRecord& r : records) {
+    if (r.page_id == kInvalidPageId) continue;
+    Lsn& floor = durable_page_lsn_[r.page_id];
+    floor = std::max(floor, r.lsn);
+  }
+}
+
+Status RowEngine::CrashAndRecover(NetContext* ctx) {
+  DISAGG_ASSIGN_OR_RETURN(std::vector<LogRecord> log, sink_->ReadAll(ctx));
+  // No checkpoint: the simulated log tiers are never truncated, so a full
+  // replay reproduces every page.
+  auto out = AriesRecovery::Recover(log, {});
+  if (!out.ok()) return out.status();
+  DropBuffer();
+  for (auto& [id, page] : out->pages) {
+    buffer_.emplace(id, std::move(page));
+  }
+  return Status::OK();
 }
 
 }  // namespace disagg

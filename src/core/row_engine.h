@@ -69,6 +69,23 @@ class RowEngine {
   /// the index survives as it models the shared metadata service.
   void DropBuffer();
 
+  /// Durable-LSN floor a fetched copy of `id` must carry for a read to be
+  /// safe: the highest LSN of this page whose effects a committed
+  /// transaction made durable beyond the local buffer. Fetch paths use it
+  /// to reject stale replicas under faults (kInvalidLsn when untracked).
+  Lsn RequiredPageLsn(PageId id) const {
+    auto it = durable_page_lsn_.find(id);
+    return it == durable_page_lsn_.end() ? kInvalidLsn : it->second;
+  }
+
+  /// Full compute restart: drops the buffer and rebuilds page images by
+  /// ARIES-replaying the durable log tier (`sink()->ReadAll`), installing
+  /// the recovered pages as the new buffer contents. The architectures
+  /// whose remote page tiers cannot be trusted after a faulty run (partial
+  /// page shipping) recover through this path, exactly like their real
+  /// counterparts replay the WAL.
+  Status CrashAndRecover(NetContext* ctx);
+
  protected:
   explicit RowEngine(std::unique_ptr<LogSink> sink)
       : sink_(std::move(sink)), wal_(sink_.get()), tm_(&wal_, &locks_) {}
@@ -89,11 +106,18 @@ class RowEngine {
   /// Page with room for `bytes`, appending a fresh page when needed.
   Result<Page*> PageForInsert(NetContext* ctx, size_t bytes);
 
+  /// Marks `records`' pages durably covered up to their LSNs. Engines call
+  /// this from OnCommit once the transaction's page effects are
+  /// recoverable outside the local buffer. Survives DropBuffer (it models
+  /// metadata-service state, like the row index).
+  void NoteDurablePageLsns(const std::vector<LogRecord>& records);
+
   std::unique_ptr<LogSink> sink_;
   WalManager wal_;
   LockManager locks_;
   TxnManager tm_;
   std::unordered_map<uint64_t, RowLoc> index_;
+  std::unordered_map<PageId, Lsn> durable_page_lsn_;
   std::map<PageId, Page> buffer_;
   std::set<PageId> dirty_;
   PageId next_page_id_ = 1;

@@ -39,6 +39,13 @@ class ServerlessDb {
       return pool_client_.stats();
     }
 
+    /// Crash recovery for the shared pool: fences writers that died with a
+    /// page seqlock held (see SharedBufferPoolClient::FenceCrashedWriters).
+    /// A freshly attached compute runs this before serving.
+    Status FencePoolWriters(NetContext* ctx, uint64_t* repaired = nullptr) {
+      return pool_client_.FenceCrashedWriters(ctx, repaired);
+    }
+
    private:
     ServerlessDb* db_;
     SharedBufferPoolClient pool_client_;

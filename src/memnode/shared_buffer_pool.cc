@@ -135,6 +135,22 @@ Result<Page> SharedBufferPoolClient::ReadPage(NetContext* ctx, PageId id,
   return Status::Busy("seqlock read did not stabilize");
 }
 
+Status SharedBufferPoolClient::FenceCrashedWriters(NetContext* ctx,
+                                                   uint64_t* repaired) {
+  for (uint64_t slot = 0; slot < home_->dir_slots(); slot++) {
+    const GlobalAddr seq_addr = At(SlotAddrOffset(slot) + 8);
+    auto seq = fabric_->ReadAtomic64(ctx, seq_addr);
+    if (!seq.ok()) return seq.status();
+    if (*seq % 2 == 0) continue;  // unlocked (or empty slot)
+    auto observed = fabric_->CompareAndSwap(ctx, seq_addr, *seq, *seq + 1);
+    if (!observed.ok()) return observed.status();
+    // A lost CAS means the (not actually dead) writer published meanwhile;
+    // either way the entry is even again.
+    if (*observed == *seq && repaired != nullptr) (*repaired)++;
+  }
+  return Status::OK();
+}
+
 Status SharedBufferPoolClient::WritePage(NetContext* ctx, const Page& page) {
   DISAGG_ASSIGN_OR_RETURN(uint64_t slot,
                           FindSlot(ctx, page.page_id(), /*create=*/true));

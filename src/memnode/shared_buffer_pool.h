@@ -80,6 +80,15 @@ class SharedBufferPoolClient {
   Status WritePageIf(NetContext* ctx, const Page& page,
                      uint64_t expected_version);
 
+  /// Crash recovery: a writer that dies between acquiring a seqlock and
+  /// publishing leaves the entry odd forever — no hardware coherence exists
+  /// to release it (Sec. 3.1), so readers would spin out with Busy. A
+  /// recovering node walks the directory and fences such writers by forcing
+  /// odd seqs to the next even value. Page-image writes are single verbs
+  /// (old-or-new, never torn), so the fenced frame is consistent either
+  /// way. `repaired`, when non-null, receives the number of fenced entries.
+  Status FenceCrashedWriters(NetContext* ctx, uint64_t* repaired = nullptr);
+
   const Stats& stats() const { return stats_; }
 
  private:

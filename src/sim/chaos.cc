@@ -1,0 +1,1073 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/multi_writer.h"
+#include "core/serverless_db.h"
+#include "memnode/memory_node.h"
+#include "pm/ford_txn.h"
+#include "pm/pm_node.h"
+#include "rindex/race_hash.h"
+#include "rindex/remote_btree.h"
+#include "sim/engine_registry.h"
+#include "txn/recovery.h"
+#include "workload/tpcc_lite.h"
+#include "workload/ycsb.h"
+
+namespace disagg {
+namespace sim {
+
+namespace {
+
+// Workload key layout. Bank and YCSB keys stay far below TPC-C's tagged
+// key space (table tag in the top byte), so the checkers never collide
+// with TPC-C rows.
+constexpr uint64_t kBankBase = 1000;
+constexpr int kBankAccounts = 8;
+constexpr uint64_t kBankInitial = 100000;
+constexpr uint64_t kYcsbBase = 2000;
+constexpr uint64_t kYcsbSpace = 24;
+
+// Fixed-width rows: updates never relocate slots, so the row index stays
+// valid across ARIES-replayed restarts even for uncertain transactions.
+std::string FormatBalance(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIu64, v);
+  return std::string(buf);
+}
+
+uint64_t ParseBalance(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::string FixedValue(uint64_t key, int op) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "y%06" PRIu64 "-%08d", key % 1000000, op);
+  std::string v(buf);
+  v.resize(24, 'x');
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ChaosSchedule
+
+ChaosSchedule ChaosSchedule::FromSeed(uint64_t seed) {
+  // Every parameter is drawn from a generator keyed only by the seed, so
+  // the whole schedule is a pure function of it.
+  Random rng(seed ^ 0xC8A05C8A05ull);
+  ChaosSchedule s;
+  s.seed = seed;
+  s.drop_prob = 0.05 + 0.15 * rng.NextDouble();
+  s.spike_prob = 0.02 + 0.08 * rng.NextDouble();
+  s.spike_ns = 5000 + rng.Uniform(20000);
+  s.num_ops = 120 + static_cast<int>(rng.Uniform(121));
+  const int crashes = 1 + static_cast<int>(rng.Uniform(2));
+  for (int c = 0; c < crashes; c++) {
+    const int lo = s.num_ops / 3;
+    int point = lo + static_cast<int>(rng.Uniform(s.num_ops - lo));
+    s.crash_points.push_back(point);
+  }
+  std::sort(s.crash_points.begin(), s.crash_points.end());
+  s.crash_points.erase(
+      std::unique(s.crash_points.begin(), s.crash_points.end()),
+      s.crash_points.end());
+  const int flaps = static_cast<int>(rng.Uniform(3));  // 0..2 windows
+  for (int f = 0; f < flaps; f++) {
+    FlapWindow w;
+    w.from_seq = 500 + rng.Uniform(6000);
+    w.until_seq = w.from_seq + 800 + rng.Uniform(3000);
+    s.flap_windows.push_back(w);
+  }
+  return s;
+}
+
+std::string ChaosSchedule::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%" PRIu64 " drop=%.4f spike=%.4f/%" PRIu64
+                "ns ops=%d crashes=%zu flaps=%zu retry=%d",
+                seed, drop_prob, spike_prob, spike_ns, num_ops,
+                crash_points.size(), flap_windows.size(), retry_attempts);
+  std::string out(buf);
+  for (const FlapWindow& w : flap_windows) {
+    out += " [" + std::to_string(w.from_seq) + "," +
+           std::to_string(w.until_seq) + ")";
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- KvModel
+
+void KvModel::Commit(uint64_t key, std::optional<std::string> value) {
+  Entry& e = entries_[key];
+  e.committed = std::move(value);
+  e.maybe.clear();
+}
+
+void KvModel::MaybeCommit(uint64_t key, std::optional<std::string> value) {
+  entries_[key].maybe.push_back(std::move(value));
+}
+
+void KvModel::Poison(uint64_t key) { entries_[key].poisoned = true; }
+
+void KvModel::PromoteAllUncertain() {
+  for (auto& [key, e] : entries_) {
+    if (e.maybe.empty()) continue;
+    e.committed = e.maybe.back();
+    e.maybe.clear();
+  }
+}
+
+std::string KvModel::CheckRead(uint64_t key, const Status& st,
+                               const std::string& value) const {
+  std::optional<std::string> obs;
+  if (st.ok()) {
+    obs = value;
+  } else if (!st.IsNotFound()) {
+    return "key " + std::to_string(key) +
+           ": unexpected read status " + st.ToString();
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (!obs) return "";
+    return "untracked key " + std::to_string(key) + " returned \"" + *obs +
+           "\"";
+  }
+  const Entry& e = it->second;
+  if (e.poisoned) return "";
+  if (obs == e.committed) return "";
+  for (const auto& m : e.maybe) {
+    if (obs == m) return "";
+  }
+  return "key " + std::to_string(key) + " read " +
+         (obs ? "\"" + *obs + "\"" : std::string("<absent>")) +
+         " which is neither the committed value nor any uncertain outcome";
+}
+
+bool KvModel::AnyPoisoned() const {
+  for (const auto& [key, e] : entries_) {
+    if (e.poisoned) return true;
+  }
+  return false;
+}
+
+bool KvModel::AnyUncertain() const {
+  for (const auto& [key, e] : entries_) {
+    if (!e.maybe.empty()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Adapters
+
+namespace {
+
+/// Status-code classification for engines whose Put is a single opaque
+/// call: contention/validation codes mean nothing changed; anything else
+/// may have left durable state behind partway through.
+TxnOutcome ClassifyPut(const Status& st) {
+  if (st.ok()) return TxnOutcome::kCommitted;
+  if (st.IsBusy() || st.IsNotFound() || st.IsInvalidArgument() ||
+      st.IsAborted()) {
+    return TxnOutcome::kAborted;
+  }
+  return TxnOutcome::kMaybeCommitted;
+}
+
+/// The five RowEngine architectures behind the chaos surface. Crash policy:
+/// once any transaction's durability became uncertain, every later crash
+/// recovers by full ARIES replay of the durable log tier (a consistent log
+/// prefix); until then the architecture's cheap restart path is used.
+class RowEngineChaosAdapter : public ChaosAdapter {
+ public:
+  RowEngineChaosAdapter(std::string name, Fabric* fabric)
+      : name_(std::move(name)), engine_(MakeRowEngine(name_, fabric)) {
+    DISAGG_CHECK(engine_ != nullptr);
+  }
+
+  const char* name() const override { return name_.c_str(); }
+  RowEngine* row_engine() override { return engine_.get(); }
+  bool SupportsTransfers() const override { return true; }
+
+  TxnOutcome PutKv(NetContext* ctx, uint64_t key, const std::string& value,
+                   Status* status) override {
+    const TxnId txn = engine_->Begin();
+    Status st = engine_->Lookup(key).ok()
+                    ? engine_->Update(ctx, txn, key, value)
+                    : engine_->Insert(ctx, txn, key, value);
+    if (!st.ok()) {
+      *status = st;  // failed before the durability point
+      return engine_->Abort(ctx, txn).ok() ? TxnOutcome::kAborted
+                                           : TxnOutcome::kBroken;
+    }
+    *status = engine_->Commit(ctx, txn);
+    if (status->ok()) return TxnOutcome::kCommitted;
+    sticky_uncertain_ = true;  // the WAL batch may land on a later flush
+    return TxnOutcome::kMaybeCommitted;
+  }
+
+  Result<std::string> GetKv(NetContext* ctx, uint64_t key) override {
+    return engine_->GetRow(ctx, key);
+  }
+
+  TxnOutcome Transfer(NetContext* ctx, uint64_t from, uint64_t to,
+                      uint64_t amount, std::string* new_from,
+                      std::string* new_to) override {
+    const TxnId txn = engine_->Begin();
+    auto a = engine_->Read(ctx, txn, from);
+    auto b = a.ok() ? engine_->Read(ctx, txn, to) : a;
+    if (!a.ok() || !b.ok()) {
+      return engine_->Abort(ctx, txn).ok() ? TxnOutcome::kAborted
+                                           : TxnOutcome::kBroken;
+    }
+    const uint64_t va = ParseBalance(*a);
+    const uint64_t vb = ParseBalance(*b);
+    const uint64_t x = std::min(amount, va);
+    *new_from = FormatBalance(va - x);
+    *new_to = FormatBalance(vb + x);
+    Status st = engine_->Update(ctx, txn, from, *new_from);
+    if (st.ok()) st = engine_->Update(ctx, txn, to, *new_to);
+    if (!st.ok()) {
+      return engine_->Abort(ctx, txn).ok() ? TxnOutcome::kAborted
+                                           : TxnOutcome::kBroken;
+    }
+    st = engine_->Commit(ctx, txn);
+    if (st.ok()) return TxnOutcome::kCommitted;
+    sticky_uncertain_ = true;
+    return TxnOutcome::kMaybeCommitted;
+  }
+
+  std::vector<NodeId> FlappableNodes() const override {
+    if (name_ == "aurora") {
+      auto* db = static_cast<AuroraDb*>(engine_.get());
+      // Two replicas: quorum writes (W=4 of V=6) must ride through both
+      // flapping at once. Chosen from the middle of the replica set so the
+      // mutation build's weakened quorum is left with exactly W-1 copies.
+      return {db->segment()->replica(3).node,
+              db->segment()->replica(4).node};
+    }
+    if (name_ == "polar") {
+      auto* db = static_cast<PolarDb*>(engine_.get());
+      return {db->polarfs()->replica_node(1)};  // one raft follower
+    }
+    if (name_ == "socrates") {
+      auto* db = static_cast<SocratesDb*>(engine_.get());
+      if (db->page_server_count() > 1) return {db->page_server_node(1)};
+      return {};
+    }
+    if (name_ == "taurus") {
+      auto* db = static_cast<TaurusDb*>(engine_.get());
+      if (db->page_store_count() > 1) return {db->page_store_node(1)};
+      return {};
+    }
+    return {};
+  }
+
+  Status CrashAndRecover(NetContext* ctx) override {
+    if (name_ == "monolithic" || sticky_uncertain_) {
+      // No remote page tier to trust (monolithic never checkpointed) or the
+      // page tiers may hold a torn cut: rebuild via ARIES from the log.
+      return engine_->CrashAndRecover(ctx);
+    }
+    if (name_ == "socrates") {
+      // Recovery = apply the XLOG tail to the page servers, then restart
+      // the stateless compute (Socrates' actual procedure).
+      auto* db = static_cast<SocratesDb*>(engine_.get());
+      DISAGG_RETURN_NOT_OK(db->PropagateLogs(ctx));
+      db->DropBuffer();
+      return Status::OK();
+    }
+    engine_->DropBuffer();
+    return Status::OK();
+  }
+
+  std::string AuditDurability() override {
+    if (name_ != "aurora") return std::string();
+    auto* db = static_cast<AuroraDb*>(engine_.get());
+    const Lsn flushed = engine_->wal()->flushed_lsn();
+    if (flushed == kInvalidLsn) return std::string();
+    const int copies = db->segment()->CountDurable(flushed);
+    if (copies < db->segment()->config().write_quorum) {
+      return "durability audit: flushed lsn " + std::to_string(flushed) +
+             " is on only " + std::to_string(copies) +
+             " replicas (< write quorum " +
+             std::to_string(db->segment()->config().write_quorum) + ")";
+    }
+    return std::string();
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<RowEngine> engine_;
+  bool sticky_uncertain_ = false;
+};
+
+/// PolarDB Serverless: the shared remote buffer pool survives compute
+/// crashes by construction, so recovery is just re-attaching a compute.
+class ServerlessChaosAdapter : public ChaosAdapter {
+ public:
+  explicit ServerlessChaosAdapter(Fabric* fabric) : db_(fabric, 256) {
+    compute_ = db_.AttachCompute(8, /*writer=*/true);
+  }
+
+  const char* name() const override { return "serverless"; }
+
+  TxnOutcome PutKv(NetContext* ctx, uint64_t key, const std::string& value,
+                   Status* status) override {
+    // The put is log-append then page write then index update; any failure
+    // after the append may leave durable state behind.
+    *status = compute_->Put(ctx, key, value);
+    return ClassifyPut(*status);
+  }
+  Result<std::string> GetKv(NetContext* ctx, uint64_t key) override {
+    return compute_->Get(ctx, key);
+  }
+
+  Status CrashAndRecover(NetContext* ctx) override {
+    compute_ = db_.AttachCompute(8, /*writer=*/true);
+    // The dead primary may have held page seqlocks in the shared pool.
+    return compute_->FencePoolWriters(ctx);
+  }
+
+ private:
+  ServerlessDb db_;
+  std::unique_ptr<ServerlessDb::Compute> compute_;
+};
+
+/// Multi-writer engine: global remote lock table + shared pool. A crashed
+/// writer is replaced by attaching a fresh one.
+class MultiWriterChaosAdapter : public ChaosAdapter {
+ public:
+  explicit MultiWriterChaosAdapter(Fabric* fabric) : db_(fabric, 256) {
+    writer_ = db_.AttachWriter(8);
+  }
+
+  const char* name() const override { return "multiwriter"; }
+
+  TxnOutcome PutKv(NetContext* ctx, uint64_t key, const std::string& value,
+                   Status* status) override {
+    *status = writer_->Put(ctx, key, value);
+    return ClassifyPut(*status);
+  }
+  Result<std::string> GetKv(NetContext* ctx, uint64_t key) override {
+    return writer_->Get(ctx, key);
+  }
+
+  Status CrashAndRecover(NetContext* ctx) override {
+    const uint64_t dead = writer_->writer_id();
+    writer_ = db_.AttachWriter(8);
+    // Release the dead writer's row locks and page seqlocks.
+    DISAGG_RETURN_NOT_OK(db_.FenceWriter(ctx, dead));
+    return writer_->FencePoolWriters(ctx);
+  }
+
+ private:
+  MultiWriterDb db_;
+  std::unique_ptr<MultiWriterDb::Writer> writer_;
+};
+
+/// FORD one-sided OCC transactions on persistent memory. Records are fixed
+/// slots, so workload keys map onto record ids and values pad to the fixed
+/// record width.
+class FordChaosAdapter : public ChaosAdapter {
+ public:
+  static constexpr size_t kRecordsPerNode = 64;
+
+  explicit FordChaosAdapter(Fabric* fabric) {
+    pm_.push_back(std::make_unique<PmNode>(fabric, "chaos-pm0", 1 << 20));
+    pm_.push_back(std::make_unique<PmNode>(fabric, "chaos-pm1", 1 << 20));
+    std::vector<PmNode*> raw;
+    for (auto& p : pm_) raw.push_back(p.get());
+    mgr_ = std::make_unique<FordTxnManager>(fabric, raw, kRecordsPerNode);
+  }
+
+  const char* name() const override { return "ford"; }
+  bool SupportsTransfers() const override { return true; }
+
+  TxnOutcome PutKv(NetContext* ctx, uint64_t key, const std::string& value,
+                   Status* status) override {
+    auto txn = mgr_->Begin(ctx);
+    Status st = txn.Write(Rid(key), Pad(value));
+    if (!st.ok()) {
+      *status = st;
+      txn.Abort();
+      return TxnOutcome::kAborted;  // local write set only, nothing remote
+    }
+    *status = txn.Commit();
+    if (status->ok()) return TxnOutcome::kCommitted;
+    if (status->IsAborted()) return TxnOutcome::kAborted;  // clean OCC abort
+    return TxnOutcome::kMaybeCommitted;  // single record: atomic either way
+  }
+
+  Result<std::string> GetKv(NetContext* ctx, uint64_t key) override {
+    DISAGG_ASSIGN_OR_RETURN(std::string v,
+                            mgr_->ReadCommitted(ctx, Rid(key)));
+    return Strip(v);
+  }
+
+  TxnOutcome Transfer(NetContext* ctx, uint64_t from, uint64_t to,
+                      uint64_t amount, std::string* new_from,
+                      std::string* new_to) override {
+    auto txn = mgr_->Begin(ctx);
+    auto a = txn.Read(Rid(from));
+    auto b = a.ok() ? txn.Read(Rid(to)) : a;
+    if (!a.ok() || !b.ok()) {
+      txn.Abort();
+      return TxnOutcome::kAborted;
+    }
+    const uint64_t va = ParseBalance(Strip(*a));
+    const uint64_t vb = ParseBalance(Strip(*b));
+    const uint64_t x = std::min(amount, va);
+    *new_from = FormatBalance(va - x);
+    *new_to = FormatBalance(vb + x);
+    if (!txn.Write(Rid(from), Pad(*new_from)).ok() ||
+        !txn.Write(Rid(to), Pad(*new_to)).ok()) {
+      txn.Abort();
+      return TxnOutcome::kAborted;
+    }
+    Status st = txn.Commit();
+    if (st.ok()) return TxnOutcome::kCommitted;
+    if (st.IsAborted()) return TxnOutcome::kAborted;  // clean OCC abort
+    // The write phase is not atomic under infrastructure failure; the
+    // runner exempts both accounts rather than guess.
+    return TxnOutcome::kBroken;
+  }
+
+  Status CrashAndRecover(NetContext* ctx) override {
+    (void)ctx;  // compute is stateless; PM state is the durable state
+    return Status::OK();
+  }
+
+ private:
+  static uint64_t Rid(uint64_t key) {
+    return key >= kYcsbBase ? 16 + (key - kYcsbBase) : key - kBankBase;
+  }
+  static std::string Pad(const std::string& v) {
+    std::string p = v;
+    p.resize(FordTxnManager::kValueBytes, '\0');
+    return p;
+  }
+  static std::string Strip(std::string v) {
+    while (!v.empty() && v.back() == '\0') v.pop_back();
+    return v;
+  }
+
+  std::vector<std::unique_ptr<PmNode>> pm_;
+  std::unique_ptr<FordTxnManager> mgr_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& ChaosEngineNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = RowEngineNames();
+    names.push_back("serverless");
+    names.push_back("multiwriter");
+    names.push_back("ford");
+    return names;
+  }();
+  return kNames;
+}
+
+std::unique_ptr<ChaosAdapter> MakeChaosAdapter(const std::string& name,
+                                               Fabric* fabric) {
+  if (name == "serverless") {
+    return std::make_unique<ServerlessChaosAdapter>(fabric);
+  }
+  if (name == "multiwriter") {
+    return std::make_unique<MultiWriterChaosAdapter>(fabric);
+  }
+  if (name == "ford") return std::make_unique<FordChaosAdapter>(fabric);
+  if (MakeRowEngine(name, fabric) == nullptr) return nullptr;
+  return std::make_unique<RowEngineChaosAdapter>(name, fabric);
+}
+
+// ------------------------------------------------------------------ Traces
+
+std::string TraceToString(const std::vector<OpRecord>& trace) {
+  std::string out;
+  char buf[128];
+  for (const OpRecord& r : trace) {
+    std::snprintf(buf, sizeof(buf),
+                  "%d %c a=%" PRIu64 " b=%" PRIu64 " st=%u ns=%" PRIu64 "\n",
+                  r.index, r.kind, r.a, r.b, r.status, r.sim_ns);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ChaosReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "chaos[%s seed=%" PRIu64
+      "]: commits=%" PRIu64 " aborts=%" PRIu64 " maybe=%" PRIu64
+      " busy=%" PRIu64 " read_errs=%" PRIu64 " tpcc_errs=%" PRIu64
+      " crashes=%" PRIu64 " replay_keys=%" PRIu64 " drops=%" PRIu64
+      " spikes=%" PRIu64 " flap_rej=%" PRIu64 " retries=%" PRIu64
+      " gave_up=%" PRIu64 " violations=%zu"
+      " (replay: scripts/chaos_replay.sh %" PRIu64 ")",
+      engine.c_str(), seed, commits, aborts, maybe_commits, busy,
+      read_errors, tpcc_errors, crashes, replay_checked_keys, drops, spikes,
+      flap_rejections, retries, gave_up, violations.size(), seed);
+  std::string out(buf);
+  for (const std::string& v : violations) out += "\n  VIOLATION: " + v;
+  for (const std::string& n : notes) out += "\n  note: " + n;
+  return out;
+}
+
+// ------------------------------------------------------------------ Runner
+
+namespace {
+
+class ChaosRunner {
+ public:
+  ChaosRunner(std::string engine, ChaosSchedule schedule)
+      : schedule_(std::move(schedule)),
+        wl_rng_(schedule_.seed * 0x9E3779B97F4A7C15ull + 0xC0FFEE),
+        ycsb_(kYcsbSpace, YcsbMix(), /*zipf_theta=*/0.8,
+              schedule_.seed ^ 0x5ca1ab1e) {
+    report_.engine = std::move(engine);
+    report_.seed = schedule_.seed;
+  }
+
+  ChaosReport Run() {
+    adapter_ = MakeChaosAdapter(report_.engine, &fabric_);
+    if (adapter_ == nullptr) {
+      report_.violations.push_back("unknown engine " + report_.engine);
+      return report_;
+    }
+    Setup();
+    if (!report_.violations.empty()) return report_;
+    BuildInterceptors();
+    InstallInterceptors();
+
+    size_t next_crash = 0;
+    for (int i = 0; i < schedule_.num_ops; i++) {
+      if (next_crash < schedule_.crash_points.size() &&
+          i == schedule_.crash_points[next_crash]) {
+        next_crash++;
+        CrashAndAudit(i, /*final_audit=*/false);
+      }
+      RunOneOp(i);
+    }
+    CrashAndAudit(schedule_.num_ops, /*final_audit=*/true);
+    FillCounters();
+    return report_;
+  }
+
+ private:
+  static YcsbGenerator::Mix YcsbMix() { return {0.45, 0.45, 0.10}; }
+
+  bool IsRow() { return adapter_->row_engine() != nullptr; }
+
+  // Ford's fixed record slots can't grow a key space; give it an
+  // insert-free mix instead (the generator is constructed identically so
+  // insert ops simply re-roll as updates of the drawn key).
+  bool InsertsAllowed() { return report_.engine != "ford"; }
+
+  void Setup() {
+    NetContext ctx;
+    for (int a = 0; a < kBankAccounts; a++) {
+      const uint64_t key = kBankBase + a;
+      Status st;
+      if (adapter_->PutKv(&ctx, key, FormatBalance(kBankInitial), &st) !=
+          TxnOutcome::kCommitted) {
+        report_.violations.push_back("setup failed: " + st.ToString());
+        return;
+      }
+      model_.Commit(key, FormatBalance(kBankInitial));
+    }
+    for (uint64_t k = 0; k < kYcsbSpace; k++) {
+      const uint64_t key = kYcsbBase + k;
+      const std::string v = FixedValue(key, -1);
+      Status st;
+      if (adapter_->PutKv(&ctx, key, v, &st) != TxnOutcome::kCommitted) {
+        report_.violations.push_back("setup failed: " + st.ToString());
+        return;
+      }
+      model_.Commit(key, v);
+    }
+    if (IsRow()) {
+      TpccLite::Config cfg;
+      cfg.warehouses = 1;
+      cfg.districts_per_warehouse = 2;
+      cfg.customers_per_district = 10;
+      cfg.items = 40;
+      cfg.lines_per_order = 3;
+      cfg.seed = schedule_.seed ^ 0x7bcc;
+      tpcc_ = std::make_unique<TpccLite>(adapter_->row_engine(), cfg);
+      Status st = tpcc_->Load(&ctx);
+      if (!st.ok()) {
+        report_.violations.push_back("tpcc load failed: " + st.ToString());
+      }
+    }
+  }
+
+  void BuildInterceptors() {
+    RetryPolicy rp;
+    rp.max_attempts = schedule_.retry_attempts;
+    retry_ = std::make_shared<RetryInterceptor>(rp);
+
+    FaultPolicy fp;
+    fp.seed = schedule_.seed;
+    fp.drop_prob = schedule_.drop_prob;
+    fp.spike_prob = schedule_.spike_prob;
+    fp.spike_ns = schedule_.spike_ns;
+    const std::vector<NodeId> flappable = adapter_->FlappableNodes();
+    if (!flappable.empty()) {
+      for (size_t i = 0; i < schedule_.flap_windows.size(); i++) {
+        const ChaosSchedule::FlapWindow& w = schedule_.flap_windows[i];
+        fp.flaps.push_back(
+            {flappable[i % flappable.size()], w.from_seq, w.until_seq});
+      }
+    }
+    fault_ = std::make_shared<FaultInterceptor>(fp);
+  }
+
+  void InstallInterceptors() {
+    // Retry first = outermost, so retries wrap injected faults. The SAME
+    // interceptor objects are reinstalled after every oracle interlude:
+    // the fault sequence counter keeps running, which keeps the whole run
+    // a pure function of the seed.
+    fabric_.AddInterceptor(retry_);
+    fabric_.AddInterceptor(fault_);
+  }
+
+  bool InFlapWindow(uint64_t seq) const {
+    for (const auto& f : fault_->policy().flaps) {
+      if (seq >= f.from_seq && seq < f.until_seq) return true;
+    }
+    return false;
+  }
+
+  void OnDefiniteCommit() {
+    report_.commits++;
+    // Group commit flushes the whole WAL buffer, including batches
+    // re-buffered by earlier failed flushes: every uncertain outcome on
+    // this engine's WAL is durable now.
+    if (IsRow()) model_.PromoteAllUncertain();
+    if (InFlapWindow(fault_->ops_seen())) report_.commits_in_flap++;
+    const std::string audit = adapter_->AuditDurability();
+    if (!audit.empty()) report_.violations.push_back(audit);
+  }
+
+  void Record(int index, char kind, uint64_t a, uint64_t b, uint8_t status) {
+    report_.trace.push_back({index, kind, a, b, status, ctx_.sim_ns});
+  }
+
+  void RunOneOp(int i) {
+    const double dice = wl_rng_.NextDouble();
+    if (adapter_->SupportsTransfers() && dice < 0.30) {
+      const uint64_t from = kBankBase + wl_rng_.Uniform(kBankAccounts);
+      uint64_t to = kBankBase + wl_rng_.Uniform(kBankAccounts);
+      if (to == from) to = kBankBase + (to - kBankBase + 1) % kBankAccounts;
+      const uint64_t amount = 1 + wl_rng_.Uniform(400);
+      std::string nf, nt;
+      const TxnOutcome out =
+          adapter_->Transfer(&ctx_, from, to, amount, &nf, &nt);
+      switch (out) {
+        case TxnOutcome::kCommitted:
+          OnDefiniteCommit();
+          model_.Commit(from, nf);
+          model_.Commit(to, nt);
+          break;
+        case TxnOutcome::kAborted:
+          report_.aborts++;
+          break;
+        case TxnOutcome::kMaybeCommitted:
+          report_.maybe_commits++;
+          model_.MaybeCommit(from, nf);
+          model_.MaybeCommit(to, nt);
+          break;
+        case TxnOutcome::kBroken:
+          model_.Poison(from);
+          model_.Poison(to);
+          report_.notes.push_back("non-atomic transfer outcome at op " +
+                                  std::to_string(i));
+          break;
+      }
+      Record(i, 'T', from, to, static_cast<uint8_t>(out));
+      return;
+    }
+    if (tpcc_ != nullptr && dice >= 0.90) {
+      auto r = tpcc_->NewOrder(&ctx_);
+      if (r.ok() && *r) {
+        OnDefiniteCommit();
+      } else if (r.ok()) {
+        report_.aborts++;
+      } else {
+        report_.tpcc_errors++;
+      }
+      Record(i, 'N', 0, 0,
+             r.ok() ? (*r ? 0 : 1)
+                    : static_cast<uint8_t>(r.status().code()));
+      return;
+    }
+    YcsbGenerator::Op op = ycsb_.Next();
+    if (op.type == YcsbGenerator::OpType::kInsert && !InsertsAllowed()) {
+      op.type = YcsbGenerator::OpType::kUpdate;
+      op.key = op.key % kYcsbSpace;
+    }
+    if (op.type == YcsbGenerator::OpType::kRead) {
+      // A quarter of the reads audit a bank account instead.
+      const uint64_t key = wl_rng_.Uniform(4) == 0
+                               ? kBankBase + wl_rng_.Uniform(kBankAccounts)
+                               : kYcsbBase + op.key;
+      auto r = adapter_->GetKv(&ctx_, key);
+      const Status& st = r.status();
+      if (st.ok() || st.IsNotFound()) {
+        if (st.ok() && IsRow()) model_.PromoteAllUncertain();
+        const std::string msg =
+            model_.CheckRead(key, st, r.ok() ? *r : std::string());
+        if (!msg.empty()) report_.violations.push_back(msg);
+      } else {
+        report_.read_errors++;  // infrastructure failure, allowed mid-run
+      }
+      Record(i, 'R', key, 0, static_cast<uint8_t>(st.code()));
+      return;
+    }
+    const uint64_t key = kYcsbBase + op.key;
+    const std::string value = FixedValue(key, i);
+    Status st;
+    switch (adapter_->PutKv(&ctx_, key, value, &st)) {
+      case TxnOutcome::kCommitted:
+        OnDefiniteCommit();
+        model_.Commit(key, value);
+        break;
+      case TxnOutcome::kAborted:
+        report_.busy++;  // clean failure before the durability point
+        break;
+      case TxnOutcome::kMaybeCommitted:
+        report_.maybe_commits++;
+        model_.MaybeCommit(key, value);
+        break;
+      case TxnOutcome::kBroken:
+        model_.Poison(key);
+        report_.notes.push_back("broken put rollback at op " +
+                                std::to_string(i));
+        break;
+    }
+    Record(i, 'P', key, 0, static_cast<uint8_t>(st.code()));
+  }
+
+  void CrashAndAudit(int at_op, bool final_audit) {
+    report_.crashes++;
+    fabric_.ClearInterceptors();
+    NetContext octx;
+    Status st = adapter_->CrashAndRecover(&octx);
+    if (!st.ok()) {
+      report_.violations.push_back("crash recovery failed: " +
+                                   st.ToString());
+    }
+    std::map<uint64_t, std::string> observed;
+    for (const auto& [key, entry] : model_.entries()) {
+      if (entry.poisoned) continue;
+      auto r = adapter_->GetKv(&octx, key);
+      const Status& rst = r.status();
+      if (!rst.ok() && !rst.IsNotFound()) {
+        report_.violations.push_back("oracle read of key " +
+                                     std::to_string(key) + " failed: " +
+                                     rst.ToString());
+        continue;
+      }
+      const std::string msg =
+          model_.CheckRead(key, rst, r.ok() ? *r : std::string());
+      if (!msg.empty()) {
+        report_.violations.push_back(
+            msg + (final_audit ? " (final audit)"
+                               : " (after crash at op " +
+                                     std::to_string(at_op) + ")"));
+      }
+      if (r.ok()) observed[key] = *r;
+    }
+    if (final_audit) {
+      CheckBalanceConservation(observed);
+      CheckCommittedReplay(&octx);
+    } else {
+      InstallInterceptors();
+    }
+    Record(at_op, 'C', static_cast<uint64_t>(at_op), 0,
+           static_cast<uint8_t>(st.code()));
+  }
+
+  /// Transfers are atomic, and the durable log prefix the recovery read is
+  /// a consistent cut through them — so however the uncertain transfers
+  /// resolved, the money must all still be there.
+  void CheckBalanceConservation(
+      const std::map<uint64_t, std::string>& observed) {
+    if (!adapter_->SupportsTransfers() || model_.AnyPoisoned()) return;
+    uint64_t total = 0;
+    for (int a = 0; a < kBankAccounts; a++) {
+      auto it = observed.find(kBankBase + a);
+      if (it == observed.end()) {
+        report_.violations.push_back("bank account " +
+                                     std::to_string(kBankBase + a) +
+                                     " unreadable in final audit");
+        return;
+      }
+      total += ParseBalance(it->second);
+    }
+    const uint64_t expected =
+        static_cast<uint64_t>(kBankAccounts) * kBankInitial;
+    if (total != expected) {
+      report_.violations.push_back(
+          "balance conservation violated: total " + std::to_string(total) +
+          " != " + std::to_string(expected));
+    }
+  }
+
+  /// Replays the durable log tier through ARIES and checks every key whose
+  /// outcome is certain: its committed row must be reproduced bit-exactly
+  /// at the slot the live index points to. No lost committed writes.
+  void CheckCommittedReplay(NetContext* octx) {
+    RowEngine* engine = adapter_->row_engine();
+    if (engine == nullptr) return;
+    auto log = engine->sink()->ReadAll(octx);
+    if (!log.ok()) {
+      report_.violations.push_back("log read for replay check failed: " +
+                                   log.status().ToString());
+      return;
+    }
+    auto out = AriesRecovery::Recover(*log, {});
+    if (!out.ok()) {
+      report_.violations.push_back("ARIES replay failed: " +
+                                   out.status().ToString());
+      return;
+    }
+    for (const auto& [key, entry] : model_.entries()) {
+      if (entry.poisoned || !entry.maybe.empty() || !entry.committed) {
+        continue;
+      }
+      auto loc = engine->Lookup(key);
+      if (!loc.ok()) {
+        report_.violations.push_back("index lost committed key " +
+                                     std::to_string(key));
+        continue;
+      }
+      auto pit = out->pages.find(loc->page);
+      if (pit == out->pages.end()) {
+        report_.violations.push_back(
+            "log replay produced no page for committed key " +
+            std::to_string(key));
+        continue;
+      }
+      auto row = pit->second.Get(loc->slot);
+      if (!row.ok() || row->ToString() != *entry.committed) {
+        report_.violations.push_back(
+            "committed write lost: key " + std::to_string(key) +
+            " replays as " +
+            (row.ok() ? "\"" + row->ToString() + "\""
+                      : row.status().ToString()));
+        continue;
+      }
+      report_.replay_checked_keys++;
+    }
+  }
+
+  void FillCounters() {
+    report_.drops = fault_->drops();
+    report_.spikes = fault_->spikes();
+    report_.flap_rejections = fault_->flap_rejections();
+    report_.fault_ops_seen = fault_->ops_seen();
+    report_.retries = retry_->retries();
+    report_.gave_up = retry_->gave_up();
+    report_.faults_injected = ctx_.faults_injected;
+  }
+
+  ChaosSchedule schedule_;
+  ChaosReport report_;
+  Fabric fabric_;
+  std::unique_ptr<ChaosAdapter> adapter_;
+  std::unique_ptr<TpccLite> tpcc_;
+  KvModel model_;
+  Random wl_rng_;
+  YcsbGenerator ycsb_;
+  NetContext ctx_;  // workload client context (sim time drives the trace)
+  std::shared_ptr<RetryInterceptor> retry_;
+  std::shared_ptr<FaultInterceptor> fault_;
+};
+
+}  // namespace
+
+ChaosReport RunEngineChaos(const std::string& engine, uint64_t seed) {
+  return RunEngineChaos(engine, ChaosSchedule::FromSeed(seed));
+}
+
+ChaosReport RunEngineChaos(const std::string& engine,
+                           const ChaosSchedule& schedule) {
+  return ChaosRunner(engine, schedule).Run();
+}
+
+// ------------------------------------------------------------- Index chaos
+
+ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
+  ChaosSchedule schedule = ChaosSchedule::FromSeed(seed);
+  ChaosReport report;
+  report.engine = "index-" + kind;
+  report.seed = seed;
+
+  Fabric fabric;
+  MemoryNode pool(&fabric, "chaos-mem", 64 << 20);
+  NetContext setup;
+
+  constexpr uint64_t kKeySpace = 48;
+  const bool is_race = kind == "race";
+  std::unique_ptr<RaceHash> race;
+  std::unique_ptr<RemoteBTree> btree;
+  if (is_race) {
+    auto table = RaceHash::Create(&setup, &fabric, &pool, 256);
+    if (!table.ok()) {
+      report.violations.push_back("create failed: " +
+                                  table.status().ToString());
+      return report;
+    }
+    race = std::make_unique<RaceHash>(&fabric, &pool, *table);
+  } else {
+    auto tree = RemoteBTree::Create(&setup, &fabric, &pool);
+    if (!tree.ok()) {
+      report.violations.push_back("create failed: " +
+                                  tree.status().ToString());
+      return report;
+    }
+    btree = std::make_unique<RemoteBTree>(
+        &fabric, &pool, *tree,
+        kind == "lockcouple" ? RemoteBTree::Options::LockCoupling()
+                             : RemoteBTree::Options::Sherman());
+  }
+
+  // Multi-step index ops have no rollback path, so give-ups would leave the
+  // structure half-mutated; a deep retry budget makes them (deterministic-
+  // seed-verifiably) impossible, which keeps the model exact.
+  RetryPolicy rp;
+  rp.max_attempts = 16;
+  auto retry = std::make_shared<RetryInterceptor>(rp);
+  FaultPolicy fp;
+  fp.seed = schedule.seed;
+  fp.drop_prob = schedule.drop_prob;
+  fp.spike_prob = schedule.spike_prob;
+  fp.spike_ns = schedule.spike_ns;
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric.AddInterceptor(retry);
+  fabric.AddInterceptor(fault);
+
+  std::map<uint64_t, uint64_t> model;
+  Random rng(seed * 0x2545F4914F6CDD1Dull + 1);
+  NetContext ctx;
+  auto key_name = [](uint64_t k) { return "k" + std::to_string(k); };
+
+  for (int i = 0; i < schedule.num_ops; i++) {
+    const uint64_t k = rng.Uniform(kKeySpace);
+    const uint64_t v = static_cast<uint64_t>(i) + 1;
+    const double dice = rng.NextDouble();
+    Status st;
+    char kindc;
+    if (dice < 0.5) {
+      kindc = 'P';
+      st = is_race ? race->Put(&ctx, key_name(k), std::to_string(v))
+                   : btree->Put(&ctx, k, v);
+      if (st.ok()) model[k] = v;
+    } else if (dice < 0.8) {
+      kindc = 'R';
+      if (is_race) {
+        auto r = race->Get(&ctx, key_name(k));
+        st = r.status();
+        if (st.ok() && model.count(k) &&
+            *r != std::to_string(model[k])) {
+          report.violations.push_back("race read mismatch on key " +
+                                      std::to_string(k));
+        }
+      } else {
+        auto r = btree->Get(&ctx, k);
+        st = r.status();
+        if (st.ok() && model.count(k) && *r != model[k]) {
+          report.violations.push_back("btree read mismatch on key " +
+                                      std::to_string(k));
+        }
+      }
+      if (st.IsNotFound() && model.count(k)) {
+        report.violations.push_back("inserted key " + std::to_string(k) +
+                                    " reads as absent");
+      }
+    } else {
+      kindc = 'D';
+      st = is_race ? race->Delete(&ctx, key_name(k))
+                   : btree->Delete(&ctx, k);
+      if (st.ok() || st.IsNotFound()) model.erase(k);
+    }
+    if (st.ok() || st.IsNotFound()) {
+      // applied (or cleanly absent)
+    } else {
+      report.read_errors++;
+    }
+    report.trace.push_back({i, kindc, k, 0,
+                            static_cast<uint8_t>(st.code()), ctx.sim_ns});
+  }
+
+  report.drops = fault->drops();
+  report.spikes = fault->spikes();
+  report.fault_ops_seen = fault->ops_seen();
+  report.retries = retry->retries();
+  report.gave_up = retry->gave_up();
+  report.faults_injected = ctx.faults_injected;
+
+  if (report.gave_up > 0 || report.read_errors > 0) {
+    // A gave-up op may have half-applied; the exact model no longer binds.
+    report.notes.push_back("retry budget exhausted; key-set check skipped");
+    report.violations.clear();
+    return report;
+  }
+
+  // Oracle audit: the surviving key set must match the model exactly —
+  // every key present with its value, every other key absent (no ghosts).
+  fabric.ClearInterceptors();
+  NetContext octx;
+  for (uint64_t k = 0; k < kKeySpace; k++) {
+    auto it = model.find(k);
+    if (is_race) {
+      auto r = race->Get(&octx, key_name(k));
+      if (it != model.end()) {
+        if (!r.ok() || *r != std::to_string(it->second)) {
+          report.violations.push_back("final: key " + std::to_string(k) +
+                                      " wrong or missing");
+        }
+      } else if (!r.status().IsNotFound()) {
+        report.violations.push_back("final: ghost key " + std::to_string(k));
+      }
+    } else {
+      auto r = btree->Get(&octx, k);
+      if (it != model.end()) {
+        if (!r.ok() || *r != it->second) {
+          report.violations.push_back("final: key " + std::to_string(k) +
+                                      " wrong or missing");
+        }
+      } else if (!r.status().IsNotFound()) {
+        report.violations.push_back("final: ghost key " + std::to_string(k));
+      }
+    }
+  }
+  if (!is_race) {
+    auto scan = btree->Scan(&octx, 0, kKeySpace + 16);
+    if (!scan.ok()) {
+      report.violations.push_back("final scan failed: " +
+                                  scan.status().ToString());
+    } else {
+      std::vector<std::pair<uint64_t, uint64_t>> want(model.begin(),
+                                                      model.end());
+      if (*scan != want) {
+        report.violations.push_back(
+            "final scan does not match the model key set (ghost or lost "
+            "entries)");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sim
+}  // namespace disagg

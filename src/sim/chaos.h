@@ -1,0 +1,209 @@
+#ifndef DISAGG_SIM_CHAOS_H_
+#define DISAGG_SIM_CHAOS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/row_engine.h"
+#include "net/interceptors.h"
+
+namespace disagg {
+namespace sim {
+
+/// One deterministic chaos schedule: fault probabilities, node-flap windows
+/// and crash points, every field a pure function of a single uint64 seed.
+/// Replaying the same seed against the same binary reproduces the identical
+/// op trace bit for bit (`scripts/chaos_replay.sh <seed>`).
+struct ChaosSchedule {
+  uint64_t seed = 1;
+
+  // Fed into FaultPolicy.
+  double drop_prob = 0.0;
+  double spike_prob = 0.0;
+  uint64_t spike_ns = 10000;
+
+  /// Workload length and the op indices at which the compute node crashes
+  /// and runs its architecture-appropriate recovery.
+  int num_ops = 160;
+  std::vector<int> crash_points;  // strictly increasing, < num_ops
+
+  /// Flap windows in fault-sequence space; the target node is chosen per
+  /// engine from `ChaosAdapter::FlappableNodes()` (window i -> node i % K).
+  struct FlapWindow {
+    uint64_t from_seq = 0;
+    uint64_t until_seq = 0;
+  };
+  std::vector<FlapWindow> flap_windows;
+
+  int retry_attempts = 12;
+
+  /// Derives every field from `seed` alone.
+  static ChaosSchedule FromSeed(uint64_t seed);
+
+  std::string Describe() const;
+};
+
+/// Model of what a correct engine may return per key. A commit that failed
+/// AFTER its durability attempt is "uncertain": the WAL batch may or may not
+/// have landed (and, because failed batches are re-buffered, may land on a
+/// LATER successful flush), so the key is allowed to read as any of its
+/// uncertain outcomes or the last certain one — but never anything else.
+class KvModel {
+ public:
+  struct Entry {
+    std::optional<std::string> committed;  // nullopt = definitely absent
+    /// Uncertain outcomes, oldest first (durable log prefixes resolve them
+    /// monotonically, so membership in the set is the sound check).
+    std::vector<std::optional<std::string>> maybe;
+    bool poisoned = false;  // possibly non-atomic outcome: key exempted
+  };
+
+  /// Definite committed state (setup writes, successful commits).
+  void Commit(uint64_t key, std::optional<std::string> value);
+  /// Commit whose durability is unknown (error after the flush attempt).
+  void MaybeCommit(uint64_t key, std::optional<std::string> value);
+  /// Exempts the key from checking (possibly non-atomic partial outcome).
+  void Poison(uint64_t key);
+  /// A later group-commit flush on the same WAL succeeded, which lands every
+  /// re-buffered batch: all uncertain outcomes became durable.
+  void PromoteAllUncertain();
+
+  /// Validates one observed read (`st` is OK or NotFound). Returns "" if the
+  /// observation is explainable, else a violation description.
+  std::string CheckRead(uint64_t key, const Status& st,
+                        const std::string& value) const;
+
+  const std::map<uint64_t, Entry>& entries() const { return entries_; }
+  bool AnyPoisoned() const;
+  bool AnyUncertain() const;
+
+ private:
+  std::map<uint64_t, Entry> entries_;
+};
+
+/// Outcome of a multi-key transaction attempt as the workload driver saw it.
+enum class TxnOutcome {
+  kCommitted,       // definitely durable
+  kAborted,         // definitely rolled back, no state change
+  kMaybeCommitted,  // atomic, but durability unknown
+  kBroken,          // rollback itself failed: outcome possibly non-atomic
+};
+
+/// Uniform chaos surface over one engine: a keyed KV op interface, the fault
+/// domains the schedule may flap, and the architecture's crash+recovery
+/// procedure. All eight engines (five RowEngine architectures, serverless,
+/// multi-writer, FORD) sit behind this.
+class ChaosAdapter {
+ public:
+  virtual ~ChaosAdapter() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Single-key upsert. The adapter — not the caller — classifies the
+  /// outcome, because only it knows whether a failure happened before or
+  /// after the durability point (a pre-commit failure is cleanly rolled
+  /// back; a commit-path failure may still land on a later flush). `status`
+  /// receives the raw engine status for the trace.
+  virtual TxnOutcome PutKv(NetContext* ctx, uint64_t key,
+                           const std::string& value, Status* status) = 0;
+  virtual Result<std::string> GetKv(NetContext* ctx, uint64_t key) = 0;
+
+  /// Atomic two-account transfer (engines with multi-key transactions).
+  /// Moves min(amount, balance(from)); fills new_* with the written rows.
+  virtual bool SupportsTransfers() const { return false; }
+  virtual TxnOutcome Transfer(NetContext* ctx, uint64_t from, uint64_t to,
+                              uint64_t amount, std::string* new_from,
+                              std::string* new_to) {
+    (void)ctx, (void)from, (void)to, (void)amount, (void)new_from,
+        (void)new_to;
+    return TxnOutcome::kAborted;
+  }
+
+  /// Non-null for RowEngine-backed adapters (enables the TPC-C driver and
+  /// the committed-replay checker).
+  virtual RowEngine* row_engine() { return nullptr; }
+
+  /// Nodes the schedule may flap without making the engine unavailable by
+  /// design (e.g. up to two Aurora segment replicas). Empty = no flaps.
+  virtual std::vector<NodeId> FlappableNodes() const { return {}; }
+
+  /// Crash the compute tier and recover the way this architecture would.
+  /// Called in oracle mode (no interceptors installed).
+  virtual Status CrashAndRecover(NetContext* ctx) = 0;
+
+  /// Post-commit audit hook; "" = fine. The Aurora adapter checks that the
+  /// flushed LSN really is on a write quorum of replicas — the checker the
+  /// DISAGG_CHAOS_MUTATION build must trip.
+  virtual std::string AuditDurability() { return std::string(); }
+};
+
+/// Names accepted by MakeChaosAdapter: the RowEngine registry names plus
+/// "serverless", "multiwriter", "ford".
+const std::vector<std::string>& ChaosEngineNames();
+std::unique_ptr<ChaosAdapter> MakeChaosAdapter(const std::string& name,
+                                               Fabric* fabric);
+
+/// One entry of the deterministic op trace.
+struct OpRecord {
+  int index = 0;
+  char kind = '?';  // T transfer, P put, R read, N neworder, C crash
+  uint64_t a = 0;   // primary key / account
+  uint64_t b = 0;   // secondary account (transfers)
+  uint8_t status = 0;
+  uint64_t sim_ns = 0;  // cumulative workload sim time after the op
+};
+
+std::string TraceToString(const std::vector<OpRecord>& trace);
+
+/// Everything a run produced. `violations` empty = the engine upheld every
+/// invariant under this schedule.
+struct ChaosReport {
+  std::string engine;
+  uint64_t seed = 0;
+  std::vector<OpRecord> trace;
+  std::vector<std::string> violations;
+  std::vector<std::string> notes;
+
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t maybe_commits = 0;
+  uint64_t busy = 0;
+  uint64_t read_errors = 0;  // faulted-mode reads that failed (allowed)
+  uint64_t tpcc_errors = 0;
+  uint64_t crashes = 0;
+  uint64_t replay_checked_keys = 0;
+  uint64_t commits_in_flap = 0;  // commits while >=1 flap window active
+
+  // Interceptor counters at the end of the run.
+  uint64_t drops = 0;
+  uint64_t spikes = 0;
+  uint64_t flap_rejections = 0;
+  uint64_t fault_ops_seen = 0;
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;
+  uint64_t faults_injected = 0;  // workload ctx counter
+
+  std::string Summary() const;
+};
+
+/// Runs one engine under one schedule: seeded bank-transfer + YCSB-lite
+/// (+ TPC-C-lite NewOrder on RowEngine architectures) with mid-run crash
+/// points, invariant checks at every crash and a full audit (membership,
+/// balance conservation, committed-replay-from-log) at the end.
+ChaosReport RunEngineChaos(const std::string& engine, uint64_t seed);
+ChaosReport RunEngineChaos(const std::string& engine,
+                           const ChaosSchedule& schedule);
+
+/// Index chaos: seeded op stream against a remote index under the same
+/// fault schedule, checked against an exact in-memory model; the final
+/// audit verifies the key set (including scan ghost checks for the B+tree).
+/// `kind` is "race", "sherman" or "lockcouple".
+ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed);
+
+}  // namespace sim
+}  // namespace disagg
+
+#endif  // DISAGG_SIM_CHAOS_H_

@@ -1,0 +1,24 @@
+#include "sim/engine_registry.h"
+
+namespace disagg {
+namespace sim {
+
+const std::vector<std::string>& RowEngineNames() {
+  static const std::vector<std::string> kNames = {
+      "monolithic", "aurora", "polar", "socrates", "taurus",
+  };
+  return kNames;
+}
+
+std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
+                                         Fabric* fabric) {
+  if (name == "monolithic") return std::make_unique<MonolithicDb>();
+  if (name == "aurora") return std::make_unique<AuroraDb>(fabric);
+  if (name == "polar") return std::make_unique<PolarDb>(fabric);
+  if (name == "socrates") return std::make_unique<SocratesDb>(fabric);
+  if (name == "taurus") return std::make_unique<TaurusDb>(fabric);
+  return nullptr;
+}
+
+}  // namespace sim
+}  // namespace disagg

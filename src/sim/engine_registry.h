@@ -1,0 +1,26 @@
+#ifndef DISAGG_SIM_ENGINE_REGISTRY_H_
+#define DISAGG_SIM_ENGINE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engines.h"
+
+namespace disagg {
+namespace sim {
+
+/// Canonical names of every RowEngine architecture. The single source of
+/// truth shared by the conformance tests and the chaos harness — adding an
+/// engine here enrolls it in both.
+const std::vector<std::string>& RowEngineNames();
+
+/// Builds the named engine on `fabric` (which the engine may ignore, e.g.
+/// the monolithic baseline). Returns nullptr for unknown names.
+std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
+                                         Fabric* fabric);
+
+}  // namespace sim
+}  // namespace disagg
+
+#endif  // DISAGG_SIM_ENGINE_REGISTRY_H_

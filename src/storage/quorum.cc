@@ -23,27 +23,47 @@ ReplicatedSegment::ReplicatedSegment(Fabric* fabric, const Config& config,
     replicas_.push_back(std::move(replica));
   }
   acked_lsn_.assign(replicas_.size(), kInvalidLsn);
+  next_idx_.assign(replicas_.size(), 0);
 }
 
 Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
                                          const std::vector<LogRecord>& records) {
+  for (const LogRecord& r : records) history_.push_back(r);
+  size_t fanout = replicas_.size();
+#ifdef DISAGG_CHAOS_MUTATION
+  // Chaos-harness self-check mutation: silently skip the last replica and
+  // accept one ack short of the configured write quorum. Under a schedule
+  // flapping V-W replicas this commits data that is NOT quorum-durable;
+  // the harness's durability checker must catch it.
+  fanout = replicas_.size() - 1;
+#endif
   std::vector<NetContext> branch(replicas_.size());
   int acks = 0;
   Lsn lsn = kInvalidLsn;
-  for (size_t i = 0; i < replicas_.size(); i++) {
+  for (size_t i = 0; i < fanout; i++) {
+    // Resync: this replica gets everything it has not acked yet, so the new
+    // records never land with a gap in front of them. Fault-free this is
+    // exactly `records`.
+    const std::vector<LogRecord> suffix(history_.begin() + next_idx_[i],
+                                        history_.end());
     LogStoreClient log_client(fabric_, replicas_[i].node);
     PageStoreClient page_client(fabric_, replicas_[i].node);
-    auto r = log_client.Append(&branch[i], records);
+    auto r = log_client.Append(&branch[i], suffix);
     if (!r.ok()) continue;
     // The segment also queues the redo for page materialization.
-    auto p = page_client.ApplyLog(&branch[i], records);
+    auto p = page_client.ApplyLog(&branch[i], suffix);
     if (!p.ok()) continue;
+    next_idx_[i] = history_.size();
     acked_lsn_[i] = *r;
     lsn = std::max(lsn, *r);
     acks++;
   }
   MergeParallel(ctx, branch.data(), branch.size());
-  if (acks < config_.write_quorum) {
+  int required = config_.write_quorum;
+#ifdef DISAGG_CHAOS_MUTATION
+  required = config_.write_quorum - 1;
+#endif
+  if (acks < required) {
     return Status::Unavailable("write quorum not met: " +
                                std::to_string(acks) + "/" +
                                std::to_string(config_.write_quorum));

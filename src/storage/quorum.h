@@ -47,6 +47,12 @@ class ReplicatedSegment {
 
   /// Ships redo records to all replicas; succeeds once `write_quorum` acks
   /// arrive. Records are queued for page materialization on each replica.
+  /// Each replica is sent its un-acked suffix of the append history, so a
+  /// replica that missed earlier appends (drop, flap, AZ outage) is resynced
+  /// before the new records count as acked: an ack always means "this
+  /// replica contiguously holds everything up to the acked LSN". In the
+  /// fault-free case the suffix is exactly `records`, so costs are
+  /// unchanged. Server-side LSN dedup makes re-sends idempotent.
   Result<Lsn> AppendLog(NetContext* ctx, const std::vector<LogRecord>& records);
 
   /// Reads a page from the first reachable replica whose durable LSN covers
@@ -72,7 +78,11 @@ class ReplicatedSegment {
   Fabric* fabric_;
   Config config_;
   std::vector<SegmentReplica> replicas_;
-  std::vector<Lsn> acked_lsn_;  // per-replica LSN acked to this client
+  std::vector<Lsn> acked_lsn_;  // per-replica contiguously-acked LSN
+  // Client-side append history driving per-replica resync. Unbounded, like
+  // the replica logs themselves — the simulator never truncates segments.
+  std::vector<LogRecord> history_;
+  std::vector<size_t> next_idx_;  // per-replica: first history_ index not acked
 };
 
 }  // namespace disagg

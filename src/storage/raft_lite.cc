@@ -94,9 +94,13 @@ Status RaftReplicaService::HandleAppendEntries(Slice req, std::string* resp,
 
   std::lock_guard<std::mutex> lock(mu_);
   resp->clear();
+  // Every response carries (success, term, log_size); the log size acts as
+  // the conflict hint that lets the leader skip straight to the end of a
+  // merely-lagging follower's log instead of probing one index at a time.
   if (term < term_) {
     PutVarint64(resp, 0);  // success=false
     PutVarint64(resp, term_);
+    PutVarint64(resp, log_.size());
     return Status::OK();
   }
   term_ = term;
@@ -106,6 +110,7 @@ Status RaftReplicaService::HandleAppendEntries(Slice req, std::string* resp,
       (prev_index > 0 && log_[prev_index - 1].term != prev_term)) {
     PutVarint64(resp, 0);
     PutVarint64(resp, term_);
+    PutVarint64(resp, log_.size());
     sctx->ChargeCompute(200);
     return Status::OK();
   }
@@ -126,6 +131,7 @@ Status RaftReplicaService::HandleAppendEntries(Slice req, std::string* resp,
   sctx->ChargeCompute(200 + 150 * entries.size());
   PutVarint64(resp, 1);  // success
   PutVarint64(resp, term_);
+  PutVarint64(resp, log_.size());
   return Status::OK();
 }
 
@@ -167,8 +173,9 @@ Status RaftLiteGroup::ReplicateTo(NetContext* ctx, int follower_idx) {
     DISAGG_RETURN_NOT_OK(fabric_->Call(ctx, follower.node,
                                        "raft.append_entries", req, &resp));
     Slice in(resp);
-    uint64_t success = 0, follower_term = 0;
-    if (!GetVarint64(&in, &success) || !GetVarint64(&in, &follower_term)) {
+    uint64_t success = 0, follower_term = 0, follower_log_size = 0;
+    if (!GetVarint64(&in, &success) || !GetVarint64(&in, &follower_term) ||
+        !GetVarint64(&in, &follower_log_size)) {
       return Status::Corruption("append_entries response");
     }
     if (follower_term > term_) {
@@ -178,13 +185,28 @@ Status RaftLiteGroup::ReplicateTo(NetContext* ctx, int follower_idx) {
       follower.next_index = leader_svc->log_size();
       return Status::OK();
     }
-    // Log mismatch: back off one entry and retry.
+    // Log mismatch: back off one entry, or jump to the follower's log end
+    // if it is shorter than the probe point (it cannot match beyond it).
     if (follower.next_index == 0) {
       return Status::Corruption("log mismatch at index 0");
     }
-    follower.next_index--;
+    follower.next_index =
+        std::min(follower.next_index - 1, follower_log_size);
   }
-  return Status::TimedOut("replication did not converge");
+  // The log-matching walk needs more rounds than this call's budget. The
+  // match point found so far persists in next_index, so this is retryable
+  // contention (Busy), not a simulated infrastructure failure
+  // (TimedOut/Unavailable are reserved for those): calling again resumes
+  // the walk where it stalled.
+  return Status::Busy("replication did not converge within the round budget");
+}
+
+Status RaftLiteGroup::SyncFollower(NetContext* ctx, int follower_idx) {
+  if (follower_idx < 0 || follower_idx >= size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  if (follower_idx == leader_) return Status::OK();
+  return ReplicateTo(ctx, follower_idx);
 }
 
 Result<uint64_t> RaftLiteGroup::Append(NetContext* ctx, std::string payload) {
@@ -232,7 +254,11 @@ Result<int> RaftLiteGroup::ElectLeader(NetContext* ctx, int preferred) {
   term_++;
   leader_ = best;
   replicas_[leader_].service->BecomeLeader(term_);
-  for (auto& m : replicas_) m.next_index = 0;
+  // Optimistic next_index (Raft's post-election initialization): assume each
+  // follower matches the whole leader log; the reject hint walks it back
+  // cheaply when one does not.
+  const uint64_t leader_len = replicas_[leader_].service->log_size();
+  for (auto& m : replicas_) m.next_index = leader_len;
   // Re-assert leadership / sync live followers.
   std::vector<NetContext> branch(replicas_.size());
   for (int i = 0; i < size(); i++) {

@@ -71,6 +71,12 @@ class RaftLiteGroup {
   /// a majority. Fails Unavailable if a majority cannot be reached.
   Result<uint64_t> Append(NetContext* ctx, std::string payload);
 
+  /// Anti-entropy: pushes the leader's log to one follower. Busy means the
+  /// log-matching walk did not converge within the per-call round budget;
+  /// the match point found so far is kept, so calling again resumes and
+  /// makes progress (retryable contention, not an infrastructure failure).
+  Status SyncFollower(NetContext* ctx, int follower_idx);
+
   /// Administrative failover: promotes the most up-to-date live replica
   /// (or `preferred` if it is as up-to-date as any live replica) and bumps
   /// the term. Returns the new leader index.
@@ -87,7 +93,8 @@ class RaftLiteGroup {
   };
 
   /// Sends the suffix of the leader log starting at follower's next_index;
-  /// steps back on log-matching conflicts.
+  /// steps back on log-matching conflicts (jumping straight to the
+  /// follower's log end when the reject hint shows it is merely lagging).
   Status ReplicateTo(NetContext* ctx, int follower_idx);
 
   Fabric* fabric_;

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/chaos.h"
+
+namespace disagg {
+namespace sim {
+namespace {
+
+// The deterministic chaos harness end to end. Every failing assertion
+// prints the report summary, which includes the exact replay command
+// (`scripts/chaos_replay.sh <seed>`) that reproduces the run bit for bit.
+
+#ifdef DISAGG_CHAOS_MUTATION
+// The mutation build deliberately weakens the quorum-ack path; only the
+// self-check tests below are meaningful there.
+#define SKIP_UNDER_MUTATION() \
+  GTEST_SKIP() << "mutation build: only the self-check filter applies"
+#else
+#define SKIP_UNDER_MUTATION() (void)0
+#endif
+
+TEST(ChaosScheduleTest, PureFunctionOfSeed) {
+  for (uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    const ChaosSchedule a = ChaosSchedule::FromSeed(seed);
+    const ChaosSchedule b = ChaosSchedule::FromSeed(seed);
+    EXPECT_EQ(a.Describe(), b.Describe());
+    EXPECT_EQ(a.crash_points, b.crash_points);
+    ASSERT_GE(a.crash_points.size(), 1u);
+    EXPECT_LT(a.crash_points.back(), a.num_ops);
+    EXPECT_GT(a.drop_prob, 0.0);
+  }
+  EXPECT_NE(ChaosSchedule::FromSeed(1).Describe(),
+            ChaosSchedule::FromSeed(2).Describe());
+}
+
+TEST(ChaosScheduleTest, ModelMembershipSemantics) {
+  KvModel m;
+  m.Commit(1, "a");
+  EXPECT_EQ(m.CheckRead(1, Status::OK(), "a"), "");
+  EXPECT_NE(m.CheckRead(1, Status::OK(), "zzz"), "");
+  m.MaybeCommit(1, "b");
+  // Uncertain: both the old committed value and the maybe outcome pass.
+  EXPECT_EQ(m.CheckRead(1, Status::OK(), "a"), "");
+  EXPECT_EQ(m.CheckRead(1, Status::OK(), "b"), "");
+  EXPECT_NE(m.CheckRead(1, Status::OK(), "c"), "");
+  EXPECT_TRUE(m.AnyUncertain());
+  m.PromoteAllUncertain();
+  EXPECT_FALSE(m.AnyUncertain());
+  EXPECT_NE(m.CheckRead(1, Status::OK(), "a"), "");  // resolved to "b"
+  EXPECT_EQ(m.CheckRead(1, Status::OK(), "b"), "");
+  EXPECT_NE(m.CheckRead(2, Status::OK(), "ghost"), "");
+  EXPECT_EQ(m.CheckRead(2, Status::NotFound(""), ""), "");
+}
+
+// Acceptance gate: >= 20 seeded schedules across >= 6 engines with zero
+// invariant violations. 8 engines x 3 seeds = 24 full schedules (each with
+// drops, spikes, flaps where supported, and mid-run crash+recovery).
+TEST(ChaosSuiteTest, EveryEngineSurvivesSeededSchedules) {
+  SKIP_UNDER_MUTATION();
+  int runs = 0;
+  for (const std::string& engine : ChaosEngineNames()) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      const ChaosReport r = RunEngineChaos(engine, seed);
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+      EXPECT_GT(r.commits, 0u) << r.Summary();
+      EXPECT_GT(r.crashes, 0u) << r.Summary();
+      runs++;
+    }
+  }
+  EXPECT_GE(runs, 20);
+}
+
+// Acceptance gate: the identical seed produces the identical op trace.
+TEST(ChaosSuiteTest, SameSeedSameTrace) {
+  SKIP_UNDER_MUTATION();
+  for (const std::string& engine :
+       {std::string("aurora"), std::string("serverless"),
+        std::string("ford")}) {
+    const ChaosReport a = RunEngineChaos(engine, 77);
+    const ChaosReport b = RunEngineChaos(engine, 77);
+    EXPECT_EQ(TraceToString(a.trace), TraceToString(b.trace))
+        << engine << ": seed 77 did not replay deterministically";
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_NE(TraceToString(a.trace),
+              TraceToString(RunEngineChaos(engine, 78).trace))
+        << engine << ": distinct seeds produced identical traces";
+  }
+}
+
+// Conformance: under a pure drop schedule (no spikes, no flaps, no
+// crashes) wrapped in retries, every engine loses no committed write and
+// the interceptor counters obey their identities: every drop is either
+// retried or given up on, and the client-observed fault count equals the
+// injected fault count.
+TEST(ChaosConformanceTest, RetryWrappedDropSchedules) {
+  SKIP_UNDER_MUTATION();
+  for (const std::string& engine : ChaosEngineNames()) {
+    for (uint64_t seed : {101ull, 202ull}) {
+      ChaosSchedule s;
+      s.seed = seed;
+      s.drop_prob = 0.15;
+      s.spike_prob = 0.0;
+      s.num_ops = 150;
+      s.retry_attempts = 12;
+      const ChaosReport r = RunEngineChaos(engine, s);
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+      EXPECT_EQ(r.drops, r.retries + r.gave_up) << r.Summary();
+      EXPECT_EQ(r.faults_injected,
+                r.drops + r.spikes + r.flap_rejections)
+          << r.Summary();
+      EXPECT_EQ(r.spikes, 0u) << r.Summary();
+      EXPECT_EQ(r.flap_rejections, 0u) << r.Summary();
+    }
+  }
+}
+
+// Harsh schedules: drop rates high enough that the retry budget is
+// routinely exhausted, forcing clean aborts, uncertain commits, sticky
+// ARIES recovery and faulted reads. The membership model must still
+// explain every observation.
+TEST(ChaosConformanceTest, HarshDropSchedulesExerciseUncertainty) {
+  SKIP_UNDER_MUTATION();
+  uint64_t total_maybe = 0;
+  uint64_t total_clean = 0;
+  for (const std::string& engine : ChaosEngineNames()) {
+    for (uint64_t seed : {301ull, 302ull, 303ull}) {
+      ChaosSchedule s;
+      s.seed = seed;
+      s.drop_prob = 0.45;
+      s.spike_prob = 0.0;
+      s.num_ops = 120;
+      s.retry_attempts = 3;
+      s.crash_points = {40, 80};
+      const ChaosReport r = RunEngineChaos(engine, s);
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+      total_maybe += r.maybe_commits;
+      total_clean += r.busy + r.aborts;
+    }
+  }
+  // The whole point of the harsh tier: uncertainty actually happens.
+  EXPECT_GT(total_maybe, 0u);
+  EXPECT_GT(total_clean, 0u);
+}
+
+// Regression corpus: seeds that once exposed interesting interleavings
+// stay pinned here so they are re-run on every commit.
+TEST(ChaosSuiteTest, RegressionSeedCorpus) {
+  SKIP_UNDER_MUTATION();
+  const std::vector<uint64_t> corpus = {42, 1337, 20230642, 9999999999ull};
+  for (const std::string& engine : ChaosEngineNames()) {
+    for (uint64_t seed : corpus) {
+      const ChaosReport r = RunEngineChaos(engine, seed);
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+    }
+  }
+}
+
+// Index chaos: remote index structures under the same fault pipeline,
+// checked against an exact model with ghost detection.
+TEST(ChaosIndexTest, IndexStructuresKeepKeySetConsistent) {
+  SKIP_UNDER_MUTATION();
+  for (const std::string& kind :
+       {std::string("race"), std::string("sherman"),
+        std::string("lockcouple")}) {
+    for (uint64_t seed : {11ull, 12ull, 13ull}) {
+      const ChaosReport r = RunIndexChaos(kind, seed);
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+      EXPECT_FALSE(r.trace.empty());
+    }
+  }
+}
+
+TEST(ChaosIndexTest, SameSeedSameTrace) {
+  SKIP_UNDER_MUTATION();
+  const ChaosReport a = RunIndexChaos("sherman", 21);
+  const ChaosReport b = RunIndexChaos("sherman", 21);
+  EXPECT_EQ(TraceToString(a.trace), TraceToString(b.trace));
+}
+
+// Replay entry point used by scripts/chaos_replay.sh and the CI chaos
+// stage: DISAGG_CHAOS_SEEDS holds comma- or space-separated seeds; each is
+// run against every engine and every index kind.
+TEST(ChaosReplayTest, ReplaySeedsFromEnv) {
+  SKIP_UNDER_MUTATION();
+  const char* env = std::getenv("DISAGG_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "DISAGG_CHAOS_SEEDS not set";
+  }
+  std::vector<uint64_t> seeds;
+  std::string tok;
+  for (const char* p = env;; p++) {
+    if (*p == ',' || *p == ' ' || *p == '\0') {
+      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 0));
+      tok.clear();
+      if (*p == '\0') break;
+    } else {
+      tok += *p;
+    }
+  }
+  ASSERT_FALSE(seeds.empty());
+  for (uint64_t seed : seeds) {
+    printf("=== schedule %s\n",
+           ChaosSchedule::FromSeed(seed).Describe().c_str());
+    for (const std::string& engine : ChaosEngineNames()) {
+      const ChaosReport r = RunEngineChaos(engine, seed);
+      printf("%s\n", r.Summary().c_str());
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+    }
+    for (const std::string& kind :
+         {std::string("race"), std::string("sherman"),
+          std::string("lockcouple")}) {
+      const ChaosReport r = RunIndexChaos(kind, seed);
+      printf("%s\n", r.Summary().c_str());
+      EXPECT_TRUE(r.violations.empty()) << r.Summary();
+    }
+  }
+}
+
+// Self-check that the harness can actually catch a durability bug: the
+// DISAGG_CHAOS_MUTATION build weakens Aurora's quorum append to skip one
+// replica and require one fewer ack. Under a schedule that flaps the two
+// chosen replicas for the whole run, the weakened build acknowledges
+// commits that reached only W-1 copies — which the durability audit must
+// flag. The healthy build sails through the identical schedule clean.
+ChaosSchedule MutationProbeSchedule() {
+  ChaosSchedule s;
+  s.seed = 4242;
+  s.drop_prob = 0.0;
+  s.spike_prob = 0.0;
+  s.num_ops = 60;
+  s.retry_attempts = 3;
+  s.crash_points = {};  // keep the probe purely about commit-time quorum
+  s.flap_windows = {{0, 1ull << 40}, {0, 1ull << 40}};  // both replicas, always
+  return s;
+}
+
+TEST(ChaosMutationSelfCheck, WeakenedQuorumIsDetected) {
+  const ChaosReport r = RunEngineChaos("aurora", MutationProbeSchedule());
+  EXPECT_GT(r.commits, 0u) << r.Summary();
+  EXPECT_GT(r.commits_in_flap, 0u) << r.Summary();
+#ifdef DISAGG_CHAOS_MUTATION
+  bool audit_fired = false;
+  for (const std::string& v : r.violations) {
+    if (v.find("durability audit") != std::string::npos) audit_fired = true;
+  }
+  EXPECT_TRUE(audit_fired)
+      << "mutation build: the skipped quorum ack went unnoticed\n"
+      << r.Summary();
+#else
+  EXPECT_TRUE(r.violations.empty()) << r.Summary();
+#endif
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace disagg

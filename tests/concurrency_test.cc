@@ -7,6 +7,7 @@
 #include "core/multi_writer.h"
 #include "net/fabric.h"
 #include "rindex/race_hash.h"
+#include "test_util.h"
 
 namespace disagg {
 namespace {
@@ -118,22 +119,18 @@ TEST(ConcurrencyTest, MultiWriterThreadsConvergeAndConserve) {
     threads.emplace_back([&, t]() {
       auto writer = db.AttachWriter();
       NetContext ctx;
+      uint64_t local_busy = 0;
       for (int i = 0; i < kOps; i++) {
         const uint64_t key = static_cast<uint64_t>(i % 32);
-        for (int attempt = 0;; attempt++) {
-          Status st = writer->Put(&ctx, key,
-                                  "w" + std::to_string(t) + "-" +
-                                      std::to_string(i));
-          if (st.ok()) break;
-          if (!st.IsBusy()) {
-            std::fprintf(stderr, "unexpected: %s\n", st.ToString().c_str());
-          }
-          DISAGG_CHECK(st.IsBusy());
-          busy.fetch_add(1);
-          std::this_thread::yield();
-          DISAGG_CHECK(attempt < 100000);
+        Status st = testutil::PutWithBusyRetry(
+            writer.get(), &ctx, key,
+            "w" + std::to_string(t) + "-" + std::to_string(i), &local_busy);
+        if (!st.ok()) {
+          std::fprintf(stderr, "unexpected: %s\n", st.ToString().c_str());
         }
+        DISAGG_CHECK(st.ok());
       }
+      busy.fetch_add(local_busy);
     });
   }
   for (auto& t : threads) t.join();

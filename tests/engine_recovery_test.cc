@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "core/engines.h"
+#include "test_util.h"
 #include "txn/recovery.h"
 
 namespace disagg {
@@ -18,45 +19,8 @@ namespace {
 TEST(EngineRecoveryTest, LogAloneRebuildsCommittedState) {
   MonolithicDb db;
   NetContext ctx;
-  std::map<uint64_t, std::string> committed;
-  Random rng(2027);
-
-  for (int t = 0; t < 60; t++) {
-    const TxnId txn = db.Begin();
-    std::map<uint64_t, std::string> pending_put;
-    std::set<uint64_t> pending_del;
-    const int ops = 1 + static_cast<int>(rng.Uniform(3));
-    bool ok = true;
-    for (int o = 0; o < ops && ok; o++) {
-      const uint64_t key = rng.Uniform(30);
-      if (rng.Bernoulli(0.75)) {
-        const std::string row = "r" + std::to_string(t * 10 + o) +
-                                rng.RandomString(8);
-        Status st = committed.count(key) || pending_put.count(key)
-                        ? db.Update(&ctx, txn, key, row)
-                        : db.Insert(&ctx, txn, key, row);
-        if (st.ok()) {
-          pending_put[key] = row;
-          pending_del.erase(key);
-        } else {
-          ok = st.IsInvalidArgument() || st.IsNotFound();
-        }
-      } else {
-        Status st = db.Delete(&ctx, txn, key);
-        if (st.ok()) {
-          pending_put.erase(key);
-          pending_del.insert(key);
-        }
-      }
-    }
-    if (rng.Bernoulli(0.7)) {
-      ASSERT_TRUE(db.Commit(&ctx, txn).ok());
-      for (auto& [k, v] : pending_put) committed[k] = v;
-      for (uint64_t k : pending_del) committed.erase(k);
-    } else {
-      ASSERT_TRUE(db.Abort(&ctx, txn).ok());
-    }
-  }
+  const std::map<uint64_t, std::string> committed =
+      testutil::RunSeededMixedWorkload(&db, &ctx, /*seed=*/2027);
   ASSERT_TRUE(db.wal()->Flush(&ctx).ok());
 
   // Recover from the log only (no checkpoint).

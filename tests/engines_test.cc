@@ -5,15 +5,17 @@
 #include "core/engines.h"
 #include "core/serverless_db.h"
 #include "core/snowflake_db.h"
+#include "test_util.h"
 
 namespace disagg {
 namespace {
 
-// Exercises the common RowEngine behaviour against every architecture.
-template <typename MakeDb>
-void RunCrudSuite(MakeDb make_db) {
+// Exercises the common RowEngine behaviour against one architecture.
+void RunCrudSuite(const std::string& name) {
+  SCOPED_TRACE("engine=" + name);
   Fabric fabric;
-  auto db = make_db(&fabric);
+  auto db = testutil::MakeEngine(name, &fabric);
+  ASSERT_NE(db, nullptr);
   NetContext ctx;
 
   // Autocommit CRUD.
@@ -50,24 +52,33 @@ void RunCrudSuite(MakeDb make_db) {
   EXPECT_EQ(*db->GetRow(&ctx, 150), filler);
 }
 
-TEST(MonolithicDbTest, CrudSuite) {
-  RunCrudSuite([](Fabric*) { return std::make_unique<MonolithicDb>(); });
+// Registry-driven: every RowEngine architecture passes the same CRUD
+// conformance suite. Adding an engine to sim::RowEngineNames() enrolls it.
+TEST(RowEngineConformanceTest, CrudSuiteEveryEngine) {
+  for (const std::string& name : testutil::EngineNames()) {
+    RunCrudSuite(name);
+  }
 }
 
-TEST(AuroraDbTest, CrudSuite) {
-  RunCrudSuite([](Fabric* f) { return std::make_unique<AuroraDb>(f); });
-}
-
-TEST(PolarDbTest, CrudSuite) {
-  RunCrudSuite([](Fabric* f) { return std::make_unique<PolarDb>(f); });
-}
-
-TEST(SocratesDbTest, CrudSuite) {
-  RunCrudSuite([](Fabric* f) { return std::make_unique<SocratesDb>(f); });
-}
-
-TEST(TaurusDbTest, CrudSuite) {
-  RunCrudSuite([](Fabric* f) { return std::make_unique<TaurusDb>(f); });
+// The same seeded mixed workload (commits, aborts, deletes) runs on every
+// engine and must leave the identical committed state readable.
+TEST(RowEngineConformanceTest, SeededWorkloadConvergesEverywhere) {
+  std::map<uint64_t, std::string> reference;
+  for (const std::string& name : testutil::EngineNames()) {
+    SCOPED_TRACE("engine=" + name);
+    Fabric fabric;
+    auto db = testutil::MakeEngine(name, &fabric);
+    ASSERT_NE(db, nullptr);
+    NetContext ctx;
+    auto committed = testutil::RunSeededMixedWorkload(db.get(), &ctx);
+    if (reference.empty()) reference = committed;
+    EXPECT_EQ(committed, reference);  // deterministic across architectures
+    for (const auto& [key, row] : committed) {
+      auto got = db->GetRow(&ctx, key);
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(*got, row);
+    }
+  }
 }
 
 TEST(AuroraDbTest, LogShippingSendsNoPages) {

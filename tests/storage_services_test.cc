@@ -263,6 +263,58 @@ TEST(RaftLiteTest, FailoverPreservesCommittedAndCatchesUpLaggards) {
   EXPECT_EQ(e->payload, "c");
 }
 
+TEST(RaftLiteTest, LagHintCatchesUpFollowerWithoutIndexWalk) {
+  // A follower that is merely far behind must converge in O(1) rounds: the
+  // reject response's log-size hint jumps next_index to the follower's end
+  // instead of probing back one index per round.
+  Fabric fabric;
+  RaftLiteGroup group(&fabric, 3);
+  NetContext ctx;
+  fabric.node(group.replica_node(2))->Fail();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(group.Append(&ctx, "e" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(group.ElectLeader(&ctx, 0).ok());  // next_index = 100 for all
+  fabric.node(group.replica_node(2))->Revive();
+  ASSERT_TRUE(group.SyncFollower(&ctx, 2).ok());  // one reject + one send
+  EXPECT_EQ(group.replica(2)->log_size(), 100u);
+}
+
+TEST(RaftLiteTest, NonConvergenceIsBusyAndResumes) {
+  // Regression: non-convergence within one call's round budget used to
+  // surface as TimedOut, which the status contract reserves for simulated
+  // infrastructure failures; it is retryable contention (Busy), and the
+  // match point found so far must persist so a second call converges.
+  Fabric fabric;
+  RaftLiteGroup group(&fabric, 3);
+  NetContext ctx;
+  // While replica 2 is partitioned away, fabricate a same-length divergent
+  // log on it (a stale regime's garbage: alien terms at every index), and
+  // commit 100 real entries on the live majority.
+  fabric.node(group.replica_node(2))->Fail();
+  for (int i = 0; i < 100; i++) {
+    group.replica(2)->AppendLocal(RaftEntry{/*term=*/99, "junk"});
+    ASSERT_TRUE(group.Append(&ctx, "e" + std::to_string(i)).ok());
+  }
+  // Re-assert leadership while 2 is still down: next_index starts at the
+  // optimistic 100 and the dead follower consumes no probe rounds.
+  ASSERT_TRUE(group.ElectLeader(&ctx, 0).ok());
+  fabric.node(group.replica_node(2))->Revive();
+
+  // Every probe hits an alien term, the hint (log size 100) never helps, so
+  // one call's budget (64 rounds) cannot reach index 0.
+  Status st = group.SyncFollower(&ctx, 2);
+  EXPECT_TRUE(st.IsBusy()) << st.ToString();
+  EXPECT_FALSE(st.IsTimedOut());
+
+  // The walk resumes from the stalled match point and converges.
+  ASSERT_TRUE(group.SyncFollower(&ctx, 2).ok());
+  ASSERT_EQ(group.replica(2)->log_size(), 100u);
+  auto e = group.replica(2)->entry(0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->term, 1u);  // the real log replaced the junk
+}
+
 TEST(ObjectStoreTest, ImmutablePutGetListDelete) {
   Fabric fabric;
   NodeId node = fabric.AddNode("s3", NodeKind::kObject,
