@@ -51,6 +51,10 @@ inline void ReportSim(benchmark::State& state, const NetContext& ctx,
     state.counters["faults_injected"] =
         static_cast<double>(ctx.faults_injected);
   }
+  if (ctx.queue_ns != 0) {
+    state.counters["queue_us_per_op"] =
+        static_cast<double>(ctx.queue_ns) / 1e3 / static_cast<double>(ops);
+  }
 }
 
 /// Installs a TraceInterceptor on `fabric` when the DISAGG_TRACE environment
@@ -60,8 +64,19 @@ inline void ReportSim(benchmark::State& state, const NetContext& ctx,
 inline std::shared_ptr<TraceInterceptor> MaybeTraceFromEnv(Fabric* fabric) {
   const char* env = std::getenv("DISAGG_TRACE");
   if (env == nullptr) return nullptr;
-  const size_t capacity =
-      static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  // strtoull with a discarded end pointer would silently read garbage (or a
+  // trailing suffix like "100x") as a number; detect it, warn, and fall back
+  // to histogram-only mode instead of quietly dropping the op trace.
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  size_t capacity = static_cast<size_t>(parsed);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "DISAGG_TRACE='%s' is not a number; tracing with "
+                 "histograms only (capacity 0)\n",
+                 env);
+    capacity = 0;
+  }
   auto trace = std::make_shared<TraceInterceptor>(capacity);
   fabric->AddInterceptor(trace);
   return trace;

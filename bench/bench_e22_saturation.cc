@@ -1,0 +1,177 @@
+// Experiment E22 (DESIGN.md): shared-resource saturation.
+//
+// Every earlier experiment measures one client against an idle fabric; here
+// N closed-loop clients contend for a memory node's NIC budget through the
+// congestion layer (src/net/congestion.h) driven by sim::RunClosedLoop.
+//  - Throughput vs clients: near-linear growth below the knee
+//    (knee ~ one-client latency / per-op service time), then a plateau
+//    pinned at the configured capacity.
+//  - Tail vs offered load: past the knee, p99 is queueing-dominated and
+//    grows linearly with the client count while p50 of the *uncontended*
+//    run stays flat — the classic closed-loop hockey stick.
+//  - Tiers: the same 4 KiB page read saturates local DRAM, CXL, and RDMA at
+//    very different client counts because the knee depends on the ratio of
+//    round-trip latency to service time, not on either alone.
+//
+// With DISAGG_E22_ASSERT=1 the bench self-checks the saturation shape (used
+// as a CI smoke stage): at >= 64 clients the measured throughput must land
+// within [0.8x, 1.001x] of the capacity bound min(N x single-client tput,
+// configured capacity), and the saturated p99 must be >= 10x the
+// uncontended p99.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "memnode/memory_node.h"
+#include "sim/engine_registry.h"
+#include "sim/load_driver.h"
+
+namespace disagg {
+namespace {
+
+bool AssertFromEnv() {
+  const char* env = std::getenv("DISAGG_E22_ASSERT");
+  return env != nullptr && env[0] == '1';
+}
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kPoolPages = 4096;  // 16 MiB pool
+
+/// One tier's saturation point: `clients` closed-loop clients issuing 4 KiB
+/// page reads against a pool whose NIC has a 100 ns per-message issue
+/// budget and the tier's own bandwidth (MemoryNode::ServiceCapacity).
+void BM_E22_PageReadSaturation(benchmark::State& state) {
+  const int tier = static_cast<int>(state.range(0));
+  const uint64_t clients = static_cast<uint64_t>(state.range(1));
+  const InterconnectModel model =
+      tier == 0 ? InterconnectModel::LocalDram()
+                : (tier == 1 ? InterconnectModel::Cxl()
+                             : InterconnectModel::Rdma());
+
+  Fabric fabric;
+  MemoryNode pool(&fabric, "pool", kPoolPages * kPage * 2, model);
+  const ResourceCapacity cap = pool.ServiceCapacity(/*ns_per_op=*/100);
+  CongestionConfig cfg;
+  cfg.node_caps[pool.node()] = cap;
+  fabric.EnableCongestion(cfg);
+
+  sim::LoadOptions opts;
+  opts.clients = clients;
+  opts.ops_per_client = 256;
+  sim::LoadReport report;
+  for (auto _ : state) {
+    fabric.congestion()->Reset();
+    report = sim::RunClosedLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[kPage];
+          return fabric.Read(ctx, pool.at(rng->Uniform(kPoolPages) * kPage),
+                             buf, kPage);
+        });
+    DISAGG_CHECK(report.errors == 0);
+  }
+
+  const double capacity = cap.OpsPerSec(kPage);
+  const double single = 1e9 / static_cast<double>(model.ReadCost(kPage));
+  const double bound = std::min(static_cast<double>(clients) * single,
+                                capacity);
+  state.counters["tput_kops"] = report.ThroughputOpsPerSec() / 1e3;
+  state.counters["p50_us"] = report.latency.Percentile(50) / 1e3;
+  state.counters["p99_us"] = report.latency.Percentile(99) / 1e3;
+  state.counters["queue_us_per_op"] =
+      static_cast<double>(report.total.queue_ns) / 1e3 /
+      static_cast<double>(report.ops);
+  state.counters["capacity_frac"] = report.ThroughputOpsPerSec() / capacity;
+  state.SetLabel(model.name);
+
+  if (AssertFromEnv() && clients >= 64) {
+    // Saturation shape: plateau at the capacity bound, queueing tail.
+    DISAGG_CHECK(report.ThroughputOpsPerSec() >= 0.8 * bound);
+    DISAGG_CHECK(report.ThroughputOpsPerSec() <= 1.001 * bound);
+    fabric.congestion()->Reset();  // drain the backlog before the baseline
+    sim::LoadOptions one;
+    one.clients = 1;
+    one.ops_per_client = 256;
+    auto solo = sim::RunClosedLoop(
+        one, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[kPage];
+          return fabric.Read(ctx, pool.at(rng->Uniform(kPoolPages) * kPage),
+                             buf, kPage);
+        });
+    DISAGG_CHECK(report.latency.Percentile(99) >=
+                 10.0 * solo.latency.Percentile(99));
+  }
+}
+BENCHMARK(BM_E22_PageReadSaturation)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8, 16, 32, 64, 128}})
+    ->ArgNames({"tier", "clients"})
+    ->Iterations(1);
+
+/// A full engine under contention: N clients run a 95/5 read/update zipfian
+/// mix against one Aurora-style engine whose fabric nodes all share a
+/// uniform per-node capacity. Shows that the engine's *commit fan-out*
+/// (quorum appends) hits the knee before raw page reads do — every commit
+/// occupies several resources.
+void BM_E22_EngineSaturation(benchmark::State& state) {
+  const uint64_t clients = static_cast<uint64_t>(state.range(0));
+  constexpr uint64_t kKeys = 2000;
+
+  Fabric fabric;
+  auto engine = sim::MakeRowEngine("aurora", &fabric);
+  DISAGG_CHECK(engine != nullptr);
+
+  // Preload before enabling congestion: setup cost is not part of the
+  // measured contention window.
+  {
+    NetContext setup;
+    Random rng(7);
+    for (uint64_t k = 0; k < kKeys; k++) {
+      DISAGG_CHECK_OK(engine->Put(&setup, k, rng.RandomString(96)));
+    }
+  }
+  CongestionConfig cfg;
+  cfg.default_node = ResourceCapacity{200, 0.25};
+  fabric.EnableCongestion(cfg);
+
+  sim::LoadOptions opts;
+  opts.clients = clients;
+  opts.ops_per_client = 128;
+  sim::LoadReport report;
+  for (auto _ : state) {
+    fabric.congestion()->Reset();
+    ZipfianGenerator zipf(kKeys, 0.99, 42);
+    report = sim::RunClosedLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) -> Status {
+          const uint64_t key = zipf.Next();
+          if (rng->Bernoulli(0.95)) {
+            return engine->GetRow(ctx, key).status();
+          }
+          return engine->Put(ctx, key, rng->RandomString(96));
+        });
+    DISAGG_CHECK(report.errors == 0);
+  }
+
+  state.counters["tput_kops"] = report.ThroughputOpsPerSec() / 1e3;
+  state.counters["p50_us"] = report.latency.Percentile(50) / 1e3;
+  state.counters["p99_us"] = report.latency.Percentile(99) / 1e3;
+  state.counters["queue_us_per_op"] =
+      static_cast<double>(report.total.queue_ns) / 1e3 /
+      static_cast<double>(report.ops);
+  state.SetLabel("aurora");
+}
+BENCHMARK(BM_E22_EngineSaturation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ArgName("clients")
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace disagg
+
+BENCHMARK_MAIN();

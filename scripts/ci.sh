@@ -23,9 +23,11 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 # ASan/UBSan over the layers with the most concurrency and raw-pointer
-# traffic: the fabric op pipeline, the transaction stack, and the chaos
-# harness (which exercises every engine's fault paths).
-SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test)
+# traffic: the fabric op pipeline, the transaction stack, the chaos
+# harness (which exercises every engine's fault paths), and the
+# congestion/load-driver layer (virtual-time queueing + histogram math).
+SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
+           congestion_test histogram_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -46,6 +48,15 @@ echo "==> chaos stage: commit-derived seeds: ${CHAOS_SEEDS}"
 echo "    (replay any failure with: scripts/chaos_replay.sh <seed>)"
 DISAGG_CHAOS_SEEDS="${CHAOS_SEEDS}" ./build-asan/tests/chaos_test \
   --gtest_filter='ChaosReplayTest.ReplaySeedsFromEnv'
+
+# E22 saturation smoke: with DISAGG_E22_ASSERT=1 the bench self-checks the
+# congestion model's shape — at >= 64 clients the measured throughput must
+# land within a small factor of the configured capacity bound and the
+# saturated p99 must be >= 10x the uncontended p99 (see bench_e22's header).
+echo "==> E22 saturation smoke (congestion capacity bound)"
+DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
+  --benchmark_filter='BM_E22_PageReadSaturation/.*clients:64' \
+  --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must
 # be caught by the harness's durability audit — proof the checkers can

@@ -65,11 +65,19 @@ double Histogram::Percentile(double p) const {
   const uint64_t rank =
       static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
   uint64_t seen = 0;
+  bool first_occupied = true;
   for (int i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
     if (seen > rank) {
-      return static_cast<double>(std::min(BucketUpperBound(i), max_));
+      // The upper-bound estimate systematically overshoots inside the first
+      // occupied bucket (the true minimum lies in it, below the bound), so
+      // report min_ there; everywhere else clamp into the observed
+      // [min_, max_] so no percentile ever leaves the sampled range.
+      if (first_occupied) return static_cast<double>(min_);
+      return static_cast<double>(std::clamp(BucketUpperBound(i), min_, max_));
     }
+    first_occupied = false;
   }
   return static_cast<double>(max_);
 }

@@ -22,7 +22,9 @@ class Histogram {
   uint64_t min() const { return count_ ? min_ : 0; }
   uint64_t max() const { return max_; }
   double Mean() const;
-  /// p in [0, 100]; returns an upper-bound estimate from the bucket edges.
+  /// p in [0, 100]; returns an upper-bound estimate from the bucket edges,
+  /// clamped into [min(), max()] so no percentile undershoots the smallest
+  /// or overshoots the largest recorded sample. Monotonic in p.
   double Percentile(double p) const;
 
   std::string ToString() const;

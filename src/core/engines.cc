@@ -120,7 +120,7 @@ class MultiLogSink : public LogSink {
 
   Result<Lsn> Append(NetContext* ctx,
                      const std::vector<LogRecord>& records) override {
-    std::vector<NetContext> branch(nodes_.size());
+    std::vector<NetContext> branch(nodes_.size(), ctx->Fork());
     int acks = 0;
     Lsn lsn = kInvalidLsn;
     for (size_t i = 0; i < nodes_.size(); i++) {
@@ -131,7 +131,7 @@ class MultiLogSink : public LogSink {
         lsn = std::max(lsn, *r);
       }
     }
-    MergeParallel(ctx, branch.data(), branch.size());
+    JoinParallel(ctx, branch.data(), branch.size());
     const int majority = static_cast<int>(nodes_.size()) / 2 + 1;
     if (acks < majority) return Status::Unavailable("log-store majority lost");
     return lsn;
@@ -270,7 +270,7 @@ Status PolarDb::OnCommit(NetContext* ctx,
   for (const LogRecord& r : records) {
     if (r.page_id != kInvalidPageId) touched.insert(r.page_id);
   }
-  std::vector<NetContext> branch(page_nodes_.size());
+  std::vector<NetContext> branch(page_nodes_.size(), ctx->Fork());
   for (PageId id : touched) {
     auto it = buffer_.find(id);
     if (it == buffer_.end()) continue;
@@ -280,7 +280,7 @@ Status PolarDb::OnCommit(NetContext* ctx,
     }
     dirty_.erase(id);
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   // Every touched page now sits on all replicas at its commit LSN.
   NoteDurablePageLsns(records);
   return Status::OK();
@@ -310,12 +310,12 @@ Status SocratesDb::PropagateLogs(NetContext* ctx) {
   DISAGG_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
                           xlog.ReadFrom(ctx, propagated_lsn_, ~0ull));
   if (records.empty()) return Status::OK();
-  std::vector<NetContext> branch(page_nodes_.size());
+  std::vector<NetContext> branch(page_nodes_.size(), ctx->Fork());
   for (size_t i = 0; i < page_nodes_.size(); i++) {
     PageStoreClient client(fabric_, page_nodes_[i]);
     DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i], records).status());
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   propagated_lsn_ = records.back().lsn;
   // The availability tier now holds these pages at their logged LSNs.
   NoteDurablePageLsns(records);
@@ -404,13 +404,13 @@ Status TaurusDb::OnCommit(NetContext* ctx,
             : (r.page_id * 0x9E3779B97F4A7C15ull) % page_nodes_.size();
     by_store[store].push_back(r);
   }
-  std::vector<NetContext> branch(by_store.size());
+  std::vector<NetContext> branch(by_store.size(), ctx->Fork());
   size_t i = 0;
   for (auto& [store, batch] : by_store) {
     PageStoreClient client(fabric_, page_nodes_[store]);
     DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i++], batch).status());
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   // Each page's home store now holds its redo; freshest-wins fetches plus
   // this floor keep reads from ever regressing below the commit.
   NoteDurablePageLsns(records);
@@ -423,7 +423,7 @@ size_t TaurusDb::RunGossipRound(NetContext* ctx) {
 
 Result<Page> TaurusDb::FetchPage(NetContext* ctx, PageId id) {
   // Page stores may be mutually stale; take the freshest copy.
-  std::vector<NetContext> branch(page_nodes_.size());
+  std::vector<NetContext> branch(page_nodes_.size(), ctx->Fork());
   Result<Page> best = Status::NotFound("page in no store");
   for (size_t i = 0; i < page_nodes_.size(); i++) {
     PageStoreClient client(fabric_, page_nodes_[i]);
@@ -432,7 +432,7 @@ Result<Page> TaurusDb::FetchPage(NetContext* ctx, PageId id) {
       best = std::move(page);
     }
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   const Lsn required = RequiredPageLsn(id);
   if (required != kInvalidLsn && (!best.ok() || best->lsn() < required)) {
     // Gossip has not yet spread the freshest image and its home store is

@@ -28,6 +28,13 @@ size_t MemoryNode::allocated_bytes() const {
   return allocated_;
 }
 
+ResourceCapacity MemoryNode::ServiceCapacity(uint64_t ns_per_op) const {
+  ResourceCapacity cap;
+  cap.ns_per_op = ns_per_op;
+  cap.ns_per_byte = fabric_->node(node_)->model().ns_per_byte;
+  return cap;
+}
+
 size_t MemoryNode::SizeClass(size_t bytes) {
   // Round up to the next power of two, minimum 64 bytes (cache line).
   size_t c = 64;

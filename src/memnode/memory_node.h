@@ -40,6 +40,14 @@ class MemoryNode {
     return GlobalAddr{node_, region_->id(), offset};
   }
 
+  /// This pool node's NIC/link budget for the shared-resource congestion
+  /// model (Farview sizes its far-memory NIC the same way): service
+  /// bandwidth equals the node's interconnect bandwidth, and `ns_per_op`
+  /// is the per-message issue overhead (default 100 ns ~ 10 M msgs/s).
+  /// Pass the result into a `CongestionConfig` and
+  /// `Fabric::EnableCongestion()` to make this node a contended resource.
+  ResourceCapacity ServiceCapacity(uint64_t ns_per_op = 100) const;
+
  private:
   Status HandleAlloc(Slice req, std::string* resp, RpcServerContext* sctx);
   Status HandleFree(Slice req, std::string* resp, RpcServerContext* sctx);

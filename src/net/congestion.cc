@@ -1,0 +1,71 @@
+#include "net/congestion.h"
+
+#include <algorithm>
+
+namespace disagg {
+
+uint64_t CongestionState::AdmitOne(Resource* r, uint64_t t, uint64_t bytes) {
+  const uint64_t service = r->cap.ServiceNs(bytes);
+  const uint64_t start = std::max(t, r->stats.free_ns);
+  r->stats.free_ns = start + service;
+  r->stats.ops++;
+  r->stats.bytes += bytes;
+  r->stats.busy_ns += service;
+  r->stats.queue_ns += start - t;
+  return start;
+}
+
+uint64_t CongestionState::Admit(NodeId node, uint64_t arrival_ns,
+                                uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // The op transits its target node's link, then the shared backbone
+  // (cut-through: it is admitted to the backbone as soon as it starts
+  // service on the link, so an idle pair of resources adds zero delay).
+  uint64_t t = arrival_ns;
+
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    auto cit = config_.node_caps.find(node);
+    const ResourceCapacity cap =
+        cit == config_.node_caps.end() ? config_.default_node : cit->second;
+    it = nodes_.emplace(node, Resource{cap, {}}).first;
+  }
+  if (!it->second.cap.unlimited()) t = AdmitOne(&it->second, t, bytes);
+
+  if (!config_.backbone.unlimited()) {
+    if (!backbone_init_) {
+      backbone_.cap = config_.backbone;
+      backbone_init_ = true;
+    }
+    t = AdmitOne(&backbone_, t, bytes);
+  }
+
+  return t - arrival_ns;
+}
+
+CongestionState::ResourceStats CongestionState::NodeStats(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? ResourceStats{} : it->second.stats;
+}
+
+CongestionState::ResourceStats CongestionState::BackboneStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backbone_.stats;
+}
+
+uint64_t CongestionState::total_queue_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = backbone_.stats.queue_ns;
+  for (const auto& [id, r] : nodes_) total += r.stats.queue_ns;
+  return total;
+}
+
+void CongestionState::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, r] : nodes_) r.stats = ResourceStats{};
+  backbone_.stats = ResourceStats{};
+}
+
+}  // namespace disagg

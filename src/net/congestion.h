@@ -1,0 +1,122 @@
+#ifndef DISAGG_NET_CONGESTION_H_
+#define DISAGG_NET_CONGESTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace disagg {
+
+using NodeId = uint32_t;  // mirrors fabric.h (kept header-independent)
+
+/// Service capacity of one shared resource (a node's NIC/link or the fabric
+/// backbone). An op moving `b` bytes occupies the resource for
+///   ns_per_op + b * ns_per_byte
+/// simulated nanoseconds. Both terms default to 0 = "this dimension is
+/// unconstrained"; a resource with both at 0 never queues.
+///
+/// This is deliberately the same shape as `InterconnectModel`'s cost terms,
+/// but it models *occupancy of a shared pipe*, not the latency one client
+/// observes: a NIC can have 2.5 us of one-sided READ latency while issuing a
+/// new message every 100 ns. Under-load latency comes from the interconnect
+/// model; the knee and the plateau come from this capacity.
+struct ResourceCapacity {
+  uint64_t ns_per_op = 0;   ///< issue overhead per op (1e9/x = ops/sec cap)
+  double ns_per_byte = 0.0; ///< inverse service bandwidth
+
+  uint64_t ServiceNs(uint64_t bytes) const {
+    return ns_per_op +
+           static_cast<uint64_t>(ns_per_byte * static_cast<double>(bytes));
+  }
+  bool unlimited() const { return ns_per_op == 0 && ns_per_byte == 0.0; }
+
+  /// Capacity in ops/sec for `bytes`-sized ops (0 = unbounded).
+  double OpsPerSec(uint64_t bytes) const {
+    const uint64_t s = ServiceNs(bytes);
+    return s == 0 ? 0.0 : 1e9 / static_cast<double>(s);
+  }
+};
+
+/// Which resources exist and how big they are. Congestion is strictly
+/// opt-in: a fabric without a config (or with an all-unlimited one) charges
+/// nothing and keeps every counter bit-identical to the uncontended model.
+struct CongestionConfig {
+  /// Applied to any node without an explicit `node_caps` entry.
+  ResourceCapacity default_node;
+
+  /// Per-node overrides (e.g. a memory pool's NIC budget, Farview-style).
+  std::map<NodeId, ResourceCapacity> node_caps;
+
+  /// A single shared backbone every op crosses in addition to its target
+  /// node's link (models the switch fabric / oversubscribed core).
+  ResourceCapacity backbone;
+};
+
+/// Shared-resource congestion: a FIFO virtual-time queue per resource.
+///
+/// Ops arrive at the issuing client's current simulated time. Each resource
+/// keeps the virtual time at which it next becomes free; an op starts
+/// service at `max(arrival, free_time)`, occupies the resource for its
+/// service time, and the client is charged `start - arrival` of queueing
+/// delay on top of the unchanged interconnect cost model (broken out in
+/// `NetContext::queue_ns`). An uncontended op (arrival >= free_time) is
+/// charged nothing, so a single client below capacity — or any run with
+/// congestion disabled — keeps bit-identical counters.
+///
+/// Determinism: admission order is the order of `Admit()` calls. The
+/// `sim::LoadDriver` schedules clients in global virtual-time order, which
+/// makes arrivals non-decreasing and the queue a true FIFO-by-arrival-time
+/// discipline; the whole run is then a pure function of the workload seed.
+class CongestionState {
+ public:
+  explicit CongestionState(CongestionConfig config)
+      : config_(std::move(config)) {}
+
+  /// Admits one op moving `bytes` bytes to/from `node`, arriving at the
+  /// client's virtual time `arrival_ns`. Returns the queueing delay to
+  /// charge the client; advances the busy windows of the node's link and
+  /// the backbone.
+  uint64_t Admit(NodeId node, uint64_t arrival_ns, uint64_t bytes);
+
+  /// Accumulated accounting for one resource.
+  struct ResourceStats {
+    uint64_t ops = 0;       ///< ops serviced
+    uint64_t bytes = 0;     ///< bytes serviced
+    uint64_t busy_ns = 0;   ///< total service time (sum over ops)
+    uint64_t queue_ns = 0;  ///< total queueing delay imposed on clients
+    uint64_t free_ns = 0;   ///< virtual time the resource next idles
+  };
+
+  ResourceStats NodeStats(NodeId node) const;
+  ResourceStats BackboneStats() const;
+
+  /// Total queueing delay handed out across all resources.
+  uint64_t total_queue_ns() const;
+
+  /// Clears all busy windows and stats (capacities are kept).
+  void Reset();
+
+  const CongestionConfig& config() const { return config_; }
+
+ private:
+  struct Resource {
+    ResourceCapacity cap;
+    ResourceStats stats;
+  };
+
+  /// Starts service for one op on `r` at `>= t`; returns the service start
+  /// time (== t when the resource is idle).
+  static uint64_t AdmitOne(Resource* r, uint64_t t, uint64_t bytes);
+
+  const CongestionConfig config_;
+  mutable std::mutex mu_;
+  std::map<NodeId, Resource> nodes_;  // lazily created on first op
+  Resource backbone_{/*cap=*/{}, {}};
+  bool backbone_init_ = false;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_CONGESTION_H_

@@ -84,6 +84,23 @@ size_t Fabric::num_interceptors() const {
   return interceptors_ ? interceptors_->size() : 0;
 }
 
+// ---- Congestion ----------------------------------------------------------
+
+void Fabric::EnableCongestion(CongestionConfig config) {
+  std::lock_guard<std::mutex> lock(congestion_mu_);
+  congestion_ = std::make_shared<CongestionState>(std::move(config));
+}
+
+void Fabric::DisableCongestion() {
+  std::lock_guard<std::mutex> lock(congestion_mu_);
+  congestion_.reset();
+}
+
+std::shared_ptr<CongestionState> Fabric::congestion() const {
+  std::lock_guard<std::mutex> lock(congestion_mu_);
+  return congestion_;
+}
+
 Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
   std::shared_ptr<const InterceptorChain> chain;
   {
@@ -124,6 +141,36 @@ void ChargeOp(NetContext* ctx, FabricVerb verb, uint64_t ns, uint64_t out,
 }  // namespace
 
 Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
+  std::shared_ptr<CongestionState> congestion;
+  {
+    std::lock_guard<std::mutex> lock(congestion_mu_);
+    congestion = congestion_;
+  }
+  if (congestion == nullptr) return ExecuteVerb(op, ctx);
+
+  // The op arrives at the client's virtual time *before* its own service
+  // cost; the bytes it moves are known only after the verb ran (RPC response
+  // sizes). Queueing delay is charged after the fact, on top of the
+  // unchanged interconnect cost, and broken out in `queue_ns`.
+  const uint64_t arrival = ctx->sim_ns;
+  const uint64_t out_before = ctx->bytes_out;
+  const uint64_t in_before = ctx->bytes_in;
+  Status st = ExecuteVerb(op, ctx);
+  const uint64_t bytes =
+      (ctx->bytes_out - out_before) + (ctx->bytes_in - in_before);
+  // Ops rejected before touching the wire (bad target, bounds) move no bytes
+  // and occupy nothing; anything that transferred data holds its resources.
+  if (st.ok() || bytes > 0) {
+    const uint64_t delay = congestion->Admit(op->node, arrival, bytes);
+    if (delay > 0) {
+      ctx->Charge(delay);
+      ctx->queue_ns += delay;
+    }
+  }
+  return st;
+}
+
+Status Fabric::ExecuteVerb(FabricOp* op, NetContext* ctx) {
   Node* target = nullptr;
   DISAGG_RETURN_NOT_OK(CheckTarget(op->node, &target));
 

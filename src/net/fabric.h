@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "net/congestion.h"
 #include "net/interconnect.h"
 #include "net/net_context.h"
 #include "net/verb.h"
@@ -256,14 +257,37 @@ class Fabric {
 
   size_t num_interceptors() const;
 
+  // ---- Shared-resource congestion ------------------------------------
+
+  /// Turns on the shared-resource congestion model: every subsequent op is
+  /// routed through a FIFO virtual-time queue at its target node's link
+  /// (and the backbone, if configured) and charged the resulting queueing
+  /// delay on top of the unchanged interconnect cost model. Off by default;
+  /// with congestion off — or on but uncontended — every client counter is
+  /// bit-identical to the uncontended fabric.
+  void EnableCongestion(CongestionConfig config);
+
+  /// Removes the congestion model (in-flight busy windows are discarded).
+  void DisableCongestion();
+
+  /// The active congestion state, or nullptr when disabled. Valid for the
+  /// lifetime of the returned shared_ptr even if congestion is re-configured
+  /// concurrently.
+  std::shared_ptr<CongestionState> congestion() const;
+
  private:
   using InterceptorChain = std::vector<std::shared_ptr<FabricInterceptor>>;
 
   Status CheckTarget(NodeId id, Node** out);
 
-  /// Terminal stage of the pipeline: target/bounds checks, the real data
-  /// movement, and cost charging (aggregate + per-verb).
+  /// Terminal stage of the pipeline: runs the verb, then (when congestion
+  /// is enabled) admits the op to its shared resources and charges the
+  /// queueing delay.
   Status ExecuteCore(FabricOp* op, NetContext* ctx);
+
+  /// The verb itself: target/bounds checks, the real data movement, and
+  /// cost charging (aggregate + per-verb).
+  Status ExecuteVerb(FabricOp* op, NetContext* ctx);
 
   Status InvokeChain(const InterceptorChain& chain, size_t index, FabricOp* op,
                      NetContext* ctx);
@@ -273,6 +297,9 @@ class Fabric {
 
   std::shared_ptr<const InterceptorChain> interceptors_;
   mutable std::mutex interceptor_mu_;  // guards the chain pointer swap
+
+  std::shared_ptr<CongestionState> congestion_;  // nullptr = disabled
+  mutable std::mutex congestion_mu_;  // guards the state pointer swap
 };
 
 /// A fabric operation lowered to a single descriptor: the verb tag selects

@@ -181,7 +181,10 @@ bool RetryInterceptor::Retryable(const Status& st) const {
 Status RetryInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
                                    NetContext* ctx,
                                    const FabricOpInvoker& next) {
-  uint64_t backoff = policy_.initial_backoff_ns;
+  // Floor the backoff at 1 ns: a zero initial backoff would multiply to
+  // zero forever and burn every attempt with no simulated cost (a busy-spin
+  // no real client exhibits).
+  uint64_t backoff = std::max<uint64_t>(1, policy_.initial_backoff_ns);
   Status st;
   for (int attempt = 1;; attempt++) {
     st = next(op, ctx);
@@ -195,6 +198,7 @@ Status RetryInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
         policy_.max_backoff_ns,
         static_cast<uint64_t>(static_cast<double>(backoff) *
                               policy_.backoff_multiplier));
+    backoff = std::max<uint64_t>(1, backoff);  // multiplier < 1 can re-zero it
   }
   if (!st.ok() && Retryable(st)) {
     gave_up_.fetch_add(1, std::memory_order_relaxed);

@@ -129,6 +129,8 @@ class FaultInterceptor : public FabricInterceptor {
 /// Install *before* a FaultInterceptor so retries wrap injected faults.
 struct RetryPolicy {
   int max_attempts = 4;  ///< total issues, including the first
+  /// Floored at 1 ns by the interceptor: zero would multiply to zero
+  /// forever and retry with no simulated cost.
   uint64_t initial_backoff_ns = 1000;
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_ns = 1 << 20;  ///< ~1 ms cap

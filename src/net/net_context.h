@@ -44,6 +44,11 @@ struct NetContext {
   uint64_t backoff_ns = 0;       ///< sim time spent in retry backoff
   uint64_t faults_injected = 0;  ///< drops/spikes/flaps hit by this client
 
+  /// Queueing delay imposed by the shared-resource congestion model
+  /// (`src/net/congestion.h`), *included* in `sim_ns` like `backoff_ns`.
+  /// Always 0 when congestion is disabled or the fabric is uncontended.
+  uint64_t queue_ns = 0;
+
   /// Per-verb breakdown of the fabric-charged counters above, maintained by
   /// `Fabric::Execute()`.
   VerbCounters per_verb[kNumFabricVerbs] = {};
@@ -54,8 +59,26 @@ struct NetContext {
 
   void Reset() { *this = NetContext{}; }
 
-  /// Merges another context's counters (e.g. per-thread contexts at the end
-  /// of a benchmark).
+  /// A branch context for work forked *now*: the clock starts at this
+  /// context's current `sim_ns` (so fabric ops issued on the branch arrive
+  /// at the congestion model at the right virtual time), while all traffic
+  /// counters start at zero. Pair with `JoinParallel()`; with congestion
+  /// disabled, Fork+JoinParallel charges exactly what zero-initialized
+  /// branches + `MergeParallel` charged.
+  NetContext Fork() const {
+    NetContext b;
+    b.sim_ns = sim_ns;
+    return b;
+  }
+
+  /// Merges another context's counters by summing everything, `sim_ns`
+  /// included. This is the *sequential* merge: it is correct when `o`'s
+  /// work happened after (or interleaved with, on one logical timeline)
+  /// this context's work — e.g. folding the phases of one client's run
+  /// together. For contexts that represent *concurrent* clients or fan-out
+  /// branches, summing `sim_ns` overstates wall-clock time; use
+  /// `MergeParallel()` below, which takes the max of elapsed time and sums
+  /// only the traffic/attribution counters.
   void Merge(const NetContext& o) {
     sim_ns += o.sim_ns;
     bytes_out += o.bytes_out;
@@ -65,6 +88,7 @@ struct NetContext {
     retries += o.retries;
     backoff_ns += o.backoff_ns;
     faults_injected += o.faults_injected;
+    queue_ns += o.queue_ns;
     for (size_t v = 0; v < kNumFabricVerbs; v++) per_verb[v].Merge(o.per_verb[v]);
   }
 
@@ -72,11 +96,18 @@ struct NetContext {
 };
 
 /// Folds the contexts of operations issued *in parallel* (e.g. fan-out to
-/// quorum replicas) into a parent context: elapsed simulated time is the max
-/// of the branches, while traffic counters are summed. Per-verb breakdowns
-/// (like traffic) are attribution counters and are summed, so after a
-/// parallel merge they bound, rather than equal, the parent's elapsed
-/// `sim_ns`.
+/// quorum replicas, Snowflake virtual warehouses, or the LoadDriver's
+/// concurrent clients) into a parent context: elapsed simulated time is the
+/// max of the branches, while traffic counters are summed. Per-verb
+/// breakdowns, `backoff_ns`, and `queue_ns` (like traffic) are attribution
+/// counters and are summed, so after a parallel merge they bound, rather
+/// than equal, the parent's elapsed `sim_ns`.
+///
+/// Rule of thumb: one timeline -> `Merge`; side-by-side timelines ->
+/// `MergeParallel`. Users: quorum/raft replication fan-out, engine commit
+/// fan-out (`src/core/engines.cc`), FORD parallel validation,
+/// pushdown producers, `SnowflakeDb::Query` VW merge, and
+/// `sim::RunClosedLoop`.
 inline void MergeParallel(NetContext* parent,
                           const NetContext* branches, size_t n) {
   uint64_t max_ns = 0;
@@ -90,11 +121,40 @@ inline void MergeParallel(NetContext* parent,
     parent->retries += b.retries;
     parent->backoff_ns += b.backoff_ns;
     parent->faults_injected += b.faults_injected;
+    parent->queue_ns += b.queue_ns;
     for (size_t v = 0; v < kNumFabricVerbs; v++) {
       parent->per_verb[v].Merge(b.per_verb[v]);
     }
   }
   parent->sim_ns += max_ns;
+}
+
+/// Joins branches created with `parent->Fork()`: the parent's clock jumps
+/// to the latest branch finish time (branch clocks are absolute, not
+/// elapsed), and traffic/attribution counters are summed exactly as in
+/// `MergeParallel`. Use this for *internal* fan-out on one client's
+/// timeline (quorum appends, page-store broadcast, FORD validation);
+/// `MergeParallel` remains the fold for *top-level* concurrent clients
+/// whose timelines all start at zero.
+inline void JoinParallel(NetContext* parent,
+                         const NetContext* branches, size_t n) {
+  uint64_t max_ns = parent->sim_ns;
+  for (size_t i = 0; i < n; i++) {
+    const NetContext& b = branches[i];
+    if (b.sim_ns > max_ns) max_ns = b.sim_ns;
+    parent->bytes_out += b.bytes_out;
+    parent->bytes_in += b.bytes_in;
+    parent->round_trips += b.round_trips;
+    parent->rpcs += b.rpcs;
+    parent->retries += b.retries;
+    parent->backoff_ns += b.backoff_ns;
+    parent->faults_injected += b.faults_injected;
+    parent->queue_ns += b.queue_ns;
+    for (size_t v = 0; v < kNumFabricVerbs; v++) {
+      parent->per_verb[v].Merge(b.per_verb[v]);
+    }
+  }
+  parent->sim_ns = max_ns;
 }
 
 }  // namespace disagg

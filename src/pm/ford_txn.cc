@@ -80,7 +80,7 @@ Status FordTxnManager::Txn::Commit() {
   // --- Lock phase: CAS lock words 0 -> txn id, in rid order (no deadlock;
   // parallel across nodes so charge the max branch).
   std::vector<uint64_t> locked;
-  std::vector<NetContext> branch(writes_.size());
+  std::vector<NetContext> branch(writes_.size(), ctx_->Fork());
   size_t b = 0;
   bool lock_failed = false;
   for (const auto& [rid, value] : writes_) {
@@ -95,13 +95,13 @@ Status FordTxnManager::Txn::Commit() {
     locked.push_back(rid);
     b++;
   }
-  MergeParallel(ctx_, branch.data(), branch.size());
+  JoinParallel(ctx_, branch.data(), branch.size());
 
   // --- Validate phase: read-set versions unchanged (one READ per record,
   // parallel).
   bool validate_failed = false;
   if (!lock_failed) {
-    std::vector<NetContext> vbranch(read_versions_.size());
+    std::vector<NetContext> vbranch(read_versions_.size(), ctx_->Fork());
     size_t v = 0;
     for (const auto& [rid, version] : read_versions_) {
       char buf[16];
@@ -116,7 +116,7 @@ Status FordTxnManager::Txn::Commit() {
       }
       v++;
     }
-    MergeParallel(ctx_, vbranch.data(), vbranch.size());
+    JoinParallel(ctx_, vbranch.data(), vbranch.size());
   }
 
   if (lock_failed || validate_failed) {

@@ -1,0 +1,72 @@
+#ifndef DISAGG_SIM_LOAD_DRIVER_H_
+#define DISAGG_SIM_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/net_context.h"
+
+namespace disagg {
+namespace sim {
+
+/// Options for one closed-loop load run: N logical clients, each issuing
+/// `ops_per_client` operations back to back (plus optional think time),
+/// interleaved in *virtual* time on one OS thread.
+struct LoadOptions {
+  uint64_t clients = 1;
+  uint64_t ops_per_client = 100;
+  uint64_t think_ns = 0;  ///< client-side pause between ops (charged, but
+                          ///< excluded from the per-op latency samples)
+  uint64_t seed = 1;      ///< per-client RNGs derive from this
+};
+
+/// Issues one operation on behalf of `client` (0-based). All simulated cost
+/// must be charged to `ctx`; `rng` is the client's private deterministic
+/// stream. Returning a non-ok status counts as an error but does not stop
+/// the client (its charged time still advances, like a real failed request).
+using ClientOpFn = std::function<Status(uint64_t client, uint64_t op_index,
+                                        NetContext* ctx, Random* rng)>;
+
+/// Result of a closed-loop run.
+struct LoadReport {
+  uint64_t clients = 0;
+  uint64_t ops = 0;     ///< operations issued (ok + errors)
+  uint64_t errors = 0;  ///< non-ok operations
+
+  /// Wall-clock of the run in simulated time: max over clients of their
+  /// final `sim_ns` (the slowest client defines the makespan).
+  uint64_t makespan_ns = 0;
+
+  /// Per-op latency (charged sim time per op, think time excluded).
+  Histogram latency;
+
+  /// All clients' counters folded with `MergeParallel` — traffic is summed,
+  /// `total.sim_ns` equals `makespan_ns`.
+  NetContext total;
+
+  double ThroughputOpsPerSec() const {
+    return makespan_ns == 0 ? 0.0
+                            : static_cast<double>(ops) * 1e9 /
+                                  static_cast<double>(makespan_ns);
+  }
+
+  std::string ToString() const;
+};
+
+/// Runs `opts.clients` closed-loop clients against `op`, interleaving them
+/// in global virtual-time order: at every step the client with the smallest
+/// simulated clock issues its next operation. This ordering is what makes
+/// the shared-resource congestion model (`src/net/congestion.h`) a
+/// FIFO-by-arrival queue — arrivals at every resource are non-decreasing —
+/// and it makes the whole run a pure function of (`opts`, the op closure):
+/// same seed, same trace, bit for bit.
+LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op);
+
+}  // namespace sim
+}  // namespace disagg
+
+#endif  // DISAGG_SIM_LOAD_DRIVER_H_

@@ -37,7 +37,7 @@ Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
   // the harness's durability checker must catch it.
   fanout = replicas_.size() - 1;
 #endif
-  std::vector<NetContext> branch(replicas_.size());
+  std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
   int acks = 0;
   Lsn lsn = kInvalidLsn;
   for (size_t i = 0; i < fanout; i++) {
@@ -58,7 +58,7 @@ Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
     lsn = std::max(lsn, *r);
     acks++;
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   int required = config_.write_quorum;
 #ifdef DISAGG_CHAOS_MUTATION
   required = config_.write_quorum - 1;
@@ -84,7 +84,7 @@ Result<Page> ReplicatedSegment::ReadPage(NetContext* ctx, PageId id,
 }
 
 Result<Lsn> ReplicatedSegment::RecoverDurableLsn(NetContext* ctx) {
-  std::vector<NetContext> branch(replicas_.size());
+  std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
   std::vector<Lsn> seen;
   for (size_t i = 0; i < replicas_.size(); i++) {
     if (static_cast<int>(seen.size()) >= config_.read_quorum) break;
@@ -94,7 +94,7 @@ Result<Lsn> ReplicatedSegment::RecoverDurableLsn(NetContext* ctx) {
     if (!recs.ok()) continue;
     seen.push_back(replicas_[i].log_service->durable_lsn());
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   if (static_cast<int>(seen.size()) < config_.read_quorum) {
     return Status::Unavailable("read quorum not met");
   }

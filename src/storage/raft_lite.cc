@@ -215,12 +215,12 @@ Result<uint64_t> RaftLiteGroup::Append(NetContext* ctx, std::string payload) {
       leader_svc->AppendLocal(RaftEntry{term_, std::move(payload)});
 
   int acks = 1;  // leader itself
-  std::vector<NetContext> branch(replicas_.size());
+  std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
   for (int i = 0; i < size(); i++) {
     if (i == leader_) continue;
     if (ReplicateTo(&branch[i], i).ok()) acks++;
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
 
   const int majority = size() / 2 + 1;
   if (acks < majority) {
@@ -260,12 +260,12 @@ Result<int> RaftLiteGroup::ElectLeader(NetContext* ctx, int preferred) {
   const uint64_t leader_len = replicas_[leader_].service->log_size();
   for (auto& m : replicas_) m.next_index = leader_len;
   // Re-assert leadership / sync live followers.
-  std::vector<NetContext> branch(replicas_.size());
+  std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
   for (int i = 0; i < size(); i++) {
     if (i == leader_) continue;
     (void)ReplicateTo(&branch[i], i);
   }
-  MergeParallel(ctx, branch.data(), branch.size());
+  JoinParallel(ctx, branch.data(), branch.size());
   return leader_;
 }
 

@@ -1,0 +1,406 @@
+#include "net/congestion.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/fabric.h"
+#include "net/interceptors.h"
+#include "sim/load_driver.h"
+
+namespace disagg {
+namespace {
+
+// Exercises the shared-resource congestion layer: exact FIFO virtual-time
+// queueing, zero-contention parity with the uncontended cost model,
+// conservation at a saturated resource, the saturation knee under the
+// closed-loop LoadDriver, and regression tests for the latency-accounting
+// bugfixes that rode along (histogram percentile clamp, retry zero-backoff
+// spin, parallel-merge semantics).
+
+class CongestionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    node_ = fabric_.AddNode("mem0", NodeKind::kMemory,
+                            InterconnectModel::Rdma());
+    region_ = fabric_.node(node_)->AddRegion("heap", 1 << 20);
+    fabric_.node(node_)->RegisterHandler(
+        "echo", [](Slice req, std::string* resp, RpcServerContext* sctx) {
+          resp->assign(req.data(), req.size());
+          sctx->ChargeCompute(500);
+          return Status::OK();
+        });
+  }
+
+  GlobalAddr At(uint64_t offset) const {
+    return GlobalAddr{node_, region_->id(), offset};
+  }
+
+  /// One op of every verb (mirrors fabric_pipeline_test's workload).
+  void RunMixedWorkload(NetContext* ctx) {
+    const std::string payload = "0123456789abcdef";
+    ASSERT_TRUE(fabric_.Write(ctx, At(0), payload.data(), payload.size()).ok());
+    char buf[64] = {0};
+    ASSERT_TRUE(fabric_.Read(ctx, At(0), buf, payload.size()).ok());
+    ASSERT_TRUE(fabric_.CompareAndSwap(ctx, At(64), 0, 7).ok());
+    ASSERT_TRUE(fabric_.FetchAdd(ctx, At(64), 3).ok());
+    ASSERT_TRUE(fabric_.ReadAtomic64(ctx, At(64)).ok());
+    std::string resp;
+    ASSERT_TRUE(fabric_.Call(ctx, node_, "echo", "ping", &resp).ok());
+  }
+
+  Fabric fabric_;
+  NodeId node_ = 0;
+  MemoryRegion* region_ = nullptr;
+};
+
+TEST_F(CongestionTest, DisabledByDefaultAndChargesNothing) {
+  EXPECT_EQ(fabric_.congestion(), nullptr);
+  NetContext ctx;
+  RunMixedWorkload(&ctx);
+  EXPECT_EQ(ctx.queue_ns, 0u);
+}
+
+TEST_F(CongestionTest, ZeroContentionParityIsBitIdentical) {
+  NetContext bare;
+  RunMixedWorkload(&bare);
+
+  // Capacity comfortably above a single sequential client's offered load:
+  // every service time is below the op's own charged cost, so the resource
+  // is always idle again before the client's next arrival.
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{50, 0.25};
+  cfg.backbone = ResourceCapacity{10, 0.01};
+  fabric_.EnableCongestion(cfg);
+
+  NetContext contended;
+  RunMixedWorkload(&contended);
+
+  EXPECT_EQ(contended.queue_ns, 0u);
+  EXPECT_EQ(contended.sim_ns, bare.sim_ns);
+  EXPECT_EQ(contended.bytes_out, bare.bytes_out);
+  EXPECT_EQ(contended.bytes_in, bare.bytes_in);
+  EXPECT_EQ(contended.round_trips, bare.round_trips);
+  for (size_t v = 0; v < kNumFabricVerbs; v++) {
+    EXPECT_EQ(contended.per_verb[v].sim_ns, bare.per_verb[v].sim_ns);
+    EXPECT_EQ(contended.per_verb[v].ops, bare.per_verb[v].ops);
+  }
+
+  // The resources saw the traffic even though they never queued anyone.
+  auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.ops, 6u);
+  EXPECT_EQ(stats.queue_ns, 0u);
+
+  fabric_.DisableCongestion();
+  EXPECT_EQ(fabric_.congestion(), nullptr);
+}
+
+TEST_F(CongestionTest, FifoVirtualTimeQueueChargesExactWaits) {
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};  // 1 op / us
+  fabric_.EnableCongestion(cfg);
+
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  char buf[8];
+
+  // Three clients all arrive at virtual time 0: the first is served
+  // immediately, the second waits one service time, the third two.
+  NetContext a, b, c;
+  ASSERT_TRUE(fabric_.Read(&a, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&b, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&c, At(0), buf, 8).ok());
+
+  EXPECT_EQ(a.queue_ns, 0u);
+  EXPECT_EQ(b.queue_ns, 1000u);
+  EXPECT_EQ(c.queue_ns, 2000u);
+  EXPECT_EQ(a.sim_ns, read_cost);
+  EXPECT_EQ(b.sim_ns, read_cost + 1000);
+  EXPECT_EQ(c.sim_ns, read_cost + 2000);
+
+  auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.ops, 3u);
+  EXPECT_EQ(stats.busy_ns, 3000u);
+  EXPECT_EQ(stats.queue_ns, 3000u);
+  EXPECT_EQ(stats.free_ns, 3000u);
+  EXPECT_EQ(stats.bytes, 24u);
+  EXPECT_EQ(fabric_.congestion()->total_queue_ns(), 3000u);
+
+  // A late arrival (after the backlog drained) pays nothing.
+  NetContext d;
+  d.Charge(10'000);
+  ASSERT_TRUE(fabric_.Read(&d, At(0), buf, 8).ok());
+  EXPECT_EQ(d.queue_ns, 0u);
+}
+
+TEST_F(CongestionTest, BackboneQueuesIndependentlyOfNodeLinks) {
+  CongestionConfig cfg;
+  cfg.backbone = ResourceCapacity{500, 0.0};
+  fabric_.EnableCongestion(cfg);
+
+  char buf[8];
+  NetContext a, b;
+  ASSERT_TRUE(fabric_.Read(&a, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&b, At(0), buf, 8).ok());
+  EXPECT_EQ(a.queue_ns, 0u);
+  EXPECT_EQ(b.queue_ns, 500u);
+
+  auto bb = fabric_.congestion()->BackboneStats();
+  EXPECT_EQ(bb.ops, 2u);
+  EXPECT_EQ(bb.busy_ns, 1000u);
+  // The node link is unlimited: it never became a resource with stats.
+  EXPECT_EQ(fabric_.congestion()->NodeStats(node_).ops, 0u);
+}
+
+TEST_F(CongestionTest, RejectedOpsOccupyNothing) {
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  fabric_.EnableCongestion(cfg);
+
+  char buf[8];
+  NetContext ctx;
+  // Out-of-bounds read: rejected before touching the wire.
+  EXPECT_TRUE(
+      fabric_.Read(&ctx, At((1 << 20) - 4), buf, 8).IsInvalidArgument());
+  EXPECT_EQ(ctx.queue_ns, 0u);
+  EXPECT_EQ(fabric_.congestion()->NodeStats(node_).ops, 0u);
+}
+
+TEST_F(CongestionTest, ForkedBranchesArriveAtParentVirtualTime) {
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  fabric_.EnableCongestion(cfg);
+
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  char buf[8];
+
+  // Parent already deep into its timeline; two forked branches fan out in
+  // parallel. Arrivals are the parent's time, not zero — so the branches
+  // queue only against each other (one service time), not against a stale
+  // t=0 backlog.
+  NetContext parent;
+  parent.Charge(50'000);
+  std::vector<NetContext> branch(2, parent.Fork());
+  ASSERT_TRUE(fabric_.Read(&branch[0], At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&branch[1], At(0), buf, 8).ok());
+  EXPECT_EQ(branch[0].queue_ns, 0u);
+  EXPECT_EQ(branch[1].queue_ns, 1000u);
+
+  JoinParallel(&parent, branch.data(), branch.size());
+  // The parent lands at the slower branch's absolute finish time.
+  EXPECT_EQ(parent.sim_ns, 50'000 + read_cost + 1000);
+  EXPECT_EQ(parent.queue_ns, 1000u);
+  EXPECT_EQ(parent.round_trips, 2u);
+}
+
+// ---- LoadDriver ----------------------------------------------------------
+
+TEST_F(CongestionTest, LoadDriverIsDeterministicSameSeedSameTrace) {
+  auto run = [&](uint64_t seed) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{1500, 0.1};
+    fabric.EnableCongestion(cfg);
+
+    sim::LoadOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 60;
+    opts.seed = seed;
+    auto report = sim::RunClosedLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[2048];
+          const size_t n = size_t{8} << rng->Uniform(8);  // 8..1024 bytes
+          GlobalAddr addr{node, region->id(), rng->Uniform(64) * 2048};
+          return fabric.Read(ctx, addr, buf, n);
+        });
+    auto stats = fabric.congestion()->NodeStats(node);
+    return std::make_tuple(report.makespan_ns, report.total.sim_ns,
+                           report.total.queue_ns, report.total.bytes_in,
+                           report.latency.Percentile(50),
+                           report.latency.Percentile(99), stats.busy_ns,
+                           stats.queue_ns, stats.free_ns);
+  };
+
+  EXPECT_EQ(run(42), run(42));   // same seed -> bit-identical trace
+  EXPECT_NE(run(42), run(43));   // different seed -> different schedule
+}
+
+TEST_F(CongestionTest, ConservationAtASaturatedResource) {
+  CongestionConfig cfg;
+  const ResourceCapacity cap{500, 0.05};
+  cfg.node_caps[node_] = cap;
+  fabric_.EnableCongestion(cfg);
+
+  sim::LoadOptions opts;
+  opts.clients = 16;
+  opts.ops_per_client = 50;
+  auto report = sim::RunClosedLoop(
+      opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+        char buf[4096];
+        GlobalAddr addr{node_, region_->id(), rng->Uniform(64) * 4096};
+        return fabric_.Read(ctx, addr, buf, 4096);
+      });
+  ASSERT_EQ(report.errors, 0u);
+  ASSERT_EQ(report.ops, 16u * 50u);
+
+  // Conservation: the resource can do at most one service unit per unit of
+  // virtual time, so total service fits inside the makespan, exactly
+  // ops * service for fixed-size ops, and it never idles into the future
+  // beyond the last client's clock.
+  auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.ops, report.ops);
+  EXPECT_EQ(stats.busy_ns, report.ops * cap.ServiceNs(4096));
+  EXPECT_LE(stats.busy_ns, report.makespan_ns);
+  EXPECT_LE(stats.free_ns, report.makespan_ns);
+
+  // Client-side and resource-side queue accounting agree.
+  EXPECT_EQ(report.total.queue_ns, stats.queue_ns);
+  // MergeParallel semantics: the folded context's clock is the makespan.
+  EXPECT_EQ(report.total.sim_ns, report.makespan_ns);
+}
+
+TEST_F(CongestionTest, SaturationKneeThroughputPlateausAndTailExplodes) {
+  const uint64_t service_ns = 1000;  // capacity: 1M ops/s
+  auto run = [&](uint64_t clients) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{service_ns, 0.0};
+    fabric.EnableCongestion(cfg);
+
+    sim::LoadOptions opts;
+    opts.clients = clients;
+    opts.ops_per_client = 400;
+    auto report = sim::RunClosedLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[8];
+          GlobalAddr addr{node, region->id(), rng->Uniform(1024) * 8};
+          return fabric.Read(ctx, addr, buf, 8);
+        });
+    EXPECT_EQ(report.errors, 0u);
+    return report;
+  };
+
+  const auto r1 = run(1);
+  const auto r4 = run(4);
+  const auto r64 = run(64);
+
+  const double uncontended_cost =
+      static_cast<double>(InterconnectModel::Rdma().ReadCost(8));
+  const double capacity_ops_per_sec = 1e9 / static_cast<double>(service_ns);
+
+  // Below the knee (~2.5 clients here): near-linear scaling, no queueing.
+  EXPECT_EQ(r1.total.queue_ns, 0u);
+  EXPECT_NEAR(r1.ThroughputOpsPerSec(), 1e9 / uncontended_cost,
+              0.01 * 1e9 / uncontended_cost);
+
+  // Past the knee: throughput pinned at capacity (within 10%).
+  EXPECT_GT(r4.ThroughputOpsPerSec(), 0.9 * capacity_ops_per_sec);
+  EXPECT_LE(r4.ThroughputOpsPerSec(), 1.001 * capacity_ops_per_sec);
+  EXPECT_GT(r64.ThroughputOpsPerSec(), 0.9 * capacity_ops_per_sec);
+  EXPECT_LE(r64.ThroughputOpsPerSec(), 1.001 * capacity_ops_per_sec);
+
+  // Deep in saturation the tail is queueing-dominated: p99 is at least 10x
+  // the uncontended p99 (it is ~64 service times here).
+  EXPECT_GE(r64.latency.Percentile(99), 10.0 * r1.latency.Percentile(99));
+  EXPECT_GT(r64.total.queue_ns, 0u);
+}
+
+TEST_F(CongestionTest, LoadDriverThinkTimeShapesOfferedLoad) {
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  fabric_.EnableCongestion(cfg);
+
+  // 8 clients, each thinking 99 us between 2.5 us ops: offered load ~79k
+  // ops/s, far under the 1M ops/s capacity. The only queueing is the
+  // simultaneous-start transient (everyone arrives at t=0, client i waits
+  // i service times); after that the clients are spread out and never
+  // collide again.
+  sim::LoadOptions opts;
+  opts.clients = 8;
+  opts.ops_per_client = 100;
+  opts.think_ns = 99'000;
+  auto report = sim::RunClosedLoop(
+      opts, [&](uint64_t, uint64_t, NetContext* ctx, Random*) {
+        char buf[8];
+        return fabric_.Read(ctx, At(0), buf, 8);
+      });
+  const uint64_t startup_transient = 1000 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(report.total.queue_ns, startup_transient);
+
+  // Latency samples exclude think time: the fastest op is the bare read and
+  // the slowest is the last client's first (fully queued) op.
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  EXPECT_EQ(report.latency.min(), read_cost);
+  EXPECT_EQ(report.latency.max(), read_cost + 7 * 1000);
+}
+
+// ---- Satellite bugfix regressions (each fails on main) -------------------
+
+TEST_F(CongestionTest, RegressionHistogramLowPercentileClampsToMin) {
+  Histogram h;
+  h.Record(8);     // lands in the [8, 9] bucket; upper bound 9 > min 8
+  h.Record(1000);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(10), 8.0);
+}
+
+TEST_F(CongestionTest, RegressionRetryZeroBackoffStillChargesSimTime) {
+  RetryPolicy rp;
+  rp.max_attempts = 4;
+  rp.initial_backoff_ns = 0;  // used to multiply to 0 forever: free retries
+  fabric_.AddInterceptor(std::make_shared<RetryInterceptor>(rp));
+  fabric_.node(node_)->Fail();
+
+  NetContext ctx;
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(ctx.retries, 3u);
+  EXPECT_GT(ctx.backoff_ns, 0u);  // floored at 1 ns per retry
+  EXPECT_GE(ctx.sim_ns, ctx.backoff_ns);
+  fabric_.node(node_)->Revive();
+}
+
+TEST_F(CongestionTest, RegressionParallelMergeTakesMaxAndCarriesQueueNs) {
+  NetContext a, b;
+  a.Charge(100);
+  a.queue_ns = 40;
+  a.bytes_in = 8;
+  b.Charge(300);
+  b.queue_ns = 10;
+  b.bytes_in = 16;
+
+  // Concurrent clients: elapsed time is the max, traffic and queue delay
+  // are summed (a sequential Merge would claim 400 ns of wall-clock).
+  NetContext parallel;
+  const NetContext branches[2] = {a, b};
+  MergeParallel(&parallel, branches, 2);
+  EXPECT_EQ(parallel.sim_ns, 300u);
+  EXPECT_EQ(parallel.queue_ns, 50u);
+  EXPECT_EQ(parallel.bytes_in, 24u);
+
+  NetContext sequential;
+  sequential.Merge(a);
+  sequential.Merge(b);
+  EXPECT_EQ(sequential.sim_ns, 400u);
+  EXPECT_EQ(sequential.queue_ns, 50u);
+
+  // Fork/Join: branches forked mid-timeline join at the latest absolute
+  // finish, charging the same elapsed time as zero-based MergeParallel.
+  NetContext parent;
+  parent.Charge(1000);
+  NetContext branches2[2] = {parent.Fork(), parent.Fork()};
+  branches2[0].Charge(100);
+  branches2[1].Charge(300);
+  JoinParallel(&parent, branches2, 2);
+  EXPECT_EQ(parent.sim_ns, 1300u);
+}
+
+}  // namespace
+}  // namespace disagg

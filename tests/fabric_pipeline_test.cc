@@ -286,12 +286,46 @@ TEST_F(PipelineTest, RetryGivesUpOnPermanentFailure) {
   EXPECT_EQ(ctx.retries, 0u);
 }
 
+TEST_F(PipelineTest, ZeroBackoffRetryStillAdvancesSimTime) {
+  // Regression: with initial_backoff_ns == 0, every exponential step stayed
+  // at 0 and retries were free — a spin in simulated time. Backoff is now
+  // floored at 1 ns per retry.
+  RetryPolicy rp;
+  rp.max_attempts = 4;
+  rp.initial_backoff_ns = 0;
+  fabric_.AddInterceptor(std::make_shared<RetryInterceptor>(rp));
+
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx;
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(ctx.retries, 3u);
+  EXPECT_GT(ctx.backoff_ns, 0u);
+  EXPECT_GE(ctx.sim_ns, ctx.backoff_ns);
+  fabric_.node(mem_node_)->Revive();
+
+  // A multiplier below 1.0 must not decay the backoff back to zero either.
+  fabric_.ClearInterceptors();
+  RetryPolicy shrink;
+  shrink.max_attempts = 6;
+  shrink.initial_backoff_ns = 2;
+  shrink.backoff_multiplier = 0.1;
+  fabric_.AddInterceptor(std::make_shared<RetryInterceptor>(shrink));
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx2;
+  EXPECT_TRUE(fabric_.Read(&ctx2, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(ctx2.retries, 5u);
+  EXPECT_GE(ctx2.backoff_ns, 5u);  // >= 1 ns per retry even after decay
+  fabric_.node(mem_node_)->Revive();
+}
+
 TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   NetContext a;
   RunMixedWorkload(&a);
   a.retries = 2;
   a.backoff_ns = 3000;
   a.faults_injected = 1;
+  a.queue_ns = 700;
 
   NetContext total;
   total.Merge(a);
@@ -299,6 +333,7 @@ TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   EXPECT_EQ(total.retries, 4u);
   EXPECT_EQ(total.backoff_ns, 6000u);
   EXPECT_EQ(total.faults_injected, 2u);
+  EXPECT_EQ(total.queue_ns, 1400u);
   EXPECT_EQ(total.verb(FabricVerb::kRpc).ops, 2u);
   EXPECT_EQ(total.verb(FabricVerb::kRead).sim_ns,
             2 * a.verb(FabricVerb::kRead).sim_ns);
@@ -308,6 +343,7 @@ TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   MergeParallel(&parent, branches, 2);
   EXPECT_EQ(parent.sim_ns, a.sim_ns);  // max, not sum
   EXPECT_EQ(parent.retries, 4u);
+  EXPECT_EQ(parent.queue_ns, 1400u);  // attribution: summed
   EXPECT_EQ(parent.verb(FabricVerb::kWrite).ops, 2u);  // attribution: summed
 
   a.Reset();

@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace disagg {
+namespace {
+
+// Regression coverage for the Percentile clamp bug: low percentiles used to
+// return the first occupied bucket's *upper bound*, which can exceed the
+// true minimum (e.g. a sample of 8 lands in the [8, 9] bucket, so p0
+// reported 9). Percentile() must stay inside [min(), max()] and be
+// monotonic in p.
+
+TEST(HistogramTest, PercentileNeverUndershootsMinOrOvershootsMax) {
+  // 8 is a bucket lower boundary: its bucket's upper bound is 9, which is
+  // what the unclamped implementation returned for p0 (fails on main).
+  Histogram h;
+  h.Record(8);
+  h.Record(1000);
+  EXPECT_EQ(h.min(), 8u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 8.0);
+  EXPECT_GE(h.Percentile(0), static_cast<double>(h.min()));
+  EXPECT_LE(h.Percentile(100), static_cast<double>(h.max()));
+
+  // Same property under many random samples.
+  Histogram r;
+  Random rng(7);
+  for (int i = 0; i < 10000; i++) r.Record(rng.Uniform(1u << 20));
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    EXPECT_GE(r.Percentile(p), static_cast<double>(r.min())) << "p=" << p;
+    EXPECT_LE(r.Percentile(p), static_cast<double>(r.max())) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileIsMonotonicInP) {
+  Histogram h;
+  Random rng(99);
+  for (int i = 0; i < 5000; i++) {
+    // Mix of tiny, mid, and huge values to cross many bucket scales.
+    const int band = static_cast<int>(rng.Uniform(3));
+    h.Record(band == 0 ? rng.Uniform(16)
+                       : band == 1 ? 1000 + rng.Uniform(1000)
+                                   : (1u << 20) + rng.Uniform(1u << 20));
+  }
+  double prev = -1.0;
+  for (double p = 0; p <= 100.0; p += 0.25) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, BucketBoundaryValuesRoundTripExactly) {
+  // A single recorded value v must be reported as exactly v at every
+  // percentile (clamped to [min,max] = [v,v]), including values that sit on
+  // power-of-two and sub-bucket boundaries.
+  const std::vector<uint64_t> boundary = {0,  1,   2,    3,    4,     5,
+                                          7,  8,   9,    15,   16,    24,
+                                          31, 256, 1023, 1024, 123456};
+  for (uint64_t v : boundary) {
+    Histogram h;
+    h.Record(v);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(h.Percentile(p), static_cast<double>(v))
+          << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, PercentilesOfSmallExactSets) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 3}) h.Record(v);
+  // With three samples, ranks 0/1/2 map to the three values (each value < 4
+  // gets its own exact bucket).
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, EmptyAndResetAndMerge) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+
+  h.Record(100);
+  Histogram other;
+  other.Record(10);
+  other.Record(1000);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_GE(h.Percentile(0), 10.0);
+  EXPECT_LE(h.Percentile(100), 1000.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+}  // namespace
+}  // namespace disagg
