@@ -111,6 +111,85 @@ BENCHMARK(BM_E22_PageReadSaturation)
     ->ArgNames({"tier", "clients"})
     ->Iterations(1);
 
+/// The open-loop counterpart: closed-loop clients self-throttle at the knee
+/// (offered load = achieved load by construction), so the plateau above can
+/// never show offered load *exceeding* capacity. Here 16 Poisson (or
+/// phase-staggered deterministic) arrival streams offer a fixed fraction of
+/// the pool NIC's capacity regardless of completions. Below the knee
+/// achieved == offered; past it achieved pins at capacity while the
+/// in-flight count and the response-time tail grow without bound for as
+/// long as the run lasts — the unbounded-queue regime of an M/D/1-ish
+/// server pushed past rho = 1.
+void BM_E22_OpenLoopSweep(benchmark::State& state) {
+  const uint64_t offered_pct = static_cast<uint64_t>(state.range(0));
+  const bool poisson = state.range(1) == 0;
+  constexpr uint64_t kClients = 16;
+
+  Fabric fabric;
+  MemoryNode pool(&fabric, "pool", kPoolPages * kPage * 2,
+                  InterconnectModel::Rdma());
+  const ResourceCapacity cap = pool.ServiceCapacity(/*ns_per_op=*/100);
+  CongestionConfig cfg;
+  cfg.node_caps[pool.node()] = cap;
+  fabric.EnableCongestion(cfg);
+  const double capacity = cap.OpsPerSec(kPage);
+
+  auto run = [&](uint64_t pct) {
+    fabric.congestion()->Reset();
+    sim::OpenLoopOptions opts;
+    opts.clients = kClients;
+    // Long streams: achieved throughput is ops / (slowest stream's span), so
+    // short Poisson streams under-report it by O(1/sqrt(ops)) purely from
+    // arrival-end raggedness across clients.
+    opts.ops_per_client = 2048;
+    opts.ops_per_sec = capacity * static_cast<double>(pct) / 100.0 /
+                       static_cast<double>(kClients);
+    opts.process = poisson ? sim::ArrivalProcess::kPoisson
+                           : sim::ArrivalProcess::kDeterministic;
+    return sim::RunOpenLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[kPage];
+          return fabric.Read(ctx, pool.at(rng->Uniform(kPoolPages) * kPage),
+                             buf, kPage);
+        });
+  };
+
+  sim::LoadReport report;
+  for (auto _ : state) {
+    report = run(offered_pct);
+    DISAGG_CHECK(report.errors == 0);
+  }
+
+  state.counters["offered_kops"] = report.offered_ops_per_sec / 1e3;
+  state.counters["tput_kops"] = report.ThroughputOpsPerSec() / 1e3;
+  state.counters["p50_us"] = report.latency.Percentile(50) / 1e3;
+  state.counters["p99_us"] = report.latency.Percentile(99) / 1e3;
+  state.counters["mean_depth"] = report.queue_depth.Mean();
+  state.counters["max_inflight"] = static_cast<double>(report.max_in_flight);
+  state.counters["capacity_frac"] = report.ThroughputOpsPerSec() / capacity;
+  state.SetLabel(poisson ? "poisson" : "deterministic");
+
+  if (AssertFromEnv() && offered_pct >= 140 && poisson) {
+    // Open-loop saturation shape: achieved throughput plateaus at capacity
+    // while offered load keeps rising, and both the backlog and the
+    // response-time tail blow up relative to a below-knee run.
+    fabric.congestion()->Reset();
+    const auto below = run(50);
+    DISAGG_CHECK(report.ThroughputOpsPerSec() >= 0.9 * capacity);
+    DISAGG_CHECK(report.ThroughputOpsPerSec() <= 1.001 * capacity);
+    DISAGG_CHECK(report.offered_ops_per_sec >= 1.3 * capacity);
+    DISAGG_CHECK(below.ThroughputOpsPerSec() >=
+                 0.90 * below.offered_ops_per_sec);
+    DISAGG_CHECK(report.max_in_flight >= 10 * below.max_in_flight);
+    DISAGG_CHECK(report.latency.Percentile(99) >=
+                 10.0 * below.latency.Percentile(99));
+  }
+}
+BENCHMARK(BM_E22_OpenLoopSweep)
+    ->ArgsProduct({{50, 80, 95, 105, 140}, {0, 1}})
+    ->ArgNames({"offered_pct", "proc"})
+    ->Iterations(1);
+
 /// A full engine under contention: N clients run a 95/5 read/update zipfian
 /// mix against one Aurora-style engine whose fabric nodes all share a
 /// uniform per-node capacity. Shows that the engine's *commit fan-out*

@@ -12,10 +12,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> tier-1: configure + build + ctest"
+echo "==> tier-1: configure + build + ctest (fast labels first)"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+# Fail fast: the unit and property buckets finish in ~1 s; the slow/chaos
+# buckets (several seconds each) only run once those are green.
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L 'unit|property'
+ctest --test-dir build --output-on-failure -j "${JOBS}" -LE 'unit|property'
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> --fast: skipping sanitizer pass"
@@ -27,7 +30,7 @@ fi
 # harness (which exercises every engine's fault paths), and the
 # congestion/load-driver layer (virtual-time queueing + histogram math).
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
-           congestion_test histogram_test)
+           congestion_test load_driver_test histogram_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -56,6 +59,22 @@ DISAGG_CHAOS_SEEDS="${CHAOS_SEEDS}" ./build-asan/tests/chaos_test \
 echo "==> E22 saturation smoke (congestion capacity bound)"
 DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
   --benchmark_filter='BM_E22_PageReadSaturation/.*clients:64' \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# Open-loop smoke: at 140% offered load the achieved throughput must
+# plateau at capacity while the in-flight count and p99 blow up relative
+# to an inline 50% baseline (the unbounded-queue regime, see bench_e22).
+echo "==> E22 open-loop sweep smoke (plateau past the knee)"
+DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
+  --benchmark_filter='BM_E22_OpenLoopSweep/offered_pct:140/proc:0' \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E23 fairness smoke: WFQ must restore the OLTP victim's p99 to <= 0.5x
+# its FIFO value under an OLAP scan neighbor, and admission control must
+# bound the victim's in-system tail while actually rejecting work (each
+# non-FIFO mode re-runs the FIFO baseline inline; see bench_e23_fairness).
+echo "==> E23 tenant-isolation smoke (WFQ + admission control)"
+DISAGG_E23_ASSERT=1 ./build/bench/bench_e23_fairness \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

@@ -4,7 +4,8 @@
 
 namespace disagg {
 
-uint64_t CongestionState::AdmitOne(Resource* r, uint64_t t, uint64_t bytes) {
+uint64_t CongestionState::AdmitOneFifo(Resource* r, uint64_t t,
+                                       uint64_t bytes) {
   const uint64_t service = r->cap.ServiceNs(bytes);
   const uint64_t start = std::max(t, r->stats.free_ns);
   r->stats.free_ns = start + service;
@@ -15,30 +16,118 @@ uint64_t CongestionState::AdmitOne(Resource* r, uint64_t t, uint64_t bytes) {
   return start;
 }
 
-uint64_t CongestionState::Admit(NodeId node, uint64_t arrival_ns,
-                                uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t CongestionState::AdmitOneSfq(Resource* r, uint32_t tenant,
+                                      uint64_t t, uint64_t bytes) const {
+  const uint64_t service = r->cap.ServiceNs(bytes);
+  const double w = config_.WeightFor(tenant);
 
-  // The op transits its target node's link, then the shared backbone
-  // (cut-through: it is admitted to the backbone as soon as it starts
-  // service on the link, so an idle pair of resources adds zero delay).
-  uint64_t t = arrival_ns;
+  // Fluid-server share at this instant: tenants whose lane is still draining
+  // at the op's arrival are active; the lone-tenant case degenerates to
+  // active == w, a stretch of exactly `service`, and FIFO arithmetic.
+  double active = w;
+  for (const auto& [id, lane] : r->lanes) {
+    if (id != tenant && lane.free_ns > t) active += config_.WeightFor(id);
+  }
 
+  Lane& lane = r->lanes[tenant];
+  const uint64_t start = std::max(t, lane.free_ns);
+  const uint64_t stretch = static_cast<uint64_t>(
+      static_cast<double>(service) * (active / w));
+  lane.free_ns = start + stretch;
+  lane.ops++;
+
+  // The op's fluid completion is its lane's finish time; everything beyond
+  // its bare service time was spent sharing the pipe, i.e. queueing. Report
+  // `virtual_start = completion - service` so the caller's cut-through
+  // cascade and delay arithmetic are identical to the FIFO discipline.
+  const uint64_t virtual_start = lane.free_ns - service;
+  r->stats.ops++;
+  r->stats.bytes += bytes;
+  r->stats.busy_ns += service;
+  r->stats.queue_ns += virtual_start - t;
+  if (lane.free_ns > r->stats.free_ns) r->stats.free_ns = lane.free_ns;
+  return virtual_start;
+}
+
+uint64_t CongestionState::BacklogAt(const Resource& r, uint32_t tenant,
+                                    uint64_t t) const {
+  if (r.cap.unlimited()) return 0;
+  if (!config_.wfq_enabled()) {
+    return r.stats.free_ns > t ? r.stats.free_ns - t : 0;
+  }
+  // SFQ: the wait an op would be charged is its own lane's drain time — a
+  // light tenant is admitted even while a heavy tenant's lane is deep.
+  auto it = r.lanes.find(tenant);
+  if (it == r.lanes.end()) return 0;
+  return it->second.free_ns > t ? it->second.free_ns - t : 0;
+}
+
+CongestionState::Resource* CongestionState::ResourceFor(NodeId node) {
   auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     auto cit = config_.node_caps.find(node);
     const ResourceCapacity cap =
         cit == config_.node_caps.end() ? config_.default_node : cit->second;
-    it = nodes_.emplace(node, Resource{cap, {}}).first;
+    it = nodes_.emplace(node, Resource{cap, {}, {}}).first;
   }
-  if (!it->second.cap.unlimited()) t = AdmitOne(&it->second, t, bytes);
+  return &it->second;
+}
+
+const CongestionState::Resource* CongestionState::FindResource(
+    NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool CongestionState::TryAdmit(NodeId node, uint32_t tenant,
+                               uint64_t arrival_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Resource* link = ResourceFor(node);
+  if (link->cap.max_backlog_ns > 0 &&
+      BacklogAt(*link, tenant, arrival_ns) > link->cap.max_backlog_ns) {
+    link->stats.rejections++;
+    return false;
+  }
 
   if (!config_.backbone.unlimited()) {
     if (!backbone_init_) {
       backbone_.cap = config_.backbone;
       backbone_init_ = true;
     }
-    t = AdmitOne(&backbone_, t, bytes);
+    if (backbone_.cap.max_backlog_ns > 0 &&
+        BacklogAt(backbone_, tenant, arrival_ns) >
+            backbone_.cap.max_backlog_ns) {
+      backbone_.stats.rejections++;
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t CongestionState::Admit(NodeId node, uint32_t tenant,
+                                uint64_t arrival_ns, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool wfq = config_.wfq_enabled();
+
+  // The op transits its target node's link, then the shared backbone
+  // (cut-through: it is admitted to the backbone as soon as it starts
+  // service on the link, so an idle pair of resources adds zero delay).
+  uint64_t t = arrival_ns;
+
+  Resource* link = ResourceFor(node);
+  if (!link->cap.unlimited()) {
+    t = wfq ? AdmitOneSfq(link, tenant, t, bytes)
+            : AdmitOneFifo(link, t, bytes);
+  }
+
+  if (!config_.backbone.unlimited()) {
+    if (!backbone_init_) {
+      backbone_.cap = config_.backbone;
+      backbone_init_ = true;
+    }
+    t = wfq ? AdmitOneSfq(&backbone_, tenant, t, bytes)
+            : AdmitOneFifo(&backbone_, t, bytes);
   }
 
   return t - arrival_ns;
@@ -46,13 +135,23 @@ uint64_t CongestionState::Admit(NodeId node, uint64_t arrival_ns,
 
 CongestionState::ResourceStats CongestionState::NodeStats(NodeId node) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? ResourceStats{} : it->second.stats;
+  const Resource* r = FindResource(node);
+  return r == nullptr ? ResourceStats{} : r->stats;
 }
 
 CongestionState::ResourceStats CongestionState::BackboneStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return backbone_.stats;
+}
+
+std::map<uint32_t, uint64_t> CongestionState::NodeTenantOps(
+    NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint32_t, uint64_t> out;
+  const Resource* r = FindResource(node);
+  if (r == nullptr) return out;
+  for (const auto& [tenant, lane] : r->lanes) out[tenant] = lane.ops;
+  return out;
 }
 
 uint64_t CongestionState::total_queue_ns() const {
@@ -62,10 +161,21 @@ uint64_t CongestionState::total_queue_ns() const {
   return total;
 }
 
+uint64_t CongestionState::total_rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = backbone_.stats.rejections;
+  for (const auto& [id, r] : nodes_) total += r.stats.rejections;
+  return total;
+}
+
 void CongestionState::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, r] : nodes_) r.stats = ResourceStats{};
+  for (auto& [id, r] : nodes_) {
+    r.stats = ResourceStats{};
+    r.lanes.clear();
+  }
   backbone_.stats = ResourceStats{};
+  backbone_.lanes.clear();
 }
 
 }  // namespace disagg

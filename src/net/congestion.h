@@ -26,6 +26,13 @@ struct ResourceCapacity {
   uint64_t ns_per_op = 0;   ///< issue overhead per op (1e9/x = ops/sec cap)
   double ns_per_byte = 0.0; ///< inverse service bandwidth
 
+  /// Admission control: an op that would have to wait more than this behind
+  /// the resource's backlog is rejected up front with `Status::Busy` instead
+  /// of being charged unbounded queueing delay (the throttling real
+  /// disaggregated stores apply at the NIC/service tier). 0 = unbounded
+  /// queue, every op is eventually served.
+  uint64_t max_backlog_ns = 0;
+
   uint64_t ServiceNs(uint64_t bytes) const {
     return ns_per_op +
            static_cast<uint64_t>(ns_per_byte * static_cast<double>(bytes));
@@ -52,48 +59,102 @@ struct CongestionConfig {
   /// A single shared backbone every op crosses in addition to its target
   /// node's link (models the switch fabric / oversubscribed core).
   ResourceCapacity backbone;
+
+  /// Per-tenant weights for start-time fair queueing (SFQ). Empty (the
+  /// default) keeps the strict FIFO-by-arrival discipline and bit-identical
+  /// counters; any entry switches every constrained resource to weighted
+  /// fair queueing keyed by `NetContext::tenant`. Tenants absent from the
+  /// map get `default_weight`.
+  std::map<uint32_t, double> tenant_weights;
+  double default_weight = 1.0;
+
+  /// Sim time charged to an op rejected by admission control (the cost of
+  /// learning "no": one NACKed round trip / doorbell, not a full service).
+  uint64_t rejection_cost_ns = 100;
+
+  bool wfq_enabled() const { return !tenant_weights.empty(); }
+
+  double WeightFor(uint32_t tenant) const {
+    auto it = tenant_weights.find(tenant);
+    const double w = it == tenant_weights.end() ? default_weight : it->second;
+    return w > 0.0 ? w : 1.0;
+  }
 };
 
-/// Shared-resource congestion: a FIFO virtual-time queue per resource.
+/// Shared-resource congestion: a virtual-time queue per resource.
 ///
-/// Ops arrive at the issuing client's current simulated time. Each resource
-/// keeps the virtual time at which it next becomes free; an op starts
-/// service at `max(arrival, free_time)`, occupies the resource for its
-/// service time, and the client is charged `start - arrival` of queueing
-/// delay on top of the unchanged interconnect cost model (broken out in
-/// `NetContext::queue_ns`). An uncontended op (arrival >= free_time) is
-/// charged nothing, so a single client below capacity — or any run with
-/// congestion disabled — keeps bit-identical counters.
+/// Ops arrive at the issuing client's current simulated time. In the default
+/// FIFO discipline each resource keeps the virtual time at which it next
+/// becomes free; an op starts service at `max(arrival, free_time)`, occupies
+/// the resource for its service time, and the client is charged
+/// `start - arrival` of queueing delay on top of the unchanged interconnect
+/// cost model (broken out in `NetContext::queue_ns`). An uncontended op
+/// (arrival >= free_time) is charged nothing, so a single client below
+/// capacity — or any run with congestion disabled — keeps bit-identical
+/// counters.
+///
+/// With `tenant_weights` configured the discipline becomes start-time fair
+/// queueing over a fluid (GPS) server: each tenant owns a virtual lane that
+/// drains at `w_i / W_active` of the resource's capacity, where `W_active`
+/// is the weight sum of tenants with backlog at the op's arrival. An op's
+/// completion is its lane's virtual finish time and the excess over its bare
+/// service time is charged as queueing delay. A lone tenant's lane drains at
+/// full capacity (work conservation) and reproduces the FIFO arithmetic
+/// exactly; competing backlogged tenants converge to throughput shares
+/// proportional to their weights.
+///
+/// Admission control (`ResourceCapacity::max_backlog_ns`) bounds how far
+/// behind a resource an op may queue: `TryAdmit` is consulted before the op
+/// executes, and a rejected op is failed fast with `Status::Busy`, charged
+/// only `CongestionConfig::rejection_cost_ns`.
 ///
 /// Determinism: admission order is the order of `Admit()` calls. The
 /// `sim::LoadDriver` schedules clients in global virtual-time order, which
-/// makes arrivals non-decreasing and the queue a true FIFO-by-arrival-time
-/// discipline; the whole run is then a pure function of the workload seed.
+/// makes arrivals non-decreasing; the whole run is then a pure function of
+/// the workload seed.
 class CongestionState {
  public:
   explicit CongestionState(CongestionConfig config)
       : config_(std::move(config)) {}
 
+  /// Admission control check for an op from `tenant` arriving at
+  /// `arrival_ns`, BEFORE it executes (its byte count may not be known yet;
+  /// the backlog an op waits behind is independent of its own size). Returns
+  /// false — and bumps the rejecting resource's `rejections` counter — when
+  /// the estimated wait at the node link or the backbone exceeds that
+  /// resource's `max_backlog_ns`. Always true for unbounded resources.
+  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns);
+
   /// Admits one op moving `bytes` bytes to/from `node`, arriving at the
   /// client's virtual time `arrival_ns`. Returns the queueing delay to
   /// charge the client; advances the busy windows of the node's link and
   /// the backbone.
-  uint64_t Admit(NodeId node, uint64_t arrival_ns, uint64_t bytes);
+  uint64_t Admit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                 uint64_t bytes);
 
   /// Accumulated accounting for one resource.
   struct ResourceStats {
-    uint64_t ops = 0;       ///< ops serviced
-    uint64_t bytes = 0;     ///< bytes serviced
-    uint64_t busy_ns = 0;   ///< total service time (sum over ops)
-    uint64_t queue_ns = 0;  ///< total queueing delay imposed on clients
-    uint64_t free_ns = 0;   ///< virtual time the resource next idles
+    uint64_t ops = 0;         ///< ops serviced
+    uint64_t bytes = 0;       ///< bytes serviced
+    uint64_t busy_ns = 0;     ///< total service time (sum over ops)
+    uint64_t queue_ns = 0;    ///< total queueing delay imposed on clients
+    uint64_t free_ns = 0;     ///< virtual time the resource next idles
+    uint64_t rejections = 0;  ///< ops refused by admission control
   };
 
   ResourceStats NodeStats(NodeId node) const;
   ResourceStats BackboneStats() const;
 
+  /// Per-tenant ops/bytes serviced at one node's link (empty map until the
+  /// first op; all traffic is tenant 0 unless clients set
+  /// `NetContext::tenant`).
+  std::map<uint32_t, uint64_t> NodeTenantOps(NodeId node) const;
+
   /// Total queueing delay handed out across all resources.
   uint64_t total_queue_ns() const;
+
+  /// Total admission-control rejections across all resources.
+  uint64_t total_rejections() const;
 
   /// Clears all busy windows and stats (capacities are kept).
   void Reset();
@@ -101,19 +162,38 @@ class CongestionState {
   const CongestionConfig& config() const { return config_; }
 
  private:
+  /// A tenant's lane at one resource (SFQ mode only).
+  struct Lane {
+    uint64_t free_ns = 0;    ///< lane's virtual finish time
+    uint64_t ops = 0;        ///< ops serviced for this tenant
+  };
+
   struct Resource {
     ResourceCapacity cap;
     ResourceStats stats;
+    std::map<uint32_t, Lane> lanes;  // SFQ mode: tenant -> lane
   };
 
-  /// Starts service for one op on `r` at `>= t`; returns the service start
-  /// time (== t when the resource is idle).
-  static uint64_t AdmitOne(Resource* r, uint64_t t, uint64_t bytes);
+  /// Starts service for one op on `r` at `>= t` under strict FIFO; returns
+  /// the service start time (== t when the resource is idle).
+  static uint64_t AdmitOneFifo(Resource* r, uint64_t t, uint64_t bytes);
+
+  /// SFQ mode: serves one op from `tenant`'s lane; returns the op's fluid
+  /// completion time (>= t + service; the excess is the queueing delay).
+  uint64_t AdmitOneSfq(Resource* r, uint32_t tenant, uint64_t t,
+                       uint64_t bytes) const;
+
+  /// The wait an op from `tenant` arriving at `t` would be charged before
+  /// its service begins (0 for unlimited resources).
+  uint64_t BacklogAt(const Resource& r, uint32_t tenant, uint64_t t) const;
+
+  Resource* ResourceFor(NodeId node);          // lazily created
+  const Resource* FindResource(NodeId node) const;
 
   const CongestionConfig config_;
   mutable std::mutex mu_;
   std::map<NodeId, Resource> nodes_;  // lazily created on first op
-  Resource backbone_{/*cap=*/{}, {}};
+  Resource backbone_{/*cap=*/{}, {}, {}};
   bool backbone_init_ = false;
 };
 

@@ -102,6 +102,7 @@ std::shared_ptr<CongestionState> Fabric::congestion() const {
 }
 
 Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
+  op->tenant = ctx->tenant;  // interceptors may rewrite it further down
   std::shared_ptr<const InterceptorChain> chain;
   {
     std::lock_guard<std::mutex> lock(interceptor_mu_);
@@ -153,6 +154,18 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
   // sizes). Queueing delay is charged after the fact, on top of the
   // unchanged interconnect cost, and broken out in `queue_ns`.
   const uint64_t arrival = ctx->sim_ns;
+
+  // Admission control: an op that would queue past a resource's backlog
+  // bound is refused before touching the wire — no data moves, and the
+  // client pays only the (small) cost of learning "no". The Busy status
+  // flows into any installed RetryInterceptor like app-level contention.
+  if (!congestion->TryAdmit(op->node, op->tenant, arrival)) {
+    ctx->Charge(congestion->config().rejection_cost_ns);
+    ctx->admission_rejects++;
+    return Status::Busy("admission control: backlog bound exceeded at node " +
+                        std::to_string(op->node));
+  }
+
   const uint64_t out_before = ctx->bytes_out;
   const uint64_t in_before = ctx->bytes_in;
   Status st = ExecuteVerb(op, ctx);
@@ -161,7 +174,8 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
   // Ops rejected before touching the wire (bad target, bounds) move no bytes
   // and occupy nothing; anything that transferred data holds its resources.
   if (st.ok() || bytes > 0) {
-    const uint64_t delay = congestion->Admit(op->node, arrival, bytes);
+    const uint64_t delay =
+        congestion->Admit(op->node, op->tenant, arrival, bytes);
     if (delay > 0) {
       ctx->Charge(delay);
       ctx->queue_ns += delay;

@@ -260,11 +260,15 @@ class Fabric {
   // ---- Shared-resource congestion ------------------------------------
 
   /// Turns on the shared-resource congestion model: every subsequent op is
-  /// routed through a FIFO virtual-time queue at its target node's link
-  /// (and the backbone, if configured) and charged the resulting queueing
-  /// delay on top of the unchanged interconnect cost model. Off by default;
-  /// with congestion off — or on but uncontended — every client counter is
-  /// bit-identical to the uncontended fabric.
+  /// routed through a virtual-time queue at its target node's link (and the
+  /// backbone, if configured) and charged the resulting queueing delay on
+  /// top of the unchanged interconnect cost model. The discipline is strict
+  /// FIFO by default, or start-time fair queueing keyed by
+  /// `NetContext::tenant` when `CongestionConfig::tenant_weights` is set;
+  /// with `ResourceCapacity::max_backlog_ns` configured, over-backlogged ops
+  /// fail fast with `Status::Busy`. Off by default; with congestion off —
+  /// or on but uncontended — every client counter is bit-identical to the
+  /// uncontended fabric.
   void EnableCongestion(CongestionConfig config);
 
   /// Removes the congestion model (in-flight busy windows are discarded).
@@ -310,6 +314,11 @@ struct FabricOp {
   FabricVerb verb = FabricVerb::kRead;
   NodeId node = 0;    ///< target node (== addr.node for addressed verbs)
   GlobalAddr addr{};  ///< one-sided target (read/write/cas/faa/read_atomic)
+
+  /// Tenant billed for this op at congested resources; stamped from
+  /// `NetContext::tenant` by `Execute()` before the interceptor chain runs
+  /// (interceptors may rewrite it, e.g. to re-bill background traffic).
+  uint32_t tenant = 0;
 
   // One-sided read/write payloads.
   void* dst = nullptr;        ///< read destination buffer

@@ -49,6 +49,20 @@ struct NetContext {
   /// Always 0 when congestion is disabled or the fabric is uncontended.
   uint64_t queue_ns = 0;
 
+  /// Ops refused up front by congestion admission control
+  /// (`ResourceCapacity::max_backlog_ns`); each was failed with
+  /// `Status::Busy` and charged only `CongestionConfig::rejection_cost_ns`
+  /// (included in `sim_ns`, not in `queue_ns`).
+  uint64_t admission_rejects = 0;
+
+  /// Tenant id stamped onto every fabric op this context issues
+  /// (`FabricOp::tenant`): the key for weighted fair queueing and per-tenant
+  /// admission control at congested resources. 0 (the default) is an
+  /// ordinary tenant like any other — with no `tenant_weights` configured
+  /// the congestion model never looks at it. An *input* attribute, not a
+  /// counter: `Fork()` inherits it and merges leave the destination's value.
+  uint32_t tenant = 0;
+
   /// Per-verb breakdown of the fabric-charged counters above, maintained by
   /// `Fabric::Execute()`.
   VerbCounters per_verb[kNumFabricVerbs] = {};
@@ -68,6 +82,7 @@ struct NetContext {
   NetContext Fork() const {
     NetContext b;
     b.sim_ns = sim_ns;
+    b.tenant = tenant;  // branches bill the same tenant at shared resources
     return b;
   }
 
@@ -89,6 +104,7 @@ struct NetContext {
     backoff_ns += o.backoff_ns;
     faults_injected += o.faults_injected;
     queue_ns += o.queue_ns;
+    admission_rejects += o.admission_rejects;
     for (size_t v = 0; v < kNumFabricVerbs; v++) per_verb[v].Merge(o.per_verb[v]);
   }
 
@@ -122,6 +138,7 @@ inline void MergeParallel(NetContext* parent,
     parent->backoff_ns += b.backoff_ns;
     parent->faults_injected += b.faults_injected;
     parent->queue_ns += b.queue_ns;
+    parent->admission_rejects += b.admission_rejects;
     for (size_t v = 0; v < kNumFabricVerbs; v++) {
       parent->per_verb[v].Merge(b.per_verb[v]);
     }
@@ -150,6 +167,7 @@ inline void JoinParallel(NetContext* parent,
     parent->backoff_ns += b.backoff_ns;
     parent->faults_injected += b.faults_injected;
     parent->queue_ns += b.queue_ns;
+    parent->admission_rejects += b.admission_rejects;
     for (size_t v = 0; v < kNumFabricVerbs; v++) {
       parent->per_verb[v].Merge(b.per_verb[v]);
     }

@@ -1,5 +1,7 @@
 #include "sim/load_driver.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <queue>
 #include <vector>
@@ -8,6 +10,14 @@ namespace disagg {
 namespace sim {
 
 namespace {
+
+/// Distinct, seed-derived per-client streams (golden-ratio spacing avoids
+/// the correlated low bits of seed, seed+1, ...). The SAME derivation is
+/// used by both drivers so a workload closure draws identically under
+/// closed- and open-loop scheduling.
+uint64_t ClientSeed(uint64_t seed, uint64_t client) {
+  return seed + client * 0x9E3779B97F4A7C15ull;
+}
 
 /// Heap entry: the client's virtual clock, with the client id as a
 /// deterministic tie-break (lower id goes first at equal times).
@@ -31,9 +41,7 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
   std::vector<uint64_t> issued(opts.clients, 0);
   rngs.reserve(opts.clients);
   for (uint64_t c = 0; c < opts.clients; c++) {
-    // Distinct, seed-derived streams (golden-ratio spacing avoids the
-    // correlated low bits of seed, seed+1, ...).
-    rngs.emplace_back(opts.seed + c * 0x9E3779B97F4A7C15ull);
+    rngs.emplace_back(ClientSeed(opts.seed, c));
   }
 
   std::priority_queue<Runnable, std::vector<Runnable>, std::greater<Runnable>>
@@ -47,7 +55,10 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     const uint64_t before = ctx->sim_ns;
     Status st = op(r.client, issued[r.client], ctx, &rngs[r.client]);
     report.ops++;
-    if (!st.ok()) report.errors++;
+    if (!st.ok()) {
+      report.errors++;
+      if (st.IsBusy()) report.busy++;
+    }
     report.latency.Record(ctx->sim_ns - before);
     if (opts.think_ns > 0) ctx->Charge(opts.think_ns);
     if (++issued[r.client] < opts.ops_per_client) {
@@ -55,25 +66,126 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     }
   }
 
+  report.per_client_sim_ns.reserve(opts.clients);
   for (const NetContext& c : ctxs) {
+    report.per_client_sim_ns.push_back(c.sim_ns);
     if (c.sim_ns > report.makespan_ns) report.makespan_ns = c.sim_ns;
   }
   MergeParallel(&report.total, ctxs.data(), ctxs.size());
   return report;
 }
 
+LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
+  LoadReport report;
+  report.clients = opts.clients;
+  if (opts.clients == 0 || opts.ops_per_client == 0 ||
+      opts.ops_per_sec <= 0.0) {
+    return report;
+  }
+  report.offered_ops_per_sec =
+      opts.ops_per_sec * static_cast<double>(opts.clients);
+  const double period_ns = 1e9 / opts.ops_per_sec;
+
+  // Workload streams derive exactly as in RunClosedLoop; arrival streams use
+  // an independent salt so switching processes never perturbs the op draws.
+  std::vector<NetContext> accs(opts.clients);  // per-client folded counters
+  std::vector<Random> rngs;
+  std::vector<Random> arrival_rngs;
+  std::vector<uint64_t> issued(opts.clients, 0);
+  rngs.reserve(opts.clients);
+  arrival_rngs.reserve(opts.clients);
+  for (uint64_t c = 0; c < opts.clients; c++) {
+    rngs.emplace_back(ClientSeed(opts.seed, c));
+    arrival_rngs.emplace_back(ClientSeed(opts.seed, c) ^ 0xA221BA15ED5EEDull);
+  }
+
+  auto next_gap_ns = [&](uint64_t c) -> uint64_t {
+    if (opts.process == ArrivalProcess::kDeterministic) {
+      return static_cast<uint64_t>(period_ns);
+    }
+    // Exponential inter-arrival. NextDouble() is in [0, 1), so the argument
+    // of log is in (0, 1] and the gap is finite.
+    const double u = arrival_rngs[c].NextDouble();
+    return static_cast<uint64_t>(-std::log(1.0 - u) * period_ns);
+  };
+  auto first_arrival_ns = [&](uint64_t c) -> uint64_t {
+    if (opts.process == ArrivalProcess::kDeterministic) {
+      // Phase-stagger the streams across one period so N deterministic
+      // clients offer a smooth aggregate rate instead of N-bursts.
+      return static_cast<uint64_t>(period_ns * static_cast<double>(c) /
+                                   static_cast<double>(opts.clients));
+    }
+    return next_gap_ns(c);
+  };
+
+  std::priority_queue<Runnable, std::vector<Runnable>, std::greater<Runnable>>
+      arrivals;
+  for (uint64_t c = 0; c < opts.clients; c++) {
+    arrivals.push({first_arrival_ns(c), c});
+  }
+
+  // Completion times of issued ops, for the in-flight (queue depth) gauge.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
+      completions;
+
+  while (!arrivals.empty()) {
+    const Runnable a = arrivals.top();
+    arrivals.pop();
+
+    // Ops whose completion precedes this arrival have left the system.
+    while (!completions.empty() && completions.top() <= a.at_ns) {
+      completions.pop();
+    }
+
+    // The op runs on a context clocked at its arrival instant: arrivals do
+    // not wait for each other client-side (that is the congestion model's
+    // job server-side), so the stream keeps offering load while earlier
+    // ops queue.
+    NetContext ctx = accs[a.client].Fork();
+    ctx.sim_ns = a.at_ns;
+    Status st = op(a.client, issued[a.client], &ctx, &rngs[a.client]);
+    report.ops++;
+    if (!st.ok()) {
+      report.errors++;
+      if (st.IsBusy()) report.busy++;
+    }
+    report.latency.Record(ctx.sim_ns - a.at_ns);
+    completions.push(ctx.sim_ns);
+
+    const uint64_t depth = completions.size();  // includes the op itself
+    report.queue_depth.Record(depth);
+    if (depth > report.max_in_flight) report.max_in_flight = depth;
+
+    JoinParallel(&accs[a.client], &ctx, 1);
+    if (++issued[a.client] < opts.ops_per_client) {
+      arrivals.push({a.at_ns + next_gap_ns(a.client), a.client});
+    }
+  }
+
+  report.per_client_sim_ns.reserve(opts.clients);
+  for (const NetContext& c : accs) {
+    report.per_client_sim_ns.push_back(c.sim_ns);
+    if (c.sim_ns > report.makespan_ns) report.makespan_ns = c.sim_ns;
+  }
+  MergeParallel(&report.total, accs.data(), accs.size());
+  return report;
+}
+
 std::string LoadReport::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "clients=%llu ops=%llu errors=%llu makespan_ms=%.3f "
-                "tput_kops=%.1f p50_us=%.2f p99_us=%.2f queue_ms=%.3f",
+                "clients=%llu ops=%llu errors=%llu busy=%llu "
+                "makespan_ms=%.3f tput_kops=%.1f offered_kops=%.1f "
+                "p50_us=%.2f p99_us=%.2f queue_ms=%.3f max_inflight=%llu",
                 static_cast<unsigned long long>(clients),
                 static_cast<unsigned long long>(ops),
                 static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(busy),
                 static_cast<double>(makespan_ns) / 1e6,
-                ThroughputOpsPerSec() / 1e3, latency.Percentile(50) / 1e3,
-                latency.Percentile(99) / 1e3,
-                static_cast<double>(total.queue_ns) / 1e6);
+                ThroughputOpsPerSec() / 1e3, offered_ops_per_sec / 1e3,
+                latency.Percentile(50) / 1e3, latency.Percentile(99) / 1e3,
+                static_cast<double>(total.queue_ns) / 1e6,
+                static_cast<unsigned long long>(max_in_flight));
   return buf;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/random.h"
@@ -24,29 +25,72 @@ struct LoadOptions {
   uint64_t seed = 1;      ///< per-client RNGs derive from this
 };
 
+/// How an open-loop client's arrival process is drawn.
+enum class ArrivalProcess {
+  kPoisson,        ///< exponential inter-arrivals at the offered rate
+  kDeterministic,  ///< fixed spacing 1e9/rate, clients phase-staggered
+};
+
+/// Options for one open-loop run: N independent arrival streams, each
+/// issuing `ops_per_client` operations at `ops_per_sec` *regardless of
+/// completions* — the offered load does not self-throttle at saturation,
+/// which is what exposes the unbounded-queue regime past capacity.
+struct OpenLoopOptions {
+  uint64_t clients = 1;
+  uint64_t ops_per_client = 100;
+  double ops_per_sec = 1e6;  ///< offered rate PER CLIENT (aggregate = N x)
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  uint64_t seed = 1;  ///< workload RNG streams derive exactly as in
+                      ///< `LoadOptions` (same seed -> same op draws);
+                      ///< arrival streams use an independent derivation
+};
+
 /// Issues one operation on behalf of `client` (0-based). All simulated cost
 /// must be charged to `ctx`; `rng` is the client's private deterministic
 /// stream. Returning a non-ok status counts as an error but does not stop
 /// the client (its charged time still advances, like a real failed request).
+/// Multi-tenant workloads set `ctx->tenant` (first thing, before any fabric
+/// op) to bill the op's traffic at congested resources.
 using ClientOpFn = std::function<Status(uint64_t client, uint64_t op_index,
                                         NetContext* ctx, Random* rng)>;
 
-/// Result of a closed-loop run.
+/// Result of a closed- or open-loop run.
 struct LoadReport {
   uint64_t clients = 0;
   uint64_t ops = 0;     ///< operations issued (ok + errors)
   uint64_t errors = 0;  ///< non-ok operations
+  uint64_t busy = 0;    ///< subset of errors that returned Status::Busy
+                        ///< (admission-control rejections fail this way)
 
   /// Wall-clock of the run in simulated time: max over clients of their
   /// final `sim_ns` (the slowest client defines the makespan).
   uint64_t makespan_ns = 0;
 
-  /// Per-op latency (charged sim time per op, think time excluded).
+  /// Per-op latency (charged sim time per op, think time excluded). For
+  /// open-loop runs this is the *response time* from arrival to completion.
   Histogram latency;
 
   /// All clients' counters folded with `MergeParallel` — traffic is summed,
   /// `total.sim_ns` equals `makespan_ns`.
   NetContext total;
+
+  /// Each client's final simulated clock (completion of its last op);
+  /// `makespan_ns` is the max of these.
+  std::vector<uint64_t> per_client_sim_ns;
+
+  // ---- Open-loop only (zero for closed-loop runs) ---------------------
+
+  /// Aggregate offered load (`clients * ops_per_sec`). Compare against
+  /// `ThroughputOpsPerSec()`: below capacity they agree; past capacity the
+  /// achieved rate plateaus while offered keeps rising.
+  double offered_ops_per_sec = 0.0;
+
+  /// Ops in flight sampled at every arrival instant (for Poisson arrivals
+  /// PASTA makes these samples unbiased time averages). Mean/max/percentiles
+  /// show the queue-depth-over-time behaviour: bounded below the knee,
+  /// growing without bound past it.
+  Histogram queue_depth;
+  uint64_t max_in_flight = 0;
 
   double ThroughputOpsPerSec() const {
     return makespan_ns == 0 ? 0.0
@@ -61,10 +105,23 @@ struct LoadReport {
 /// in global virtual-time order: at every step the client with the smallest
 /// simulated clock issues its next operation. This ordering is what makes
 /// the shared-resource congestion model (`src/net/congestion.h`) a
-/// FIFO-by-arrival queue — arrivals at every resource are non-decreasing —
-/// and it makes the whole run a pure function of (`opts`, the op closure):
-/// same seed, same trace, bit for bit.
+/// queue-by-arrival discipline — arrivals at every resource are
+/// non-decreasing — and it makes the whole run a pure function of (`opts`,
+/// the op closure): same seed, same trace, bit for bit.
 LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op);
+
+/// Runs `opts.clients` open-loop arrival streams against `op`. Arrival
+/// times are generated up front from the offered rate (Poisson or
+/// deterministic per `opts.process`) and the streams are interleaved in
+/// global virtual-time order; each arrival executes on a context whose
+/// clock starts at the arrival instant, so its charged completion time and
+/// queueing delay are independent of how backed up other arrivals already
+/// are on the client side. Ops keep being issued at the offered rate even
+/// when earlier ops are still queued — past capacity the in-flight count
+/// and the response-time tail grow without bound, exactly the regime
+/// closed-loop clients cannot reach. Deterministic: same options, same
+/// trace, bit for bit.
+LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op);
 
 }  // namespace sim
 }  // namespace disagg

@@ -181,6 +181,38 @@ TEST(ChaosIndexTest, SameSeedSameTrace) {
   EXPECT_EQ(TraceToString(a.trace), TraceToString(b.trace));
 }
 
+// Status-contract test: retryable contention surfaces as Busy (or
+// Unavailable from injected faults), never as TimedOut. TimedOut is
+// reserved for genuine deadline expiry — an engine that maps queueing or
+// admission-control pressure to TimedOut would send clients down the wrong
+// recovery path (RetryPolicy treats the two differently by default). The
+// chaos fault corpus drives every engine and index structure through
+// drops, spikes, flaps, and crashes; no P/R/C record may carry TimedOut.
+// ('T' records store a TxnOutcome, not a Status code, so they are skipped.)
+TEST(ChaosSuiteTest, NoEngineSurfacesTimedOutForRetryableContention) {
+  SKIP_UNDER_MUTATION();
+  const auto check = [](const ChaosReport& r) {
+    for (const OpRecord& rec : r.trace) {
+      if (rec.kind != 'P' && rec.kind != 'R' && rec.kind != 'C') continue;
+      EXPECT_NE(rec.status, static_cast<uint8_t>(Status::Code::kTimedOut))
+          << r.engine << " seed " << r.seed << ": op #" << rec.index
+          << " (kind " << rec.kind << ") surfaced TimedOut";
+    }
+  };
+  for (const std::string& engine : ChaosEngineNames()) {
+    for (uint64_t seed : {42ull, 1337ull, 777ull}) {
+      check(RunEngineChaos(engine, seed));
+    }
+  }
+  for (const std::string& kind :
+       {std::string("race"), std::string("sherman"),
+        std::string("lockcouple")}) {
+    for (uint64_t seed : {11ull, 12ull, 13ull}) {
+      check(RunIndexChaos(kind, seed));
+    }
+  }
+}
+
 // Replay entry point used by scripts/chaos_replay.sh and the CI chaos
 // stage: DISAGG_CHAOS_SEEDS holds comma- or space-separated seeds; each is
 // run against every engine and every index kind.

@@ -341,6 +341,295 @@ TEST_F(CongestionTest, LoadDriverThinkTimeShapesOfferedLoad) {
   EXPECT_EQ(report.latency.max(), read_cost + 7 * 1000);
 }
 
+// ---- Weighted fair queueing ----------------------------------------------
+
+TEST_F(CongestionTest, WfqSingleTenantIsBitIdenticalToFifo) {
+  // Configuring weights flips the queue to start-time fair queueing, but
+  // with every op billed to one tenant the lane arithmetic degenerates to
+  // exactly the FIFO virtual-time queue: same waits, same stats, bit for
+  // bit. This is the parity contract that keeps single-tenant workloads
+  // unchanged when a config enables WFQ "just in case".
+  auto run = [](bool wfq) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{1000, 0.0};
+    if (wfq) cfg.tenant_weights[5] = 3.0;  // any weight map enables WFQ
+    fabric.EnableCongestion(cfg);
+
+    char buf[8];
+    std::vector<uint64_t> waits;
+    std::vector<NetContext> ctxs(4);
+    for (NetContext& ctx : ctxs) {
+      GlobalAddr addr{node, region->id(), 0};
+      EXPECT_TRUE(fabric.Read(&ctx, addr, buf, 8).ok());
+      waits.push_back(ctx.queue_ns);
+    }
+    const auto stats = fabric.congestion()->NodeStats(node);
+    return std::make_tuple(waits, stats.busy_ns, stats.queue_ns,
+                           stats.free_ns, stats.ops);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST_F(CongestionTest, WfqLaneArithmeticIsExact) {
+  // Two equal-weight tenants at one resource, all arrivals at t=0, service
+  // 1000 ns each. Lane math (stretch = service * active_weight / weight):
+  //  - a (tenant 1): other lane idle, stretch 1000, starts at 0, no wait;
+  //  - b (tenant 2): lane 1 draining, stretch 2000, virtual start 1000;
+  //  - c (tenant 1): lane 2 draining, stretch 2000 on top of lane 1's
+  //    backlog -> virtual start 2000.
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  cfg.tenant_weights[1] = 1.0;
+  cfg.tenant_weights[2] = 1.0;
+  fabric_.EnableCongestion(cfg);
+
+  char buf[8];
+  NetContext a, b, c;
+  a.tenant = 1;
+  b.tenant = 2;
+  c.tenant = 1;
+  ASSERT_TRUE(fabric_.Read(&a, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&b, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&c, At(0), buf, 8).ok());
+  EXPECT_EQ(a.queue_ns, 0u);
+  EXPECT_EQ(b.queue_ns, 1000u);
+  EXPECT_EQ(c.queue_ns, 2000u);
+
+  const auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.ops, 3u);
+  EXPECT_EQ(stats.busy_ns, 3000u);  // true service, not stretched service
+  const auto per_tenant = fabric_.congestion()->NodeTenantOps(node_);
+  EXPECT_EQ(per_tenant.at(1), 2u);
+  EXPECT_EQ(per_tenant.at(2), 1u);
+}
+
+TEST_F(CongestionTest, WfqEqualWeightsMatchFifoSharesAtSaturation) {
+  // Equal weights must reproduce FIFO's aggregate behaviour at a saturated
+  // resource: same total work, makespan within a small tolerance (the two
+  // disciplines order ops differently, so only aggregates are comparable).
+  auto run = [](bool wfq) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{1000, 0.0};
+    if (wfq) {
+      cfg.tenant_weights[1] = 2.5;
+      cfg.tenant_weights[2] = 2.5;
+    }
+    fabric.EnableCongestion(cfg);
+
+    sim::LoadOptions opts;
+    opts.clients = 8;
+    opts.ops_per_client = 100;
+    auto report = sim::RunClosedLoop(
+        opts, [&](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+          ctx->tenant = client < 4 ? 1 : 2;
+          char buf[8];
+          GlobalAddr addr{node, region->id(), rng->Uniform(1024) * 8};
+          return fabric.Read(ctx, addr, buf, 8);
+        });
+    EXPECT_EQ(report.errors, 0u);
+    return std::make_pair(report.makespan_ns,
+                          fabric.congestion()->NodeStats(node).busy_ns);
+  };
+
+  const auto fifo = run(false);
+  const auto wfq = run(true);
+  EXPECT_EQ(fifo.second, wfq.second);  // identical total service
+  EXPECT_NEAR(static_cast<double>(wfq.first), static_cast<double>(fifo.first),
+              0.05 * static_cast<double>(fifo.first));
+}
+
+TEST_F(CongestionTest, WfqSharesConvergeToWeightsAndConserveWork) {
+  // Weights 2:1, both tenants saturating one resource with equal work (400
+  // fixed-size ops each at service 1000 ns). While both lanes are
+  // backlogged tenant 1 drains at 2/3 capacity and tenant 2 at 1/3, so
+  // tenant 1 finishes its work at ~600 us; tenant 2 then owns the full
+  // resource for its remaining ~200 ops: done at ~800 us. Work is
+  // conserved throughout — the resource never idles while backlogged, so
+  // the makespan is (within the startup transient) total service.
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  cfg.tenant_weights[1] = 2.0;
+  cfg.tenant_weights[2] = 1.0;
+  fabric_.EnableCongestion(cfg);
+
+  sim::LoadOptions opts;
+  opts.clients = 8;  // 0..3 tenant 1, 4..7 tenant 2
+  opts.ops_per_client = 100;
+  auto report = sim::RunClosedLoop(
+      opts, [&](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+        ctx->tenant = client < 4 ? 1 : 2;
+        char buf[8];
+        GlobalAddr addr{node_, region_->id(), rng->Uniform(1024) * 8};
+        return fabric_.Read(ctx, addr, buf, 8);
+      });
+  ASSERT_EQ(report.errors, 0u);
+
+  uint64_t heavy_done = 0, light_done = 0;
+  for (uint64_t c = 0; c < 8; c++) {
+    auto& done = c < 4 ? heavy_done : light_done;
+    done = std::max(done, report.per_client_sim_ns[c]);
+  }
+  // 2:1 weights: the heavy tenant completes its equal share of the work in
+  // ~3/4 of the light tenant's time (600 us vs 800 us).
+  EXPECT_NEAR(static_cast<double>(heavy_done) / static_cast<double>(light_done),
+              0.75, 0.06);
+
+  // Work conservation: total service is exact, and the resource was busy
+  // essentially the whole makespan (startup transient aside).
+  const auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.busy_ns, 800u * 1000u);
+  EXPECT_LE(stats.busy_ns, report.makespan_ns);
+  EXPECT_GE(static_cast<double>(stats.busy_ns),
+            0.95 * static_cast<double>(report.makespan_ns));
+}
+
+// ---- Admission control ---------------------------------------------------
+
+TEST_F(CongestionTest, RejectionChargesExactlyTheRejectionCost) {
+  CongestionConfig cfg;
+  auto& cap = cfg.node_caps[node_];
+  cap = ResourceCapacity{1000, 0.0};
+  cap.max_backlog_ns = 5000;
+  cfg.rejection_cost_ns = 77;
+  fabric_.EnableCongestion(cfg);
+
+  // Six simultaneous arrivals build a 6000 ns backlog (the bound admits the
+  // op that lands exactly at 5000).
+  char buf[8];
+  std::vector<NetContext> filler(6);
+  for (NetContext& ctx : filler) {
+    ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  }
+
+  NetContext rejected;
+  const Status st = fabric_.Read(&rejected, At(0), buf, 8);
+  EXPECT_TRUE(st.IsBusy());
+  EXPECT_EQ(rejected.sim_ns, 77u);  // learns "no", pays only that
+  EXPECT_EQ(rejected.queue_ns, 0u);
+  EXPECT_EQ(rejected.bytes_in, 0u);
+  EXPECT_EQ(rejected.admission_rejects, 1u);
+
+  const auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.rejections, 1u);
+  EXPECT_EQ(stats.ops, 6u);  // the rejected op occupied nothing
+  EXPECT_EQ(fabric_.congestion()->total_rejections(), 1u);
+}
+
+TEST_F(CongestionTest, BoundedBacklogEveryOpCompletesOrFailsBusy) {
+  // The admission-control contract under sustained overload: every op
+  // either completes (having waited at most the bound) or fails fast with
+  // Busy, and both sides of the ledger agree on the reject count.
+  CongestionConfig cfg;
+  auto& cap = cfg.node_caps[node_];
+  cap = ResourceCapacity{1000, 0.0};
+  cap.max_backlog_ns = 5000;
+  fabric_.EnableCongestion(cfg);
+
+  sim::LoadOptions opts;
+  opts.clients = 16;
+  opts.ops_per_client = 50;
+  auto report = sim::RunClosedLoop(
+      opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+        char buf[8];
+        GlobalAddr addr{node_, region_->id(), rng->Uniform(1024) * 8};
+        return fabric_.Read(ctx, addr, buf, 8);
+      });
+
+  EXPECT_EQ(report.ops, 800u);
+  EXPECT_GT(report.busy, 0u);              // the bound actually bound
+  EXPECT_EQ(report.errors, report.busy);   // Busy is the only failure mode
+  EXPECT_EQ(report.total.admission_rejects, report.busy);
+  EXPECT_EQ(fabric_.congestion()->NodeStats(node_).rejections, report.busy);
+
+  // Admitted ops waited at most the bound; rejected ops paid only the
+  // rejection cost. Either way no latency sample exceeds bound + read.
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  EXPECT_LE(report.latency.max(), 5000 + read_cost);
+
+  // Conservation still holds for the admitted subset.
+  const auto stats = fabric_.congestion()->NodeStats(node_);
+  EXPECT_EQ(stats.ops, report.ops - report.busy);
+  EXPECT_EQ(stats.busy_ns, (report.ops - report.busy) * 1000u);
+}
+
+TEST_F(CongestionTest, BusyFlowsIntoRetryInterceptorAndSucceeds) {
+  // Admission rejections are retryable contention when the policy says so:
+  // the op backs off (charged, deterministic), re-arrives after the backlog
+  // drained below the bound, and completes with exact accounting.
+  CongestionConfig cfg;
+  auto& cap = cfg.node_caps[node_];
+  cap = ResourceCapacity{1000, 0.0};
+  cap.max_backlog_ns = 5000;
+  cfg.rejection_cost_ns = 100;
+  fabric_.EnableCongestion(cfg);
+
+  RetryPolicy rp;
+  rp.initial_backoff_ns = 1000;
+  rp.retry_busy = true;
+  fabric_.AddInterceptor(std::make_shared<RetryInterceptor>(rp));
+
+  char buf[8];
+  std::vector<NetContext> filler(6);  // backlog: 6000 ns > bound
+  for (NetContext& ctx : filler) {
+    ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  }
+
+  // Attempt 1 at t=0: backlog 6000 > 5000 -> Busy, charge 100 (rejection)
+  // + 1000 (backoff). Attempt 2 at t=1100: backlog 4900 <= 5000 -> admitted
+  // behind the whole backlog, waits 4900, then the read itself.
+  NetContext ctx;
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  EXPECT_EQ(ctx.retries, 1u);
+  EXPECT_EQ(ctx.backoff_ns, 1000u);
+  EXPECT_EQ(ctx.admission_rejects, 1u);
+  EXPECT_EQ(ctx.queue_ns, 4900u);
+  EXPECT_EQ(ctx.sim_ns, 100 + 1000 + 4900 + read_cost);
+  EXPECT_EQ(fabric_.congestion()->NodeStats(node_).rejections, 1u);
+}
+
+TEST_F(CongestionTest, WfqAdmissionIsPerLaneNotPerResource) {
+  // Under WFQ the backlog bound applies to the arriving tenant's own lane:
+  // a heavy tenant that has filled its lane gets rejected while a light
+  // tenant is still admitted (its empty lane only pays the fair-queueing
+  // stretch from sharing the resource).
+  CongestionConfig cfg;
+  auto& cap = cfg.node_caps[node_];
+  cap = ResourceCapacity{1000, 0.0};
+  cap.max_backlog_ns = 4000;
+  cfg.tenant_weights[1] = 1.0;
+  cfg.tenant_weights[2] = 1.0;
+  fabric_.EnableCongestion(cfg);
+
+  char buf[8];
+  std::vector<NetContext> heavy(5);
+  for (NetContext& ctx : heavy) {
+    ctx.tenant = 2;
+    ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());  // lane 2: 5000 ns
+  }
+
+  NetContext more_heavy;
+  more_heavy.tenant = 2;
+  EXPECT_TRUE(fabric_.Read(&more_heavy, At(0), buf, 8).IsBusy());
+
+  NetContext light;
+  light.tenant = 1;
+  ASSERT_TRUE(fabric_.Read(&light, At(0), buf, 8).ok());
+  // Lane 1 was empty: virtual start = stretched-finish - service =
+  // (0 + 1000 * 2/1) - 1000 = 1000.
+  EXPECT_EQ(light.queue_ns, 1000u);
+  EXPECT_EQ(light.admission_rejects, 0u);
+  EXPECT_EQ(more_heavy.admission_rejects, 1u);
+}
+
 // ---- Satellite bugfix regressions (each fails on main) -------------------
 
 TEST_F(CongestionTest, RegressionHistogramLowPercentileClampsToMin) {

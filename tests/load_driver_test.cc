@@ -1,0 +1,313 @@
+#include "sim/load_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "net/congestion.h"
+#include "net/fabric.h"
+
+namespace disagg {
+namespace {
+
+// Property tests pinning the sim-layer load drivers: same seed -> bit
+// identical reports for both loop disciplines, the closed loop reproduces a
+// hand-rolled client exactly, arrival processes hit their configured rates,
+// makespan really is the slowest client's clock, and the open loop exposes
+// the past-capacity regime (throughput plateau, unbounded queue growth)
+// that closed-loop clients cannot reach.
+
+/// Everything a LoadReport exposes, flattened for tuple comparison
+/// (Histogram has no operator==; its count/extrema/percentiles pin it).
+auto Flatten(const sim::LoadReport& r) {
+  return std::make_tuple(
+      r.clients, r.ops, r.errors, r.busy, r.makespan_ns, r.total.sim_ns,
+      r.total.queue_ns, r.total.backoff_ns, r.total.bytes_out,
+      r.total.bytes_in, r.total.round_trips, r.total.admission_rejects,
+      r.per_client_sim_ns, r.latency.count(), r.latency.min(),
+      r.latency.max(), r.latency.Percentile(50), r.latency.Percentile(99),
+      r.offered_ops_per_sec, r.max_in_flight, r.queue_depth.count(),
+      r.queue_depth.max(), r.queue_depth.Mean());
+}
+
+/// A congested single-node fabric plus a read workload parameterized only
+/// by the client RNG stream — the shared fixture for determinism tests.
+struct ReadRig {
+  Fabric fabric;
+  NodeId node = 0;
+  MemoryRegion* region = nullptr;
+
+  explicit ReadRig(uint64_t service_ns = 1500, double ns_per_byte = 0.1) {
+    node = fabric.AddNode("mem0", NodeKind::kMemory,
+                          InterconnectModel::Rdma());
+    region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{service_ns, ns_per_byte};
+    fabric.EnableCongestion(cfg);
+  }
+
+  sim::ClientOpFn Op() {
+    return [this](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+      char buf[2048];
+      const size_t n = size_t{8} << rng->Uniform(8);  // 8..1024 bytes
+      GlobalAddr addr{node, region->id(), rng->Uniform(64) * 2048};
+      return fabric.Read(ctx, addr, buf, n);
+    };
+  }
+};
+
+TEST(LoadDriverTest, ClosedLoopSameSeedIsBitIdentical) {
+  auto run = [&](uint64_t seed) {
+    ReadRig rig;
+    sim::LoadOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 60;
+    opts.seed = seed;
+    return Flatten(sim::RunClosedLoop(opts, rig.Op()));
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(LoadDriverTest, OpenLoopSameSeedIsBitIdentical) {
+  auto run = [&](uint64_t seed, sim::ArrivalProcess process) {
+    ReadRig rig;
+    sim::OpenLoopOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 60;
+    opts.ops_per_sec = 50'000;  // per client, comfortably below capacity
+    opts.process = process;
+    opts.seed = seed;
+    return Flatten(sim::RunOpenLoop(opts, rig.Op()));
+  };
+  EXPECT_EQ(run(42, sim::ArrivalProcess::kPoisson),
+            run(42, sim::ArrivalProcess::kPoisson));
+  EXPECT_NE(run(42, sim::ArrivalProcess::kPoisson),
+            run(43, sim::ArrivalProcess::kPoisson));
+  EXPECT_EQ(run(7, sim::ArrivalProcess::kDeterministic),
+            run(7, sim::ArrivalProcess::kDeterministic));
+}
+
+TEST(LoadDriverTest, WorkloadStreamIsIndependentOfArrivalProcess) {
+  // The op closure draws sizes/addresses from the client RNG; switching the
+  // arrival process (a separately salted stream) must not perturb those
+  // draws: both runs move exactly the same bytes.
+  auto bytes = [&](sim::ArrivalProcess process) {
+    ReadRig rig;
+    sim::OpenLoopOptions opts;
+    opts.clients = 6;
+    opts.ops_per_client = 80;
+    opts.ops_per_sec = 50'000;
+    opts.process = process;
+    opts.seed = 42;
+    return sim::RunOpenLoop(opts, rig.Op()).total.bytes_in;
+  };
+  EXPECT_EQ(bytes(sim::ArrivalProcess::kPoisson),
+            bytes(sim::ArrivalProcess::kDeterministic));
+}
+
+TEST(LoadDriverTest, ClosedLoopOneClientReproducesManualLoopExactly) {
+  // A zero-think single-client closed loop is definitionally a plain loop
+  // over the op with the client's RNG: same counters, bit for bit. This
+  // pins the seed derivation (client 0's stream IS `opts.seed`).
+  constexpr uint64_t kSeed = 7;
+  constexpr uint64_t kOps = 200;
+
+  ReadRig manual_rig;
+  NetContext manual;
+  Random rng(kSeed);
+  auto op = manual_rig.Op();
+  for (uint64_t i = 0; i < kOps; i++) {
+    ASSERT_TRUE(op(0, i, &manual, &rng).ok());
+  }
+
+  ReadRig driver_rig;
+  sim::LoadOptions opts;
+  opts.clients = 1;
+  opts.ops_per_client = kOps;
+  opts.seed = kSeed;
+  const auto report = sim::RunClosedLoop(opts, driver_rig.Op());
+
+  EXPECT_EQ(report.ops, kOps);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.makespan_ns, manual.sim_ns);
+  EXPECT_EQ(report.total.sim_ns, manual.sim_ns);
+  EXPECT_EQ(report.total.queue_ns, manual.queue_ns);
+  EXPECT_EQ(report.total.bytes_out, manual.bytes_out);
+  EXPECT_EQ(report.total.bytes_in, manual.bytes_in);
+  EXPECT_EQ(report.total.round_trips, manual.round_trips);
+}
+
+TEST(LoadDriverTest, MakespanIsTheSlowestClientClock) {
+  ReadRig rig;
+  sim::LoadOptions opts;
+  opts.clients = 9;
+  opts.ops_per_client = 40;
+  const auto closed = sim::RunClosedLoop(opts, rig.Op());
+  ASSERT_EQ(closed.per_client_sim_ns.size(), opts.clients);
+  uint64_t max_clock = 0;
+  for (uint64_t ns : closed.per_client_sim_ns) {
+    max_clock = std::max(max_clock, ns);
+  }
+  EXPECT_EQ(closed.makespan_ns, max_clock);
+  EXPECT_EQ(closed.total.sim_ns, max_clock);  // MergeParallel semantics
+
+  ReadRig rig2;
+  sim::OpenLoopOptions open_opts;
+  open_opts.clients = 9;
+  open_opts.ops_per_client = 40;
+  open_opts.ops_per_sec = 50'000;
+  const auto open = sim::RunOpenLoop(open_opts, rig2.Op());
+  ASSERT_EQ(open.per_client_sim_ns.size(), open_opts.clients);
+  max_clock = 0;
+  for (uint64_t ns : open.per_client_sim_ns) {
+    max_clock = std::max(max_clock, ns);
+  }
+  EXPECT_EQ(open.makespan_ns, max_clock);
+  EXPECT_EQ(open.total.sim_ns, max_clock);
+}
+
+TEST(LoadDriverTest, DeterministicArrivalsAreExactlySpaced) {
+  // 4 phase-staggered deterministic streams at 100k ops/s each: client c's
+  // k-th arrival is at period*c/4 + k*period, so the slowest stream's last
+  // op lands at 7500 + 1999*10000 ns and the makespan is that plus the
+  // (uncontended) read cost — exactly.
+  Fabric fabric;
+  NodeId node =
+      fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+  MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+
+  sim::OpenLoopOptions opts;
+  opts.clients = 4;
+  opts.ops_per_client = 2000;
+  opts.ops_per_sec = 100'000;  // period: 10 us
+  opts.process = sim::ArrivalProcess::kDeterministic;
+  const auto report = sim::RunOpenLoop(
+      opts, [&](uint64_t, uint64_t, NetContext* ctx, Random*) {
+        char buf[8];
+        GlobalAddr addr{node, region->id(), 0};
+        return fabric.Read(ctx, addr, buf, 8);
+      });
+
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  EXPECT_EQ(report.ops, 8000u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.makespan_ns, 7'500 + 1999 * 10'000 + read_cost);
+  EXPECT_DOUBLE_EQ(report.offered_ops_per_sec, 400'000.0);
+  // Uncontended ops: each stream has at most one op in flight, and the
+  // 2508 ns read overlaps the next stream's arrival (2500 ns stagger) by
+  // 8 ns — so the depth gauge reads exactly 2 at every post-warmup arrival.
+  EXPECT_EQ(report.max_in_flight, 2u);
+}
+
+TEST(LoadDriverTest, PoissonArrivalsHitTheConfiguredRate) {
+  // Law of large numbers: 4 streams x 2000 exponential gaps of mean 10 us
+  // put the slowest stream's span within a few percent of 20 ms, so the
+  // achieved rate of an uncontended run lands within 10% of offered.
+  Fabric fabric;
+  NodeId node =
+      fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+  MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+
+  sim::OpenLoopOptions opts;
+  opts.clients = 4;
+  opts.ops_per_client = 2000;
+  opts.ops_per_sec = 100'000;
+  opts.process = sim::ArrivalProcess::kPoisson;
+  const auto report = sim::RunOpenLoop(
+      opts, [&](uint64_t, uint64_t, NetContext* ctx, Random*) {
+        char buf[8];
+        GlobalAddr addr{node, region->id(), 0};
+        return fabric.Read(ctx, addr, buf, 8);
+      });
+
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_NEAR(report.ThroughputOpsPerSec(), report.offered_ops_per_sec,
+              0.10 * report.offered_ops_per_sec);
+}
+
+TEST(LoadDriverTest, OpenLoopPastCapacityPlateausWhileQueueGrows) {
+  // The defining open-loop property: offered load does not self-throttle.
+  // At 1.4x capacity the achieved rate pins at capacity while the in-flight
+  // count and the response-time tail blow up; at 0.5x both stay tame.
+  constexpr uint64_t kServiceNs = 1000;  // capacity: 1M ops/s
+  auto run = [&](double offered_frac) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{kServiceNs, 0.0};
+    fabric.EnableCongestion(cfg);
+
+    sim::OpenLoopOptions opts;
+    opts.clients = 8;
+    opts.ops_per_client = 1000;
+    opts.ops_per_sec = offered_frac * 1e9 / kServiceNs / 8.0;
+    const auto report = sim::RunOpenLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[8];
+          GlobalAddr addr{node, region->id(), rng->Uniform(1024) * 8};
+          return fabric.Read(ctx, addr, buf, 8);
+        });
+    EXPECT_EQ(report.errors, 0u);
+    return report;
+  };
+
+  const auto below = run(0.5);
+  const auto above = run(1.4);
+  const double capacity = 1e9 / static_cast<double>(kServiceNs);
+
+  // Below the knee: achieved tracks offered, bounded queue.
+  EXPECT_NEAR(below.ThroughputOpsPerSec(), below.offered_ops_per_sec,
+              0.10 * below.offered_ops_per_sec);
+  // Past the knee: plateau at capacity...
+  EXPECT_GE(above.ThroughputOpsPerSec(), 0.9 * capacity);
+  EXPECT_LE(above.ThroughputOpsPerSec(), 1.001 * capacity);
+  // ...while offered kept rising and the queue exploded.
+  EXPECT_GE(above.offered_ops_per_sec, 1.3 * capacity);
+  EXPECT_GE(above.max_in_flight, 10 * below.max_in_flight);
+  EXPECT_GE(above.latency.Percentile(99), 10.0 * below.latency.Percentile(99));
+  EXPECT_GT(above.queue_depth.Mean(), 10.0 * below.queue_depth.Mean());
+}
+
+TEST(LoadDriverTest, ErrorsAndBusyAreCountedWithoutStoppingClients) {
+  // A failing op counts as an error (Busy tracked separately) and the
+  // client keeps issuing; every op still records a latency sample.
+  sim::LoadOptions opts;
+  opts.clients = 2;
+  opts.ops_per_client = 30;
+  const auto report = sim::RunClosedLoop(
+      opts, [&](uint64_t, uint64_t i, NetContext* ctx, Random*) -> Status {
+        ctx->Charge(100);
+        if (i % 3 == 1) return Status::Busy("backlog");
+        if (i % 3 == 2) return Status::Unavailable("down");
+        return Status::OK();
+      });
+  EXPECT_EQ(report.ops, 60u);
+  EXPECT_EQ(report.errors, 40u);
+  EXPECT_EQ(report.busy, 20u);
+  EXPECT_EQ(report.latency.count(), 60u);
+  EXPECT_EQ(report.makespan_ns, 30u * 100u);
+}
+
+TEST(LoadDriverTest, DegenerateOptionsReturnEmptyReports) {
+  const auto nop = [](uint64_t, uint64_t, NetContext*, Random*) {
+    return Status::OK();
+  };
+  sim::LoadOptions closed;
+  closed.clients = 0;
+  EXPECT_EQ(sim::RunClosedLoop(closed, nop).ops, 0u);
+
+  sim::OpenLoopOptions open;
+  open.ops_per_client = 0;
+  EXPECT_EQ(sim::RunOpenLoop(open, nop).ops, 0u);
+  open.ops_per_client = 10;
+  open.ops_per_sec = 0.0;
+  EXPECT_EQ(sim::RunOpenLoop(open, nop).ops, 0u);
+}
+
+}  // namespace
+}  // namespace disagg
