@@ -30,7 +30,7 @@ fi
 # harness (which exercises every engine's fault paths), and the
 # congestion/load-driver layer (virtual-time queueing + histogram math).
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
-           congestion_test load_driver_test histogram_test)
+           congestion_test load_driver_test histogram_test degrade_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -75,6 +75,16 @@ DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
 # non-FIFO mode re-runs the FIFO baseline inline; see bench_e23_fairness).
 echo "==> E23 tenant-isolation smoke (WFQ + admission control)"
 DISAGG_E23_ASSERT=1 ./build/bench/bench_e23_fairness \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E24 degradation smoke: with DISAGG_E24_ASSERT=1 the bench self-checks the
+# degrade ladder's value under overload — at 120% offered load the degrade
+# mode must serve a nonzero degraded fraction with zero staleness-bound
+# violations, complete strictly more requests than reject-only, and beat
+# its p99 time-to-data; at 35% both modes must stay >= 95% complete (see
+# bench_e24_degradation's header for the full predicate list).
+echo "==> E24 graceful-degradation smoke (degrade vs reject-only)"
+DISAGG_E24_ASSERT=1 ./build/bench/bench_e24_degradation \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

@@ -163,6 +163,48 @@ class MultiLogSink : public LogSink {
   std::vector<std::unique_ptr<LogStoreService>> services_;
 };
 
+/// Freshest "ckpt/<lsn>/<page>" key for `id` among `keys` (empty if none).
+struct CheckpointRef {
+  std::string key;
+  Lsn lsn = kInvalidLsn;
+};
+
+CheckpointRef FreshestCheckpoint(const std::vector<std::string>& keys,
+                                 PageId id) {
+  const std::string suffix = "/" + std::to_string(id);
+  CheckpointRef best;
+  for (const std::string& key : keys) {
+    if (key.size() < suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const Lsn lsn = std::strtoull(key.c_str() + 5, nullptr, 10);
+    if (best.key.empty() || lsn > best.lsn) {
+      best.key = key;
+      best.lsn = lsn;
+    }
+  }
+  return best;
+}
+
+/// Shared degraded-fetch shape: parallel freshest-wins over a page-store
+/// fleet with no freshness gate (the ladder's staleness bound is judged by
+/// the caller against the returned page's own LSN).
+Result<Page> FreshestFromStores(Fabric* fabric, NetContext* ctx,
+                                const std::vector<NodeId>& nodes, PageId id) {
+  std::vector<NetContext> branch(nodes.size(), ctx->Fork());
+  Result<Page> best = Status::Unavailable("no page store reachable");
+  for (size_t i = 0; i < nodes.size(); i++) {
+    PageStoreClient client(fabric, nodes[i]);
+    auto page = client.GetPage(&branch[i], id);
+    if (page.ok() && (!best.ok() || page->lsn() > best->lsn())) {
+      best = std::move(page);
+    }
+  }
+  JoinParallel(ctx, branch.data(), branch.size());
+  return best;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Monolithic
@@ -195,6 +237,10 @@ Result<Page> AuroraDb::FetchPage(NetContext* ctx, PageId id) {
   // Replicas materialize pages independently, so under faults some may lag;
   // never accept a copy older than what committed transactions made durable.
   return segment_->ReadPage(ctx, id, RequiredPageLsn(id));
+}
+
+Result<Page> AuroraDb::FetchPageDegraded(NetContext* ctx, PageId id) {
+  return segment_->ReadPageFreshest(ctx, id);
 }
 
 Status AuroraDb::OnCommit(NetContext* ctx,
@@ -261,6 +307,10 @@ Result<Page> PolarDb::FetchPage(NetContext* ctx, PageId id) {
     if (page.status().IsNotFound() && required == kInvalidLsn) return page;
   }
   return Status::Unavailable("no sufficiently fresh page replica reachable");
+}
+
+Result<Page> PolarDb::FetchPageDegraded(NetContext* ctx, PageId id) {
+  return FreshestFromStores(fabric_, ctx, page_nodes_, id);
 }
 
 Status PolarDb::OnCommit(NetContext* ctx,
@@ -346,30 +396,32 @@ Result<Page> SocratesDb::FetchPage(NetContext* ctx, PageId id) {
   ObjectStoreClient xstore(fabric_, xstore_node_);
   DISAGG_ASSIGN_OR_RETURN(std::vector<std::string> keys,
                           xstore.List(ctx, "ckpt/"));
-  const std::string suffix = "/" + std::to_string(id);
-  std::string best;
-  Lsn best_lsn = kInvalidLsn;
-  for (const std::string& key : keys) {
-    if (key.size() < suffix.size() ||
-        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
-    }
-    const Lsn lsn = std::strtoull(key.c_str() + 5, nullptr, 10);
-    if (best.empty() || lsn > best_lsn) {
-      best = key;
-      best_lsn = lsn;
-    }
-  }
-  if (best.empty()) {
+  const CheckpointRef best = FreshestCheckpoint(keys, id);
+  if (best.key.empty()) {
     return required == kInvalidLsn
                ? Status::NotFound("page in no tier")
                : Status::Unavailable("no sufficiently fresh copy in any tier");
   }
-  if (best_lsn < required) {
+  if (best.lsn < required) {
     return Status::Unavailable("checkpoint older than durable commits");
   }
-  DISAGG_ASSIGN_OR_RETURN(std::string blob, xstore.Get(ctx, best));
+  DISAGG_ASSIGN_OR_RETURN(std::string blob, xstore.Get(ctx, best.key));
   return Page::FromBytes(blob);
+}
+
+Result<Page> SocratesDb::FetchPageDegraded(NetContext* ctx, PageId id) {
+  auto best = FreshestFromStores(fabric_, ctx, page_nodes_, id);
+  if (best.ok()) return best;
+  // No page server reachable: the freshest checkpoint, however old, is the
+  // last rung of the ladder.
+  ObjectStoreClient xstore(fabric_, xstore_node_);
+  auto keys = xstore.List(ctx, "ckpt/");
+  if (!keys.ok()) return best;
+  const CheckpointRef ckpt = FreshestCheckpoint(*keys, id);
+  if (ckpt.key.empty()) return best;
+  auto blob = xstore.Get(ctx, ckpt.key);
+  if (!blob.ok()) return best;
+  return Page::FromBytes(*blob);
 }
 
 // -------------------------------------------------------------------- Taurus
@@ -440,6 +492,12 @@ Result<Page> TaurusDb::FetchPage(NetContext* ctx, PageId id) {
     return Status::Unavailable("no page store fresh enough");
   }
   return best;
+}
+
+Result<Page> TaurusDb::FetchPageDegraded(NetContext* ctx, PageId id) {
+  // The strict path is already freshest-wins; the ladder only removes the
+  // RequiredPageLsn gate (gossip may not have spread the newest image yet).
+  return FreshestFromStores(fabric_, ctx, page_nodes_, id);
 }
 
 }  // namespace disagg

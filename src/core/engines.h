@@ -41,6 +41,7 @@ class AuroraDb : public RowEngine {
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;
+  Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) override;
   Status OnCommit(NetContext* ctx,
                   const std::vector<LogRecord>& records) override;
 
@@ -82,6 +83,7 @@ class PolarDb : public RowEngine {
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;
+  Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) override;
   Status OnCommit(NetContext* ctx,
                   const std::vector<LogRecord>& records) override;
 
@@ -111,6 +113,7 @@ class SocratesDb : public RowEngine {
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;
+  Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) override;
 
   Fabric* fabric_;
   NodeId xlog_node_ = 0;
@@ -138,6 +141,7 @@ class TaurusDb : public RowEngine {
 
  private:
   Result<Page> FetchPage(NetContext* ctx, PageId id) override;
+  Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) override;
   Status OnCommit(NetContext* ctx,
                   const std::vector<LogRecord>& records) override;
 

@@ -17,6 +17,24 @@ Result<Page*> RowEngine::GetPage(NetContext* ctx, PageId id) {
   return &nit->second;
 }
 
+Result<Page*> RowEngine::GetPageForRead(NetContext* ctx, PageId id) {
+  auto page = GetPage(ctx, id);
+  if (page.ok() || !degrade_.enabled || !DegradeEligible(page.status())) {
+    return page;
+  }
+  auto stale = FetchPageDegraded(ctx, id);
+  if (!stale.ok()) return page.status();  // ladder exhausted: original error
+  const Lsn required = RequiredPageLsn(id);
+  const Lsn have = stale->lsn();
+  const uint64_t staleness = required > have ? required - have : 0;
+  if (staleness > degrade_.max_staleness_lsn) return page.status();
+  ctx->degraded_ops++;
+  ctx->staleness_lsn += staleness;
+  stats_.degraded_fetches++;
+  degraded_scratch_ = std::move(*stale);
+  return &*degraded_scratch_;
+}
+
 Result<Page*> RowEngine::PageForInsert(NetContext* ctx, size_t bytes) {
   if (insert_page_ != kInvalidPageId) {
     auto page = GetPage(ctx, insert_page_);
@@ -89,11 +107,23 @@ Status RowEngine::Delete(NetContext* ctx, TxnId txn, uint64_t key) {
 }
 
 Result<std::string> RowEngine::Read(NetContext* ctx, TxnId txn, uint64_t key) {
+  // Explicit-transaction reads are strict: the transaction may go on to
+  // write values computed from what it read, and a bounded-staleness input
+  // would silently corrupt that write (lost update). Only the autocommit
+  // read-only paths (`GetRow` / `GetRowReadOnly`) may use the degrade
+  // ladder.
+  return ReadImpl(ctx, txn, key, /*allow_degraded=*/false);
+}
+
+Result<std::string> RowEngine::ReadImpl(NetContext* ctx, TxnId txn,
+                                        uint64_t key, bool allow_degraded) {
   DISAGG_RETURN_NOT_OK(tm_.LockShared(txn, key));
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
-  DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
-  DISAGG_ASSIGN_OR_RETURN(Slice row, page->Get(it->second.slot));
+  auto page = allow_degraded ? GetPageForRead(ctx, it->second.page)
+                             : GetPage(ctx, it->second.page);
+  if (!page.ok()) return page.status();
+  DISAGG_ASSIGN_OR_RETURN(Slice row, (*page)->Get(it->second.slot));
   return row.ToString();
 }
 
@@ -154,12 +184,19 @@ Status RowEngine::Put(NetContext* ctx, uint64_t key, Slice row) {
 
 Result<std::string> RowEngine::GetRow(NetContext* ctx, uint64_t key) {
   const TxnId txn = Begin();
-  auto row = Read(ctx, txn, key);
+  auto row = ReadImpl(ctx, txn, key, /*allow_degraded=*/true);
   if (!row.ok()) {
     (void)Abort(ctx, txn);
     return row.status();
   }
   DISAGG_RETURN_NOT_OK(Commit(ctx, txn));
+  return row;
+}
+
+Result<std::string> RowEngine::GetRowReadOnly(NetContext* ctx, uint64_t key) {
+  const TxnId txn = Begin();
+  auto row = ReadImpl(ctx, txn, key, /*allow_degraded=*/true);
+  tm_.EndReadOnly(txn);
   return row;
 }
 

@@ -3,12 +3,34 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
 #include "txn/txn_manager.h"
 
 namespace disagg {
+
+/// Opt-in graceful-degradation ladder for the buffer-miss *read* path: when
+/// the strict fetch fails with `Busy`/`Unavailable`/`TimedOut`, the read is
+/// served from the freshest reachable replica copy instead — provided its
+/// LSN is within `max_staleness_lsn` of the page's `RequiredPageLsn` floor.
+/// Accepted copies are accounted in `NetContext::degraded_ops` /
+/// `staleness_lsn` and `EngineStats::degraded_fetches`, are never installed
+/// in the write-path buffer, and are never used by writes. Only the
+/// autocommit read-only path (`GetRow` / `GetRowReadOnly`) degrades: an
+/// explicit transaction
+/// may write values computed from its reads, and a stale input there would
+/// silently corrupt the write — the read-only-session restriction real
+/// bounded-staleness replicas impose. Disabled by default: no code path or
+/// counter changes until `enabled` is set.
+struct DegradePolicy {
+  bool enabled = false;
+  /// Max LSN staleness a degraded copy may carry below the required floor.
+  /// 0 still helps: it admits exactly-fresh copies the strict path could
+  /// not reach (e.g. replicas skipped for lagging acks or congestion).
+  uint64_t max_staleness_lsn = 0;
+};
 
 /// Shared OLTP engine core: a keyed row store (uint64 key -> byte-string
 /// row) on slotted pages with strict 2PL and ARIES-style logging. The
@@ -29,6 +51,7 @@ class RowEngine {
     uint64_t commits = 0;
     uint64_t aborts = 0;
     uint64_t page_fetches = 0;
+    uint64_t degraded_fetches = 0;  ///< reads served by the degrade ladder
   };
 
   virtual ~RowEngine() = default;
@@ -46,6 +69,14 @@ class RowEngine {
   Status Put(NetContext* ctx, uint64_t key, Slice row);
   Result<std::string> GetRow(NetContext* ctx, uint64_t key);
 
+  /// `GetRow` without the durability round-trip: the transaction is
+  /// read-only by construction, so ending it is just lock release — no
+  /// commit record, no WAL flush, no log-quorum traffic. This is the read
+  /// path an overloaded replica-read client wants: it may serve from the
+  /// degrade ladder (same rules as `GetRow`) and it cannot be failed by
+  /// log-tier congestion it never touches.
+  Result<std::string> GetRowReadOnly(NetContext* ctx, uint64_t key);
+
   /// Location of a row (the shared metadata reader nodes consult).
   struct RowLoc {
     PageId page = kInvalidPageId;
@@ -59,6 +90,11 @@ class RowEngine {
 
   size_t row_count() const { return index_.size(); }
   const EngineStats& stats() const { return stats_; }
+
+  /// Installs (or clears) the read-path degrade ladder. Takes effect for
+  /// subsequent reads only; writes never consult it.
+  void set_degrade_policy(DegradePolicy policy) { degrade_ = policy; }
+  const DegradePolicy& degrade_policy() const { return degrade_; }
   WalManager* wal() { return &wal_; }
   LogSink* sink() { return sink_.get(); }
 
@@ -93,6 +129,16 @@ class RowEngine {
   /// Buffer-miss path: where this architecture reads pages from.
   virtual Result<Page> FetchPage(NetContext* ctx, PageId id) = 0;
 
+  /// Degrade-ladder fallback: the freshest copy of `id` any reachable
+  /// replica holds, with NO freshness gate — the caller (`GetPageForRead`)
+  /// decides whether its LSN is tolerably stale. Engines with replicated
+  /// page tiers override this; the default ends the ladder immediately.
+  virtual Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) {
+    (void)ctx;
+    (void)id;
+    return Status::NotSupported("engine has no degraded fetch path");
+  }
+
   /// Post-durability hook: ship pages / redo records per architecture.
   /// `records` are this transaction's stamped data records.
   virtual Status OnCommit(NetContext* ctx,
@@ -103,6 +149,25 @@ class RowEngine {
   }
 
   Result<Page*> GetPage(NetContext* ctx, PageId id);
+
+  /// `GetPage` plus the degrade ladder: on an eligible strict-path failure
+  /// with a policy enabled, falls back to a bounded-staleness replica copy
+  /// held in a read-only scratch slot (never the buffer, so writes cannot
+  /// see it). Only read-only paths use this; write paths and transactional
+  /// reads stay on `GetPage`.
+  Result<Page*> GetPageForRead(NetContext* ctx, PageId id);
+
+  /// Shared body of `Read`/`GetRow`: `allow_degraded` selects between the
+  /// strict fetch and the degrade ladder.
+  Result<std::string> ReadImpl(NetContext* ctx, TxnId txn, uint64_t key,
+                               bool allow_degraded);
+
+  /// True when `st` is a failure the degrade ladder may absorb (the
+  /// `Busy`/`Unavailable`/`TimedOut` contract in `src/net/verb.h`).
+  static bool DegradeEligible(const Status& st) {
+    return st.IsBusy() || st.IsUnavailable() || st.IsTimedOut();
+  }
+
   /// Page with room for `bytes`, appending a fresh page when needed.
   Result<Page*> PageForInsert(NetContext* ctx, size_t bytes);
 
@@ -123,6 +188,10 @@ class RowEngine {
   PageId next_page_id_ = 1;
   PageId insert_page_ = kInvalidPageId;
   EngineStats stats_;
+  DegradePolicy degrade_;
+  /// Last degraded read's page image: read-only, outside the buffer so the
+  /// write path never builds on a stale copy. Valid until the next read.
+  std::optional<Page> degraded_scratch_;
 };
 
 }  // namespace disagg

@@ -103,13 +103,23 @@ std::shared_ptr<CongestionState> Fabric::congestion() const {
 
 Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
   op->tenant = ctx->tenant;  // interceptors may rewrite it further down
+  op->deadline_ns = ctx->deadline_ns;
   std::shared_ptr<const InterceptorChain> chain;
   {
     std::lock_guard<std::mutex> lock(interceptor_mu_);
     chain = interceptors_;
   }
-  if (chain == nullptr || chain->empty()) return ExecuteCore(op, ctx);
-  return InvokeChain(*chain, 0, op, ctx);
+  Status st = (chain == nullptr || chain->empty())
+                  ? ExecuteCore(op, ctx)
+                  : InvokeChain(*chain, 0, op, ctx);
+  // One logical op = one potential deadline miss, however many attempts the
+  // chain made: either the budget was already spent at issue time, or the
+  // completion (retries and backoff included) overran it.
+  if (op->deadline_ns != 0 &&
+      (op->deadline_exhausted || ctx->sim_ns > op->deadline_ns)) {
+    ctx->deadline_misses++;
+  }
+  return st;
 }
 
 Status Fabric::InvokeChain(const InterceptorChain& chain, size_t index,
@@ -142,6 +152,16 @@ void ChargeOp(NetContext* ctx, FabricVerb verb, uint64_t ns, uint64_t out,
 }  // namespace
 
 Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
+  op->admission_rejected = false;
+  op->deadline_exhausted = false;
+  if (op->deadline_ns != 0 && ctx->sim_ns >= op->deadline_ns) {
+    // The budget is already spent: refuse before touching the wire (or the
+    // congestion queues). No cost is charged — the caller has, by
+    // definition, already burned its whole budget getting here.
+    op->deadline_exhausted = true;
+    return Status::TimedOut("deadline exhausted before issue at node " +
+                            std::to_string(op->node));
+  }
   std::shared_ptr<CongestionState> congestion;
   {
     std::lock_guard<std::mutex> lock(congestion_mu_);
@@ -162,6 +182,7 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
   if (!congestion->TryAdmit(op->node, op->tenant, arrival)) {
     ctx->Charge(congestion->config().rejection_cost_ns);
     ctx->admission_rejects++;
+    op->admission_rejected = true;
     return Status::Busy("admission control: backlog bound exceeded at node " +
                         std::to_string(op->node));
   }

@@ -320,6 +320,12 @@ struct FabricOp {
   /// (interceptors may rewrite it, e.g. to re-bill background traffic).
   uint32_t tenant = 0;
 
+  /// Absolute virtual-time deadline, stamped from `NetContext::deadline_ns`
+  /// by `Execute()` (0 = none). The core executor refuses attempts issued at
+  /// or past it with `Status::TimedOut`, and the retry interceptor never
+  /// backs off beyond the remaining budget. Interceptors may tighten it.
+  uint64_t deadline_ns = 0;
+
   // One-sided read/write payloads.
   void* dst = nullptr;        ///< read destination buffer
   const void* src = nullptr;  ///< write source buffer
@@ -340,6 +346,17 @@ struct FabricOp {
   // ---- Outputs -------------------------------------------------------
   uint64_t result = 0;    ///< CAS observed / FAA previous / atomic-read value
   uint32_t attempts = 0;  ///< issue count, filled by the retry interceptor
+
+  /// Set by the core executor when the *latest attempt* was refused up front
+  /// by congestion admission control (`Status::Busy` without touching the
+  /// wire). Retry treats these differently from contention `Busy`: re-issuing
+  /// into a queue that just reported "full" only amplifies the overload.
+  bool admission_rejected = false;
+
+  /// Set by the core executor when the latest attempt was refused because
+  /// `deadline_ns` had already passed at issue time (`Status::TimedOut`
+  /// before touching the wire). Never retryable.
+  bool deadline_exhausted = false;
 };
 
 }  // namespace disagg

@@ -1,7 +1,9 @@
 #include "net/interceptors.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
+#include <vector>
 
 #include "common/random.h"
 
@@ -15,6 +17,7 @@ Status TraceInterceptor::Intercept(Fabric* fabric, FabricOp* op,
   const uint64_t ns_before = ctx->sim_ns;
   const uint64_t out_before = ctx->bytes_out;
   const uint64_t in_before = ctx->bytes_in;
+  const uint64_t queue_before = ctx->queue_ns;
   Status st = next(op, ctx);
   const uint64_t ns = ctx->sim_ns - ns_before;
 
@@ -38,9 +41,11 @@ Status TraceInterceptor::Intercept(Fabric* fabric, FabricOp* op,
     rec.seq = seq_++;
     rec.verb = op->verb;
     rec.node = op->node;
+    rec.tenant = op->tenant;
     rec.bytes_out = ctx->bytes_out - out_before;
     rec.bytes_in = ctx->bytes_in - in_before;
     rec.sim_ns = ns;
+    rec.queue_ns = ctx->queue_ns - queue_before;
     rec.ok = st.ok();
     if (ring_.size() < capacity_) {
       ring_.push_back(rec);
@@ -112,8 +117,10 @@ std::string TraceInterceptor::DumpJson() const {
     const TraceRecord& r = ring_[(start + i) % n];
     if (i > 0) os << ',';
     os << "{\"seq\":" << r.seq << ",\"verb\":\"" << FabricVerbName(r.verb)
-       << "\",\"node\":" << r.node << ",\"bytes_out\":" << r.bytes_out
+       << "\",\"node\":" << r.node << ",\"tenant\":" << r.tenant
+       << ",\"bytes_out\":" << r.bytes_out
        << ",\"bytes_in\":" << r.bytes_in << ",\"sim_ns\":" << r.sim_ns
+       << ",\"queue_ns\":" << r.queue_ns
        << ",\"ok\":" << (r.ok ? "true" : "false") << '}';
   }
   os << "]}";
@@ -190,6 +197,22 @@ Status RetryInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
     st = next(op, ctx);
     op->attempts = static_cast<uint32_t>(attempt);
     if (st.ok() || attempt >= policy_.max_attempts || !Retryable(st)) break;
+    // An exhausted deadline cannot be cured by waiting longer.
+    if (op->deadline_exhausted) break;
+    // Admission rejections ("queue full") get a tighter re-issue budget than
+    // contention Busy — retrying into a full queue amplifies the overload —
+    // unless a deadline governs the op, in which case the remaining budget
+    // decides below.
+    if (op->admission_rejected && op->deadline_ns == 0 &&
+        attempt >= policy_.max_admission_attempts) {
+      break;
+    }
+    // Never back off past the remaining deadline budget: an attempt issued
+    // at or after the deadline is refused anyway, so give up now instead of
+    // charging backoff that cannot buy another attempt.
+    if (op->deadline_ns != 0 && ctx->sim_ns + backoff >= op->deadline_ns) {
+      break;
+    }
     ctx->Charge(backoff);
     ctx->backoff_ns += backoff;
     ctx->retries++;
@@ -202,6 +225,156 @@ Status RetryInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
   }
   if (!st.ok() && Retryable(st)) {
     gave_up_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+// ---- HedgeInterceptor ----------------------------------------------------
+
+Status HedgeInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
+                                   NetContext* ctx,
+                                   const FabricOpInvoker& next) {
+  auto it = policy_.replicas.find(op->node);
+  const bool hedgeable =
+      it != policy_.replicas.end() &&
+      (!policy_.reads_only || op->verb == FabricVerb::kRead ||
+       op->verb == FabricVerb::kReadAtomic);
+  if (!hedgeable) return next(op, ctx);
+
+  const uint64_t fire_ns = ctx->sim_ns + policy_.hedge_delay_ns;
+
+  // Run the primary on a fork so its completion instant is known before
+  // deciding whether the hedge timer fired.
+  NetContext primary = ctx->Fork();
+  FabricOp primary_op = *op;
+  Status primary_st = next(&primary_op, &primary);
+
+  if (primary.sim_ns <= fire_ns) {
+    // Completed (either way) before the timer: no backup was ever sent.
+    // Fork + single-branch JoinParallel is arithmetically identical to
+    // inline execution, so an installed-but-idle hedge changes no counter.
+    JoinParallel(ctx, &primary, 1);
+    *op = primary_op;
+    return primary_st;
+  }
+
+  // The timer fired while the primary was in flight: the backup goes to the
+  // replica at exactly fire_ns. It must not scribble over the primary's
+  // output buffers while the race is undecided.
+  NetContext backup = ctx->Fork();
+  backup.sim_ns = fire_ns;
+  FabricOp backup_op = *op;
+  backup_op.node = it->second;
+  if (backup_op.addr.node == op->node) backup_op.addr.node = it->second;
+  std::vector<char> backup_buf;
+  std::string backup_response;
+  if (op->verb == FabricVerb::kRead) {
+    backup_buf.resize(op->n);
+    backup_op.dst = backup_buf.data();
+  } else if (op->verb == FabricVerb::kRpc) {
+    backup_op.response = &backup_response;
+  }
+  Status backup_st = next(&backup_op, &backup);
+  hedges_.fetch_add(1, std::memory_order_relaxed);
+
+  // Both branches' traffic crossed the wire and is charged in full; the
+  // client continues at the *winner's* completion instant — the loser
+  // finishes in the background.
+  NetContext branches[2] = {primary, backup};
+  JoinParallel(ctx, branches, 2);
+  ctx->hedges++;
+
+  const bool backup_wins =
+      backup_st.ok() && (!primary_st.ok() || backup.sim_ns < primary.sim_ns);
+  ctx->sim_ns = backup_wins ? backup.sim_ns : primary.sim_ns;
+  const FabricOp& won = backup_wins ? backup_op : primary_op;
+  op->result = won.result;
+  op->attempts = won.attempts;
+  op->admission_rejected = won.admission_rejected;
+  op->deadline_exhausted = won.deadline_exhausted;
+  if (!backup_wins) return primary_st;
+  wins_.fetch_add(1, std::memory_order_relaxed);
+  ctx->hedge_wins++;
+  if (op->verb == FabricVerb::kRead) {
+    std::memcpy(op->dst, backup_buf.data(), op->n);
+  } else if (op->verb == FabricVerb::kRpc) {
+    *op->response = std::move(backup_response);
+  }
+  return backup_st;
+}
+
+// ---- CircuitBreakerInterceptor -------------------------------------------
+
+CircuitBreakerInterceptor::State CircuitBreakerInterceptor::StateFor(
+    NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? State::kClosed : it->second.state;
+}
+
+Status CircuitBreakerInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
+                                            NetContext* ctx,
+                                            const FabricOpInvoker& next) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeState& ns = nodes_[op->node];
+    if (ns.state == State::kOpen) {
+      // Fast-fail without touching the wire; after `open_ops` of these the
+      // breaker moves to half-open and the *next* op becomes a probe.
+      ns.open_fast_fails++;
+      if (ns.open_fast_fails >= policy_.open_ops) {
+        ns.state = State::kHalfOpen;
+        ns.probe_successes = 0;
+      }
+      fast_fails_.fetch_add(1, std::memory_order_relaxed);
+      ctx->Charge(policy_.fast_fail_penalty_ns);
+      ctx->breaker_fast_fails++;
+      return Status::Unavailable("circuit open: node " +
+                                 std::to_string(op->node));
+    }
+  }
+
+  Status st = next(op, ctx);
+  // Busy is contention/admission, not node health; only fault-shaped
+  // statuses feed the error rate.
+  const bool failure = st.IsUnavailable() || st.IsTimedOut();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& ns = nodes_[op->node];
+  switch (ns.state) {
+    case State::kClosed: {
+      ns.window_ops++;
+      if (failure) ns.window_failures++;
+      if (ns.window_ops >= policy_.min_samples &&
+          static_cast<double>(ns.window_failures) >=
+              policy_.open_error_rate * static_cast<double>(ns.window_ops)) {
+        ns.state = State::kOpen;
+        ns.open_fast_fails = 0;
+        ns.window_ops = 0;
+        ns.window_failures = 0;
+        opens_.fetch_add(1, std::memory_order_relaxed);
+      } else if (ns.window_ops >= policy_.window) {
+        ns.window_ops = 0;  // window boundary: forget old outcomes
+        ns.window_failures = 0;
+      }
+      break;
+    }
+    case State::kHalfOpen: {
+      if (failure) {
+        ns.state = State::kOpen;  // probe failed: back to fast-failing
+        ns.open_fast_fails = 0;
+        ns.probe_successes = 0;
+        opens_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ns.probe_successes++;
+        if (ns.probe_successes >= policy_.half_open_probes) {
+          ns = NodeState{};  // closed, with a fresh window
+        }
+      }
+      break;
+    }
+    case State::kOpen:
+      break;  // unreachable: open ops fast-failed above
   }
   return st;
 }

@@ -34,9 +34,11 @@ class TraceInterceptor : public FabricInterceptor {
     uint64_t seq = 0;
     FabricVerb verb = FabricVerb::kRead;
     NodeId node = 0;
+    uint32_t tenant = 0;     ///< tenant billed for the op (`FabricOp::tenant`)
     uint64_t bytes_out = 0;
     uint64_t bytes_in = 0;
     uint64_t sim_ns = 0;
+    uint64_t queue_ns = 0;   ///< congestion queueing delay within `sim_ns`
     bool ok = false;
   };
 
@@ -137,6 +139,14 @@ struct RetryPolicy {
   bool retry_unavailable = true;
   bool retry_timed_out = true;
   bool retry_busy = false;  ///< Busy usually signals app-level conflicts
+
+  /// Total issues (including the first) for ops refused by congestion
+  /// admission control (`FabricOp::admission_rejected`). Re-issuing into a
+  /// queue that just reported "full" amplifies the overload, so these get a
+  /// tighter budget than contention `Busy` — unless the op carries a
+  /// deadline, in which case the remaining `deadline_ns` budget governs
+  /// instead (retries continue, deadline-clamped, up to `max_attempts`).
+  int max_admission_attempts = 2;
 };
 
 class RetryInterceptor : public FabricInterceptor {
@@ -159,6 +169,106 @@ class RetryInterceptor : public FabricInterceptor {
   const RetryPolicy policy_;
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> gave_up_{0};
+};
+
+/// Hedged requests (tail-latency insurance): if the primary attempt has not
+/// completed `hedge_delay_ns` after issue, a backup copy of the op is sent to
+/// the primary node's configured replica and the client continues at the
+/// *first* completion — while both branches' traffic is charged in full via
+/// `Fork`/`JoinParallel` (the loser's bytes still crossed the wire).
+/// Deterministic: in virtual time the primary's completion instant is known
+/// exactly, so "did the timer fire" is a pure function of the op stream.
+struct HedgePolicy {
+  /// Virtual-time delay after which the backup is issued. The backup branch
+  /// starts at `issue_time + hedge_delay_ns`.
+  uint64_t hedge_delay_ns = 50'000;
+
+  /// Backup target per primary node. Ops whose node has no entry are never
+  /// hedged. The replica is assumed to hold the same region layout at the
+  /// same offsets (true for the mirrored stores built by the engines).
+  std::map<NodeId, NodeId> replicas;
+
+  /// Hedge only side-effect-free verbs (kRead / kReadAtomic). Leave on:
+  /// hedging writes would double-apply them.
+  bool reads_only = true;
+};
+
+class HedgeInterceptor : public FabricInterceptor {
+ public:
+  explicit HedgeInterceptor(HedgePolicy policy) : policy_(std::move(policy)) {}
+
+  const char* name() const override { return "hedge"; }
+
+  Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override;
+
+  uint64_t hedges() const { return hedges_.load(std::memory_order_relaxed); }
+  uint64_t wins() const { return wins_.load(std::memory_order_relaxed); }
+
+  const HedgePolicy& policy() const { return policy_; }
+
+ private:
+  const HedgePolicy policy_;
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> wins_{0};
+};
+
+/// Per-node circuit breaker: closed → open when the recent error rate at a
+/// node crosses a threshold, open → half-open after a fixed number of
+/// fast-failed ops, half-open → closed after consecutive successful probes
+/// (or back to open on a probe failure). While open, ops are refused
+/// immediately with `Status::Unavailable` for a small `fast_fail_penalty_ns`
+/// instead of burning a full drop/timeout penalty at a node that is down
+/// anyway — callers fall through to replicas or the degrade ladder.
+///
+/// The whole state machine is a pure function of the per-node op outcome
+/// stream (counts, not clocks), so chaos replay with a fixed seed drives it
+/// through bit-identical transitions. Only `Unavailable`/`TimedOut` count as
+/// failures: `Busy` is contention/admission, not node health.
+struct BreakerPolicy {
+  uint32_t window = 16;        ///< per-node outcomes per evaluation window
+  uint32_t min_samples = 8;    ///< evaluate only once the window has this many
+  double open_error_rate = 0.5;  ///< open when failures/window >= this
+  uint64_t open_ops = 32;      ///< fast-fails while open before half-open
+  uint32_t half_open_probes = 2;  ///< consecutive probe successes to close
+  uint64_t fast_fail_penalty_ns = 200;  ///< cost of learning "open" locally
+};
+
+class CircuitBreakerInterceptor : public FabricInterceptor {
+ public:
+  explicit CircuitBreakerInterceptor(BreakerPolicy policy) : policy_(policy) {}
+
+  const char* name() const override { return "breaker"; }
+
+  Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                   const FabricOpInvoker& next) override;
+
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// Current state for `node` (kClosed if the node was never seen).
+  State StateFor(NodeId node) const;
+
+  uint64_t fast_fails() const {
+    return fast_fails_.load(std::memory_order_relaxed);
+  }
+  uint64_t opens() const { return opens_.load(std::memory_order_relaxed); }
+
+  const BreakerPolicy& policy() const { return policy_; }
+
+ private:
+  struct NodeState {
+    State state = State::kClosed;
+    uint32_t window_ops = 0;       // outcomes observed in the current window
+    uint32_t window_failures = 0;
+    uint64_t open_fast_fails = 0;  // fast-fails since the breaker opened
+    uint32_t probe_successes = 0;  // consecutive successes while half-open
+  };
+
+  const BreakerPolicy policy_;
+  mutable std::mutex mu_;
+  std::map<NodeId, NodeState> nodes_;
+  std::atomic<uint64_t> fast_fails_{0};
+  std::atomic<uint64_t> opens_{0};
 };
 
 }  // namespace disagg

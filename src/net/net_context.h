@@ -55,6 +55,45 @@ struct NetContext {
   /// (included in `sim_ns`, not in `queue_ns`).
   uint64_t admission_rejects = 0;
 
+  // ---- Graceful-degradation counters (all 0 unless a deadline, hedge,
+  // breaker, or degrade policy is configured; see DESIGN.md "Graceful
+  // degradation") ----------------------------------------------------------
+
+  /// Ops whose completion overran the context's `deadline_ns` budget, plus
+  /// ops refused up front because the budget was already exhausted at issue
+  /// time (those fail with `Status::TimedOut` before touching the wire).
+  uint64_t deadline_misses = 0;
+
+  /// Backup requests issued by the hedge interceptor (each one is an extra
+  /// op whose traffic is charged on top of the primary's).
+  uint64_t hedges = 0;
+
+  /// Hedged ops where the backup completed before the primary (the client
+  /// continued at the backup's completion time).
+  uint64_t hedge_wins = 0;
+
+  /// Ops fast-failed by an open circuit breaker: charged only the breaker's
+  /// small fast-fail penalty instead of a full drop/timeout penalty.
+  uint64_t breaker_fast_fails = 0;
+
+  /// Reads served by the engine degrade ladder from a bounded-staleness
+  /// replica copy (the strict-freshness path had failed with
+  /// Busy/Unavailable/TimedOut first).
+  uint64_t degraded_ops = 0;
+
+  /// Total staleness observed across `degraded_ops`, in LSN units:
+  /// sum over degraded reads of (required page LSN - served copy's LSN).
+  /// Always <= degraded_ops * the policy's staleness bound.
+  uint64_t staleness_lsn = 0;
+
+  /// Absolute virtual-time deadline for ops issued on this context
+  /// (0 = no deadline, the default). An *input* attribute like `tenant`:
+  /// `Fork()` inherits it, merges leave the destination's value. The retry
+  /// interceptor never backs off past the remaining budget, and the fabric
+  /// refuses ops issued at or after the deadline with `Status::TimedOut`.
+  /// Compared against `sim_ns`, so callers set it as `sim_ns + budget`.
+  uint64_t deadline_ns = 0;
+
   /// Tenant id stamped onto every fabric op this context issues
   /// (`FabricOp::tenant`): the key for weighted fair queueing and per-tenant
   /// admission control at congested resources. 0 (the default) is an
@@ -83,6 +122,7 @@ struct NetContext {
     NetContext b;
     b.sim_ns = sim_ns;
     b.tenant = tenant;  // branches bill the same tenant at shared resources
+    b.deadline_ns = deadline_ns;  // branches race the same budget
     return b;
   }
 
@@ -105,11 +145,40 @@ struct NetContext {
     faults_injected += o.faults_injected;
     queue_ns += o.queue_ns;
     admission_rejects += o.admission_rejects;
+    deadline_misses += o.deadline_misses;
+    hedges += o.hedges;
+    hedge_wins += o.hedge_wins;
+    breaker_fast_fails += o.breaker_fast_fails;
+    degraded_ops += o.degraded_ops;
+    staleness_lsn += o.staleness_lsn;
     for (size_t v = 0; v < kNumFabricVerbs; v++) per_verb[v].Merge(o.per_verb[v]);
   }
 
   double SimMillis() const { return static_cast<double>(sim_ns) / 1e6; }
 };
+
+/// Sums one branch's traffic/attribution counters (everything except the
+/// clock) into `parent`; the shared leg of `MergeParallel`/`JoinParallel`.
+inline void AccumulateTraffic(NetContext* parent, const NetContext& b) {
+  parent->bytes_out += b.bytes_out;
+  parent->bytes_in += b.bytes_in;
+  parent->round_trips += b.round_trips;
+  parent->rpcs += b.rpcs;
+  parent->retries += b.retries;
+  parent->backoff_ns += b.backoff_ns;
+  parent->faults_injected += b.faults_injected;
+  parent->queue_ns += b.queue_ns;
+  parent->admission_rejects += b.admission_rejects;
+  parent->deadline_misses += b.deadline_misses;
+  parent->hedges += b.hedges;
+  parent->hedge_wins += b.hedge_wins;
+  parent->breaker_fast_fails += b.breaker_fast_fails;
+  parent->degraded_ops += b.degraded_ops;
+  parent->staleness_lsn += b.staleness_lsn;
+  for (size_t v = 0; v < kNumFabricVerbs; v++) {
+    parent->per_verb[v].Merge(b.per_verb[v]);
+  }
+}
 
 /// Folds the contexts of operations issued *in parallel* (e.g. fan-out to
 /// quorum replicas, Snowflake virtual warehouses, or the LoadDriver's
@@ -130,18 +199,7 @@ inline void MergeParallel(NetContext* parent,
   for (size_t i = 0; i < n; i++) {
     const NetContext& b = branches[i];
     if (b.sim_ns > max_ns) max_ns = b.sim_ns;
-    parent->bytes_out += b.bytes_out;
-    parent->bytes_in += b.bytes_in;
-    parent->round_trips += b.round_trips;
-    parent->rpcs += b.rpcs;
-    parent->retries += b.retries;
-    parent->backoff_ns += b.backoff_ns;
-    parent->faults_injected += b.faults_injected;
-    parent->queue_ns += b.queue_ns;
-    parent->admission_rejects += b.admission_rejects;
-    for (size_t v = 0; v < kNumFabricVerbs; v++) {
-      parent->per_verb[v].Merge(b.per_verb[v]);
-    }
+    AccumulateTraffic(parent, b);
   }
   parent->sim_ns += max_ns;
 }
@@ -159,18 +217,7 @@ inline void JoinParallel(NetContext* parent,
   for (size_t i = 0; i < n; i++) {
     const NetContext& b = branches[i];
     if (b.sim_ns > max_ns) max_ns = b.sim_ns;
-    parent->bytes_out += b.bytes_out;
-    parent->bytes_in += b.bytes_in;
-    parent->round_trips += b.round_trips;
-    parent->rpcs += b.rpcs;
-    parent->retries += b.retries;
-    parent->backoff_ns += b.backoff_ns;
-    parent->faults_injected += b.faults_injected;
-    parent->queue_ns += b.queue_ns;
-    parent->admission_rejects += b.admission_rejects;
-    for (size_t v = 0; v < kNumFabricVerbs; v++) {
-      parent->per_verb[v].Merge(b.per_verb[v]);
-    }
+    AccumulateTraffic(parent, b);
   }
   parent->sim_ns = max_ns;
 }

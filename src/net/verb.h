@@ -10,6 +10,27 @@ namespace disagg {
 /// batch, and RPC is lowered to a `FabricOp` tagged with one of these and
 /// executed by the single `Fabric::Execute()` path, so interceptors and
 /// per-verb accounting see a uniform stream of operations.
+///
+/// Failure-status contract for fabric ops (three interceptors and the engine
+/// degrade ladders branch on it, so the distinctions are load-bearing):
+///
+///  - `Status::Busy` — retryable *contention*: app-level conflicts (seqlock /
+///    CAS convergence, lock conflicts, raft non-convergence) and congestion
+///    admission control ("queue full", `FabricOp::admission_rejected`).
+///    The target is healthy; backing off and retrying can succeed, though
+///    retrying an admission rejection is budgeted tighter
+///    (`RetryPolicy::max_admission_attempts`) since it amplifies overload.
+///  - `Status::Unavailable` — a *fault*: the target node is failed, flapping,
+///    the packet was dropped, or a circuit breaker is fast-failing for it.
+///    Retry against the same node may succeed after recovery; falling over
+///    to a replica (hedge, degrade ladder) is usually better.
+///  - `Status::TimedOut` — a genuine *deadline* expiry: the op's
+///    `deadline_ns` budget ran out (`FabricOp::deadline_exhausted` when
+///    refused pre-issue). Never retryable — waiting longer cannot cure it;
+///    the only useful responses are degrading or reporting the miss.
+///
+/// Engines must never surface `TimedOut` for contention (pinned by the chaos
+/// suite's status-contract test).
 enum class FabricVerb : uint8_t {
   kRead = 0,
   kWrite,

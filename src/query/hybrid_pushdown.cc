@@ -45,7 +45,22 @@ Result<std::vector<Tuple>> HybridTable::Query(NetContext* ctx,
       // overflow keeps using pushdown (FPDB's insight that the two
       // mechanisms complement rather than compete).
       local_stats.pushed_segments++;
-      DISAGG_ASSIGN_OR_RETURN(part, segments_[s]->Pushdown(ctx, fragment));
+      auto pushed = segments_[s]->Pushdown(ctx, fragment);
+      if (pushed.ok()) {
+        part = std::move(*pushed);
+      } else if (degrade_to_client_ && (pushed.status().IsBusy() ||
+                                        pushed.status().IsUnavailable() ||
+                                        pushed.status().IsTimedOut())) {
+        // The pool refused the pushdown: pull the raw segment and execute
+        // the fragment client-side. More bytes move, but the query answers.
+        auto rows = segments_[s]->FetchAll(ctx);
+        if (!rows.ok()) return pushed.status();  // ladder exhausted
+        local_stats.degraded_pushdowns++;
+        ctx->degraded_ops++;
+        part = fragment.Execute(ctx, *rows);
+      } else {
+        return pushed.status();
+      }
     } else {
       // Pull the segment up, cache it, execute locally.
       local_stats.fetched_segments++;

@@ -26,6 +26,9 @@ class HybridTable {
     size_t cached_segments = 0;
     size_t pushed_segments = 0;
     size_t fetched_segments = 0;  // cache misses that pulled a segment up
+    /// Pushdowns the pool refused (Busy/Unavailable/TimedOut) that fell
+    /// back to client-side execution (see `set_degrade_to_client`).
+    size_t degraded_pushdowns = 0;
   };
 
   /// Splits `rows` into `num_segments` remote tables. `cache_segments` is
@@ -43,11 +46,22 @@ class HybridTable {
   size_t num_segments() const { return segments_.size(); }
   size_t cached_now() const { return cache_.size(); }
 
+  /// Degrade ladder for pushdown (Farview-style refusal handling): when the
+  /// pool rejects a pushdown with `Busy`/`Unavailable`/`TimedOut`, pull the
+  /// raw segment up and execute the fragment client-side instead of failing
+  /// the query — accounted in `QueryStats::degraded_pushdowns` and
+  /// `NetContext::degraded_ops`, and never admitted to the cache (it is a
+  /// one-off fallback, not an admission decision). Off by default: queries
+  /// fail exactly as before until enabled.
+  void set_degrade_to_client(bool on) { degrade_to_client_ = on; }
+  bool degrade_to_client() const { return degrade_to_client_; }
+
  private:
   HybridTable() = default;
 
   Fabric* fabric_ = nullptr;
   Schema schema_;
+  bool degrade_to_client_ = false;
   size_t cache_capacity_ = 0;
   std::vector<std::unique_ptr<RemoteTable>> segments_;
   std::map<size_t, std::vector<Tuple>> cache_;   // segment -> local rows

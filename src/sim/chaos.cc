@@ -98,6 +98,14 @@ std::string ChaosSchedule::Describe() const {
     out += " [" + std::to_string(w.from_seq) + "," +
            std::to_string(w.until_seq) + ")";
   }
+  if (max_backlog_ns != 0) {
+    out += " backlog=" + std::to_string(max_backlog_ns) + "ns/op=" +
+           std::to_string(overload_ns_per_op);
+  }
+  if (degrade.enabled) {
+    out += " degrade<=" + std::to_string(degrade.max_staleness_lsn);
+  }
+  if (breaker) out += " breaker";
   return out;
 }
 
@@ -516,6 +524,15 @@ std::string ChaosReport::Summary() const {
       read_errors, tpcc_errors, crashes, replay_checked_keys, drops, spikes,
       flap_rejections, retries, gave_up, violations.size(), seed);
   std::string out(buf);
+  if (degraded_reads != 0 || admission_rejects != 0 ||
+      breaker_fast_fails != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " degraded=%" PRIu64 " staleness=%" PRIu64
+                  " adm_rej=%" PRIu64 " fast_fail=%" PRIu64,
+                  degraded_reads, staleness_lsn, admission_rejects,
+                  breaker_fast_fails);
+    out += buf;
+  }
   for (const std::string& v : violations) out += "\n  VIOLATION: " + v;
   for (const std::string& n : notes) out += "\n  note: " + n;
   return out;
@@ -545,7 +562,7 @@ class ChaosRunner {
     Setup();
     if (!report_.violations.empty()) return report_;
     BuildInterceptors();
-    InstallInterceptors();
+    EnterFaultedMode();
 
     size_t next_crash = 0;
     for (int i = 0; i < schedule_.num_ops; i++) {
@@ -612,6 +629,15 @@ class ChaosRunner {
   void BuildInterceptors() {
     RetryPolicy rp;
     rp.max_attempts = schedule_.retry_attempts;
+    if (schedule_.max_backlog_ns != 0) {
+      // Admission control is on: a rejected op must back off long enough
+      // for the backlog to drain below the bound, or every retry re-reads
+      // the same "queue full" answer. The defaults (1 us exponential) are
+      // tuned for lock contention, not for queues that drain at tens of
+      // microseconds per op.
+      rp.max_admission_attempts = 4;
+      rp.initial_backoff_ns = 16'000;
+    }
     retry_ = std::make_shared<RetryInterceptor>(rp);
 
     FaultPolicy fp;
@@ -628,15 +654,46 @@ class ChaosRunner {
       }
     }
     fault_ = std::make_shared<FaultInterceptor>(fp);
+    if (schedule_.breaker) {
+      breaker_ = std::make_shared<CircuitBreakerInterceptor>(BreakerPolicy{});
+    }
   }
 
   void InstallInterceptors() {
-    // Retry first = outermost, so retries wrap injected faults. The SAME
-    // interceptor objects are reinstalled after every oracle interlude:
-    // the fault sequence counter keeps running, which keeps the whole run
+    // Retry first = outermost, so retries wrap the breaker's fast-fails
+    // and the injected faults; the breaker sits between them so it
+    // observes the post-fault outcome stream. The SAME interceptor objects
+    // are reinstalled after every oracle interlude: the fault sequence
+    // counter (and breaker state) keeps running, which keeps the whole run
     // a pure function of the seed.
     fabric_.AddInterceptor(retry_);
+    if (breaker_ != nullptr) fabric_.AddInterceptor(breaker_);
     fabric_.AddInterceptor(fault_);
+  }
+
+  /// Workload mode: interceptors plus the schedule's optional overload
+  /// layer (admission control + engine degrade ladder).
+  void EnterFaultedMode() {
+    InstallInterceptors();
+    if (schedule_.max_backlog_ns != 0) {
+      CongestionConfig cc;
+      cc.default_node = {schedule_.overload_ns_per_op, 0,
+                         schedule_.max_backlog_ns};
+      fabric_.EnableCongestion(cc);
+    }
+    if (schedule_.degrade.enabled && adapter_->row_engine() != nullptr) {
+      adapter_->row_engine()->set_degrade_policy(schedule_.degrade);
+    }
+  }
+
+  /// Oracle mode: a bare fabric — no interceptors, no admission control,
+  /// strict reads only — so audits observe the engine's true state.
+  void EnterOracleMode() {
+    fabric_.ClearInterceptors();
+    fabric_.DisableCongestion();
+    if (adapter_->row_engine() != nullptr) {
+      adapter_->row_engine()->set_degrade_policy({});
+    }
   }
 
   bool InFlapWindow(uint64_t seq) const {
@@ -719,9 +776,29 @@ class ChaosRunner {
       const uint64_t key = wl_rng_.Uniform(4) == 0
                                ? kBankBase + wl_rng_.Uniform(kBankAccounts)
                                : kYcsbBase + op.key;
+      const uint64_t degraded_before = ctx_.degraded_ops;
+      const uint64_t staleness_before = ctx_.staleness_lsn;
       auto r = adapter_->GetKv(&ctx_, key);
       const Status& st = r.status();
-      if (st.ok() || st.IsNotFound()) {
+      const bool degraded = ctx_.degraded_ops > degraded_before;
+      if (degraded) {
+        // Bounded-staleness read: any older committed value may
+        // legitimately surface, so the membership check does not apply —
+        // but the staleness the engine accounted must respect the bound.
+        report_.degraded_reads++;
+        // The autocommit's WAL flush still succeeded on an ok read, so
+        // re-buffered uncertain batches are durable now (page staleness
+        // does not weaken log durability).
+        if (st.ok() && IsRow()) model_.PromoteAllUncertain();
+        const uint64_t staleness = ctx_.staleness_lsn - staleness_before;
+        if (staleness > schedule_.degrade.max_staleness_lsn) {
+          report_.violations.push_back(
+              "degraded read of key " + std::to_string(key) +
+              " exceeded the staleness bound: " + std::to_string(staleness) +
+              " > " + std::to_string(schedule_.degrade.max_staleness_lsn));
+        }
+        if (!st.ok() && !st.IsNotFound()) report_.read_errors++;
+      } else if (st.ok() || st.IsNotFound()) {
         if (st.ok() && IsRow()) model_.PromoteAllUncertain();
         const std::string msg =
             model_.CheckRead(key, st, r.ok() ? *r : std::string());
@@ -758,7 +835,7 @@ class ChaosRunner {
 
   void CrashAndAudit(int at_op, bool final_audit) {
     report_.crashes++;
-    fabric_.ClearInterceptors();
+    EnterOracleMode();
     NetContext octx;
     Status st = adapter_->CrashAndRecover(&octx);
     if (!st.ok()) {
@@ -790,7 +867,7 @@ class ChaosRunner {
       CheckBalanceConservation(observed);
       CheckCommittedReplay(&octx);
     } else {
-      InstallInterceptors();
+      EnterFaultedMode();
     }
     Record(at_op, 'C', static_cast<uint64_t>(at_op), 0,
            static_cast<uint8_t>(st.code()));
@@ -878,6 +955,9 @@ class ChaosRunner {
     report_.retries = retry_->retries();
     report_.gave_up = retry_->gave_up();
     report_.faults_injected = ctx_.faults_injected;
+    report_.staleness_lsn = ctx_.staleness_lsn;
+    report_.admission_rejects = ctx_.admission_rejects;
+    report_.breaker_fast_fails = ctx_.breaker_fast_fails;
   }
 
   ChaosSchedule schedule_;
@@ -891,6 +971,7 @@ class ChaosRunner {
   NetContext ctx_;  // workload client context (sim time drives the trace)
   std::shared_ptr<RetryInterceptor> retry_;
   std::shared_ptr<FaultInterceptor> fault_;
+  std::shared_ptr<CircuitBreakerInterceptor> breaker_;  // null unless enabled
 };
 
 }  // namespace

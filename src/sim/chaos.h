@@ -40,6 +40,29 @@ struct ChaosSchedule {
 
   int retry_attempts = 12;
 
+  /// Optional overload layer, off by default (zero / disabled keeps every
+  /// run bit-identical to the pre-overload harness). When `max_backlog_ns`
+  /// is nonzero, the faulted workload phases run with per-node admission
+  /// control enabled (`ResourceCapacity{overload_ns_per_op, 0,
+  /// max_backlog_ns}`), so ops can fail fast with `Busy` on top of the
+  /// fault schedule's drops and flaps. Oracle interludes (crash audits)
+  /// always run with congestion disabled.
+  uint64_t max_backlog_ns = 0;
+  uint64_t overload_ns_per_op = 0;
+
+  /// Read-path degrade ladder installed on RowEngine architectures during
+  /// the faulted phases; oracle audits always read strictly. Degraded
+  /// reads are exempted from the membership check (any older committed
+  /// value may legitimately surface) but their per-op staleness must stay
+  /// within the policy bound, which the runner asserts.
+  DegradePolicy degrade;
+
+  /// Installs a per-node circuit breaker between retry and fault
+  /// injection, so sustained flap failures fast-fail instead of paying
+  /// full drop penalties. Purely deterministic: state is a function of the
+  /// op outcome stream.
+  bool breaker = false;
+
   /// Derives every field from `seed` alone.
   static ChaosSchedule FromSeed(uint64_t seed);
 
@@ -185,6 +208,12 @@ struct ChaosReport {
   uint64_t retries = 0;
   uint64_t gave_up = 0;
   uint64_t faults_injected = 0;  // workload ctx counter
+
+  // Overload-layer counters (zero unless the schedule enables the layer).
+  uint64_t degraded_reads = 0;      // workload reads served by the ladder
+  uint64_t staleness_lsn = 0;       // summed LSN staleness of those reads
+  uint64_t admission_rejects = 0;   // Busy fail-fasts from admission control
+  uint64_t breaker_fast_fails = 0;  // ops short-circuited by open breakers
 
   std::string Summary() const;
 };

@@ -83,6 +83,20 @@ Result<Page> ReplicatedSegment::ReadPage(NetContext* ctx, PageId id,
   return Status::Unavailable("no reachable replica covers the required LSN");
 }
 
+Result<Page> ReplicatedSegment::ReadPageFreshest(NetContext* ctx, PageId id) {
+  std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
+  Result<Page> best = Status::Unavailable("no replica holds the page");
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    PageStoreClient page_client(fabric_, replicas_[i].node);
+    auto page = page_client.GetPage(&branch[i], id);
+    if (page.ok() && (!best.ok() || page->lsn() > best->lsn())) {
+      best = std::move(page);
+    }
+  }
+  JoinParallel(ctx, branch.data(), branch.size());
+  return best;
+}
+
 Result<Lsn> ReplicatedSegment::RecoverDurableLsn(NetContext* ctx) {
   std::vector<NetContext> branch(replicas_.size(), ctx->Fork());
   std::vector<Lsn> seen;

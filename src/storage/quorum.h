@@ -60,6 +60,12 @@ class ReplicatedSegment {
   /// normally touch a single replica).
   Result<Page> ReadPage(NetContext* ctx, PageId id, Lsn min_lsn);
 
+  /// Degrade-ladder fallback: fans out to every reachable replica in
+  /// parallel and returns the freshest materialized copy, with no acked-LSN
+  /// or freshness gate — the caller judges the returned page's own LSN
+  /// against its staleness bound.
+  Result<Page> ReadPageFreshest(NetContext* ctx, PageId id);
+
   /// Establishes the recovery LSN by polling a read quorum — the crash
   /// recovery path where R + W > V guarantees the result is at least the
   /// highest quorum-committed LSN (it may exceed it if an interrupted write

@@ -105,6 +105,14 @@ std::vector<LogRecord> TxnManager::Abort(TxnId txn) {
   return updates;
 }
 
+void TxnManager::EndReadOnly(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    undo_.erase(txn);
+  }
+  locks_->ReleaseAll(txn);
+}
+
 Lsn TxnManager::LogClr(TxnId txn, PageId page, uint16_t slot,
                        Slice restored_image, Lsn compensated_lsn) {
   LogRecord clr;

@@ -47,6 +47,12 @@ class TxnManager {
   /// are the engine's job (it knows the re-insert slot): call LogClr.
   std::vector<LogRecord> Abort(TxnId txn);
 
+  /// Ends a transaction that logged nothing: just releases its locks. A
+  /// read-only transaction has no durability point — no commit record, no
+  /// flush, no quorum round-trip. The caller guarantees the transaction
+  /// performed no Log* calls (any tracked undo is dropped, not rolled back).
+  void EndReadOnly(TxnId txn);
+
   /// Logs one CLR describing a rollback action the engine performed
   /// (empty `restored_image` = the slot was deleted again).
   Lsn LogClr(TxnId txn, PageId page, uint16_t slot, Slice restored_image,

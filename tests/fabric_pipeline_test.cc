@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -319,6 +320,242 @@ TEST_F(PipelineTest, ZeroBackoffRetryStillAdvancesSimTime) {
   fabric_.node(mem_node_)->Revive();
 }
 
+TEST_F(PipelineTest, TraceRecordsCarryTenantAndQueueDelay) {
+  auto trace = std::make_shared<TraceInterceptor>(/*trace_capacity=*/8);
+  fabric_.AddInterceptor(trace);
+  CongestionConfig cfg;
+  cfg.node_caps[mem_node_].ns_per_op = 50'000;  // each op occupies 50 us
+  fabric_.EnableCongestion(cfg);
+
+  NetContext ctx;
+  ctx.tenant = 7;
+  char buf[8];
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  // The second read arrives while the link is still busy with the first.
+  ASSERT_TRUE(fabric_.Read(&ctx, At(8), buf, 8).ok());
+
+  auto records = trace->Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].tenant, 7u);
+  EXPECT_EQ(records[1].tenant, 7u);
+  EXPECT_EQ(records[0].queue_ns, 0u);  // idle link: no wait
+  EXPECT_GT(records[1].queue_ns, 0u);  // queued behind op 0
+  EXPECT_EQ(records[0].queue_ns + records[1].queue_ns, ctx.queue_ns);
+
+  const std::string json = trace->DumpJson();
+  EXPECT_NE(json.find("\"tenant\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_ns\":"), std::string::npos);
+}
+
+TEST_F(PipelineTest, AdmissionBusyRetriesCappedTighterThanContentionBusy) {
+  // Regression (satellite bugfix): admission-control Busy used to be retried
+  // exactly like contention Busy, amplifying load into a queue that just
+  // reported "full". Rejected ops now cap at max_admission_attempts issues
+  // when no deadline governs them.
+  RetryPolicy rp;
+  rp.max_attempts = 6;
+  rp.retry_busy = true;
+  rp.initial_backoff_ns = 1000;
+  auto retry = std::make_shared<RetryInterceptor>(rp);
+  fabric_.AddInterceptor(retry);
+
+  CongestionConfig cfg;
+  cfg.node_caps[mem_node_].ns_per_op = 100'000;
+  cfg.node_caps[mem_node_].max_backlog_ns = 1000;
+  fabric_.EnableCongestion(cfg);
+
+  NetContext ctx;
+  char buf[8];
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());  // fills the link
+  FabricOp op;
+  op.verb = FabricVerb::kRead;
+  op.node = mem_node_;
+  op.addr = At(8);
+  op.dst = buf;
+  op.n = 8;
+  EXPECT_TRUE(fabric_.Execute(&op, &ctx).IsBusy());
+  EXPECT_EQ(op.attempts, 2u);  // on main: 6 (every attempt re-hit the queue)
+  EXPECT_TRUE(op.admission_rejected);
+  EXPECT_EQ(ctx.admission_rejects, 2u);
+
+  // Contention Busy (an app-level conflict from a handler) keeps the full
+  // retry budget.
+  fabric_.DisableCongestion();
+  fabric_.node(mem_node_)->RegisterHandler(
+      "conflict", [](Slice, std::string*, RpcServerContext*) {
+        return Status::Busy("lock conflict");
+      });
+  NetContext ctx2;
+  std::string resp;
+  FabricOp rpc;
+  rpc.verb = FabricVerb::kRpc;
+  rpc.node = mem_node_;
+  const std::string method = "conflict";
+  rpc.method = &method;
+  rpc.request = Slice("x", 1);
+  rpc.response = &resp;
+  EXPECT_TRUE(fabric_.Execute(&rpc, &ctx2).IsBusy());
+  EXPECT_EQ(rpc.attempts, 6u);
+  EXPECT_FALSE(rpc.admission_rejected);
+}
+
+TEST_F(PipelineTest, DeadlineBudgetRefusesExhaustedOpsAndCountsMisses) {
+  NetContext ctx;
+  char buf[8];
+
+  // A completed op that overran its budget counts one miss.
+  ctx.deadline_ns = ctx.sim_ns + 1;
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(ctx.deadline_misses, 1u);
+
+  // An op issued at/after the deadline is refused before touching the wire:
+  // TimedOut, nothing charged, one more miss.
+  const uint64_t before_ns = ctx.sim_ns;
+  const uint64_t before_trips = ctx.round_trips;
+  ctx.deadline_ns = ctx.sim_ns;  // budget already spent
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsTimedOut());
+  EXPECT_EQ(ctx.sim_ns, before_ns);
+  EXPECT_EQ(ctx.round_trips, before_trips);
+  EXPECT_EQ(ctx.deadline_misses, 2u);
+
+  // No deadline (0) keeps everything as before.
+  NetContext free_ctx;
+  ASSERT_TRUE(fabric_.Read(&free_ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(free_ctx.deadline_misses, 0u);
+
+  // Fork inherits the budget.
+  ctx.deadline_ns = 12345;
+  EXPECT_EQ(ctx.Fork().deadline_ns, 12345u);
+}
+
+TEST_F(PipelineTest, RetryNeverBacksOffPastTheDeadline) {
+  RetryPolicy rp;
+  rp.max_attempts = 10;
+  rp.initial_backoff_ns = 1000;
+  rp.backoff_multiplier = 2.0;
+  auto retry = std::make_shared<RetryInterceptor>(rp);
+  fabric_.AddInterceptor(retry);
+
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx;
+  ctx.deadline_ns = ctx.sim_ns + 2500;
+  char buf[8];
+  // Attempt 1 fails free (failed target), backoff 1000 fits the budget;
+  // attempt 2 fails at t=1000; the next backoff (2000) would cross the
+  // 2500 ns deadline, so the retry loop gives up instead of charging it.
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(ctx.retries, 1u);
+  EXPECT_EQ(ctx.backoff_ns, 1000u);
+  EXPECT_LT(ctx.sim_ns, ctx.deadline_ns);
+  EXPECT_EQ(ctx.deadline_misses, 0u);  // gave up within budget
+  fabric_.node(mem_node_)->Revive();
+}
+
+TEST_F(PipelineTest, HedgeIssuesBackupAndContinuesAtFirstCompletion) {
+  // Slow primary (SSD-class), fast replica (RDMA-class): the hedge timer
+  // fires mid-flight and the backup wins the race.
+  NodeId slow = fabric_.AddNode("slow", NodeKind::kStorage,
+                                InterconnectModel::Ssd());
+  NodeId replica = fabric_.AddNode("replica", NodeKind::kMemory,
+                                   InterconnectModel::Rdma());
+  MemoryRegion* slow_mr = fabric_.node(slow)->AddRegion("heap", 1 << 16);
+  MemoryRegion* fast_mr = fabric_.node(replica)->AddRegion("heap", 1 << 16);
+  ASSERT_EQ(slow_mr->id(), fast_mr->id());
+  std::memcpy(slow_mr->data(), "primary-bytes...", 16);
+  std::memcpy(fast_mr->data(), "replica-bytes...", 16);
+
+  const uint64_t primary_cost = InterconnectModel::Ssd().ReadCost(4096);
+  const uint64_t backup_cost = InterconnectModel::Rdma().ReadCost(4096);
+  HedgePolicy hp;
+  hp.hedge_delay_ns = 1000;
+  hp.replicas[slow] = replica;
+  ASSERT_LT(hp.hedge_delay_ns + backup_cost, primary_cost);
+  auto hedge = std::make_shared<HedgeInterceptor>(hp);
+  fabric_.AddInterceptor(hedge);
+
+  NetContext ctx;
+  std::vector<char> buf(4096);
+  GlobalAddr addr{slow, slow_mr->id(), 0};
+  ASSERT_TRUE(fabric_.Read(&ctx, addr, buf.data(), buf.size()).ok());
+
+  // Client continues at the backup's completion, not the primary's...
+  EXPECT_EQ(ctx.sim_ns, hp.hedge_delay_ns + backup_cost);
+  // ...but BOTH branches' traffic crossed the wire and is charged.
+  EXPECT_EQ(ctx.bytes_in, 2 * 4096u);
+  EXPECT_EQ(ctx.round_trips, 2u);
+  EXPECT_EQ(ctx.hedges, 1u);
+  EXPECT_EQ(ctx.hedge_wins, 1u);
+  EXPECT_EQ(hedge->hedges(), 1u);
+  EXPECT_EQ(hedge->wins(), 1u);
+  // The winner's bytes are what the caller sees.
+  EXPECT_EQ(std::string(buf.data(), 13), "replica-bytes");
+
+  // A primary that completes before the timer never spawns a backup, and
+  // the accounting is bit-identical to an un-hedged run.
+  NetContext fast_ctx;
+  GlobalAddr fast_addr{replica, fast_mr->id(), 0};
+  ASSERT_TRUE(
+      fabric_.Read(&fast_ctx, fast_addr, buf.data(), buf.size()).ok());
+  EXPECT_EQ(fast_ctx.hedges, 0u);
+  EXPECT_EQ(fast_ctx.sim_ns, backup_cost);
+  EXPECT_EQ(fast_ctx.bytes_in, 4096u);
+
+  // Writes are never hedged under reads_only.
+  NetContext wctx;
+  ASSERT_TRUE(fabric_.Write(&wctx, addr, buf.data(), 8).ok());
+  EXPECT_EQ(wctx.hedges, 0u);
+}
+
+TEST_F(PipelineTest, CircuitBreakerOpensFastFailsAndRecloses) {
+  BreakerPolicy bp;
+  bp.window = 4;
+  bp.min_samples = 4;
+  bp.open_error_rate = 1.0;
+  bp.open_ops = 3;
+  bp.half_open_probes = 2;
+  bp.fast_fail_penalty_ns = 200;
+  auto breaker = std::make_shared<CircuitBreakerInterceptor>(bp);
+  fabric_.AddInterceptor(breaker);
+
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx;
+  char buf[8];
+  for (int i = 0; i < 4; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  EXPECT_EQ(breaker->opens(), 1u);
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kOpen);
+
+  // While open: fast-fail at exactly the penalty, wire untouched.
+  const uint64_t before = ctx.sim_ns;
+  for (int i = 0; i < 3; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  EXPECT_EQ(ctx.sim_ns - before, 3 * 200u);
+  EXPECT_EQ(ctx.breaker_fast_fails, 3u);
+  EXPECT_EQ(breaker->fast_fails(), 3u);
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kHalfOpen);
+
+  // Half-open probes against the revived node re-close the breaker.
+  fabric_.node(mem_node_)->Revive();
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kHalfOpen);
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kClosed);
+
+  // A failed probe would have re-opened instead.
+  fabric_.node(mem_node_)->Fail();
+  for (int i = 0; i < 4; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  EXPECT_EQ(breaker->opens(), 2u);
+  fabric_.node(mem_node_)->Revive();
+}
+
 TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   NetContext a;
   RunMixedWorkload(&a);
@@ -326,6 +563,13 @@ TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   a.backoff_ns = 3000;
   a.faults_injected = 1;
   a.queue_ns = 700;
+  a.admission_rejects = 3;
+  a.deadline_misses = 5;
+  a.hedges = 2;
+  a.hedge_wins = 1;
+  a.breaker_fast_fails = 4;
+  a.degraded_ops = 6;
+  a.staleness_lsn = 90;
 
   NetContext total;
   total.Merge(a);
@@ -334,6 +578,13 @@ TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   EXPECT_EQ(total.backoff_ns, 6000u);
   EXPECT_EQ(total.faults_injected, 2u);
   EXPECT_EQ(total.queue_ns, 1400u);
+  EXPECT_EQ(total.admission_rejects, 6u);
+  EXPECT_EQ(total.deadline_misses, 10u);
+  EXPECT_EQ(total.hedges, 4u);
+  EXPECT_EQ(total.hedge_wins, 2u);
+  EXPECT_EQ(total.breaker_fast_fails, 8u);
+  EXPECT_EQ(total.degraded_ops, 12u);
+  EXPECT_EQ(total.staleness_lsn, 180u);
   EXPECT_EQ(total.verb(FabricVerb::kRpc).ops, 2u);
   EXPECT_EQ(total.verb(FabricVerb::kRead).sim_ns,
             2 * a.verb(FabricVerb::kRead).sim_ns);
@@ -345,6 +596,12 @@ TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   EXPECT_EQ(parent.retries, 4u);
   EXPECT_EQ(parent.queue_ns, 1400u);  // attribution: summed
   EXPECT_EQ(parent.verb(FabricVerb::kWrite).ops, 2u);  // attribution: summed
+  EXPECT_EQ(parent.deadline_misses, 10u);
+  EXPECT_EQ(parent.hedges, 4u);
+  EXPECT_EQ(parent.hedge_wins, 2u);
+  EXPECT_EQ(parent.breaker_fast_fails, 8u);
+  EXPECT_EQ(parent.degraded_ops, 12u);
+  EXPECT_EQ(parent.staleness_lsn, 180u);
 
   a.Reset();
   EXPECT_EQ(a.verb(FabricVerb::kRead).ops, 0u);
