@@ -30,7 +30,8 @@ fi
 # harness (which exercises every engine's fault paths), and the
 # congestion/load-driver layer (virtual-time queueing + histogram math).
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
-           congestion_test load_driver_test histogram_test degrade_test)
+           congestion_test load_driver_test histogram_test degrade_test
+           shared_log_test log_backend_parity_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -85,6 +86,16 @@ DISAGG_E23_ASSERT=1 ./build/bench/bench_e23_fairness \
 # bench_e24_degradation's header for the full predicate list).
 echo "==> E24 graceful-degradation smoke (degrade vs reject-only)"
 DISAGG_E24_ASSERT=1 ./build/bench/bench_e24_degradation \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E25 shared-log smoke: with DISAGG_E25_ASSERT=1 the bench self-checks the
+# shared-log consolidation claims at 4 tenants x 8 ephemeral computes —
+# both log tiers complete every append through a mid-run log-node kill and
+# replay every tenant's stream in order, the shared fleet is smaller with
+# strictly less wire traffic, and the seal + view change after the kill
+# takes nonzero simulated time (see bench_e25_shared_log's header).
+echo "==> E25 shared-log smoke (private quorums vs shared service)"
+DISAGG_E25_ASSERT=1 ./build/bench/bench_e25_shared_log \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

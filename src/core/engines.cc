@@ -13,7 +13,8 @@ namespace {
 class OwningQuorumSink : public LogSink {
  public:
   OwningQuorumSink(Fabric* fabric, const ReplicatedSegment::Config& config)
-      : segment_(std::make_unique<ReplicatedSegment>(fabric, config,
+      : fabric_(fabric),
+        segment_(std::make_unique<ReplicatedSegment>(fabric, config,
                                                      "aurora-seg")) {}
 
   ReplicatedSegment* segment() { return segment_.get(); }
@@ -23,24 +24,33 @@ class OwningQuorumSink : public LogSink {
     return segment_->AppendLog(ctx, records);
   }
   Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
-    (void)ctx;
-    // Recovery reads go through the quorum protocol (RecoverDurableLsn);
-    // full log reads are served by the replicas' log services directly.
-    // Under fault schedules individual replicas may lag, so read from the
+    // Under fault schedules individual replicas may lag, so stream from the
     // replica with the highest durable LSN (client-side resync keeps each
     // replica's log gap-free, so "highest" also means "most complete").
-    const SegmentReplica* best = nullptr;
+    // Both the parallel tail probes and the full read ride Fabric::Execute:
+    // recovery traffic is charged, traced and fault-injected like any other.
+    std::vector<NetContext> branch(segment_->replica_count(), ctx->Fork());
+    size_t best = 0;
+    Lsn best_lsn = kInvalidLsn;
+    bool reachable = false;
     for (size_t i = 0; i < segment_->replica_count(); i++) {
-      const SegmentReplica& r = segment_->replica(i);
-      if (!best ||
-          r.log_service->durable_lsn() > best->log_service->durable_lsn()) {
-        best = &r;
+      LogStoreClient probe(fabric_, segment_->replica(i).node);
+      auto lsn = probe.DurableLsn(&branch[i]);
+      if (!lsn.ok()) continue;
+      if (!reachable || *lsn > best_lsn) {
+        reachable = true;
+        best = i;
+        best_lsn = *lsn;
       }
     }
-    return best->log_service->SnapshotFrom(0);
+    JoinParallel(ctx, branch.data(), branch.size());
+    if (!reachable) return Status::Unavailable("no segment replica reachable");
+    LogStoreClient reader(fabric_, segment_->replica(best).node);
+    return reader.ReadFrom(ctx, 0, ~0ull);
   }
 
  private:
+  Fabric* fabric_;
   std::unique_ptr<ReplicatedSegment> segment_;
 };
 
@@ -64,11 +74,11 @@ class RaftLogSink : public LogSink {
   }
 
   Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
-    (void)ctx;
     std::vector<LogRecord> out;
     for (uint64_t i = 0;; i++) {
-      auto entry = raft_->ReadCommitted(i);
-      if (!entry.ok()) break;
+      auto entry = raft_->ReadCommitted(ctx, i);
+      if (entry.status().IsNotFound()) break;  // past the committed tail
+      if (!entry.ok()) return entry.status();
       auto batch = LogRecord::DecodeBatch(entry->payload);
       if (!batch.ok()) return batch.status();
       for (LogRecord& r : *batch) out.push_back(std::move(r));
@@ -98,6 +108,10 @@ class XlogSink : public LogSink {
   }
   Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
     return client_->ReadFrom(ctx, 0, ~0ull);
+  }
+  Result<std::vector<LogRecord>> ReadFrom(NetContext* ctx,
+                                          Lsn from_exclusive) override {
+    return client_->ReadFrom(ctx, from_exclusive, ~0ull);
   }
 
  private:
@@ -187,6 +201,20 @@ CheckpointRef FreshestCheckpoint(const std::vector<std::string>& keys,
   return best;
 }
 
+bool UseShared(const EngineLogConfig& log) {
+  return log.mode == EngineLogConfig::Mode::kShared;
+}
+
+/// Sink for shared-log mode: one tag of the configured SharedLogService.
+/// Legacy sinks construct their private log tier (fabric nodes included) as
+/// a side effect, so the selection must happen before sink construction —
+/// a shared-mode engine never instantiates its legacy tier at all.
+std::unique_ptr<LogSink> SharedSink(const EngineLogConfig& log) {
+  DISAGG_CHECK(log.shared_log != nullptr);
+  return std::make_unique<SharedLogBackend>(log.shared_log->fabric(),
+                                            log.shared_log, log.tag);
+}
+
 /// Shared degraded-fetch shape: parallel freshest-wins over a page-store
 /// fleet with no freshness gate (the ladder's staleness bound is judged by
 /// the caller against the returned page's own LSN).
@@ -209,8 +237,11 @@ Result<Page> FreshestFromStores(Fabric* fabric, NetContext* ctx,
 
 // ---------------------------------------------------------------- Monolithic
 
-MonolithicDb::MonolithicDb()
-    : RowEngine(std::make_unique<LocalDiskSink>()),
+MonolithicDb::MonolithicDb(EngineLogConfig log)
+    : RowEngine(UseShared(log)
+                    ? SharedSink(log)
+                    : std::unique_ptr<LogSink>(
+                          std::make_unique<LocalDiskSink>())),
       disk_(InterconnectModel::Ssd()) {}
 
 Result<Page> MonolithicDb::FetchPage(NetContext* ctx, PageId id) {
@@ -229,32 +260,79 @@ Status MonolithicDb::CheckpointPages(NetContext* ctx) {
 
 // -------------------------------------------------------------------- Aurora
 
-AuroraDb::AuroraDb(Fabric* fabric, ReplicatedSegment::Config config)
-    : RowEngine(std::make_unique<OwningQuorumSink>(fabric, config)),
-      segment_(static_cast<OwningQuorumSink*>(sink_.get())->segment()) {}
+AuroraDb::AuroraDb(Fabric* fabric, ReplicatedSegment::Config config,
+                   EngineLogConfig log)
+    : RowEngine(UseShared(log)
+                    ? SharedSink(log)
+                    : std::unique_ptr<LogSink>(
+                          std::make_unique<OwningQuorumSink>(fabric, config))),
+      fabric_(fabric),
+      segment_(UseShared(log)
+                   ? nullptr
+                   : static_cast<OwningQuorumSink*>(sink_.get())->segment()) {
+  if (UseShared(log)) {
+    // The smart segment materialized pages from the log as a side effect of
+    // appending; with the WAL on the shared (dumb) log fleet, a dedicated
+    // page-materialization fleet takes that job, fed from OnCommit.
+    for (int i = 0; i < kSharedPageReplicas; i++) {
+      NodeId node = fabric_->AddNode("aurora-ps" + std::to_string(i),
+                                     NodeKind::kStorage,
+                                     InterconnectModel::Ssd(),
+                                     static_cast<uint32_t>(i));
+      page_nodes_.push_back(node);
+      page_services_.push_back(
+          std::make_unique<PageStoreService>(fabric_, node));
+    }
+  }
+}
 
 Result<Page> AuroraDb::FetchPage(NetContext* ctx, PageId id) {
   // Replicas materialize pages independently, so under faults some may lag;
   // never accept a copy older than what committed transactions made durable.
-  return segment_->ReadPage(ctx, id, RequiredPageLsn(id));
+  const Lsn required = RequiredPageLsn(id);
+  if (segment_ != nullptr) return segment_->ReadPage(ctx, id, required);
+  for (NodeId node : page_nodes_) {
+    PageStoreClient client(fabric_, node);
+    auto page = client.GetPage(ctx, id);
+    if (page.ok()) {
+      if (page->lsn() >= required) return page;
+      continue;  // stale replica (missed an ApplyLog under faults)
+    }
+    if (page.status().IsNotFound() && required == kInvalidLsn) return page;
+  }
+  return Status::Unavailable("no sufficiently fresh page replica reachable");
 }
 
 Result<Page> AuroraDb::FetchPageDegraded(NetContext* ctx, PageId id) {
-  return segment_->ReadPageFreshest(ctx, id);
+  if (segment_ != nullptr) return segment_->ReadPageFreshest(ctx, id);
+  return FreshestFromStores(fabric_, ctx, page_nodes_, id);
 }
 
 Status AuroraDb::OnCommit(NetContext* ctx,
                           const std::vector<LogRecord>& records) {
-  (void)ctx;
-  // Nothing is shipped — the log IS the database — but the quorum-durable
-  // log now covers these pages up to their LSNs, so record the freshness
-  // floor fetches must meet.
+  if (segment_ == nullptr && !records.empty()) {
+    // Shared-log mode: the log fleet is dumb storage, so redo reaches the
+    // page-materialization replicas here (parallel fan-out, all copies).
+    std::vector<NetContext> branch(page_nodes_.size(), ctx->Fork());
+    for (size_t i = 0; i < page_nodes_.size(); i++) {
+      PageStoreClient client(fabric_, page_nodes_[i]);
+      DISAGG_RETURN_NOT_OK(client.ApplyLog(&branch[i], records).status());
+    }
+    JoinParallel(ctx, branch.data(), branch.size());
+  }
+  // Legacy mode ships nothing — the log IS the database. Either way the
+  // durable tier now covers these pages up to their LSNs, so record the
+  // freshness floor fetches must meet.
   NoteDurablePageLsns(records);
   return Status::OK();
 }
 
 AuroraReader::AuroraReader(AuroraDb* writer, size_t cache_pages)
-    : writer_(writer), cache_capacity_(cache_pages) {}
+    : writer_(writer), cache_capacity_(cache_pages) {
+  // Readers revalidate against the writer's segment; the shared-log writer
+  // has none (its page fleet serves FetchPage instead).
+  DISAGG_CHECK(writer->segment() != nullptr);
+}
 
 Result<std::string> AuroraReader::Get(NetContext* ctx, uint64_t key) {
   DISAGG_ASSIGN_OR_RETURN(RowEngine::RowLoc loc, writer_->Lookup(key));
@@ -279,10 +357,15 @@ Result<std::string> AuroraReader::Get(NetContext* ctx, uint64_t key) {
 
 // -------------------------------------------------------------------- Polar
 
-PolarDb::PolarDb(Fabric* fabric)
-    : RowEngine(std::make_unique<RaftLogSink>(fabric)),
+PolarDb::PolarDb(Fabric* fabric, EngineLogConfig log)
+    : RowEngine(UseShared(log)
+                    ? SharedSink(log)
+                    : std::unique_ptr<LogSink>(
+                          std::make_unique<RaftLogSink>(fabric))),
       fabric_(fabric),
-      raft_(static_cast<RaftLogSink*>(sink_.get())->raft()) {
+      raft_(UseShared(log)
+                ? nullptr
+                : static_cast<RaftLogSink*>(sink_.get())->raft()) {
   for (int i = 0; i < kPageReplicas; i++) {
     NodeId node = fabric_->AddNode("polar-pages" + std::to_string(i),
                                    NodeKind::kStorage,
@@ -338,11 +421,17 @@ Status PolarDb::OnCommit(NetContext* ctx,
 
 // ------------------------------------------------------------------ Socrates
 
-SocratesDb::SocratesDb(Fabric* fabric, int page_servers)
-    : RowEngine(std::make_unique<XlogSink>(fabric)), fabric_(fabric) {
-  auto* sink = static_cast<XlogSink*>(sink_.get());
-  xlog_node_ = sink->node();
-  xlog_service_ = sink->service();
+SocratesDb::SocratesDb(Fabric* fabric, int page_servers, EngineLogConfig log)
+    : RowEngine(UseShared(log)
+                    ? SharedSink(log)
+                    : std::unique_ptr<LogSink>(
+                          std::make_unique<XlogSink>(fabric))),
+      fabric_(fabric) {
+  if (!UseShared(log)) {
+    auto* sink = static_cast<XlogSink*>(sink_.get());
+    xlog_node_ = sink->node();
+    xlog_service_ = sink->service();
+  }
   for (int i = 0; i < page_servers; i++) {
     NodeId node = fabric_->AddNode("socrates-ps" + std::to_string(i),
                                    NodeKind::kStorage,
@@ -356,9 +445,10 @@ SocratesDb::SocratesDb(Fabric* fabric, int page_servers)
 }
 
 Status SocratesDb::PropagateLogs(NetContext* ctx) {
-  LogStoreClient xlog(fabric_, xlog_node_);
+  // The sink is the durable log tier — XLOG in legacy mode, a shared-log
+  // tag otherwise; dissemination reads whichever through the same surface.
   DISAGG_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
-                          xlog.ReadFrom(ctx, propagated_lsn_, ~0ull));
+                          sink_->ReadFrom(ctx, propagated_lsn_));
   if (records.empty()) return Status::OK();
   std::vector<NetContext> branch(page_nodes_.size(), ctx->Fork());
   for (size_t i = 0; i < page_nodes_.size(); i++) {
@@ -426,8 +516,12 @@ Result<Page> SocratesDb::FetchPageDegraded(NetContext* ctx, PageId id) {
 
 // -------------------------------------------------------------------- Taurus
 
-TaurusDb::TaurusDb(Fabric* fabric, int log_stores, int page_stores)
-    : RowEngine(std::make_unique<MultiLogSink>(fabric, log_stores)),
+TaurusDb::TaurusDb(Fabric* fabric, int log_stores, int page_stores,
+                   EngineLogConfig log)
+    : RowEngine(UseShared(log)
+                    ? SharedSink(log)
+                    : std::unique_ptr<LogSink>(
+                          std::make_unique<MultiLogSink>(fabric, log_stores))),
       fabric_(fabric) {
   std::vector<PageStoreService*> raw;
   for (int i = 0; i < page_stores; i++) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/row_engine.h"
+#include "log/shared_log.h"
 #include "memnode/page_source.h"
 #include "storage/gossip.h"
 #include "storage/object_store.h"
@@ -17,7 +18,7 @@ namespace disagg {
 /// storage design is compared against (Fig. 1 left-hand side).
 class MonolithicDb : public RowEngine {
  public:
-  MonolithicDb();
+  explicit MonolithicDb(EngineLogConfig log = {});
 
   /// Flushes all dirty pages to the local disk (checkpoint).
   Status CheckpointPages(NetContext* ctx);
@@ -34,9 +35,14 @@ class MonolithicDb : public RowEngine {
 /// fetch materialized pages back from the segment.
 class AuroraDb : public RowEngine {
  public:
-  explicit AuroraDb(Fabric* fabric,
-                    ReplicatedSegment::Config config = {});
+  /// Shared-log mode replaces the smart segment with a dumb shared-log
+  /// fleet plus this many page-materialization replicas.
+  static constexpr int kSharedPageReplicas = 3;
 
+  explicit AuroraDb(Fabric* fabric, ReplicatedSegment::Config config = {},
+                    EngineLogConfig log = {});
+
+  /// Null in shared-log mode (no quorum segment exists).
   ReplicatedSegment* segment() { return segment_; }
 
  private:
@@ -45,7 +51,11 @@ class AuroraDb : public RowEngine {
   Status OnCommit(NetContext* ctx,
                   const std::vector<LogRecord>& records) override;
 
-  ReplicatedSegment* segment_;  // owned by the sink
+  Fabric* fabric_;
+  ReplicatedSegment* segment_;  // owned by the sink; null in shared mode
+  // Shared-log mode only: the page-materialization fleet fed at commit.
+  std::vector<NodeId> page_nodes_;
+  std::vector<std::unique_ptr<PageStoreService>> page_services_;
 };
 
 /// Read replica attached to an AuroraDb: shares the writer's metadata
@@ -77,8 +87,9 @@ class PolarDb : public RowEngine {
  public:
   static constexpr int kPageReplicas = 3;
 
-  explicit PolarDb(Fabric* fabric);
+  explicit PolarDb(Fabric* fabric, EngineLogConfig log = {});
 
+  /// Null in shared-log mode (the WAL rides the shared log, not PolarFS).
   RaftLiteGroup* polarfs() { return raft_; }
 
  private:
@@ -99,7 +110,7 @@ class PolarDb : public RowEngine {
 /// (cheap durable object storage for checkpoints).
 class SocratesDb : public RowEngine {
  public:
-  SocratesDb(Fabric* fabric, int page_servers = 2);
+  SocratesDb(Fabric* fabric, int page_servers = 2, EngineLogConfig log = {});
 
   /// XLOG -> page servers dissemination (runs off the commit path).
   Status PropagateLogs(NetContext* ctx);
@@ -116,8 +127,8 @@ class SocratesDb : public RowEngine {
   Result<Page> FetchPageDegraded(NetContext* ctx, PageId id) override;
 
   Fabric* fabric_;
-  NodeId xlog_node_ = 0;
-  LogStoreService* xlog_service_ = nullptr;  // owned by the sink
+  NodeId xlog_node_ = 0;                     // 0 in shared-log mode
+  LogStoreService* xlog_service_ = nullptr;  // owned by the sink; null shared
   std::vector<NodeId> page_nodes_;
   std::vector<std::unique_ptr<PageStoreService>> page_services_;
   NodeId xstore_node_ = 0;
@@ -131,7 +142,8 @@ class SocratesDb : public RowEngine {
 /// date, trading write-path work for temporary page-store staleness.
 class TaurusDb : public RowEngine {
  public:
-  TaurusDb(Fabric* fabric, int log_stores = 3, int page_stores = 3);
+  TaurusDb(Fabric* fabric, int log_stores = 3, int page_stores = 3,
+           EngineLogConfig log = {});
 
   /// One gossip round among the page stores.
   size_t RunGossipRound(NetContext* ctx);

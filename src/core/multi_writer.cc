@@ -1,11 +1,13 @@
 #include "core/multi_writer.h"
 
 #include "common/logging.h"
+#include "txn/wal.h"
 
 namespace disagg {
 
 MultiWriterDb::MultiWriterDb(Fabric* fabric, size_t max_pages,
-                             ReplicatedSegment::Config storage_config)
+                             ReplicatedSegment::Config storage_config,
+                             EngineLogConfig log)
     : fabric_(fabric) {
   pool_ = std::make_unique<MemoryNode>(
       fabric_, "multiwriter-pool",
@@ -15,8 +17,15 @@ MultiWriterDb::MultiWriterDb(Fabric* fabric, size_t max_pages,
   auto locks = pool_->AllocLocal(kLockSlots * 8);
   DISAGG_CHECK(locks.ok());
   lock_table_ = *locks;
-  segment_ = std::make_unique<ReplicatedSegment>(fabric_, storage_config,
-                                                 "multiwriter-seg");
+  if (log.mode == EngineLogConfig::Mode::kShared) {
+    DISAGG_CHECK(log.shared_log != nullptr);
+    log_backend_ = std::make_unique<SharedLogBackend>(
+        log.shared_log->fabric(), log.shared_log, log.tag);
+  } else {
+    segment_ = std::make_unique<ReplicatedSegment>(fabric_, storage_config,
+                                                   "multiwriter-seg");
+    log_backend_ = std::make_unique<QuorumSink>(segment_.get());
+  }
 }
 
 std::unique_ptr<MultiWriterDb::Writer> MultiWriterDb::AttachWriter(
@@ -95,7 +104,7 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
         rec.page_id = loc.page;
         rec.slot = loc.slot;
         rec.payload = row.ToString();
-        DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
+        DISAGG_RETURN_NOT_OK(db_->log_backend_->Append(ctx, {rec}).status());
         DISAGG_RETURN_NOT_OK(page.Update(loc.slot, row));
         page.set_lsn(rec.lsn);
         return pool_client_.WritePageIf(ctx, page, page_version);
@@ -129,7 +138,7 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
     rec.page_id = page.page_id();
     rec.slot = page.slot_count();
     rec.payload = row.ToString();
-    DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {rec}).status());
+    DISAGG_RETURN_NOT_OK(db_->log_backend_->Append(ctx, {rec}).status());
     auto slot = page.Insert(row);
     if (!slot.ok()) return slot.status();
     page.set_lsn(rec.lsn);
@@ -152,7 +161,7 @@ Status MultiWriterDb::Writer::Put(NetContext* ctx, uint64_t key, Slice row) {
       del.page_id = loc.page;
       del.slot = loc.slot;
       del.undo_payload = old_payload;
-      DISAGG_RETURN_NOT_OK(db_->segment_->AppendLog(ctx, {del}).status());
+      DISAGG_RETURN_NOT_OK(db_->log_backend_->Append(ctx, {del}).status());
       for (int attempt = 0; attempt < 64; attempt++) {
         uint64_t old_version = 0;
         DISAGG_ASSIGN_OR_RETURN(

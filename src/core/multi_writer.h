@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "log/shared_log.h"
 #include "memnode/shared_buffer_pool.h"
 #include "storage/quorum.h"
 
@@ -26,7 +27,8 @@ class MultiWriterDb {
   static constexpr size_t kLockSlots = 4096;
 
   MultiWriterDb(Fabric* fabric, size_t max_pages,
-                ReplicatedSegment::Config storage_config = {});
+                ReplicatedSegment::Config storage_config = {},
+                EngineLogConfig log = {});
 
   /// A writer client (any number may be attached).
   class Writer {
@@ -73,6 +75,10 @@ class MultiWriterDb {
 
   size_t row_count() const { return index_.size(); }
   MemoryNode* pool() { return pool_.get(); }
+  /// The redo-durability tier (quorum segment or shared-log tag).
+  LogBackend* log_backend() { return log_backend_.get(); }
+  /// Null in shared-log mode.
+  ReplicatedSegment* segment() { return segment_.get(); }
 
  private:
   friend class Writer;
@@ -91,7 +97,8 @@ class MultiWriterDb {
   Fabric* fabric_;
   std::unique_ptr<MemoryNode> pool_;
   std::unique_ptr<SharedBufferPoolHome> home_;
-  std::unique_ptr<ReplicatedSegment> segment_;
+  std::unique_ptr<ReplicatedSegment> segment_;  // null in shared-log mode
+  std::unique_ptr<LogBackend> log_backend_;
   GlobalAddr lock_table_{};
   // Shared metadata (a real deployment would host this on the memory node
   // too; keeping it in-process models the metadata service).

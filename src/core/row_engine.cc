@@ -1,9 +1,19 @@
 #include "core/row_engine.h"
 
 #include "common/logging.h"
+#include "log/shared_log.h"
 #include "txn/recovery.h"
 
 namespace disagg {
+
+RowEngine::RowEngine(std::unique_ptr<LogSink> sink)
+    : sink_(std::move(sink)), wal_(sink_.get()), tm_(&wal_, &locks_) {}
+
+RowEngine::~RowEngine() = default;
+
+void RowEngine::AdoptSharedLog(std::unique_ptr<SharedLogService> shared_log) {
+  owned_shared_log_ = std::move(shared_log);
+}
 
 Result<Page*> RowEngine::GetPage(NetContext* ctx, PageId id) {
   auto it = buffer_.find(id);

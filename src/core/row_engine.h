@@ -11,6 +11,8 @@
 
 namespace disagg {
 
+class SharedLogService;
+
 /// Opt-in graceful-degradation ladder for the buffer-miss *read* path: when
 /// the strict fetch fails with `Busy`/`Unavailable`/`TimedOut`, the read is
 /// served from the freshest reachable replica copy instead — provided its
@@ -54,7 +56,7 @@ class RowEngine {
     uint64_t degraded_fetches = 0;  ///< reads served by the degrade ladder
   };
 
-  virtual ~RowEngine() = default;
+  virtual ~RowEngine();  // out-of-line: owned_shared_log_ is forward-declared
 
   // -- Transactions ---------------------------------------------------
   TxnId Begin() { return tm_.Begin(); }
@@ -98,6 +100,12 @@ class RowEngine {
   WalManager* wal() { return &wal_; }
   LogSink* sink() { return sink_.get(); }
 
+  /// Takes ownership of the shared-log fleet backing this engine's sink
+  /// (registry-built "+slog" variants), tying its lifetime to the engine's.
+  void AdoptSharedLog(std::unique_ptr<SharedLogService> shared_log);
+  /// The adopted shared-log service, or null for legacy-log engines.
+  SharedLogService* shared_log() { return owned_shared_log_.get(); }
+
   /// LSN of the newest buffered image of `id` (metadata for reader nodes).
   Lsn PageLsn(PageId id) const;
 
@@ -123,8 +131,8 @@ class RowEngine {
   Status CrashAndRecover(NetContext* ctx);
 
  protected:
-  explicit RowEngine(std::unique_ptr<LogSink> sink)
-      : sink_(std::move(sink)), wal_(sink_.get()), tm_(&wal_, &locks_) {}
+  // Out-of-line like the destructor: owned_shared_log_ is forward-declared.
+  explicit RowEngine(std::unique_ptr<LogSink> sink);
 
   /// Buffer-miss path: where this architecture reads pages from.
   virtual Result<Page> FetchPage(NetContext* ctx, PageId id) = 0;
@@ -178,6 +186,10 @@ class RowEngine {
   void NoteDurablePageLsns(const std::vector<LogRecord>& records);
 
   std::unique_ptr<LogSink> sink_;
+  /// Owned shared-log fleet when built via the registry's "+slog" names
+  /// (declared after sink_, destroyed first: the sink never dereferences
+  /// the service — it only holds the fabric pointer and node ids).
+  std::unique_ptr<SharedLogService> owned_shared_log_;
   WalManager wal_;
   LockManager locks_;
   TxnManager tm_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "core/multi_writer.h"
+#include "log/shared_log.h"
 #include "core/serverless_db.h"
 #include "memnode/memory_node.h"
 #include "pm/ford_txn.h"
@@ -83,6 +84,20 @@ ChaosSchedule ChaosSchedule::FromSeed(uint64_t seed) {
     w.until_seq = w.from_seq + 800 + rng.Uniform(3000);
     s.flap_windows.push_back(w);
   }
+  // Shared-log view changes ride their own salted generator: adding them
+  // must not perturb any draw above, so every pre-existing schedule (and
+  // its pinned trace) replays bit-identically.
+  Random slog_rng(seed ^ 0x510C0F16ull);
+  const int reconfigs = 1 + static_cast<int>(slog_rng.Uniform(2));
+  for (int r = 0; r < reconfigs; r++) {
+    const int lo = s.num_ops / 4;
+    const int point = lo + static_cast<int>(slog_rng.Uniform(s.num_ops - lo));
+    s.log_reconfig_points.push_back(point);
+  }
+  std::sort(s.log_reconfig_points.begin(), s.log_reconfig_points.end());
+  s.log_reconfig_points.erase(
+      std::unique(s.log_reconfig_points.begin(), s.log_reconfig_points.end()),
+      s.log_reconfig_points.end());
   return s;
 }
 
@@ -106,6 +121,9 @@ std::string ChaosSchedule::Describe() const {
     out += " degrade<=" + std::to_string(degrade.max_staleness_lsn);
   }
   if (breaker) out += " breaker";
+  if (!log_reconfig_points.empty()) {
+    out += " slog_reconfigs=" + std::to_string(log_reconfig_points.size());
+  }
   return out;
 }
 
@@ -194,7 +212,9 @@ TxnOutcome ClassifyPut(const Status& st) {
 class RowEngineChaosAdapter : public ChaosAdapter {
  public:
   RowEngineChaosAdapter(std::string name, Fabric* fabric)
-      : name_(std::move(name)), engine_(MakeRowEngine(name_, fabric)) {
+      : name_(std::move(name)),
+        base_(StripSlogSuffix(name_)),
+        engine_(MakeRowEngine(name_, fabric)) {
     DISAGG_CHECK(engine_ != nullptr);
   }
 
@@ -251,7 +271,13 @@ class RowEngineChaosAdapter : public ChaosAdapter {
   }
 
   std::vector<NodeId> FlappableNodes() const override {
-    if (name_ == "aurora") {
+    if (engine_->shared_log() != nullptr) {
+      // One shared-log backup (for tag 1 under the initial 3-member view
+      // the primary is node 1, the backups nodes 2 and 0): write quorum 2
+      // of 3 must ride through it flapping.
+      return {engine_->shared_log()->log_node(2)};
+    }
+    if (base_ == "aurora") {
       auto* db = static_cast<AuroraDb*>(engine_.get());
       // Two replicas: quorum writes (W=4 of V=6) must ride through both
       // flapping at once. Chosen from the middle of the replica set so the
@@ -259,16 +285,16 @@ class RowEngineChaosAdapter : public ChaosAdapter {
       return {db->segment()->replica(3).node,
               db->segment()->replica(4).node};
     }
-    if (name_ == "polar") {
+    if (base_ == "polar") {
       auto* db = static_cast<PolarDb*>(engine_.get());
       return {db->polarfs()->replica_node(1)};  // one raft follower
     }
-    if (name_ == "socrates") {
+    if (base_ == "socrates") {
       auto* db = static_cast<SocratesDb*>(engine_.get());
       if (db->page_server_count() > 1) return {db->page_server_node(1)};
       return {};
     }
-    if (name_ == "taurus") {
+    if (base_ == "taurus") {
       auto* db = static_cast<TaurusDb*>(engine_.get());
       if (db->page_store_count() > 1) return {db->page_store_node(1)};
       return {};
@@ -277,12 +303,12 @@ class RowEngineChaosAdapter : public ChaosAdapter {
   }
 
   Status CrashAndRecover(NetContext* ctx) override {
-    if (name_ == "monolithic" || sticky_uncertain_) {
+    if (base_ == "monolithic" || sticky_uncertain_) {
       // No remote page tier to trust (monolithic never checkpointed) or the
       // page tiers may hold a torn cut: rebuild via ARIES from the log.
       return engine_->CrashAndRecover(ctx);
     }
-    if (name_ == "socrates") {
+    if (base_ == "socrates") {
       // Recovery = apply the XLOG tail to the page servers, then restart
       // the stateless compute (Socrates' actual procedure).
       auto* db = static_cast<SocratesDb*>(engine_.get());
@@ -295,10 +321,25 @@ class RowEngineChaosAdapter : public ChaosAdapter {
   }
 
   std::string AuditDurability() override {
-    if (name_ != "aurora") return std::string();
-    auto* db = static_cast<AuroraDb*>(engine_.get());
     const Lsn flushed = engine_->wal()->flushed_lsn();
     if (flushed == kInvalidLsn) return std::string();
+    if (SharedLogService* slog = engine_->shared_log()) {
+      // Same invariant as the Aurora segment audit, against the log fleet:
+      // the flushed prefix must sit on a write quorum of live log nodes —
+      // across flaps, node kills and view changes.
+      auto* sink = static_cast<SharedLogBackend*>(engine_->sink());
+      const int copies =
+          static_cast<int>(slog->CountDurable(sink->tag(), flushed));
+      if (copies < slog->config().write_quorum) {
+        return "durability audit: flushed lsn " + std::to_string(flushed) +
+               " is on only " + std::to_string(copies) +
+               " log nodes (< write quorum " +
+               std::to_string(slog->config().write_quorum) + ")";
+      }
+      return std::string();
+    }
+    if (base_ != "aurora") return std::string();
+    auto* db = static_cast<AuroraDb*>(engine_.get());
     const int copies = db->segment()->CountDurable(flushed);
     if (copies < db->segment()->config().write_quorum) {
       return "durability audit: flushed lsn " + std::to_string(flushed) +
@@ -309,8 +350,19 @@ class RowEngineChaosAdapter : public ChaosAdapter {
     return std::string();
   }
 
+  SharedLogService* shared_log() override { return engine_->shared_log(); }
+
  private:
+  static std::string StripSlogSuffix(const std::string& name) {
+    const size_t n = name.size();
+    if (n > 5 && name.compare(n - 5, 5, "+slog") == 0) {
+      return name.substr(0, n - 5);
+    }
+    return name;
+  }
+
   std::string name_;
+  std::string base_;  // architecture name with any "+slog" suffix removed
   std::unique_ptr<RowEngine> engine_;
   bool sticky_uncertain_ = false;
 };
@@ -474,6 +526,9 @@ class FordChaosAdapter : public ChaosAdapter {
 const std::vector<std::string>& ChaosEngineNames() {
   static const std::vector<std::string> kNames = [] {
     std::vector<std::string> names = RowEngineNames();
+    for (const std::string& slog : SharedLogRowEngineNames()) {
+      names.push_back(slog);
+    }
     names.push_back("serverless");
     names.push_back("multiwriter");
     names.push_back("ford");
@@ -524,6 +579,9 @@ std::string ChaosReport::Summary() const {
       read_errors, tpcc_errors, crashes, replay_checked_keys, drops, spikes,
       flap_rejections, retries, gave_up, violations.size(), seed);
   std::string out(buf);
+  if (log_reconfigs != 0) {
+    out += " slog_reconfigs=" + std::to_string(log_reconfigs);
+  }
   if (degraded_reads != 0 || admission_rejects != 0 ||
       breaker_fast_fails != 0) {
     std::snprintf(buf, sizeof(buf),
@@ -565,11 +623,18 @@ class ChaosRunner {
     EnterFaultedMode();
 
     size_t next_crash = 0;
+    size_t next_reconfig = 0;
     for (int i = 0; i < schedule_.num_ops; i++) {
       if (next_crash < schedule_.crash_points.size() &&
           i == schedule_.crash_points[next_crash]) {
         next_crash++;
         CrashAndAudit(i, /*final_audit=*/false);
+      }
+      if (adapter_->shared_log() != nullptr &&
+          next_reconfig < schedule_.log_reconfig_points.size() &&
+          i == schedule_.log_reconfig_points[next_reconfig]) {
+        next_reconfig++;
+        LogViewChange(i);
       }
       RunOneOp(i);
     }
@@ -831,6 +896,45 @@ class ChaosRunner {
         break;
     }
     Record(i, 'P', key, 0, static_cast<uint8_t>(st.code()));
+  }
+
+  /// Shared-log view change: kill one log node, seal + reconfigure the
+  /// fleet around it, then revive the node and reconfigure again so it
+  /// rejoins and is re-replicated — two epoch bumps per interlude. Runs in
+  /// oracle mode (a view change is a control-plane action, not workload
+  /// traffic); the workload's next appends see the old epoch rejected with
+  /// Aborted and refresh their cached view. The quorum-durability invariant
+  /// is audited right after: the flushed WAL prefix must sit on a write
+  /// quorum of the NEW view's members.
+  void LogViewChange(int at_op) {
+    SharedLogService* slog = adapter_->shared_log();
+    EnterOracleMode();
+    NetContext octx;
+    const size_t victim = static_cast<size_t>(at_op) % slog->num_log_nodes();
+    fabric_.node(slog->log_node(victim))->Fail();
+    Status st = slog->SealAndReconfigure(&octx);
+    if (!st.ok()) {
+      report_.violations.push_back(
+          "shared-log reconfigure with node " + std::to_string(victim) +
+          " down failed at op " + std::to_string(at_op) + ": " +
+          st.ToString());
+    }
+    fabric_.node(slog->log_node(victim))->Revive();
+    Status st2 = slog->SealAndReconfigure(&octx);
+    if (!st2.ok()) {
+      report_.violations.push_back(
+          "shared-log rejoin reconfigure failed at op " +
+          std::to_string(at_op) + ": " + st2.ToString());
+    }
+    report_.log_reconfigs++;
+    const std::string audit = adapter_->AuditDurability();
+    if (!audit.empty()) {
+      report_.violations.push_back(audit + " (after view change at op " +
+                                   std::to_string(at_op) + ")");
+    }
+    EnterFaultedMode();
+    Record(at_op, 'V', victim, slog->epoch(),
+           static_cast<uint8_t>((st.ok() ? st2 : st).code()));
   }
 
   void CrashAndAudit(int at_op, bool final_audit) {

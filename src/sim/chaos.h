@@ -40,6 +40,13 @@ struct ChaosSchedule {
 
   int retry_attempts = 12;
 
+  /// Op indices at which a shared-log engine suffers a log-node crash plus
+  /// seal/reconfigure (and a rejoin reconfigure once the node revives) —
+  /// two epoch bumps per point. Ignored by engines without a shared log,
+  /// and drawn from a generator salted separately from every other field,
+  /// so legacy schedules replay bit-identically.
+  std::vector<int> log_reconfig_points;  // strictly increasing, < num_ops
+
   /// Optional overload layer, off by default (zero / disabled keeps every
   /// run bit-identical to the pre-overload harness). When `max_backlog_ns`
   /// is nonzero, the faulted workload phases run with per-node admission
@@ -159,8 +166,13 @@ class ChaosAdapter {
 
   /// Post-commit audit hook; "" = fine. The Aurora adapter checks that the
   /// flushed LSN really is on a write quorum of replicas — the checker the
-  /// DISAGG_CHAOS_MUTATION build must trip.
+  /// DISAGG_CHAOS_MUTATION build must trip. Shared-log adapters check the
+  /// same invariant against the log fleet (CountDurable >= write_quorum).
   virtual std::string AuditDurability() { return std::string(); }
+
+  /// Non-null when the engine's WAL rides a shared-log fleet; enables the
+  /// runner's log-node crash + seal/reconfigure interludes.
+  virtual SharedLogService* shared_log() { return nullptr; }
 };
 
 /// Names accepted by MakeChaosAdapter: the RowEngine registry names plus
@@ -172,7 +184,8 @@ std::unique_ptr<ChaosAdapter> MakeChaosAdapter(const std::string& name,
 /// One entry of the deterministic op trace.
 struct OpRecord {
   int index = 0;
-  char kind = '?';  // T transfer, P put, R read, N neworder, C crash
+  char kind = '?';  // T transfer, P put, R read, N neworder, C crash,
+                    // V shared-log view change
   uint64_t a = 0;   // primary key / account
   uint64_t b = 0;   // secondary account (transfers)
   uint8_t status = 0;
@@ -197,6 +210,7 @@ struct ChaosReport {
   uint64_t read_errors = 0;  // faulted-mode reads that failed (allowed)
   uint64_t tpcc_errors = 0;
   uint64_t crashes = 0;
+  uint64_t log_reconfigs = 0;  // shared-log view-change interludes taken
   uint64_t replay_checked_keys = 0;
   uint64_t commits_in_flap = 0;  // commits while >=1 flap window active
 

@@ -1,7 +1,14 @@
 #include "sim/engine_registry.h"
 
+#include "log/shared_log.h"
+
 namespace disagg {
 namespace sim {
+
+namespace {
+constexpr char kSlogSuffix[] = "+slog";
+constexpr size_t kSlogSuffixLen = 5;
+}  // namespace
 
 const std::vector<std::string>& RowEngineNames() {
   static const std::vector<std::string> kNames = {
@@ -10,8 +17,46 @@ const std::vector<std::string>& RowEngineNames() {
   return kNames;
 }
 
+const std::vector<std::string>& SharedLogRowEngineNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const std::string& base : RowEngineNames()) {
+      names.push_back(base + kSlogSuffix);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
 std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
                                          Fabric* fabric) {
+  const size_t n = name.size();
+  if (n > kSlogSuffixLen &&
+      name.compare(n - kSlogSuffixLen, kSlogSuffixLen, kSlogSuffix) == 0) {
+    // "<base>+slog": the base architecture with its private WAL tier
+    // swapped for one tag of a shared-log fleet the engine owns.
+    const std::string base = name.substr(0, n - kSlogSuffixLen);
+    auto slog =
+        std::make_unique<SharedLogService>(fabric, SharedLogService::Config{});
+    EngineLogConfig log;
+    log.mode = EngineLogConfig::Mode::kShared;
+    log.shared_log = slog.get();
+    std::unique_ptr<RowEngine> engine;
+    if (base == "monolithic") {
+      engine = std::make_unique<MonolithicDb>(log);
+    } else if (base == "aurora") {
+      engine = std::make_unique<AuroraDb>(fabric, ReplicatedSegment::Config{},
+                                          log);
+    } else if (base == "polar") {
+      engine = std::make_unique<PolarDb>(fabric, log);
+    } else if (base == "socrates") {
+      engine = std::make_unique<SocratesDb>(fabric, 2, log);
+    } else if (base == "taurus") {
+      engine = std::make_unique<TaurusDb>(fabric, 3, 3, log);
+    }
+    if (engine != nullptr) engine->AdoptSharedLog(std::move(slog));
+    return engine;
+  }
   if (name == "monolithic") return std::make_unique<MonolithicDb>();
   if (name == "aurora") return std::make_unique<AuroraDb>(fabric);
   if (name == "polar") return std::make_unique<PolarDb>(fabric);

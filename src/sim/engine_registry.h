@@ -15,8 +15,16 @@ namespace sim {
 /// engine here enrolls it in both.
 const std::vector<std::string>& RowEngineNames();
 
+/// The "+slog" variants: every RowEngine architecture with its private WAL
+/// tier swapped for a tag of an engine-owned shared-log fleet
+/// (`RowEngine::shared_log()` exposes it). Data-path behaviour is
+/// otherwise identical — these enroll in the chaos harness alongside the
+/// legacy names.
+const std::vector<std::string>& SharedLogRowEngineNames();
+
 /// Builds the named engine on `fabric` (which the engine may ignore, e.g.
-/// the monolithic baseline). Returns nullptr for unknown names.
+/// the monolithic baseline). Accepts the legacy names and the "+slog"
+/// variants. Returns nullptr for unknown names.
 std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
                                          Fabric* fabric);
 

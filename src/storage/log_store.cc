@@ -24,6 +24,11 @@ LogStoreService::LogStoreService(Fabric* fabric, NodeId node)
                             RpcServerContext* sctx) {
                        return HandleRead(req, resp, sctx);
                      });
+  n->RegisterHandler("log.tail",
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleTail(req, resp, sctx);
+                     });
   n->RegisterHandler("log.truncate",
                      [this](Slice req, std::string* resp,
                             RpcServerContext* sctx) {
@@ -87,6 +92,16 @@ Status LogStoreService::HandleRead(Slice req, std::string* resp,
   return Status::OK();
 }
 
+Status LogStoreService::HandleTail(Slice req, std::string* resp,
+                                   RpcServerContext* sctx) {
+  (void)req;
+  std::lock_guard<std::mutex> lock(mu_);
+  sctx->ChargeCompute(kScanNsPerRecord);  // one index probe, no scan
+  resp->clear();
+  PutVarint64(resp, durable_lsn_);
+  return Status::OK();
+}
+
 Status LogStoreService::HandleTruncate(Slice req, std::string* resp,
                                        RpcServerContext* sctx) {
   uint64_t up_to = 0;
@@ -126,6 +141,16 @@ Result<std::vector<LogRecord>> LogStoreClient::ReadFrom(NetContext* ctx,
   Status st = fabric_->Call(ctx, node_, "log.read", req, &resp);
   if (!st.ok()) return st;
   return LogRecord::DecodeBatch(resp);
+}
+
+Result<Lsn> LogStoreClient::DurableLsn(NetContext* ctx) {
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, "log.tail", "", &resp);
+  if (!st.ok()) return st;
+  Slice in(resp);
+  uint64_t lsn = 0;
+  if (!GetVarint64(&in, &lsn)) return Status::Corruption("tail response");
+  return lsn;
 }
 
 Status LogStoreClient::Truncate(NetContext* ctx, Lsn up_to_inclusive) {

@@ -14,7 +14,18 @@ namespace disagg {
 /// Socrates' XLOG landing zone). Exposes RPCs:
 ///   log.append   -- append a batch, returns the new durable LSN
 ///   log.read     -- read records with lsn > from_lsn (bounded count)
+///   log.tail     -- return the highest durable LSN (no records on the wire)
 ///   log.truncate -- drop records up to an LSN (after archiving)
+///
+/// Read contract (shared with `LogBackend::ReadFrom` and the shared log's
+/// `slog.read`): the bound is EXCLUSIVE — `log.read(from, max)` returns up
+/// to `max` records with `lsn > from`, in strictly increasing LSN order.
+/// Passing `from = 0` (aka `kInvalidLsn`) therefore reads from the start;
+/// passing the LSN of the last record seen resumes without duplicates, so
+/// pagination is `from = last_batch.back().lsn`. Appends are idempotent by
+/// LSN: records with `lsn <= durable_lsn` are dropped on re-send, which is
+/// what makes WAL re-flush after a failed batch safe.
+///
 /// All state is behind a mutex; handler compute time is charged to callers
 /// via RpcServerContext.
 class LogStoreService {
@@ -33,6 +44,7 @@ class LogStoreService {
  private:
   Status HandleAppend(Slice req, std::string* resp, RpcServerContext* sctx);
   Status HandleRead(Slice req, std::string* resp, RpcServerContext* sctx);
+  Status HandleTail(Slice req, std::string* resp, RpcServerContext* sctx);
   Status HandleTruncate(Slice req, std::string* resp, RpcServerContext* sctx);
 
   Fabric* fabric_;
@@ -52,6 +64,10 @@ class LogStoreClient {
   Result<Lsn> Append(NetContext* ctx, const std::vector<LogRecord>& records);
   Result<std::vector<LogRecord>> ReadFrom(NetContext* ctx, Lsn from_exclusive,
                                           uint64_t max_records = 1024);
+  /// Highest durable LSN on the node, fetched over the fabric (so deadline,
+  /// breaker, and WFQ accounting all apply — recovery probes must not peek
+  /// service state directly).
+  Result<Lsn> DurableLsn(NetContext* ctx);
   Status Truncate(NetContext* ctx, Lsn up_to_inclusive);
 
  private:

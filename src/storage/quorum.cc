@@ -28,6 +28,7 @@ ReplicatedSegment::ReplicatedSegment(Fabric* fabric, const Config& config,
 
 Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
                                          const std::vector<LogRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const LogRecord& r : records) history_.push_back(r);
   size_t fanout = replicas_.size();
 #ifdef DISAGG_CHAOS_MUTATION
@@ -73,8 +74,13 @@ Result<Lsn> ReplicatedSegment::AppendLog(NetContext* ctx,
 
 Result<Page> ReplicatedSegment::ReadPage(NetContext* ctx, PageId id,
                                          Lsn min_lsn) {
+  std::vector<Lsn> acked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    acked = acked_lsn_;
+  }
   for (size_t i = 0; i < replicas_.size(); i++) {
-    if (acked_lsn_[i] < min_lsn) continue;
+    if (acked[i] < min_lsn) continue;
     if (fabric_->node(replicas_[i].node)->failed()) continue;
     PageStoreClient page_client(fabric_, replicas_[i].node);
     auto page = page_client.GetPage(ctx, id);
@@ -103,10 +109,12 @@ Result<Lsn> ReplicatedSegment::RecoverDurableLsn(NetContext* ctx) {
   for (size_t i = 0; i < replicas_.size(); i++) {
     if (static_cast<int>(seen.size()) >= config_.read_quorum) break;
     LogStoreClient log_client(fabric_, replicas_[i].node);
-    // An empty read acts as a durable-LSN probe.
-    auto recs = log_client.ReadFrom(&branch[i], 0, 1);
-    if (!recs.ok()) continue;
-    seen.push_back(replicas_[i].log_service->durable_lsn());
+    // The probe rides the fabric end to end — the replica reports its own
+    // durable LSN in the response, never peeked out of process (a dropped
+    // or failed probe must not see the state it could not reach).
+    auto lsn = log_client.DurableLsn(&branch[i]);
+    if (!lsn.ok()) continue;
+    seen.push_back(*lsn);
   }
   JoinParallel(ctx, branch.data(), branch.size());
   if (static_cast<int>(seen.size()) < config_.read_quorum) {

@@ -2,6 +2,7 @@
 #define DISAGG_STORAGE_QUORUM_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -84,6 +85,10 @@ class ReplicatedSegment {
   Fabric* fabric_;
   Config config_;
   std::vector<SegmentReplica> replicas_;
+  // Writers may share one segment client (MultiWriterDb attaches any number
+  // of threads); the append history and per-replica cursors below must move
+  // as one unit, so appends hold this for their full fan-out.
+  mutable std::mutex mu_;
   std::vector<Lsn> acked_lsn_;  // per-replica contiguously-acked LSN
   // Client-side append history driving per-replica resync. Unbounded, like
   // the replica logs themselves — the simulator never truncates segments.

@@ -32,6 +32,11 @@ RaftReplicaService::RaftReplicaService(Fabric* fabric, NodeId node)
       [this](Slice req, std::string* resp, RpcServerContext* sctx) {
         return HandleAppendEntries(req, resp, sctx);
       });
+  fabric_->node(node_)->RegisterHandler(
+      "raft.read",
+      [this](Slice req, std::string* resp, RpcServerContext* sctx) {
+        return HandleRead(req, resp, sctx);
+      });
 }
 
 uint64_t RaftReplicaService::current_term() const {
@@ -132,6 +137,21 @@ Status RaftReplicaService::HandleAppendEntries(Slice req, std::string* resp,
   PutVarint64(resp, 1);  // success
   PutVarint64(resp, term_);
   PutVarint64(resp, log_.size());
+  return Status::OK();
+}
+
+Status RaftReplicaService::HandleRead(Slice req, std::string* resp,
+                                      RpcServerContext* sctx) {
+  uint64_t index = 0;
+  if (!GetVarint64(&req, &index)) {
+    return Status::InvalidArgument("malformed raft.read");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= commit_) return Status::NotFound("entry not committed");
+  sctx->ChargeCompute(100);
+  resp->clear();
+  PutVarint64(resp, log_[index].term);
+  PutLengthPrefixedSlice(resp, log_[index].payload);
   return Status::OK();
 }
 
@@ -267,6 +287,22 @@ Result<int> RaftLiteGroup::ElectLeader(NetContext* ctx, int preferred) {
   }
   JoinParallel(ctx, branch.data(), branch.size());
   return leader_;
+}
+
+Result<RaftEntry> RaftLiteGroup::ReadCommitted(NetContext* ctx,
+                                               uint64_t index) {
+  std::string req, resp;
+  PutVarint64(&req, index);
+  DISAGG_RETURN_NOT_OK(
+      fabric_->Call(ctx, replicas_[leader_].node, "raft.read", req, &resp));
+  Slice in(resp);
+  RaftEntry e;
+  Slice payload;
+  if (!GetVarint64(&in, &e.term) || !GetLengthPrefixedSlice(&in, &payload)) {
+    return Status::Corruption("raft.read response");
+  }
+  e.payload = payload.ToString();
+  return e;
 }
 
 Result<RaftEntry> RaftLiteGroup::ReadCommitted(uint64_t index) {

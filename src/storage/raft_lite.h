@@ -44,6 +44,7 @@ class RaftReplicaService {
   friend class RaftLiteGroup;
   Status HandleAppendEntries(Slice req, std::string* resp,
                              RpcServerContext* sctx);
+  Status HandleRead(Slice req, std::string* resp, RpcServerContext* sctx);
 
   Fabric* fabric_;
   NodeId node_;
@@ -82,7 +83,12 @@ class RaftLiteGroup {
   /// the term. Returns the new leader index.
   Result<int> ElectLeader(NetContext* ctx, int preferred = -1);
 
-  /// Reads a committed entry through the current leader.
+  /// Reads a committed entry through the current leader over the fabric
+  /// (`raft.read`), so retry / faults / congestion apply and the caller is
+  /// charged — the read path recovery scans must use.
+  Result<RaftEntry> ReadCommitted(NetContext* ctx, uint64_t index);
+
+  /// Direct (non-fabric) committed-entry peek for tests and audits.
   Result<RaftEntry> ReadCommitted(uint64_t index);
 
  private:

@@ -6,22 +6,12 @@
 #include <vector>
 
 #include "net/net_context.h"
+#include "storage/log_backend.h"
 #include "storage/log_record.h"
 #include "storage/log_store.h"
 #include "storage/quorum.h"
 
 namespace disagg {
-
-/// Destination of the write-ahead log. The choice of sink is exactly what
-/// differentiates the surveyed architectures: a local disk (monolithic), one
-/// log service (Socrates XLOG), or an Aurora quorum segment.
-class LogSink {
- public:
-  virtual ~LogSink() = default;
-  virtual Result<Lsn> Append(NetContext* ctx,
-                             const std::vector<LogRecord>& records) = 0;
-  virtual Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) = 0;
-};
 
 /// Local-disk sink (the monolithic baseline): records buffered in process,
 /// charged at SSD cost per flush.
@@ -55,6 +45,10 @@ class LogServiceSink : public LogSink {
   }
   Result<std::vector<LogRecord>> ReadAll(NetContext* ctx) override {
     return client_.ReadFrom(ctx, 0, ~0ull);
+  }
+  Result<std::vector<LogRecord>> ReadFrom(NetContext* ctx,
+                                          Lsn from_exclusive) override {
+    return client_.ReadFrom(ctx, from_exclusive, ~0ull);
   }
 
  private:
