@@ -10,6 +10,7 @@
 
 #include "net/interceptors.h"
 #include "net/net_context.h"
+#include "sim/load_driver.h"
 
 namespace disagg::bench {
 
@@ -55,6 +56,30 @@ inline void ReportSim(benchmark::State& state, const NetContext& ctx,
     state.counters["queue_us_per_op"] =
         static_cast<double>(ctx.queue_ns) / 1e3 / static_cast<double>(ops);
   }
+}
+
+/// The epoch-parallel driver configuration from the environment, for any
+/// bench built on sim::RunClosedLoop / sim::RunOpenLoop:
+///   DISAGG_SIM_PARTITIONS - client partitions (0 = legacy serial driver)
+///   DISAGG_SIM_THREADS    - worker threads (execution resource only; the
+///                           determinism contract keeps results identical
+///                           at any value)
+/// Unset variables keep the defaults, so existing invocations are
+/// untouched. Returns the config to assign into LoadOptions/
+/// OpenLoopOptions::parallel.
+inline sim::ParallelConfig ParallelFromEnv() {
+  sim::ParallelConfig parallel;
+  if (const char* env = std::getenv("DISAGG_SIM_PARTITIONS")) {
+    parallel.partitions = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("DISAGG_SIM_THREADS")) {
+    parallel.threads = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    if (parallel.threads == 0) parallel.threads = 1;
+    // Threads without partitions would silently stay serial; give the
+    // sweep something to parallelize over.
+    if (parallel.partitions == 0) parallel.partitions = parallel.threads;
+  }
+  return parallel;
 }
 
 /// Installs a TraceInterceptor on `fabric` when the DISAGG_TRACE environment

@@ -22,6 +22,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "bench_common.h"
@@ -189,6 +190,133 @@ BENCHMARK(BM_E22_OpenLoopSweep)
     ->ArgsProduct({{50, 80, 95, 105, 140}, {0, 1}})
     ->ArgNames({"offered_pct", "proc"})
     ->Iterations(1);
+
+bool ParallelAssertFromEnv() {
+  const char* env = std::getenv("DISAGG_E22_PARALLEL_ASSERT");
+  return env != nullptr && env[0] == '1';
+}
+
+/// E26 (EXPERIMENTS.md): the epoch-parallel driver at open-loop scales the
+/// serial driver cannot reach interactively — 10^4 and 10^5 Poisson streams
+/// against one congested pool NIC. `threads` is the wall-clock axis; by the
+/// determinism contract it never changes a result bit, so the counters of
+/// every row at the same client count and partition count are identical and
+/// only the benchmark's real time moves.
+///
+/// With DISAGG_E22_PARALLEL_ASSERT=1 the clients=100000/threads=8 row
+/// becomes the CI smoke stage for the contract at scale: it re-runs the
+/// sweep at threads {1, 2, 8} asserting bit-identical counters and traces,
+/// re-runs partitions=1 against the legacy serial driver asserting the
+/// bit-exact match, and enforces a wall-clock budget on the sweep itself.
+void BM_E22_ParallelOpenLoopSweep(benchmark::State& state) {
+  const uint64_t clients = static_cast<uint64_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  constexpr uint32_t kPartitions = 64;
+  constexpr uint64_t kOpsPerClient = 8;
+
+  // A rack of four pool nodes, clients striped across them (the
+  // disaggregated-memory shape: many NICs, one oversubscribed fabric).
+  // Multiple target nodes also matter mechanically: a node's region lookup
+  // takes that node's lock, so a single-node sweep would serialize the
+  // worker threads on one mutex no matter how parallel the simulation is.
+  constexpr uint64_t kPools = 4;
+  Fabric fabric;
+  std::vector<std::unique_ptr<MemoryNode>> pools;
+  CongestionConfig cfg;
+  ResourceCapacity cap;
+  for (uint64_t i = 0; i < kPools; i++) {
+    pools.push_back(std::make_unique<MemoryNode>(
+        &fabric, "pool" + std::to_string(i), kPoolPages * kPage * 2,
+        InterconnectModel::Rdma()));
+    cap = pools.back()->ServiceCapacity(/*ns_per_op=*/100);
+    cfg.node_caps[pools.back()->node()] = cap;
+  }
+  fabric.EnableCongestion(cfg);
+  const double capacity =
+      static_cast<double>(kPools) * cap.OpsPerSec(kPage);
+
+  auto run = [&](uint32_t partitions, uint32_t thread_count, bool trace) {
+    fabric.congestion()->Reset();
+    sim::OpenLoopOptions opts;
+    opts.clients = clients;
+    opts.ops_per_client = kOpsPerClient;
+    // Aggregate ~100% of capacity: the interesting regime (real queueing)
+    // without the unbounded backlog of a deep past-knee run.
+    opts.ops_per_sec = capacity / static_cast<double>(clients);
+    opts.parallel.partitions = partitions;
+    opts.parallel.threads = thread_count;
+    // Wide epochs (2 ms of virtual time vs the 100 us default): this sweep
+    // runs ~3 s of virtual time, and at the default width the barrier count
+    // — not the op work — dominates wall-clock. Epoch width is part of the
+    // deterministic function, so every row still agrees bit for bit.
+    opts.parallel.epoch_ns = 2'000'000;
+    opts.parallel.record_trace = trace;
+    return sim::RunOpenLoop(
+        opts, [&](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[kPage];
+          MemoryNode& pool = *pools[client % kPools];
+          return fabric.Read(ctx, pool.at(rng->Uniform(kPoolPages) * kPage),
+                             buf, kPage);
+        });
+  };
+
+  sim::LoadReport report;
+  for (auto _ : state) {
+    report = run(kPartitions, threads, /*trace=*/false);
+    DISAGG_CHECK(report.ops == clients * kOpsPerClient);
+  }
+
+  state.counters["tput_kops"] = report.ThroughputOpsPerSec() / 1e3;
+  state.counters["p99_us"] = report.latency.Percentile(99) / 1e3;
+  state.counters["mean_depth"] = report.queue_depth.Mean();
+  state.counters["epochs"] = static_cast<double>(report.epochs);
+  state.counters["sim_ops"] = static_cast<double>(report.ops);
+
+  if (ParallelAssertFromEnv() && clients >= 100'000 && threads == 8) {
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed_ms = [](std::chrono::steady_clock::time_point since) {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - since)
+          .count();
+    };
+    // (a) Thread-invariance at scale: counters AND traces, bit for bit.
+    // Each leg's wall-clock is exported so the serial-vs-parallel cost of
+    // the SAME trace is a measured counter (E26), not a side claim.
+    auto leg = std::chrono::steady_clock::now();
+    const auto t1 = run(kPartitions, 1, true);
+    state.counters["par_t1_ms"] = elapsed_ms(leg);
+    const auto t2 = run(kPartitions, 2, true);
+    leg = std::chrono::steady_clock::now();
+    const auto t8 = run(kPartitions, 8, true);
+    state.counters["par_t8_ms"] = elapsed_ms(leg);
+    DISAGG_CHECK(t1.trace == t2.trace);
+    DISAGG_CHECK(t1.trace == t8.trace);
+    DISAGG_CHECK(t1.makespan_ns == t8.makespan_ns);
+    DISAGG_CHECK(t1.errors == t8.errors);
+    DISAGG_CHECK(t1.total.queue_ns == t8.total.queue_ns);
+    DISAGG_CHECK(t1.total.bytes_in == t8.total.bytes_in);
+    DISAGG_CHECK(t1.latency.Percentile(99) == t8.latency.Percentile(99));
+    // (b) partitions=1 reproduces the legacy serial driver bit for bit.
+    leg = std::chrono::steady_clock::now();
+    const auto serial = run(0, 1, true);
+    state.counters["serial_ms"] = elapsed_ms(leg);
+    const auto p1 = run(1, 8, true);
+    DISAGG_CHECK(serial.trace == p1.trace);
+    DISAGG_CHECK(serial.makespan_ns == p1.makespan_ns);
+    DISAGG_CHECK(serial.total.queue_ns == p1.total.queue_ns);
+    // (c) Budget: the whole 5-run assert block (3 sweeps + 2 serial-shape
+    // runs over 10^5 clients) stays CI-viable.
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    DISAGG_CHECK(secs < 30.0);
+  }
+}
+BENCHMARK(BM_E22_ParallelOpenLoopSweep)
+    ->ArgsProduct({{10'000, 100'000}, {1, 2, 8}})
+    ->ArgNames({"clients", "threads"})
+    ->Iterations(1)
+    ->UseRealTime();
 
 /// A full engine under contention: N clients run a 95/5 read/update zipfian
 /// mix against one Aurora-style engine whose fabric nodes all share a

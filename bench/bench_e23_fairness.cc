@@ -116,6 +116,7 @@ ModeResult RunMode(int mode) {
   sim::LoadOptions opts;
   opts.clients = 8;  // 0..3 OLTP, 4..7 OLAP
   opts.ops_per_client = 256;
+  opts.parallel = bench::ParallelFromEnv();  // DISAGG_SIM_{THREADS,PARTITIONS}
   result.report = sim::RunClosedLoop(
       opts, [&](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
         const bool oltp = client < 4;

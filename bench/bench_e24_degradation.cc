@@ -185,6 +185,7 @@ ModeResult RunMode(bool degrade, uint64_t offered_pct) {
   opts.ops_per_sec = offered / static_cast<double>(opts.clients);
   opts.process = sim::ArrivalProcess::kPoisson;
   opts.seed = 24;
+  opts.parallel = bench::ParallelFromEnv();  // DISAGG_SIM_{THREADS,PARTITIONS}
 
   res.load = sim::RunOpenLoop(
       opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {

@@ -18,6 +18,10 @@ cmake --build build -j "${JOBS}"
 # Fail fast: the unit and property buckets finish in ~1 s; the slow/chaos
 # buckets (several seconds each) only run once those are green.
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L 'unit|property'
+# Cross-thread determinism suite: the epoch-parallel driver must produce
+# bit-identical counters and traces at thread counts 1/2/8 (and match the
+# serial driver at partitions=1) before anything downstream trusts it.
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L 'parallel'
 ctest --test-dir build --output-on-failure -j "${JOBS}" -LE 'unit|property'
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -31,7 +35,7 @@ fi
 # congestion/load-driver layer (virtual-time queueing + histogram math).
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
            congestion_test load_driver_test histogram_test degrade_test
-           shared_log_test log_backend_parity_test)
+           shared_log_test log_backend_parity_test parallel_sim_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -68,6 +72,17 @@ DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
 echo "==> E22 open-loop sweep smoke (plateau past the knee)"
 DISAGG_E22_ASSERT=1 ./build/bench/bench_e22_saturation \
   --benchmark_filter='BM_E22_OpenLoopSweep/offered_pct:140/proc:0' \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E22 parallel-sweep smoke: a 10^5-client open-loop sweep through the
+# epoch-parallel driver. With DISAGG_E22_PARALLEL_ASSERT=1 the bench
+# re-runs the sweep at threads 1/2/8 and against the legacy serial driver
+# and asserts trace + counter bit-equality plus a hard wall-clock budget —
+# the determinism contract (results are a function of seed and partition
+# count, never thread count) checked at CI scale.
+echo "==> E22 epoch-parallel sweep smoke (10^5 clients, threads 1/2/8)"
+DISAGG_E22_PARALLEL_ASSERT=1 ./build/bench/bench_e22_saturation \
+  --benchmark_filter='BM_E22_ParallelOpenLoopSweep/clients:100000/threads:8' \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # E23 fairness smoke: WFQ must restore the OLTP victim's p99 to <= 0.5x

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/partition.h"
+
 namespace disagg {
 
 uint64_t CongestionState::AdmitOneFifo(Resource* r, uint64_t t,
@@ -79,35 +81,32 @@ const CongestionState::Resource* CongestionState::FindResource(
   return it == nodes_.end() ? nullptr : &it->second;
 }
 
-bool CongestionState::TryAdmit(NodeId node, uint32_t tenant,
-                               uint64_t arrival_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
-
-  Resource* link = ResourceFor(node);
-  if (link->cap.max_backlog_ns > 0 &&
-      BacklogAt(*link, tenant, arrival_ns) > link->cap.max_backlog_ns) {
-    link->stats.rejections++;
-    return false;
+CongestionState::Resource* CongestionState::BackbonePtrLocked() {
+  if (config_.backbone.unlimited()) return nullptr;
+  if (!backbone_init_) {
+    backbone_.cap = config_.backbone;
+    backbone_init_ = true;
   }
-
-  if (!config_.backbone.unlimited()) {
-    if (!backbone_init_) {
-      backbone_.cap = config_.backbone;
-      backbone_init_ = true;
-    }
-    if (backbone_.cap.max_backlog_ns > 0 &&
-        BacklogAt(backbone_, tenant, arrival_ns) >
-            backbone_.cap.max_backlog_ns) {
-      backbone_.stats.rejections++;
-      return false;
-    }
-  }
-  return true;
+  return &backbone_;
 }
 
-uint64_t CongestionState::Admit(NodeId node, uint32_t tenant,
-                                uint64_t arrival_ns, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+int CongestionState::TryAdmitOn(const Resource* link, const Resource* backbone,
+                                uint32_t tenant, uint64_t arrival_ns) const {
+  if (link->cap.max_backlog_ns > 0 &&
+      BacklogAt(*link, tenant, arrival_ns) > link->cap.max_backlog_ns) {
+    return 1;
+  }
+  if (backbone != nullptr && backbone->cap.max_backlog_ns > 0 &&
+      BacklogAt(*backbone, tenant, arrival_ns) >
+          backbone->cap.max_backlog_ns) {
+    return 2;
+  }
+  return 0;
+}
+
+uint64_t CongestionState::AdmitOn(Resource* link, Resource* backbone,
+                                  uint32_t tenant, uint64_t arrival_ns,
+                                  uint64_t bytes) const {
   const bool wfq = config_.wfq_enabled();
 
   // The op transits its target node's link, then the shared backbone
@@ -115,22 +114,117 @@ uint64_t CongestionState::Admit(NodeId node, uint32_t tenant,
   // service on the link, so an idle pair of resources adds zero delay).
   uint64_t t = arrival_ns;
 
-  Resource* link = ResourceFor(node);
   if (!link->cap.unlimited()) {
     t = wfq ? AdmitOneSfq(link, tenant, t, bytes)
             : AdmitOneFifo(link, t, bytes);
   }
 
-  if (!config_.backbone.unlimited()) {
-    if (!backbone_init_) {
-      backbone_.cap = config_.backbone;
-      backbone_init_ = true;
-    }
-    t = wfq ? AdmitOneSfq(&backbone_, tenant, t, bytes)
-            : AdmitOneFifo(&backbone_, t, bytes);
+  if (backbone != nullptr) {
+    t = wfq ? AdmitOneSfq(backbone, tenant, t, bytes)
+            : AdmitOneFifo(backbone, t, bytes);
   }
 
   return t - arrival_ns;
+}
+
+bool CongestionState::TryAdmit(NodeId node, uint32_t tenant,
+                               uint64_t arrival_ns) {
+  if (PartitionEffects* eff = CurrentPartitionEffects()) {
+    return eff->ShardFor(this)->TryAdmit(node, tenant, arrival_ns);
+  }
+  return TryAdmitAuthoritative(node, tenant, arrival_ns);
+}
+
+bool CongestionState::TryAdmitAuthoritative(NodeId node, uint32_t tenant,
+                                            uint64_t arrival_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Resource* link = ResourceFor(node);
+  Resource* backbone = BackbonePtrLocked();
+  switch (TryAdmitOn(link, backbone, tenant, arrival_ns)) {
+    case 1:
+      link->stats.rejections++;
+      return false;
+    case 2:
+      backbone->stats.rejections++;
+      return false;
+    default:
+      return true;
+  }
+}
+
+uint64_t CongestionState::Admit(NodeId node, uint32_t tenant,
+                                uint64_t arrival_ns, uint64_t bytes) {
+  if (PartitionEffects* eff = CurrentPartitionEffects()) {
+    return eff->ShardFor(this)->Admit(node, tenant, arrival_ns, bytes);
+  }
+  return AdmitAuthoritative(node, tenant, arrival_ns, bytes);
+}
+
+uint64_t CongestionState::AdmitAuthoritative(NodeId node, uint32_t tenant,
+                                             uint64_t arrival_ns,
+                                             uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AdmitOn(ResourceFor(node), BackbonePtrLocked(), tenant, arrival_ns,
+                 bytes);
+}
+
+CongestionState::Resource* CongestionState::Shard::LocalFor(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    it = nodes_.emplace(node, *owner_->ResourceFor(node)).first;
+  }
+  return &it->second;
+}
+
+CongestionState::Resource* CongestionState::Shard::LocalBackbone() {
+  if (owner_->config_.backbone.unlimited()) return nullptr;
+  if (!backbone_copied_) {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    backbone_ = *owner_->BackbonePtrLocked();
+    backbone_copied_ = true;
+  }
+  return &backbone_;
+}
+
+bool CongestionState::Shard::TryAdmit(NodeId node, uint32_t tenant,
+                                      uint64_t arrival_ns) {
+  Resource* link = LocalFor(node);
+  Resource* backbone = LocalBackbone();
+  const int rej = owner_->TryAdmitOn(link, backbone, tenant, arrival_ns);
+  if (rej == 0) return true;
+  // Local scratch counter (kept coherent for BacklogAt reads); the
+  // authoritative counter is bumped when the logged event replays.
+  (rej == 1 ? link : backbone)->stats.rejections++;
+  log_.push_back(Event{Event::kReject, rej == 2, node, tenant, arrival_ns, 0});
+  return false;
+}
+
+uint64_t CongestionState::Shard::Admit(NodeId node, uint32_t tenant,
+                                       uint64_t arrival_ns, uint64_t bytes) {
+  Resource* link = LocalFor(node);
+  Resource* backbone = LocalBackbone();
+  log_.push_back(
+      Event{Event::kAdmit, false, node, tenant, arrival_ns, bytes});
+  return owner_->AdmitOn(link, backbone, tenant, arrival_ns, bytes);
+}
+
+void CongestionState::MergeShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Shard::Event& e : shard->log_) {
+    if (e.kind == Shard::Event::kAdmit) {
+      AdmitOn(ResourceFor(e.node), BackbonePtrLocked(), e.tenant,
+              e.arrival_ns, e.bytes);
+    } else {
+      Resource* r = e.backbone ? BackbonePtrLocked() : ResourceFor(e.node);
+      if (r != nullptr) r->stats.rejections++;
+    }
+  }
+  // Drop the epoch's copies: the next epoch re-snapshots the merged state.
+  shard->log_.clear();
+  shard->nodes_.clear();
+  shard->backbone_ = Resource{/*cap=*/{}, {}, {}};
+  shard->backbone_copied_ = false;
 }
 
 CongestionState::ResourceStats CongestionState::NodeStats(NodeId node) const {

@@ -9,6 +9,8 @@
 
 namespace disagg {
 
+struct PartitionEffects;  // src/net/partition.h
+
 using NodeId = uint32_t;  // mirrors fabric.h (kept header-independent)
 
 /// Service capacity of one shared resource (a node's NIC/link or the fabric
@@ -112,6 +114,13 @@ struct CongestionConfig {
 /// `sim::LoadDriver` schedules clients in global virtual-time order, which
 /// makes arrivals non-decreasing; the whole run is then a pure function of
 /// the workload seed.
+///
+/// Under the epoch-parallel driver (DESIGN.md "Parallel simulation") a
+/// thread-local `PartitionEffects` is installed while a partition executes
+/// an epoch; `TryAdmit`/`Admit` then route to that partition's `Shard` — a
+/// mutex-free copy-on-first-touch view of this state — and the driver
+/// replays every shard's admission log into the authoritative state at the
+/// epoch barrier, in partition order, via `MergeShard`.
 class CongestionState {
  public:
   explicit CongestionState(CongestionConfig config)
@@ -161,6 +170,19 @@ class CongestionState {
 
   const CongestionConfig& config() const { return config_; }
 
+  class Shard;
+
+  /// Replays one partition's epoch of admissions into the authoritative
+  /// state and clears the shard for the next epoch. The log is replayed in
+  /// the shard's own execution order, and the driver merges partitions in
+  /// partition-id order — a total order that is a pure function of the
+  /// simulation config. With a single partition the shard copied exactly
+  /// the authoritative state and the replay re-derives it bit for bit, so
+  /// stats match the serial driver's; with several, ops replay on top of
+  /// sibling partitions' backlog, so authoritative ops/bytes/busy_ns are
+  /// conserved exactly while free_ns/queue_ns reflect the merged order.
+  void MergeShard(Shard* shard);
+
  private:
   /// A tenant's lane at one resource (SFQ mode only).
   struct Lane {
@@ -187,14 +209,74 @@ class CongestionState {
   /// its service begins (0 for unlimited resources).
   uint64_t BacklogAt(const Resource& r, uint32_t tenant, uint64_t t) const;
 
+  /// The full admission arithmetic on caller-supplied resources (backbone
+  /// may be null = unconstrained). Single-sourced so the authoritative
+  /// path, partition shards, and barrier replay are bit-identical.
+  uint64_t AdmitOn(Resource* link, Resource* backbone, uint32_t tenant,
+                   uint64_t arrival_ns, uint64_t bytes) const;
+
+  /// 0 = admitted, 1 = link would reject, 2 = backbone would reject.
+  /// Pure check; the caller bumps the rejecting resource's counter.
+  int TryAdmitOn(const Resource* link, const Resource* backbone,
+                 uint32_t tenant, uint64_t arrival_ns) const;
+
   Resource* ResourceFor(NodeId node);          // lazily created
   const Resource* FindResource(NodeId node) const;
+  Resource* BackbonePtrLocked();  // null when the backbone is unlimited
+
+  bool TryAdmitAuthoritative(NodeId node, uint32_t tenant,
+                             uint64_t arrival_ns);
+  uint64_t AdmitAuthoritative(NodeId node, uint32_t tenant,
+                              uint64_t arrival_ns, uint64_t bytes);
 
   const CongestionConfig config_;
   mutable std::mutex mu_;
   std::map<NodeId, Resource> nodes_;  // lazily created on first op
   Resource backbone_{/*cap=*/{}, {}, {}};
   bool backbone_init_ = false;
+};
+
+/// Partition-local view of one `CongestionState` for the epoch-parallel
+/// driver: resources are copied from the authoritative state on first touch
+/// each epoch (mutex-free afterwards), admissions evolve the copies with
+/// the exact authoritative arithmetic, and every decision is logged for the
+/// barrier replay (`CongestionState::MergeShard`). Owned by a
+/// `PartitionEffects` (src/net/partition.h); never shared across threads.
+class CongestionState::Shard {
+ public:
+  explicit Shard(CongestionState* owner) : owner_(owner) {}
+
+  /// Mirror of `CongestionState::TryAdmit` against this partition's view.
+  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns);
+
+  /// Mirror of `CongestionState::Admit` against this partition's view.
+  uint64_t Admit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                 uint64_t bytes);
+
+  CongestionState* owner() const { return owner_; }
+  size_t pending_events() const { return log_.size(); }
+
+ private:
+  friend class CongestionState;
+
+  struct Event {
+    enum Kind : uint8_t { kAdmit, kReject };
+    Kind kind = kAdmit;
+    bool backbone = false;  // kReject: which resource refused
+    NodeId node = 0;
+    uint32_t tenant = 0;
+    uint64_t arrival_ns = 0;
+    uint64_t bytes = 0;
+  };
+
+  Resource* LocalFor(NodeId node);  // copy-on-first-touch from the owner
+  Resource* LocalBackbone();        // null when the backbone is unlimited
+
+  CongestionState* const owner_;
+  std::map<NodeId, Resource> nodes_;
+  Resource backbone_{/*cap=*/{}, {}, {}};
+  bool backbone_copied_ = false;
+  std::vector<Event> log_;
 };
 
 }  // namespace disagg

@@ -9,18 +9,21 @@ MemoryRegion* Node::AddRegion(const std::string& name, size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
   const uint32_t id = static_cast<uint32_t>(regions_.size());
   regions_.push_back(std::make_unique<MemoryRegion>(id, name, size));
+  num_regions_.store(regions_.size(), std::memory_order_release);
   return regions_.back().get();
 }
 
+// The lookups below are on every op's path and lock-free: registration is
+// config-time (see Fabric::chain_snapshot_), and the published count is the
+// only thing a reader trusts, so a concurrent (unsupported) AddRegion can
+// never hand out an uninitialized slot.
 MemoryRegion* Node::region(uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= regions_.size()) return nullptr;
+  if (id >= num_regions_.load(std::memory_order_acquire)) return nullptr;
   return regions_[id].get();
 }
 
 const MemoryRegion* Node::region(uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= regions_.size()) return nullptr;
+  if (id >= num_regions_.load(std::memory_order_acquire)) return nullptr;
   return regions_[id].get();
 }
 
@@ -41,18 +44,19 @@ NodeId Fabric::AddNode(const std::string& name, NodeKind kind,
   if (nodes_.empty()) nodes_.push_back(nullptr);  // id 0 = null node
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, name, kind, az, std::move(model)));
+  num_nodes_.store(nodes_.size(), std::memory_order_release);
   return id;
 }
 
+// Lock-free for the same reason as Node::region(): node registration is
+// config-time, and CheckTarget runs this on every single op.
 Node* Fabric::node(NodeId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= nodes_.size()) return nullptr;
+  if (id >= num_nodes_.load(std::memory_order_acquire)) return nullptr;
   return nodes_[id].get();
 }
 
 const Node* Fabric::node(NodeId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= nodes_.size()) return nullptr;
+  if (id >= num_nodes_.load(std::memory_order_acquire)) return nullptr;
   return nodes_[id].get();
 }
 
@@ -72,11 +76,13 @@ void Fabric::AddInterceptor(std::shared_ptr<FabricInterceptor> interceptor) {
                              : std::make_shared<InterceptorChain>();
   chain->push_back(std::move(interceptor));
   interceptors_ = std::move(chain);
+  chain_snapshot_.store(interceptors_.get(), std::memory_order_release);
 }
 
 void Fabric::ClearInterceptors() {
   std::lock_guard<std::mutex> lock(interceptor_mu_);
   interceptors_.reset();
+  chain_snapshot_.store(nullptr, std::memory_order_release);
 }
 
 size_t Fabric::num_interceptors() const {
@@ -89,11 +95,13 @@ size_t Fabric::num_interceptors() const {
 void Fabric::EnableCongestion(CongestionConfig config) {
   std::lock_guard<std::mutex> lock(congestion_mu_);
   congestion_ = std::make_shared<CongestionState>(std::move(config));
+  congestion_snapshot_.store(congestion_.get(), std::memory_order_release);
 }
 
 void Fabric::DisableCongestion() {
   std::lock_guard<std::mutex> lock(congestion_mu_);
   congestion_.reset();
+  congestion_snapshot_.store(nullptr, std::memory_order_release);
 }
 
 std::shared_ptr<CongestionState> Fabric::congestion() const {
@@ -104,11 +112,10 @@ std::shared_ptr<CongestionState> Fabric::congestion() const {
 Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
   op->tenant = ctx->tenant;  // interceptors may rewrite it further down
   op->deadline_ns = ctx->deadline_ns;
-  std::shared_ptr<const InterceptorChain> chain;
-  {
-    std::lock_guard<std::mutex> lock(interceptor_mu_);
-    chain = interceptors_;
-  }
+  // Lock-free snapshot (see chain_snapshot_): the chain is config-time
+  // state, so the raw pointer stays valid for the whole op.
+  const InterceptorChain* chain =
+      chain_snapshot_.load(std::memory_order_acquire);
   Status st = (chain == nullptr || chain->empty())
                   ? ExecuteCore(op, ctx)
                   : InvokeChain(*chain, 0, op, ctx);
@@ -162,11 +169,8 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
     return Status::TimedOut("deadline exhausted before issue at node " +
                             std::to_string(op->node));
   }
-  std::shared_ptr<CongestionState> congestion;
-  {
-    std::lock_guard<std::mutex> lock(congestion_mu_);
-    congestion = congestion_;
-  }
+  CongestionState* congestion =
+      congestion_snapshot_.load(std::memory_order_acquire);
   if (congestion == nullptr) return ExecuteVerb(op, ctx);
 
   // The op arrives at the client's virtual time *before* its own service
@@ -287,6 +291,45 @@ Status Fabric::ExecuteVerb(FabricOp* op, NetContext* ctx) {
       return Status::OK();
     }
 
+    case FabricVerb::kBatch: {
+      // All-or-nothing: validate every member before any data moves, so a
+      // refused batch leaves the regions untouched (same contract as a
+      // single verb's bounds check).
+      for (const BatchOp& b : *op->sub) {
+        if (b.verb != FabricVerb::kRead && b.verb != FabricVerb::kWrite) {
+          return Status::InvalidArgument(
+              "op batch members must be one-sided reads/writes");
+        }
+        MemoryRegion* mr = target->region(b.addr.region);
+        if (mr == nullptr || !mr->Contains(b.addr.offset, b.n)) {
+          return Status::InvalidArgument("batched op out of region bounds");
+        }
+      }
+      uint64_t read_bytes = 0, write_bytes = 0;
+      size_t reads = 0, writes = 0;
+      for (BatchOp& b : *op->sub) {
+        MemoryRegion* mr = target->region(b.addr.region);
+        if (b.verb == FabricVerb::kRead) {
+          std::memcpy(b.dst, mr->data() + b.addr.offset, b.n);
+          read_bytes += b.n;
+          reads++;
+        } else {
+          std::memcpy(mr->data() + b.addr.offset, b.src, b.n);
+          write_bytes += b.n;
+          writes++;
+        }
+        b.status = Status::OK();
+      }
+      // Doorbell coalescing: one base latency per transfer direction for the
+      // whole batch, plus the summed byte costs (the per-member bases and
+      // per-op issue charges are what the doorbell amortizes away).
+      uint64_t ns = 0;
+      if (reads > 0) ns += target->model().ReadCost(read_bytes);
+      if (writes > 0) ns += target->model().WriteCost(write_bytes);
+      ChargeOp(ctx, op->verb, ns, write_bytes, read_bytes);
+      return Status::OK();
+    }
+
     case FabricVerb::kRpc: {
       const RpcHandler* h = target->handler(*op->method);
       if (h == nullptr) {
@@ -373,6 +416,41 @@ Status Fabric::WriteBatch(NetContext* ctx, NodeId node_id,
   op.node = node_id;
   op.batch = &ops;
   return Execute(&op, ctx);
+}
+
+Status Fabric::ExecuteBatch(NetContext* ctx, NodeId node_id,
+                            std::vector<BatchOp>* ops) {
+  if (ops == nullptr || ops->empty()) return Status::OK();
+
+  if (!op_batching_enabled()) {
+    // Uncoalesced: each member is an ordinary op — bit-identical charges to
+    // a caller issuing them one by one (pinned by the batching cost-parity
+    // test). The first failure is reported but later members still run,
+    // matching what N independent Execute() calls would have done.
+    Status first_err = Status::OK();
+    for (BatchOp& b : *ops) {
+      FabricOp op;
+      op.verb = b.verb;
+      op.node = node_id;
+      op.addr = GlobalAddr{node_id, b.addr.region, b.addr.offset};
+      op.dst = b.dst;
+      op.src = b.src;
+      op.n = b.n;
+      b.status = Execute(&op, ctx);
+      if (!b.status.ok() && first_err.ok()) first_err = b.status;
+    }
+    return first_err;
+  }
+
+  FabricOp op;
+  op.verb = FabricVerb::kBatch;
+  op.node = node_id;
+  op.sub = ops;
+  Status st = Execute(&op, ctx);
+  if (!st.ok()) {
+    for (BatchOp& b : *ops) b.status = st;
+  }
+  return st;
 }
 
 Status Fabric::Call(NetContext* ctx, NodeId node_id, const std::string& method,

@@ -156,6 +156,9 @@ class Node {
   std::vector<std::unique_ptr<MemoryRegion>> regions_;
   std::map<std::string, RpcHandler> handlers_;
   mutable std::mutex mu_;  // guards regions_/handlers_ vectors (not bytes)
+  // Published region count for the lock-free region() fast path; only the
+  // slots below this count are ever dereferenced by readers.
+  std::atomic<size_t> num_regions_{0};
 };
 
 struct FabricOp;
@@ -234,6 +237,43 @@ class Fabric {
   Status WriteBatch(NetContext* ctx, NodeId node_id,
                     const std::vector<WriteOp>& ops);
 
+  /// One member of a mixed read/write op batch (`ExecuteBatch`). Exactly one
+  /// of `dst` (kRead) / `src` (kWrite) is set; `status` is an output.
+  struct BatchOp {
+    FabricVerb verb = FabricVerb::kRead;  ///< kRead or kWrite only
+    RemoteAddr addr{};
+    void* dst = nullptr;        ///< read destination
+    const void* src = nullptr;  ///< write source
+    size_t n = 0;
+    Status status;  ///< per-member outcome, filled by ExecuteBatch
+  };
+
+  /// Executes a multi-op batch of one-sided reads/writes against one node.
+  ///
+  /// With op batching *off* (the default) this is exactly `Execute()` per
+  /// member — same charges bit for bit, same per-member statuses — so an
+  /// unconfigured fabric is unchanged by callers adopting the batch API.
+  ///
+  /// With `EnableOpBatching(true)` the members are coalesced into ONE
+  /// `kBatch` descriptor rung through the interceptor chain and congestion
+  /// admission once (the doorbell win: one `ns_per_op` issue charge, one
+  /// chain traversal, one round trip), charged one read base latency if any
+  /// member reads and one write base latency if any writes, plus the summed
+  /// byte costs. The batch is all-or-nothing: every member's bounds are
+  /// validated before any data moves, and a refused batch (admission,
+  /// deadline, fault) fails every member with the same status.
+  Status ExecuteBatch(NetContext* ctx, NodeId node_id,
+                      std::vector<BatchOp>* ops);
+
+  /// Turns doorbell coalescing of `ExecuteBatch` on or off (default off,
+  /// keeping the cost model inert until an experiment opts in).
+  void EnableOpBatching(bool on) {
+    op_batching_.store(on, std::memory_order_relaxed);
+  }
+  bool op_batching_enabled() const {
+    return op_batching_.load(std::memory_order_relaxed);
+  }
+
   // ---- Two-sided (RPC, involves remote CPU) --------------------------
 
   Status Call(NetContext* ctx, NodeId node_id, const std::string& method,
@@ -298,12 +338,29 @@ class Fabric {
 
   std::vector<std::unique_ptr<Node>> nodes_;
   mutable std::mutex mu_;
+  // Published node count for the lock-free node() fast path (see the
+  // snapshot comment below: registration is config-time).
+  std::atomic<size_t> num_nodes_{0};
 
   std::shared_ptr<const InterceptorChain> interceptors_;
   mutable std::mutex interceptor_mu_;  // guards the chain pointer swap
 
   std::shared_ptr<CongestionState> congestion_;  // nullptr = disabled
   mutable std::mutex congestion_mu_;  // guards the state pointer swap
+
+  // Lock-free mirrors of the two pointers above for the per-op hot path.
+  // Every Execute() used to take both mutexes and copy both shared_ptrs —
+  // four contended atomic read-modify-writes per op on cache lines shared
+  // by every worker thread, which flattens the epoch-parallel driver's
+  // scaling. The mirrors are updated under the respective mutex; readers
+  // load them with acquire semantics and never touch a refcount. Lifetime
+  // is anchored by the shared_ptrs: reconfiguring the fabric (AddInterceptor
+  // / EnableCongestion / ...) while ops are in flight on OTHER threads is
+  // not supported — config is a setup-time activity in every driver.
+  std::atomic<const InterceptorChain*> chain_snapshot_{nullptr};
+  std::atomic<CongestionState*> congestion_snapshot_{nullptr};
+
+  std::atomic<bool> op_batching_{false};
 };
 
 /// A fabric operation lowered to a single descriptor: the verb tag selects
@@ -337,6 +394,10 @@ struct FabricOp {
 
   // Doorbell batch.
   const std::vector<Fabric::WriteOp>* batch = nullptr;
+
+  // Coalesced mixed read/write batch (kBatch); members' `status` fields are
+  // outputs.
+  std::vector<Fabric::BatchOp>* sub = nullptr;
 
   // RPC.
   const std::string* method = nullptr;

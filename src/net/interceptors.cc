@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "net/partition.h"
 
 namespace disagg {
 
@@ -146,9 +147,24 @@ Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
                                    const FabricOpInvoker& next) {
   const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
 
+  // In op-tag mode the decision key is a pure function of (which logical
+  // op, which of its attempts, at what virtual time) — independent of the
+  // global order in which threads reach this interceptor. The draw counter
+  // advances so each retry of one op gets a fresh decision, as it did under
+  // the sequence key.
+  uint64_t key = seq;
+  if (policy_.key_by_op_tag && ctx->op_tag != 0) {
+    key = ctx->op_tag ^ ((ctx->fault_draws + 1) * 0xFF51AFD7ED558CCDull) ^
+          ((ctx->sim_ns + 1) * 0xC4CEB9FE1A85EC53ull);
+    ctx->fault_draws++;
+  }
+
   for (const FaultPolicy::Flap& flap : policy_.flaps) {
-    if (flap.node == op->node && seq >= flap.from_seq &&
-        seq < flap.until_seq) {
+    const bool active = flap.until_ns > flap.from_ns
+                            ? (ctx->sim_ns >= flap.from_ns &&
+                               ctx->sim_ns < flap.until_ns)
+                            : (seq >= flap.from_seq && seq < flap.until_seq);
+    if (flap.node == op->node && active) {
       flap_rejections_.fetch_add(1, std::memory_order_relaxed);
       ctx->Charge(policy_.drop_penalty_ns);
       ctx->faults_injected++;
@@ -158,7 +174,7 @@ Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
     }
   }
 
-  if (Decide(seq, /*salt=*/0xD0, policy_.drop_prob)) {
+  if (Decide(key, /*salt=*/0xD0, policy_.drop_prob)) {
     drops_.fetch_add(1, std::memory_order_relaxed);
     ctx->Charge(policy_.drop_penalty_ns);
     ctx->faults_injected++;
@@ -168,7 +184,7 @@ Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
 
   Status st = next(op, ctx);
 
-  if (st.ok() && Decide(seq, /*salt=*/0x5A, policy_.spike_prob)) {
+  if (st.ok() && Decide(key, /*salt=*/0x5A, policy_.spike_prob)) {
     spikes_.fetch_add(1, std::memory_order_relaxed);
     ctx->Charge(policy_.spike_ns);
     ctx->faults_injected++;
@@ -312,20 +328,124 @@ CircuitBreakerInterceptor::State CircuitBreakerInterceptor::StateFor(
   return it == nodes_.end() ? State::kClosed : it->second.state;
 }
 
+void CircuitBreakerInterceptor::ApplyFastFail(NodeState* ns,
+                                              const BreakerPolicy& policy) {
+  // Fast-fail without touching the wire; after `open_ops` of these the
+  // breaker moves to half-open and the *next* op becomes a probe.
+  ns->open_fast_fails++;
+  if (ns->open_fast_fails >= policy.open_ops) {
+    ns->state = State::kHalfOpen;
+    ns->probe_successes = 0;
+  }
+}
+
+bool CircuitBreakerInterceptor::ApplyOutcome(NodeState* ns, bool failure,
+                                             const BreakerPolicy& policy) {
+  switch (ns->state) {
+    case State::kClosed: {
+      ns->window_ops++;
+      if (failure) ns->window_failures++;
+      if (ns->window_ops >= policy.min_samples &&
+          static_cast<double>(ns->window_failures) >=
+              policy.open_error_rate * static_cast<double>(ns->window_ops)) {
+        ns->state = State::kOpen;
+        ns->open_fast_fails = 0;
+        ns->window_ops = 0;
+        ns->window_failures = 0;
+        return true;
+      }
+      if (ns->window_ops >= policy.window) {
+        ns->window_ops = 0;  // window boundary: forget old outcomes
+        ns->window_failures = 0;
+      }
+      return false;
+    }
+    case State::kHalfOpen: {
+      if (failure) {
+        ns->state = State::kOpen;  // probe failed: back to fast-failing
+        ns->open_fast_fails = 0;
+        ns->probe_successes = 0;
+        return true;
+      }
+      ns->probe_successes++;
+      if (ns->probe_successes >= policy.half_open_probes) {
+        *ns = NodeState{};  // closed, with a fresh window
+      }
+      return false;
+    }
+    case State::kOpen:
+      return false;  // outcome observed while open (replay edge): ignored
+  }
+  return false;
+}
+
+CircuitBreakerInterceptor::NodeState& CircuitBreakerInterceptor::ShardNodeFor(
+    ShardState* shard, NodeId node) {
+  auto it = shard->nodes.find(node);
+  if (it == shard->nodes.end()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    it = shard->nodes.emplace(node, nodes_[node]).first;
+  }
+  return it->second;
+}
+
+Status CircuitBreakerInterceptor::InterceptSharded(PartitionEffects* eff,
+                                                   FabricOp* op,
+                                                   NetContext* ctx,
+                                                   const FabricOpInvoker& next) {
+  ShardState& shard = eff->BreakerShardFor(this);
+  NodeState& ns = ShardNodeFor(&shard, op->node);
+  if (ns.state == State::kOpen) {
+    ApplyFastFail(&ns, policy_);
+    shard.log.emplace_back(op->node, ShardState::Outcome::kFastFail);
+    shard.fast_fails++;
+    ctx->Charge(policy_.fast_fail_penalty_ns);
+    ctx->breaker_fast_fails++;
+    return Status::Unavailable("circuit open: node " +
+                               std::to_string(op->node));
+  }
+
+  Status st = next(op, ctx);
+  const bool failure = st.IsUnavailable() || st.IsTimedOut();
+  shard.log.emplace_back(op->node, failure ? ShardState::Outcome::kFailure
+                                           : ShardState::Outcome::kOk);
+  // Opens are counted at replay time, where the authoritative machine takes
+  // the same transition; counting here too would double them.
+  ApplyOutcome(&ns, failure, policy_);
+  return st;
+}
+
+void CircuitBreakerInterceptor::MergeShard(ShardState* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [node, outcome] : shard->log) {
+    NodeState& ns = nodes_[node];
+    if (outcome == ShardState::Outcome::kFastFail) {
+      // The shard refused the op against its view; keep the authoritative
+      // machine's open-phase countdown in step when it agrees it is open.
+      if (ns.state == State::kOpen) ApplyFastFail(&ns, policy_);
+    } else if (ApplyOutcome(&ns, outcome == ShardState::Outcome::kFailure,
+                            policy_)) {
+      opens_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  fast_fails_.fetch_add(shard->fast_fails, std::memory_order_relaxed);
+  shard->nodes.clear();
+  shard->log.clear();
+  shard->fast_fails = 0;
+}
+
 Status CircuitBreakerInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
                                             NetContext* ctx,
                                             const FabricOpInvoker& next) {
+  if (PartitionEffects* eff = CurrentPartitionEffects()) {
+    return InterceptSharded(eff, op, ctx, next);
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     NodeState& ns = nodes_[op->node];
     if (ns.state == State::kOpen) {
-      // Fast-fail without touching the wire; after `open_ops` of these the
-      // breaker moves to half-open and the *next* op becomes a probe.
-      ns.open_fast_fails++;
-      if (ns.open_fast_fails >= policy_.open_ops) {
-        ns.state = State::kHalfOpen;
-        ns.probe_successes = 0;
-      }
+      ApplyFastFail(&ns, policy_);
       fast_fails_.fetch_add(1, std::memory_order_relaxed);
       ctx->Charge(policy_.fast_fail_penalty_ns);
       ctx->breaker_fast_fails++;
@@ -341,40 +461,8 @@ Status CircuitBreakerInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
 
   std::lock_guard<std::mutex> lock(mu_);
   NodeState& ns = nodes_[op->node];
-  switch (ns.state) {
-    case State::kClosed: {
-      ns.window_ops++;
-      if (failure) ns.window_failures++;
-      if (ns.window_ops >= policy_.min_samples &&
-          static_cast<double>(ns.window_failures) >=
-              policy_.open_error_rate * static_cast<double>(ns.window_ops)) {
-        ns.state = State::kOpen;
-        ns.open_fast_fails = 0;
-        ns.window_ops = 0;
-        ns.window_failures = 0;
-        opens_.fetch_add(1, std::memory_order_relaxed);
-      } else if (ns.window_ops >= policy_.window) {
-        ns.window_ops = 0;  // window boundary: forget old outcomes
-        ns.window_failures = 0;
-      }
-      break;
-    }
-    case State::kHalfOpen: {
-      if (failure) {
-        ns.state = State::kOpen;  // probe failed: back to fast-failing
-        ns.open_fast_fails = 0;
-        ns.probe_successes = 0;
-        opens_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        ns.probe_successes++;
-        if (ns.probe_successes >= policy_.half_open_probes) {
-          ns = NodeState{};  // closed, with a fresh window
-        }
-      }
-      break;
-    }
-    case State::kOpen:
-      break;  // unreachable: open ops fast-failed above
+  if (ApplyOutcome(&ns, failure, policy_)) {
+    opens_.fetch_add(1, std::memory_order_relaxed);
   }
   return st;
 }

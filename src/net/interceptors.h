@@ -13,6 +13,8 @@
 
 namespace disagg {
 
+struct PartitionEffects;  // src/net/partition.h
+
 /// Observes every op flowing through `Fabric::Execute()`: per-op sim-time
 /// histograms keyed by "verb/interconnect/node-kind", aggregate op/failure
 /// counts, and an optional bounded ring-buffer trace of the most recent ops
@@ -87,11 +89,27 @@ struct FaultPolicy {
   double spike_prob = 0.0;
   uint64_t spike_ns = 10000;
 
-  /// Node down for ops whose sequence number lies in [from_seq, until_seq).
+  /// Keys drop/spike decisions by the issuing context's `NetContext::op_tag`
+  /// (mixed with the context's local draw counter and virtual clock) instead
+  /// of the interceptor's global op sequence number. Required under the
+  /// epoch-parallel driver, where the order in which ops from different
+  /// threads reach this interceptor is an execution detail: with a tag every
+  /// decision is a pure function of (seed, which logical op, which attempt,
+  /// when), identical whatever thread runs the client. Untagged contexts
+  /// (`op_tag == 0`) fall back to the sequence key.
+  bool key_by_op_tag = false;
+
+  /// Node down for ops whose sequence number lies in [from_seq, until_seq) —
+  /// or, when `until_ns > from_ns`, for ops *issued* in the virtual-time
+  /// window [from_ns, until_ns) (the form to use with the epoch-parallel
+  /// driver, where sequence positions are execution-order-dependent but the
+  /// virtual clock is part of the model).
   struct Flap {
     NodeId node = 0;
     uint64_t from_seq = 0;
     uint64_t until_seq = 0;
+    uint64_t from_ns = 0;
+    uint64_t until_ns = 0;
   };
   std::vector<Flap> flaps;
 };
@@ -255,7 +273,6 @@ class CircuitBreakerInterceptor : public FabricInterceptor {
 
   const BreakerPolicy& policy() const { return policy_; }
 
- private:
   struct NodeState {
     State state = State::kClosed;
     uint32_t window_ops = 0;       // outcomes observed in the current window
@@ -263,6 +280,42 @@ class CircuitBreakerInterceptor : public FabricInterceptor {
     uint64_t open_fast_fails = 0;  // fast-fails since the breaker opened
     uint32_t probe_successes = 0;  // consecutive successes while half-open
   };
+
+  /// Partition-local view of this breaker for the epoch-parallel driver
+  /// (src/net/partition.h): per-node state copied from the authoritative map
+  /// on first touch each epoch, plus the per-node outcome log the barrier
+  /// replays through the authoritative state machine in partition order
+  /// (`MergeShard`). Never shared across threads.
+  struct ShardState {
+    enum class Outcome : uint8_t { kOk, kFailure, kFastFail };
+    std::map<NodeId, NodeState> nodes;        // copy-on-first-touch
+    std::vector<std::pair<NodeId, Outcome>> log;
+    uint64_t fast_fails = 0;  // shard-local; summed into fast_fails_ at merge
+  };
+
+  /// Replays one partition's epoch of outcomes into the authoritative state
+  /// machines and clears the shard for the next epoch. With one partition
+  /// this re-derives the serial transitions (and `opens()` count) bit for
+  /// bit; with several, transitions reflect the merged partition order.
+  void MergeShard(ShardState* shard);
+
+ private:
+  Status InterceptSharded(PartitionEffects* eff, FabricOp* op, NetContext* ctx,
+                          const FabricOpInvoker& next);
+
+  /// The open-state fast-fail bookkeeping (open → half-open after
+  /// `open_ops`). Call only while `ns->state == kOpen`.
+  static void ApplyFastFail(NodeState* ns, const BreakerPolicy& policy);
+
+  /// Feeds one closed/half-open outcome through the state machine; returns
+  /// true when this outcome opened the breaker. Single-sourced so the
+  /// inline, sharded, and replay paths transition identically.
+  static bool ApplyOutcome(NodeState* ns, bool failure,
+                           const BreakerPolicy& policy);
+
+  /// The shard's view of `node`, copied from the authoritative map (under
+  /// `mu_`) the first time the partition touches it this epoch.
+  NodeState& ShardNodeFor(ShardState* shard, NodeId node);
 
   const BreakerPolicy policy_;
   mutable std::mutex mu_;

@@ -102,6 +102,24 @@ struct NetContext {
   /// counter: `Fork()` inherits it and merges leave the destination's value.
   uint32_t tenant = 0;
 
+  /// Deterministic identity of the logical operation this context is
+  /// issuing, stamped by the load drivers as a pure function of
+  /// (client, op index); 0 = untagged. With
+  /// `FaultPolicy::key_by_op_tag` set, fault decisions are keyed by
+  /// (op_tag, fault_draws, sim_ns) instead of the interceptor's global op
+  /// sequence — required under the epoch-parallel driver, where the global
+  /// order in which ops reach an interceptor is an execution detail, not
+  /// part of the model. An *input* attribute like `tenant`: `Fork()`
+  /// inherits it, merges leave the destination's value.
+  uint64_t op_tag = 0;
+
+  /// How many fault-injection decisions this context has drawn (advanced by
+  /// the fault interceptor in `key_by_op_tag` mode so retries of one op get
+  /// fresh draws). Bookkeeping, not a metric: `Fork()` starts a branch at 0
+  /// — branches decorrelate through their distinct issue times — and merges
+  /// leave the destination's value.
+  uint64_t fault_draws = 0;
+
   /// Per-verb breakdown of the fabric-charged counters above, maintained by
   /// `Fabric::Execute()`.
   VerbCounters per_verb[kNumFabricVerbs] = {};
@@ -123,6 +141,7 @@ struct NetContext {
     b.sim_ns = sim_ns;
     b.tenant = tenant;  // branches bill the same tenant at shared resources
     b.deadline_ns = deadline_ns;  // branches race the same budget
+    b.op_tag = op_tag;            // branches are legs of the same logical op
     return b;
   }
 

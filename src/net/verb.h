@@ -39,9 +39,10 @@ enum class FabricVerb : uint8_t {
   kReadAtomic,
   kWriteBatch,
   kRpc,
+  kBatch,  ///< doorbell-coalesced multi-op descriptor (`Fabric::ExecuteBatch`)
 };
 
-inline constexpr size_t kNumFabricVerbs = 7;
+inline constexpr size_t kNumFabricVerbs = 8;
 
 constexpr size_t VerbIndex(FabricVerb v) { return static_cast<size_t>(v); }
 
@@ -61,6 +62,8 @@ constexpr const char* FabricVerbName(FabricVerb v) {
       return "write_batch";
     case FabricVerb::kRpc:
       return "rpc";
+    case FabricVerb::kBatch:
+      return "batch";
   }
   return "?";
 }

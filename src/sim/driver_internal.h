@@ -1,0 +1,80 @@
+#ifndef DISAGG_SIM_DRIVER_INTERNAL_H_
+#define DISAGG_SIM_DRIVER_INTERNAL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+#include "sim/load_driver.h"
+
+// Arithmetic shared verbatim by the serial (load_driver.cc) and
+// epoch-parallel (parallel_driver.cc) drivers. Single-sourcing it is what
+// makes "partitions == 1 reproduces the serial driver bit for bit" a
+// property of the code rather than a hope: both drivers draw the same
+// client seeds, the same arrival streams, and the same op tags.
+
+namespace disagg {
+namespace sim {
+namespace internal {
+
+/// Distinct, seed-derived per-client streams (golden-ratio spacing avoids
+/// the correlated low bits of seed, seed+1, ...). The SAME derivation is
+/// used by both loop shapes so a workload closure draws identically under
+/// closed- and open-loop scheduling.
+inline uint64_t ClientSeed(uint64_t seed, uint64_t client) {
+  return seed + client * 0x9E3779B97F4A7C15ull;
+}
+
+/// Salt for the open-loop arrival streams, independent of the workload
+/// streams so switching arrival processes never perturbs the op draws.
+inline constexpr uint64_t kArrivalSalt = 0xA221BA15ED5EEDull;
+
+/// The `NetContext::op_tag` for (client, op_index): a nonzero hash that is
+/// a pure function of the logical op's identity, so tag-keyed fault
+/// decisions are identical under any scheduling of the same workload.
+inline uint64_t OpTag(uint64_t client, uint64_t op_index) {
+  uint64_t mix = (client + 1) * 0x9E3779B97F4A7C15ull;
+  mix ^= (op_index + 1) * 0xC2B2AE3D27D4EB4Full;
+  mix ^= mix >> 29;
+  return mix | 1;  // 0 means "untagged"
+}
+
+/// Heap entry: the client's virtual clock, with the client id as a
+/// deterministic tie-break (lower id goes first at equal times).
+struct Runnable {
+  uint64_t at_ns;
+  uint64_t client;
+  bool operator>(const Runnable& o) const {
+    return at_ns != o.at_ns ? at_ns > o.at_ns : client > o.client;
+  }
+};
+
+/// Inter-arrival gap for one open-loop stream (`period_ns` = 1e9 / rate).
+inline uint64_t NextGapNs(const OpenLoopOptions& opts, double period_ns,
+                          Random* arrival_rng) {
+  if (opts.process == ArrivalProcess::kDeterministic) {
+    return static_cast<uint64_t>(period_ns);
+  }
+  // Exponential inter-arrival. NextDouble() is in [0, 1), so the argument
+  // of log is in (0, 1] and the gap is finite.
+  const double u = arrival_rng->NextDouble();
+  return static_cast<uint64_t>(-std::log(1.0 - u) * period_ns);
+}
+
+/// First arrival of client `c`'s open-loop stream.
+inline uint64_t FirstArrivalNs(const OpenLoopOptions& opts, double period_ns,
+                               uint64_t c, Random* arrival_rng) {
+  if (opts.process == ArrivalProcess::kDeterministic) {
+    // Phase-stagger the streams across one period so N deterministic
+    // clients offer a smooth aggregate rate instead of N-bursts.
+    return static_cast<uint64_t>(period_ns * static_cast<double>(c) /
+                                 static_cast<double>(opts.clients));
+  }
+  return NextGapNs(opts, period_ns, arrival_rng);
+}
+
+}  // namespace internal
+}  // namespace sim
+}  // namespace disagg
+
+#endif  // DISAGG_SIM_DRIVER_INTERNAL_H_

@@ -6,35 +6,23 @@
 #include <queue>
 #include <vector>
 
+#include "sim/driver_internal.h"
+#include "sim/parallel_driver.h"
+
 namespace disagg {
 namespace sim {
 
-namespace {
-
-/// Distinct, seed-derived per-client streams (golden-ratio spacing avoids
-/// the correlated low bits of seed, seed+1, ...). The SAME derivation is
-/// used by both drivers so a workload closure draws identically under
-/// closed- and open-loop scheduling.
-uint64_t ClientSeed(uint64_t seed, uint64_t client) {
-  return seed + client * 0x9E3779B97F4A7C15ull;
-}
-
-/// Heap entry: the client's virtual clock, with the client id as a
-/// deterministic tie-break (lower id goes first at equal times).
-struct Runnable {
-  uint64_t at_ns;
-  uint64_t client;
-  bool operator>(const Runnable& o) const {
-    return at_ns != o.at_ns ? at_ns > o.at_ns : client > o.client;
-  }
-};
-
-}  // namespace
+using internal::ClientSeed;
+using internal::OpTag;
+using internal::Runnable;
 
 LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
+  if (opts.parallel.partitions > 0) return RunEpochClosedLoop(opts, op);
+
   LoadReport report;
   report.clients = opts.clients;
   if (opts.clients == 0 || opts.ops_per_client == 0) return report;
+  const bool record = opts.parallel.record_trace;
 
   std::vector<NetContext> ctxs(opts.clients);
   std::vector<Random> rngs;
@@ -53,6 +41,7 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     ready.pop();
     NetContext* ctx = &ctxs[r.client];
     const uint64_t before = ctx->sim_ns;
+    ctx->op_tag = OpTag(r.client, issued[r.client]);
     Status st = op(r.client, issued[r.client], ctx, &rngs[r.client]);
     report.ops++;
     if (!st.ok()) {
@@ -60,6 +49,10 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
       if (st.IsBusy()) report.busy++;
     }
     report.latency.Record(ctx->sim_ns - before);
+    if (record) {
+      report.trace.push_back(LoadReport::OpTrace{
+          before, ctx->sim_ns, r.client, issued[r.client], st.code()});
+    }
     if (opts.think_ns > 0) ctx->Charge(opts.think_ns);
     if (++issued[r.client] < opts.ops_per_client) {
       ready.push({ctx->sim_ns, r.client});
@@ -76,6 +69,8 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
 }
 
 LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
+  if (opts.parallel.partitions > 0) return RunEpochOpenLoop(opts, op);
+
   LoadReport report;
   report.clients = opts.clients;
   if (opts.clients == 0 || opts.ops_per_client == 0 ||
@@ -85,6 +80,7 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
   report.offered_ops_per_sec =
       opts.ops_per_sec * static_cast<double>(opts.clients);
   const double period_ns = 1e9 / opts.ops_per_sec;
+  const bool record = opts.parallel.record_trace;
 
   // Workload streams derive exactly as in RunClosedLoop; arrival streams use
   // an independent salt so switching processes never perturbs the op draws.
@@ -96,32 +92,14 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
   arrival_rngs.reserve(opts.clients);
   for (uint64_t c = 0; c < opts.clients; c++) {
     rngs.emplace_back(ClientSeed(opts.seed, c));
-    arrival_rngs.emplace_back(ClientSeed(opts.seed, c) ^ 0xA221BA15ED5EEDull);
+    arrival_rngs.emplace_back(ClientSeed(opts.seed, c) ^ internal::kArrivalSalt);
   }
-
-  auto next_gap_ns = [&](uint64_t c) -> uint64_t {
-    if (opts.process == ArrivalProcess::kDeterministic) {
-      return static_cast<uint64_t>(period_ns);
-    }
-    // Exponential inter-arrival. NextDouble() is in [0, 1), so the argument
-    // of log is in (0, 1] and the gap is finite.
-    const double u = arrival_rngs[c].NextDouble();
-    return static_cast<uint64_t>(-std::log(1.0 - u) * period_ns);
-  };
-  auto first_arrival_ns = [&](uint64_t c) -> uint64_t {
-    if (opts.process == ArrivalProcess::kDeterministic) {
-      // Phase-stagger the streams across one period so N deterministic
-      // clients offer a smooth aggregate rate instead of N-bursts.
-      return static_cast<uint64_t>(period_ns * static_cast<double>(c) /
-                                   static_cast<double>(opts.clients));
-    }
-    return next_gap_ns(c);
-  };
 
   std::priority_queue<Runnable, std::vector<Runnable>, std::greater<Runnable>>
       arrivals;
   for (uint64_t c = 0; c < opts.clients; c++) {
-    arrivals.push({first_arrival_ns(c), c});
+    arrivals.push(
+        {internal::FirstArrivalNs(opts, period_ns, c, &arrival_rngs[c]), c});
   }
 
   // Completion times of issued ops, for the in-flight (queue depth) gauge.
@@ -143,6 +121,7 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
     // ops queue.
     NetContext ctx = accs[a.client].Fork();
     ctx.sim_ns = a.at_ns;
+    ctx.op_tag = OpTag(a.client, issued[a.client]);
     Status st = op(a.client, issued[a.client], &ctx, &rngs[a.client]);
     report.ops++;
     if (!st.ok()) {
@@ -150,6 +129,10 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
       if (st.IsBusy()) report.busy++;
     }
     report.latency.Record(ctx.sim_ns - a.at_ns);
+    if (record) {
+      report.trace.push_back(LoadReport::OpTrace{
+          a.at_ns, ctx.sim_ns, a.client, issued[a.client], st.code()});
+    }
     completions.push(ctx.sim_ns);
 
     const uint64_t depth = completions.size();  // includes the op itself
@@ -158,7 +141,9 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
 
     JoinParallel(&accs[a.client], &ctx, 1);
     if (++issued[a.client] < opts.ops_per_client) {
-      arrivals.push({a.at_ns + next_gap_ns(a.client), a.client});
+      arrivals.push(
+          {a.at_ns + internal::NextGapNs(opts, period_ns, &arrival_rngs[a.client]),
+           a.client});
     }
   }
 

@@ -14,6 +14,36 @@
 namespace disagg {
 namespace sim {
 
+/// Default virtual-time epoch width for the epoch-parallel driver (100 us):
+/// wide enough to amortize the barrier, narrow enough that cross-partition
+/// effect exchange stays timely at the congestion timescales the benches use.
+inline constexpr uint64_t kDefaultEpochNs = 100'000;
+
+/// Epoch-parallel execution of a load run (DESIGN.md "Parallel simulation").
+///
+/// With `partitions > 0` the driver splits clients into `partitions`
+/// round-robin partitions (client -> client % partitions) and advances them
+/// through bounded virtual-time epochs: within an epoch each partition runs
+/// independently against partition-local views of the order-sensitive
+/// shared state (congestion queues, breaker windows), then all partitions
+/// barrier and their effect logs replay into the authoritative state in
+/// partition-id order.
+///
+/// The determinism contract: the result is a pure function of
+/// (seed, workload, `partitions`, `epoch_ns`) — `threads` is purely an
+/// execution resource and NEVER affects a single counter or trace bit
+/// (pinned by tests/parallel_sim_test.cc across thread counts 1/2/8).
+/// `partitions == 1` reproduces the legacy serial global-order schedule bit
+/// for bit; `partitions > 1` is its own (equally deterministic) schedule in
+/// which cross-partition interference at shared resources is exchanged at
+/// epoch granularity rather than per op.
+struct ParallelConfig {
+  uint32_t threads = 1;     ///< worker threads (execution resource only)
+  uint32_t partitions = 0;  ///< client partitions; 0 = legacy serial driver
+  uint64_t epoch_ns = 0;    ///< epoch width; 0 = kDefaultEpochNs
+  bool record_trace = false;  ///< fill `LoadReport::trace` (one record/op)
+};
+
 /// Options for one closed-loop load run: N logical clients, each issuing
 /// `ops_per_client` operations back to back (plus optional think time),
 /// interleaved in *virtual* time on one OS thread.
@@ -23,6 +53,7 @@ struct LoadOptions {
   uint64_t think_ns = 0;  ///< client-side pause between ops (charged, but
                           ///< excluded from the per-op latency samples)
   uint64_t seed = 1;      ///< per-client RNGs derive from this
+  ParallelConfig parallel;
 };
 
 /// How an open-loop client's arrival process is drawn.
@@ -43,6 +74,7 @@ struct OpenLoopOptions {
   uint64_t seed = 1;  ///< workload RNG streams derive exactly as in
                       ///< `LoadOptions` (same seed -> same op draws);
                       ///< arrival streams use an independent derivation
+  ParallelConfig parallel;
 };
 
 /// Issues one operation on behalf of `client` (0-based). All simulated cost
@@ -92,6 +124,25 @@ struct LoadReport {
   Histogram queue_depth;
   uint64_t max_in_flight = 0;
 
+  /// One record per op when `ParallelConfig::record_trace` is set: the
+  /// trace the determinism suite compares bit for bit. Canonical order is
+  /// (arrival_ns, client, op_index) — which is exactly the serial driver's
+  /// processing order (virtual-time heap with client-id tie-break), so
+  /// serial and epoch-parallel traces are directly comparable.
+  struct OpTrace {
+    uint64_t arrival_ns = 0;  ///< when the op was issued (closed loop: the
+                              ///< client's clock before the op)
+    uint64_t done_ns = 0;     ///< the issuing context's clock after the op
+    uint64_t client = 0;
+    uint64_t op_index = 0;
+    Status::Code code = Status::Code::kOk;
+    bool operator==(const OpTrace&) const = default;
+  };
+  std::vector<OpTrace> trace;
+
+  /// Epoch barriers the run crossed (0 on the legacy serial path).
+  uint64_t epochs = 0;
+
   double ThroughputOpsPerSec() const {
     return makespan_ns == 0 ? 0.0
                             : static_cast<double>(ops) * 1e9 /
@@ -108,6 +159,10 @@ struct LoadReport {
 /// queue-by-arrival discipline — arrivals at every resource are
 /// non-decreasing — and it makes the whole run a pure function of (`opts`,
 /// the op closure): same seed, same trace, bit for bit.
+///
+/// With `opts.parallel.partitions > 0` the run executes on the
+/// epoch-parallel engine instead (see `ParallelConfig`); the same
+/// determinism holds with `threads` excluded from the function.
 LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op);
 
 /// Runs `opts.clients` open-loop arrival streams against `op`. Arrival
@@ -121,6 +176,10 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op);
 /// and the response-time tail grow without bound, exactly the regime
 /// closed-loop clients cannot reach. Deterministic: same options, same
 /// trace, bit for bit.
+///
+/// With `opts.parallel.partitions > 0` the run executes on the
+/// epoch-parallel engine instead (see `ParallelConfig`); the same
+/// determinism holds with `threads` excluded from the function.
 LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op);
 
 }  // namespace sim

@@ -1,0 +1,351 @@
+#include "sim/parallel_driver.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/partition.h"
+#include "sim/driver_internal.h"
+
+namespace disagg {
+namespace sim {
+
+namespace {
+
+using internal::ClientSeed;
+using internal::OpTag;
+using internal::Runnable;
+
+/// Persistent worker pool with a generation barrier: `Run(fn)` executes
+/// fn(p) for every partition p — worker t takes partitions t, t+T, t+2T, …
+/// — and returns once all are done. The partition→thread mapping is pure
+/// load balancing: partitions share no mutable state within an epoch, and
+/// the barrier's mutex publishes each epoch's writes to the main thread, so
+/// WHICH thread ran a partition can never reach a result. With fewer than
+/// two workers everything runs inline on the calling thread.
+class EpochPool {
+ public:
+  EpochPool(uint32_t threads, uint32_t partitions) : partitions_(partitions) {
+    const uint32_t n = std::min(threads, partitions);
+    if (n <= 1) return;
+    workers_.reserve(n);
+    for (uint32_t t = 0; t < n; t++) {
+      workers_.emplace_back(
+          [this, t, n] { WorkerLoop(t, n); });
+    }
+  }
+
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
+
+  ~EpochPool() {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void Run(const std::function<void(uint32_t)>& fn) {
+    if (workers_.empty()) {
+      for (uint32_t p = 0; p < partitions_; p++) fn(p);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_ = &fn;
+    pending_ = static_cast<uint32_t>(workers_.size());
+    generation_++;
+    cv_work_.notify_all();
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    work_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(uint32_t index, uint32_t stride) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(uint32_t)>* work = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock,
+                      [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        work = work_;
+      }
+      for (uint32_t p = index; p < partitions_; p += stride) (*work)(p);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  const uint32_t partitions_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(uint32_t)>* work_ = nullptr;
+  uint32_t pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// One client partition's private slice of the run.
+struct Partition {
+  std::priority_queue<Runnable, std::vector<Runnable>,
+                      std::greater<Runnable>>
+      heap;
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  uint64_t busy = 0;
+  Histogram latency;
+  std::vector<LoadReport::OpTrace> records;
+  PartitionEffects effects;
+};
+
+/// Barrier leg: replay every shard this partition accumulated into the
+/// authoritative objects. Called on the main thread, partitions in
+/// partition-id order; a map here only interleaves shards of *independent*
+/// objects, so its iteration order cannot affect results.
+void MergeEffects(PartitionEffects* effects) {
+  for (auto& [state, shard] : effects->congestion_shards) {
+    state->MergeShard(shard.get());
+  }
+  for (auto& [breaker, shard] : effects->breaker_shards) {
+    breaker->MergeShard(&shard);
+  }
+}
+
+/// Canonical trace order — identical to the serial driver's processing
+/// order (virtual-time heap, client-id tie-break, per-client op_index
+/// monotone), so sorting the partitions' concatenated records reproduces
+/// the serial trace exactly when the schedules agree. The key
+/// (arrival, client, op_index) is unique per record: total order, no
+/// comparator ambiguity.
+bool TraceLess(const LoadReport::OpTrace& a, const LoadReport::OpTrace& b) {
+  if (a.arrival_ns != b.arrival_ns) return a.arrival_ns < b.arrival_ns;
+  if (a.client != b.client) return a.client < b.client;
+  return a.op_index < b.op_index;
+}
+
+/// Epoch end for the epoch containing `at_ns` (epochs are half-open
+/// [k*epoch_ns, (k+1)*epoch_ns) windows of virtual time).
+uint64_t EpochEndFor(uint64_t at_ns, uint64_t epoch_ns) {
+  return (at_ns / epoch_ns + 1) * epoch_ns;
+}
+
+/// Smallest pending event time across all partitions, or UINT64_MAX.
+uint64_t MinPending(const std::vector<Partition>& parts) {
+  uint64_t next = std::numeric_limits<uint64_t>::max();
+  for (const Partition& part : parts) {
+    if (!part.heap.empty()) next = std::min(next, part.heap.top().at_ns);
+  }
+  return next;
+}
+
+void FinalizeCounters(const std::vector<NetContext>& ctxs,
+                      std::vector<Partition>* parts, LoadReport* report) {
+  for (Partition& part : *parts) {
+    report->ops += part.ops;
+    report->errors += part.errors;
+    report->busy += part.busy;
+    report->latency.Merge(part.latency);  // bucket merge: order-insensitive
+  }
+  report->per_client_sim_ns.reserve(ctxs.size());
+  for (const NetContext& c : ctxs) {
+    report->per_client_sim_ns.push_back(c.sim_ns);
+    if (c.sim_ns > report->makespan_ns) report->makespan_ns = c.sim_ns;
+  }
+  MergeParallel(&report->total, ctxs.data(), ctxs.size());
+}
+
+/// Concatenates the partitions' per-op records into canonical order.
+std::vector<LoadReport::OpTrace> SortedRecords(std::vector<Partition>* parts) {
+  std::vector<LoadReport::OpTrace> all;
+  size_t n = 0;
+  for (const Partition& part : *parts) n += part.records.size();
+  all.reserve(n);
+  for (Partition& part : *parts) {
+    all.insert(all.end(), part.records.begin(), part.records.end());
+    part.records.clear();
+    part.records.shrink_to_fit();
+  }
+  std::sort(all.begin(), all.end(), TraceLess);
+  return all;
+}
+
+}  // namespace
+
+LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
+  LoadReport report;
+  report.clients = opts.clients;
+  if (opts.clients == 0 || opts.ops_per_client == 0) return report;
+
+  const uint32_t P = static_cast<uint32_t>(
+      std::min<uint64_t>(opts.parallel.partitions, opts.clients));
+  const uint64_t epoch_ns =
+      opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
+  const bool record = opts.parallel.record_trace;
+
+  std::vector<NetContext> ctxs(opts.clients);
+  std::vector<Random> rngs;
+  std::vector<uint64_t> issued(opts.clients, 0);
+  rngs.reserve(opts.clients);
+  for (uint64_t c = 0; c < opts.clients; c++) {
+    rngs.emplace_back(ClientSeed(opts.seed, c));
+  }
+
+  // Round-robin client→partition assignment (client % P): part of the
+  // determinism contract's config, never a runtime decision.
+  std::vector<Partition> parts(P);
+  for (uint64_t c = 0; c < opts.clients; c++) parts[c % P].heap.push({0, c});
+
+  EpochPool pool(opts.parallel.threads, P);
+  uint64_t epoch_end = epoch_ns;
+  for (;;) {
+    pool.Run([&](uint32_t p) {
+      Partition& part = parts[p];
+      PartitionEffectsScope scope(&part.effects);
+      while (!part.heap.empty() && part.heap.top().at_ns < epoch_end) {
+        const Runnable r = part.heap.top();
+        part.heap.pop();
+        NetContext* ctx = &ctxs[r.client];
+        const uint64_t before = ctx->sim_ns;
+        ctx->op_tag = OpTag(r.client, issued[r.client]);
+        Status st = op(r.client, issued[r.client], ctx, &rngs[r.client]);
+        part.ops++;
+        if (!st.ok()) {
+          part.errors++;
+          if (st.IsBusy()) part.busy++;
+        }
+        part.latency.Record(ctx->sim_ns - before);
+        if (record) {
+          part.records.push_back(LoadReport::OpTrace{
+              before, ctx->sim_ns, r.client, issued[r.client], st.code()});
+        }
+        if (opts.think_ns > 0) ctx->Charge(opts.think_ns);
+        if (++issued[r.client] < opts.ops_per_client) {
+          part.heap.push({ctx->sim_ns, r.client});
+        }
+      }
+    });
+    report.epochs++;
+    for (Partition& part : parts) MergeEffects(&part.effects);
+
+    const uint64_t next = MinPending(parts);
+    if (next == std::numeric_limits<uint64_t>::max()) break;
+    // Skip empty epochs: jump straight to the epoch holding the earliest
+    // pending event (same epoch boundaries as stepping one by one).
+    epoch_end = EpochEndFor(next, epoch_ns);
+  }
+
+  FinalizeCounters(ctxs, &parts, &report);
+  if (record) report.trace = SortedRecords(&parts);
+  return report;
+}
+
+LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
+  LoadReport report;
+  report.clients = opts.clients;
+  if (opts.clients == 0 || opts.ops_per_client == 0 ||
+      opts.ops_per_sec <= 0.0) {
+    return report;
+  }
+  report.offered_ops_per_sec =
+      opts.ops_per_sec * static_cast<double>(opts.clients);
+  const double period_ns = 1e9 / opts.ops_per_sec;
+
+  const uint32_t P = static_cast<uint32_t>(
+      std::min<uint64_t>(opts.parallel.partitions, opts.clients));
+  const uint64_t epoch_ns =
+      opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
+
+  std::vector<NetContext> accs(opts.clients);
+  std::vector<Random> rngs;
+  std::vector<Random> arrival_rngs;
+  std::vector<uint64_t> issued(opts.clients, 0);
+  rngs.reserve(opts.clients);
+  arrival_rngs.reserve(opts.clients);
+  for (uint64_t c = 0; c < opts.clients; c++) {
+    rngs.emplace_back(ClientSeed(opts.seed, c));
+    arrival_rngs.emplace_back(ClientSeed(opts.seed, c) ^ internal::kArrivalSalt);
+  }
+
+  std::vector<Partition> parts(P);
+  for (uint64_t c = 0; c < opts.clients; c++) {
+    parts[c % P].heap.push(
+        {internal::FirstArrivalNs(opts, period_ns, c, &arrival_rngs[c]), c});
+  }
+
+  EpochPool pool(opts.parallel.threads, P);
+  uint64_t epoch_end = EpochEndFor(MinPending(parts), epoch_ns);
+  for (;;) {
+    pool.Run([&](uint32_t p) {
+      Partition& part = parts[p];
+      PartitionEffectsScope scope(&part.effects);
+      while (!part.heap.empty() && part.heap.top().at_ns < epoch_end) {
+        const Runnable a = part.heap.top();
+        part.heap.pop();
+        NetContext ctx = accs[a.client].Fork();
+        ctx.sim_ns = a.at_ns;
+        ctx.op_tag = OpTag(a.client, issued[a.client]);
+        Status st = op(a.client, issued[a.client], &ctx, &rngs[a.client]);
+        part.ops++;
+        if (!st.ok()) {
+          part.errors++;
+          if (st.IsBusy()) part.busy++;
+        }
+        part.latency.Record(ctx.sim_ns - a.at_ns);
+        // Records are always kept open-loop: the queue-depth gauge is a
+        // post-pass over the canonical arrival order.
+        part.records.push_back(LoadReport::OpTrace{
+            a.at_ns, ctx.sim_ns, a.client, issued[a.client], st.code()});
+        JoinParallel(&accs[a.client], &ctx, 1);
+        if (++issued[a.client] < opts.ops_per_client) {
+          part.heap.push(
+              {a.at_ns +
+                   internal::NextGapNs(opts, period_ns,
+                                       &arrival_rngs[a.client]),
+               a.client});
+        }
+      }
+    });
+    report.epochs++;
+    for (Partition& part : parts) MergeEffects(&part.effects);
+
+    const uint64_t next = MinPending(parts);
+    if (next == std::numeric_limits<uint64_t>::max()) break;
+    epoch_end = EpochEndFor(next, epoch_ns);
+  }
+
+  FinalizeCounters(accs, &parts, &report);
+
+  // The in-flight gauge, replayed over the canonical order — one entry per
+  // client in the arrival heap means serial pop order IS this order, so the
+  // gauge is bit-identical to the serial driver's inline computation.
+  std::vector<LoadReport::OpTrace> ordered = SortedRecords(&parts);
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
+      completions;
+  for (const LoadReport::OpTrace& t : ordered) {
+    while (!completions.empty() && completions.top() <= t.arrival_ns) {
+      completions.pop();
+    }
+    completions.push(t.done_ns);
+    const uint64_t depth = completions.size();
+    report.queue_depth.Record(depth);
+    if (depth > report.max_in_flight) report.max_in_flight = depth;
+  }
+  if (opts.parallel.record_trace) report.trace = std::move(ordered);
+  return report;
+}
+
+}  // namespace sim
+}  // namespace disagg

@@ -1,0 +1,20 @@
+#ifndef DISAGG_SIM_PARALLEL_DRIVER_H_
+#define DISAGG_SIM_PARALLEL_DRIVER_H_
+
+#include "sim/load_driver.h"
+
+namespace disagg {
+namespace sim {
+
+// The epoch-parallel engine behind RunClosedLoop/RunOpenLoop when
+// `ParallelConfig::partitions > 0` (see DESIGN.md "Parallel simulation").
+// Callers use the public entry points in load_driver.h, which dispatch
+// here; these are exposed only so the dispatch is testable by name.
+
+LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op);
+LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op);
+
+}  // namespace sim
+}  // namespace disagg
+
+#endif  // DISAGG_SIM_PARALLEL_DRIVER_H_

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/congestion.h"
+#include "net/fabric.h"
+#include "net/interceptors.h"
 #include "sim/chaos.h"
+#include "sim/load_driver.h"
 
 namespace disagg {
 namespace sim {
@@ -315,6 +320,118 @@ TEST(ChaosReplayTest, ReplaySeedsFromEnv) {
       const ChaosReport r = RunIndexChaos(kind, seed);
       printf("%s\n", r.Summary().c_str());
       EXPECT_TRUE(r.violations.empty()) << r.Summary();
+    }
+  }
+}
+
+// A seeded chaos schedule under the epoch-parallel driver replays bit for
+// bit against the serial driver, at any thread count: the schedule's
+// drop/spike probabilities become a tag-keyed FaultPolicy and its flap
+// windows become virtual-time windows (both pure functions of the logical
+// op, not of execution order), so the whole faulted run falls under the
+// driver's determinism contract. Seeds come from DISAGG_CHAOS_SEEDS when
+// set (the chaos_replay.sh path), else a fixed corpus; thread counts from
+// DISAGG_CHAOS_THREADS (chaos_replay.sh --threads), else {1, 2, 8}.
+TEST(ChaosParallelReplayTest, ScheduleReplaysIdenticallyAcrossThreads) {
+  SKIP_UNDER_MUTATION();
+  auto parse = [](const char* env) {
+    std::vector<uint64_t> out;
+    if (env == nullptr) return out;
+    std::string tok;
+    for (const char* p = env;; p++) {
+      if (*p == ',' || *p == ' ' || *p == '\0') {
+        if (!tok.empty()) {
+          out.push_back(std::strtoull(tok.c_str(), nullptr, 0));
+        }
+        tok.clear();
+        if (*p == '\0') break;
+      } else {
+        tok += *p;
+      }
+    }
+    return out;
+  };
+  std::vector<uint64_t> seeds = parse(std::getenv("DISAGG_CHAOS_SEEDS"));
+  if (seeds.empty()) seeds = {7, 42, 0xC0FFEE};
+  std::vector<uint64_t> threads = parse(std::getenv("DISAGG_CHAOS_THREADS"));
+  if (threads.empty()) threads = {1, 2, 8};
+
+  auto run = [](uint64_t seed, uint32_t partitions, uint32_t thread_count) {
+    const ChaosSchedule sched = ChaosSchedule::FromSeed(seed);
+    Fabric fabric;
+    std::vector<NodeId> nodes;
+    std::vector<MemoryRegion*> regions;
+    for (int i = 0; i < 3; i++) {
+      nodes.push_back(fabric.AddNode("mem" + std::to_string(i),
+                                     NodeKind::kMemory,
+                                     InterconnectModel::Rdma()));
+      regions.push_back(fabric.node(nodes.back())->AddRegion("heap", 1 << 20));
+    }
+    CongestionConfig ccfg;
+    ccfg.default_node = ResourceCapacity{1000, 0.05};
+    fabric.EnableCongestion(ccfg);
+
+    RetryPolicy retry;
+    retry.max_attempts = sched.retry_attempts;
+    fabric.AddInterceptor(std::make_shared<RetryInterceptor>(retry));
+
+    FaultPolicy faults;
+    faults.seed = sched.seed;
+    faults.drop_prob = sched.drop_prob;
+    faults.spike_prob = sched.spike_prob;
+    faults.spike_ns = sched.spike_ns;
+    faults.key_by_op_tag = true;
+    // Flap-sequence windows rescale into virtual time: window [a, b) in
+    // fault-sequence space maps to [a, b) microseconds of the run (the
+    // arrival rate below issues about one op per microsecond per client).
+    for (size_t i = 0; i < sched.flap_windows.size(); i++) {
+      FaultPolicy::Flap flap;
+      flap.node = nodes[i % nodes.size()];
+      flap.from_ns = sched.flap_windows[i].from_seq * 1000;
+      flap.until_ns = sched.flap_windows[i].until_seq * 1000;
+      if (flap.until_ns <= flap.from_ns) continue;
+      faults.flaps.push_back(flap);
+    }
+    fabric.AddInterceptor(std::make_shared<FaultInterceptor>(faults));
+
+    OpenLoopOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = static_cast<uint64_t>(sched.num_ops);
+    opts.ops_per_sec = 80'000;
+    opts.seed = seed;
+    opts.parallel.partitions = partitions;
+    opts.parallel.threads = thread_count;
+    opts.parallel.record_trace = true;
+    return RunOpenLoop(
+        opts, [&](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+          ctx->tenant = static_cast<uint32_t>(client % 3);
+          char buf[1024];
+          const uint64_t pick = rng->Uniform(nodes.size());
+          GlobalAddr addr{nodes[pick], regions[pick]->id(),
+                          rng->Uniform(64) * 1024};
+          return fabric.Read(ctx, addr, buf, size_t{16} << rng->Uniform(6));
+        });
+  };
+
+  for (uint64_t seed : seeds) {
+    const LoadReport serial = run(seed, 0, 1);
+    ASSERT_GT(serial.ops, 0u);
+    for (uint64_t t : threads) {
+      const LoadReport par = run(seed, 1, static_cast<uint32_t>(t));
+      EXPECT_EQ(serial.trace, par.trace) << "seed=" << seed << " t=" << t;
+      EXPECT_EQ(serial.ops, par.ops) << seed;
+      EXPECT_EQ(serial.errors, par.errors) << seed;
+      EXPECT_EQ(serial.total.sim_ns, par.total.sim_ns) << seed;
+      EXPECT_EQ(serial.total.backoff_ns, par.total.backoff_ns) << seed;
+      EXPECT_EQ(serial.total.bytes_in, par.total.bytes_in) << seed;
+    }
+    // P=8 is a different deterministic schedule: it must reproduce itself
+    // across thread counts even though it differs from serial.
+    const LoadReport p8_a = run(seed, 8, 1);
+    for (uint64_t t : threads) {
+      const LoadReport p8_b = run(seed, 8, static_cast<uint32_t>(t));
+      EXPECT_EQ(p8_a.trace, p8_b.trace) << "seed=" << seed << " t=" << t;
+      EXPECT_EQ(p8_a.errors, p8_b.errors) << seed;
     }
   }
 }

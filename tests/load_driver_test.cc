@@ -273,6 +273,161 @@ TEST(LoadDriverTest, OpenLoopPastCapacityPlateausWhileQueueGrows) {
   EXPECT_GT(above.queue_depth.Mean(), 10.0 * below.queue_depth.Mean());
 }
 
+TEST(LoadDriverTest, OpenLoopQueueDepthGaugePropertiesAtHighRate) {
+  // Past-capacity structural properties of the in-flight gauge: one sample
+  // per arrival, the reported max is the gauge's max, achieved throughput
+  // never exceeds the service capacity, and pushing the offered rate up
+  // strictly deepens the queue.
+  constexpr uint64_t kServiceNs = 1000;  // capacity: 1M ops/s
+  auto run = [&](double per_client_rate) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{kServiceNs, 0.0};
+    fabric.EnableCongestion(cfg);
+
+    sim::OpenLoopOptions opts;
+    opts.clients = 16;
+    opts.ops_per_client = 500;
+    opts.ops_per_sec = per_client_rate;
+    const auto report = sim::RunOpenLoop(
+        opts, [&](uint64_t, uint64_t, NetContext* ctx, Random* rng) {
+          char buf[8];
+          GlobalAddr addr{node, region->id(), rng->Uniform(1024) * 8};
+          return fabric.Read(ctx, addr, buf, 8);
+        });
+    EXPECT_EQ(report.queue_depth.count(), report.ops);
+    EXPECT_EQ(report.max_in_flight,
+              static_cast<uint64_t>(report.queue_depth.max()));
+    EXPECT_LE(report.ThroughputOpsPerSec(), 1.001 * 1e9 / kServiceNs);
+    return report;
+  };
+
+  const auto at_1p5x = run(1.5 * 1e9 / kServiceNs / 16.0);
+  const auto at_3x = run(3.0 * 1e9 / kServiceNs / 16.0);
+  // Double the overload, deeper queue: the open loop keeps offering.
+  EXPECT_GT(at_3x.queue_depth.Mean(), 1.5 * at_1p5x.queue_depth.Mean());
+  EXPECT_GT(at_3x.max_in_flight, at_1p5x.max_in_flight);
+  EXPECT_GT(at_3x.offered_ops_per_sec, at_3x.ThroughputOpsPerSec());
+}
+
+TEST(LoadDriverTest, BatchChargesExactlySumOfMembersWhenBatchingOff) {
+  // Cost parity: with batching off, ExecuteBatch is definitionally a loop
+  // over Execute — a context fed the batch and a context fed the members
+  // one by one must agree on every counter, bit for bit.
+  auto rig = [](Fabric* fabric) {
+    NodeId node =
+        fabric->AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    fabric->node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{1500, 0.1};
+    fabric->EnableCongestion(cfg);
+    return node;
+  };
+
+  Fabric batch_fabric;
+  Fabric loop_fabric;
+  const NodeId batch_node = rig(&batch_fabric);
+  const NodeId loop_node = rig(&loop_fabric);
+
+  char dst[4][512];
+  char src[256] = {42};
+  auto members = [&](NodeId) {
+    std::vector<Fabric::BatchOp> ops(4);
+    for (int i = 0; i < 4; i++) {
+      ops[i].verb = FabricVerb::kRead;
+      ops[i].addr = RemoteAddr{0, static_cast<uint64_t>(i) * 4096};
+      ops[i].dst = dst[i];
+      ops[i].n = 64u << i;  // 64..512 bytes
+    }
+    ops[2].verb = FabricVerb::kWrite;
+    ops[2].src = src;
+    ops[2].n = 256;
+    return ops;
+  };
+
+  NetContext via_batch;
+  auto batch = members(batch_node);
+  ASSERT_TRUE(batch_fabric.ExecuteBatch(&via_batch, batch_node, &batch).ok());
+  for (const auto& b : batch) EXPECT_TRUE(b.status.ok());
+
+  NetContext via_loop;
+  for (auto& m : members(loop_node)) {
+    GlobalAddr addr{loop_node, m.addr.region, m.addr.offset};
+    if (m.verb == FabricVerb::kWrite) {
+      ASSERT_TRUE(loop_fabric.Write(&via_loop, addr, m.src, m.n).ok());
+    } else {
+      ASSERT_TRUE(loop_fabric.Read(&via_loop, addr, m.dst, m.n).ok());
+    }
+  }
+
+  EXPECT_EQ(via_batch.sim_ns, via_loop.sim_ns);
+  EXPECT_EQ(via_batch.queue_ns, via_loop.queue_ns);
+  EXPECT_EQ(via_batch.bytes_in, via_loop.bytes_in);
+  EXPECT_EQ(via_batch.bytes_out, via_loop.bytes_out);
+  EXPECT_EQ(via_batch.round_trips, via_loop.round_trips);
+}
+
+TEST(LoadDriverTest, BatchingOnCoalescesRoundTripsAndCostsLess) {
+  // With batching enabled the same four ops ride one descriptor: one round
+  // trip, one per-op overhead per direction, strictly cheaper than the
+  // member-by-member run — while moving exactly the same bytes.
+  auto run = [&](bool batching) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    fabric.node(node)->AddRegion("heap", 1 << 20);
+    fabric.EnableOpBatching(batching);
+    char dst[4][512];
+    std::vector<Fabric::BatchOp> ops(4);
+    for (int i = 0; i < 4; i++) {
+      ops[i].verb = FabricVerb::kRead;
+      ops[i].addr = RemoteAddr{0, static_cast<uint64_t>(i) * 4096};
+      ops[i].dst = dst[i];
+      ops[i].n = 256;
+    }
+    NetContext ctx;
+    EXPECT_TRUE(fabric.ExecuteBatch(&ctx, node, &ops).ok());
+    return ctx;
+  };
+
+  const NetContext off = run(false);
+  const NetContext on = run(true);
+  EXPECT_EQ(off.round_trips, 4u);
+  EXPECT_EQ(on.round_trips, 1u);
+  EXPECT_EQ(off.bytes_in, on.bytes_in);  // same data moved
+  EXPECT_LT(on.sim_ns, off.sim_ns);      // coalescing saved per-op overhead
+  EXPECT_EQ(on.per_verb[static_cast<size_t>(FabricVerb::kBatch)].ops, 1u);
+}
+
+TEST(LoadDriverTest, RefusedBatchFailsEveryMemberAndMovesNothing) {
+  // All-or-nothing: one out-of-bounds member poisons the whole descriptor.
+  Fabric fabric;
+  NodeId node =
+      fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+  fabric.node(node)->AddRegion("heap", 4096);
+  fabric.EnableOpBatching(true);
+
+  char dst[2][64];
+  std::vector<Fabric::BatchOp> ops(2);
+  ops[0].verb = FabricVerb::kRead;
+  ops[0].addr = RemoteAddr{0, 0};
+  ops[0].dst = dst[0];
+  ops[0].n = 64;
+  ops[1].verb = FabricVerb::kRead;
+  ops[1].addr = RemoteAddr{0, 1 << 20};  // out of the 4 KiB region
+  ops[1].dst = dst[1];
+  ops[1].n = 64;
+
+  NetContext ctx;
+  EXPECT_FALSE(fabric.ExecuteBatch(&ctx, node, &ops).ok());
+  EXPECT_FALSE(ops[0].status.ok());  // the valid member fails with the batch
+  EXPECT_FALSE(ops[1].status.ok());
+  EXPECT_EQ(ctx.bytes_in, 0u);  // nothing moved
+}
+
 TEST(LoadDriverTest, ErrorsAndBusyAreCountedWithoutStoppingClients) {
   // A failing op counts as an error (Busy tracked separately) and the
   // client keeps issuing; every op still records a latency sample.

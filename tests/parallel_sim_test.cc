@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "net/congestion.h"
+#include "net/fabric.h"
+#include "net/interceptors.h"
+#include "sim/load_driver.h"
+
+namespace disagg {
+namespace {
+
+// The cross-thread determinism suite pinning the epoch-parallel driver's
+// contract (src/sim/load_driver.h `ParallelConfig`):
+//   1. `threads` never reaches a result bit — same seed, same partitions,
+//      any thread count {1, 2, 8}: bit-identical counters AND trace, for
+//      both loop disciplines, with the full stack enabled (congestion +
+//      WFQ + admission control + breakers + retry + tag-keyed faults).
+//   2. `partitions == 1` reproduces the legacy serial driver bit for bit.
+//   3. Equal virtual timestamps order deterministically by (client id,
+//      op seq) — pinned by a deliberately engineered timestamp collision.
+//   4. `partitions > 1` conserves work: authoritative resource accounting
+//      equals the serial run's even though the interleaving differs.
+
+/// Everything a LoadReport exposes, flattened for tuple comparison. The
+/// trace rides along separately (vector<OpTrace> has operator==).
+auto Flatten(const sim::LoadReport& r) {
+  return std::make_tuple(
+      r.clients, r.ops, r.errors, r.busy, r.makespan_ns, r.total.sim_ns,
+      r.total.queue_ns, r.total.backoff_ns, r.total.bytes_out,
+      r.total.bytes_in, r.total.round_trips, r.total.admission_rejects,
+      r.per_client_sim_ns, r.latency.count(), r.latency.min(),
+      r.latency.max(), r.latency.Percentile(50), r.latency.Percentile(99),
+      r.offered_ops_per_sec, r.max_in_flight, r.queue_depth.count(),
+      r.queue_depth.max(), r.queue_depth.Mean());
+}
+
+/// The adversarial rig: three congested memory nodes behind a shared
+/// backbone, WFQ across three tenants, bounded backlogs (admission
+/// rejections), a per-node circuit breaker, retries, and a tag-keyed fault
+/// schedule with a virtual-time flap. Every order-sensitive shared-state
+/// path the epoch-parallel driver must exchange deterministically is live.
+struct FullStackRig {
+  Fabric fabric;
+  std::vector<NodeId> nodes;
+  std::vector<MemoryRegion*> regions;
+
+  FullStackRig() {
+    for (int i = 0; i < 3; i++) {
+      NodeId n = fabric.AddNode("mem" + std::to_string(i), NodeKind::kMemory,
+                                InterconnectModel::Rdma());
+      nodes.push_back(n);
+      regions.push_back(fabric.node(n)->AddRegion("heap", 1 << 20));
+    }
+
+    CongestionConfig cfg;
+    cfg.default_node = ResourceCapacity{800, 0.05, 400'000};
+    cfg.backbone = ResourceCapacity{150, 0.01, 2'000'000};
+    cfg.tenant_weights = {{0, 4.0}, {1, 2.0}, {2, 1.0}};
+    fabric.EnableCongestion(cfg);
+
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    fabric.AddInterceptor(std::make_shared<RetryInterceptor>(retry));
+
+    BreakerPolicy breaker;
+    breaker.window = 8;
+    breaker.min_samples = 4;
+    breaker.open_error_rate = 0.5;
+    breaker.open_ops = 16;
+    fabric.AddInterceptor(std::make_shared<CircuitBreakerInterceptor>(breaker));
+
+    FaultPolicy faults;
+    faults.seed = 99;
+    faults.drop_prob = 0.02;
+    faults.spike_prob = 0.05;
+    faults.key_by_op_tag = true;  // required under the parallel driver
+    faults.flaps.push_back(
+        FaultPolicy::Flap{nodes[1], 0, 0, 300'000, 900'000});
+    fabric.AddInterceptor(std::make_shared<FaultInterceptor>(faults));
+  }
+
+  sim::ClientOpFn Op() {
+    return [this](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+      ctx->tenant = static_cast<uint32_t>(client % 3);
+      char buf[2048];
+      const size_t n = size_t{16} << rng->Uniform(7);  // 16..1024 bytes
+      const uint64_t pick = rng->Uniform(3);
+      GlobalAddr addr{nodes[pick], regions[pick]->id(),
+                      rng->Uniform(64) * 2048};
+      return fabric.Read(ctx, addr, buf, n);
+    };
+  }
+};
+
+sim::LoadReport RunClosed(uint64_t seed, uint32_t partitions,
+                          uint32_t threads) {
+  FullStackRig rig;
+  sim::LoadOptions opts;
+  opts.clients = 24;
+  opts.ops_per_client = 50;
+  opts.seed = seed;
+  opts.parallel.partitions = partitions;
+  opts.parallel.threads = threads;
+  opts.parallel.record_trace = true;
+  return sim::RunClosedLoop(opts, rig.Op());
+}
+
+sim::LoadReport RunOpen(uint64_t seed, uint32_t partitions, uint32_t threads) {
+  FullStackRig rig;
+  sim::OpenLoopOptions opts;
+  opts.clients = 24;
+  opts.ops_per_client = 50;
+  opts.ops_per_sec = 40'000;  // aggregate ~1M ops/s: real contention
+  opts.seed = seed;
+  opts.parallel.partitions = partitions;
+  opts.parallel.threads = threads;
+  opts.parallel.record_trace = true;
+  return sim::RunOpenLoop(opts, rig.Op());
+}
+
+TEST(ParallelSimTest, ClosedLoopBitIdenticalAcrossThreadCounts) {
+  const auto t1 = RunClosed(42, 8, 1);
+  const auto t2 = RunClosed(42, 8, 2);
+  const auto t8 = RunClosed(42, 8, 8);
+  ASSERT_EQ(t1.ops, 24u * 50u);
+  ASSERT_GT(t1.epochs, 1u);  // the run actually crossed barriers
+  EXPECT_EQ(Flatten(t1), Flatten(t2));
+  EXPECT_EQ(Flatten(t1), Flatten(t8));
+  EXPECT_EQ(t1.trace, t2.trace);
+  EXPECT_EQ(t1.trace, t8.trace);
+  // ...and the function still depends on the seed.
+  EXPECT_NE(Flatten(t1), Flatten(RunClosed(43, 8, 8)));
+}
+
+TEST(ParallelSimTest, OpenLoopBitIdenticalAcrossThreadCounts) {
+  const auto t1 = RunOpen(42, 8, 1);
+  const auto t2 = RunOpen(42, 8, 2);
+  const auto t8 = RunOpen(42, 8, 8);
+  ASSERT_EQ(t1.ops, 24u * 50u);
+  ASSERT_GT(t1.epochs, 1u);
+  EXPECT_EQ(Flatten(t1), Flatten(t2));
+  EXPECT_EQ(Flatten(t1), Flatten(t8));
+  EXPECT_EQ(t1.trace, t2.trace);
+  EXPECT_EQ(t1.trace, t8.trace);
+  EXPECT_NE(Flatten(t1), Flatten(RunOpen(43, 8, 8)));
+}
+
+TEST(ParallelSimTest, SinglePartitionReproducesSerialDriverExactly) {
+  // partitions == 1 is the serial global-order schedule run through the
+  // epoch machinery (shard copy + replay, epoch barriers): the contract
+  // says that round trip is invisible, bit for bit — full stack enabled.
+  const auto serial_closed = RunClosed(42, 0, 1);  // partitions=0: legacy
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    const auto epoch = RunClosed(42, 1, threads);
+    EXPECT_EQ(Flatten(serial_closed), Flatten(epoch)) << threads;
+    EXPECT_EQ(serial_closed.trace, epoch.trace) << threads;
+  }
+
+  const auto serial_open = RunOpen(42, 0, 1);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    const auto epoch = RunOpen(42, 1, threads);
+    EXPECT_EQ(Flatten(serial_open), Flatten(epoch)) << threads;
+    EXPECT_EQ(serial_open.trace, epoch.trace) << threads;
+  }
+}
+
+TEST(ParallelSimTest, PartitionCountIsDeterministicButPartOfTheFunction) {
+  // Different partition counts are different (equally deterministic)
+  // schedules: each reproduces itself exactly; ops issued never changes.
+  for (uint32_t partitions : {2u, 4u, 8u}) {
+    const auto a = RunClosed(42, partitions, 8);
+    const auto b = RunClosed(42, partitions, 2);
+    EXPECT_EQ(Flatten(a), Flatten(b)) << partitions;
+    EXPECT_EQ(a.trace, b.trace) << partitions;
+    EXPECT_EQ(a.ops, 24u * 50u) << partitions;
+    EXPECT_EQ(a.latency.count(), 24u * 50u) << partitions;
+  }
+}
+
+TEST(ParallelSimTest, EqualTimestampsOrderByClientThenOpSeq) {
+  // Engineer a collision: every client starts at t=0 with a fixed-cost op,
+  // so every epoch boundary has several clients tied at the same virtual
+  // instant. The pinned tie-break is (client id, then per-client op seq):
+  // serial order must be round-robin by client id, and the canonical trace
+  // must be identical at any partition/thread count.
+  constexpr uint64_t kCost = 500;
+  constexpr uint64_t kClients = 6;
+  constexpr uint64_t kOps = 8;
+  auto fixed = [](uint64_t, uint64_t, NetContext* ctx, Random*) {
+    ctx->Charge(kCost);
+    return Status::OK();
+  };
+
+  sim::LoadOptions opts;
+  opts.clients = kClients;
+  opts.ops_per_client = kOps;
+  opts.parallel.record_trace = true;
+  const auto serial = sim::RunClosedLoop(opts, fixed);
+  ASSERT_EQ(serial.trace.size(), kClients * kOps);
+  for (uint64_t i = 0; i < serial.trace.size(); i++) {
+    // Round k of the round-robin: client i%6 issuing its (i/6)-th op at
+    // virtual time k*kCost. Any other order fails here.
+    EXPECT_EQ(serial.trace[i].arrival_ns, (i / kClients) * kCost) << i;
+    EXPECT_EQ(serial.trace[i].client, i % kClients) << i;
+    EXPECT_EQ(serial.trace[i].op_index, i / kClients) << i;
+  }
+
+  for (uint32_t partitions : {1u, 2u, 4u}) {
+    for (uint32_t threads : {1u, 4u}) {
+      opts.parallel.partitions = partitions;
+      opts.parallel.threads = threads;
+      const auto par = sim::RunClosedLoop(opts, fixed);
+      EXPECT_EQ(serial.trace, par.trace) << partitions << "x" << threads;
+    }
+  }
+}
+
+TEST(ParallelSimTest, ContendedPartitionsConserveAuthoritativeAccounting) {
+  // The epoch exchange must conserve work: after a P=2 run over a shared
+  // congested node, the authoritative resource accounting (ops serviced,
+  // bytes, busy time) equals the serial run's exactly — the interleaving
+  // differs, the physics doesn't.
+  auto run = [](uint32_t partitions) {
+    Fabric fabric;
+    NodeId node =
+        fabric.AddNode("mem0", NodeKind::kMemory, InterconnectModel::Rdma());
+    MemoryRegion* region = fabric.node(node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    cfg.node_caps[node] = ResourceCapacity{1200, 0.1};
+    fabric.EnableCongestion(cfg);
+
+    sim::LoadOptions opts;
+    opts.clients = 10;
+    opts.ops_per_client = 40;
+    opts.parallel.partitions = partitions;
+    opts.parallel.threads = 4;
+    sim::RunClosedLoop(opts, [&](uint64_t, uint64_t, NetContext* ctx,
+                                 Random* rng) {
+      char buf[1024];
+      GlobalAddr addr{node, region->id(), rng->Uniform(64) * 1024};
+      return fabric.Read(ctx, addr, buf, size_t{8} << rng->Uniform(7));
+    });
+    return fabric.congestion()->NodeStats(node);
+  };
+
+  const auto serial = run(0);
+  const auto sharded = run(2);
+  EXPECT_EQ(serial.ops, sharded.ops);
+  EXPECT_EQ(serial.bytes, sharded.bytes);
+  EXPECT_EQ(serial.busy_ns, sharded.busy_ns);
+}
+
+TEST(ParallelSimTest, RecordTraceToggleDoesNotChangeCounters) {
+  auto run = [](bool record) {
+    FullStackRig rig;
+    sim::LoadOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 30;
+    opts.seed = 42;
+    opts.parallel.partitions = 4;
+    opts.parallel.threads = 4;
+    opts.parallel.record_trace = record;
+    return sim::RunClosedLoop(opts, rig.Op());
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(Flatten(with), Flatten(without));
+  EXPECT_EQ(with.trace.size(), 12u * 30u);
+  EXPECT_TRUE(without.trace.empty());
+}
+
+TEST(ParallelSimTest, BatchedWorkloadStaysBitIdenticalAcrossThreadCounts) {
+  // Op batching (Fabric::ExecuteBatch) under the parallel driver: the
+  // coalesced descriptor goes through the same congestion/fault stack, so
+  // the thread-invariance contract must hold for batched workloads too.
+  auto run = [](uint32_t threads) {
+    FullStackRig rig;
+    rig.fabric.EnableOpBatching(true);
+    sim::LoadOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 30;
+    opts.seed = 42;
+    opts.parallel.partitions = 4;
+    opts.parallel.threads = threads;
+    opts.parallel.record_trace = true;
+    return sim::RunClosedLoop(
+        opts, [&rig](uint64_t client, uint64_t, NetContext* ctx, Random* rng) {
+          ctx->tenant = static_cast<uint32_t>(client % 3);
+          char buf[4][256];
+          const uint64_t pick = rng->Uniform(3);
+          std::vector<Fabric::BatchOp> batch(4);
+          for (int i = 0; i < 4; i++) {
+            batch[i].verb = FabricVerb::kRead;
+            batch[i].addr = RemoteAddr{rig.regions[pick]->id(),
+                                       rng->Uniform(64) * 2048};
+            batch[i].dst = buf[i];
+            batch[i].n = size_t{16} << rng->Uniform(5);
+          }
+          return rig.fabric.ExecuteBatch(ctx, rig.nodes[pick], &batch);
+        });
+  };
+  const auto t1 = run(1);
+  const auto t2 = run(2);
+  const auto t8 = run(8);
+  ASSERT_EQ(t1.ops, 12u * 30u);
+  EXPECT_EQ(Flatten(t1), Flatten(t2));
+  EXPECT_EQ(Flatten(t1), Flatten(t8));
+  EXPECT_EQ(t1.trace, t2.trace);
+  EXPECT_EQ(t1.trace, t8.trace);
+}
+
+TEST(ParallelSimTest, EpochWidthIsPartOfTheFunctionAndReproducible) {
+  // epoch_ns is config, not tuning: each width reproduces itself exactly
+  // at any thread count, and ops issued is invariant across widths.
+  for (uint64_t epoch_ns : {20'000ull, 100'000ull, 1'000'000ull}) {
+    FullStackRig rig_a;
+    FullStackRig rig_b;
+    sim::LoadOptions opts;
+    opts.clients = 12;
+    opts.ops_per_client = 25;
+    opts.seed = 42;
+    opts.parallel.partitions = 4;
+    opts.parallel.epoch_ns = epoch_ns;
+    opts.parallel.record_trace = true;
+    opts.parallel.threads = 1;
+    const auto a = sim::RunClosedLoop(opts, rig_a.Op());
+    opts.parallel.threads = 8;
+    const auto b = sim::RunClosedLoop(opts, rig_b.Op());
+    EXPECT_EQ(Flatten(a), Flatten(b)) << epoch_ns;
+    EXPECT_EQ(a.trace, b.trace) << epoch_ns;
+    EXPECT_EQ(a.ops, 12u * 25u) << epoch_ns;
+  }
+}
+
+}  // namespace
+}  // namespace disagg
