@@ -35,7 +35,8 @@ fi
 # congestion/load-driver layer (virtual-time queueing + histogram math).
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
            congestion_test load_driver_test histogram_test degrade_test
-           shared_log_test log_backend_parity_test parallel_sim_test)
+           shared_log_test log_backend_parity_test parallel_sim_test
+           slo_controller_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -111,6 +112,16 @@ DISAGG_E24_ASSERT=1 ./build/bench/bench_e24_degradation \
 # takes nonzero simulated time (see bench_e25_shared_log's header).
 echo "==> E25 shared-log smoke (private quorums vs shared service)"
 DISAGG_E25_ASSERT=1 ./build/bench/bench_e25_shared_log \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E27 SLO smoke: with DISAGG_E27_ASSERT=1 the bench self-checks the control
+# plane — static WFQ's post-transient interactive p99 misses the declared
+# 6.5 us target while the controller's meets it (weight actually raised, no
+# ops refused), the sub-RDMA-cost 1.5 us target ends flagged infeasible with
+# the actuators frozen at their clamps, and controller decisions are
+# bit-identical across worker threads 1/2/8 (see bench_e27_slo's header).
+echo "==> E27 SLO control-plane smoke (controller vs static WFQ vs EDF)"
+DISAGG_E27_ASSERT=1 ./build/bench/bench_e27_slo \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

@@ -6,6 +6,37 @@
 
 namespace disagg {
 
+CongestionState::CongestionState(CongestionConfig config)
+    : config_(std::move(config)) {
+  auto table = std::make_shared<ControlTable>();
+  table->sfq = config_.wfq_enabled();
+  table->default_weight = config_.default_weight;
+  for (const auto& [tenant, w] : config_.tenant_weights) {
+    table->tenants[tenant].weight = w;
+  }
+  controls_current_ = std::move(table);
+  controls_snapshot_.store(controls_current_.get(), std::memory_order_release);
+}
+
+void CongestionState::UpdateTenantControls(
+    const std::map<uint32_t, TenantControl>& controls) {
+  auto table = std::make_shared<ControlTable>();
+  table->sfq = config_.wfq_enabled();
+  table->default_weight = config_.default_weight;
+  table->tenants = controls;
+  std::lock_guard<std::mutex> lock(mu_);
+  controls_retired_.push_back(std::move(controls_current_));
+  controls_current_ = std::move(table);
+  controls_snapshot_.store(controls_current_.get(), std::memory_order_release);
+}
+
+TenantControl CongestionState::ControlFor(uint32_t tenant) const {
+  const ControlTable& ct = controls();
+  auto it = ct.tenants.find(tenant);
+  if (it != ct.tenants.end()) return it->second;
+  return TenantControl{ct.default_weight, 0};
+}
+
 uint64_t CongestionState::AdmitOneFifo(Resource* r, uint64_t t,
                                        uint64_t bytes) {
   const uint64_t service = r->cap.ServiceNs(bytes);
@@ -18,17 +49,18 @@ uint64_t CongestionState::AdmitOneFifo(Resource* r, uint64_t t,
   return start;
 }
 
-uint64_t CongestionState::AdmitOneSfq(Resource* r, uint32_t tenant,
-                                      uint64_t t, uint64_t bytes) const {
+uint64_t CongestionState::AdmitOneSfq(const ControlTable& ct, Resource* r,
+                                      uint32_t tenant, uint64_t t,
+                                      uint64_t bytes) const {
   const uint64_t service = r->cap.ServiceNs(bytes);
-  const double w = config_.WeightFor(tenant);
+  const double w = ct.WeightFor(tenant);
 
   // Fluid-server share at this instant: tenants whose lane is still draining
   // at the op's arrival are active; the lone-tenant case degenerates to
   // active == w, a stretch of exactly `service`, and FIFO arithmetic.
   double active = w;
   for (const auto& [id, lane] : r->lanes) {
-    if (id != tenant && lane.free_ns > t) active += config_.WeightFor(id);
+    if (id != tenant && lane.free_ns > t) active += ct.WeightFor(id);
   }
 
   Lane& lane = r->lanes[tenant];
@@ -51,10 +83,63 @@ uint64_t CongestionState::AdmitOneSfq(Resource* r, uint32_t tenant,
   return virtual_start;
 }
 
-uint64_t CongestionState::BacklogAt(const Resource& r, uint32_t tenant,
-                                    uint64_t t) const {
+uint64_t CongestionState::AdmitOneEdf(Resource* r, uint64_t t, uint64_t bytes,
+                                      uint64_t eff_deadline_ns) {
+  const uint64_t service = r->cap.ServiceNs(bytes);
+  EdfQueue& q = r->edf;
+
+  // Drain the virtual time elapsed since the last admission from the
+  // earliest-deadline buckets: that is the work the fluid server completed.
+  if (t > q.drained_to) {
+    uint64_t elapsed = t - q.drained_to;
+    q.drained_to = t;
+    while (elapsed > 0 && !q.pending.empty()) {
+      auto it = q.pending.begin();
+      const uint64_t take = std::min(elapsed, it->second);
+      it->second -= take;
+      elapsed -= take;
+      if (it->second == 0) q.pending.erase(it);
+    }
+  }
+
+  // The op waits behind every pending byte with a deadline at or before its
+  // own (ties serve in admission order); later-deadline work is preempted.
+  uint64_t wait = 0;
+  for (const auto& [d, rem] : q.pending) {
+    if (d > eff_deadline_ns) break;
+    wait += rem;
+  }
+  q.pending[eff_deadline_ns] += service;
+
+  const uint64_t start = t + wait;
+  uint64_t total_pending = 0;
+  for (const auto& [d, rem] : q.pending) total_pending += rem;
+  r->stats.free_ns = q.drained_to + total_pending;
+  r->stats.ops++;
+  r->stats.bytes += bytes;
+  r->stats.busy_ns += service;
+  r->stats.queue_ns += wait;
+  return start;
+}
+
+uint64_t CongestionState::BacklogAt(const ControlTable& ct, const Resource& r,
+                                    uint32_t tenant, uint64_t t,
+                                    uint64_t eff_deadline_ns) const {
   if (r.cap.unlimited()) return 0;
-  if (!config_.wfq_enabled()) {
+  if (config_.edf_enabled()) {
+    // Mirror of AdmitOneEdf without mutation: pending work at or before the
+    // op's deadline, minus whatever the fluid server drained since the last
+    // admission (drain is deadline-ordered, so it comes off this sum first).
+    const EdfQueue& q = r.edf;
+    uint64_t ahead = 0;
+    for (const auto& [d, rem] : q.pending) {
+      if (d > eff_deadline_ns) break;
+      ahead += rem;
+    }
+    const uint64_t drained = t > q.drained_to ? t - q.drained_to : 0;
+    return ahead > drained ? ahead - drained : 0;
+  }
+  if (!ct.sfq) {
     return r.stats.free_ns > t ? r.stats.free_ns - t : 0;
   }
   // SFQ: the wait an op would be charged is its own lane's drain time — a
@@ -70,7 +155,7 @@ CongestionState::Resource* CongestionState::ResourceFor(NodeId node) {
     auto cit = config_.node_caps.find(node);
     const ResourceCapacity cap =
         cit == config_.node_caps.end() ? config_.default_node : cit->second;
-    it = nodes_.emplace(node, Resource{cap, {}, {}}).first;
+    it = nodes_.emplace(node, Resource{cap, {}, {}, {}}).first;
   }
   return &it->second;
 }
@@ -90,24 +175,35 @@ CongestionState::Resource* CongestionState::BackbonePtrLocked() {
   return &backbone_;
 }
 
-int CongestionState::TryAdmitOn(const Resource* link, const Resource* backbone,
-                                uint32_t tenant, uint64_t arrival_ns) const {
-  if (link->cap.max_backlog_ns > 0 &&
-      BacklogAt(*link, tenant, arrival_ns) > link->cap.max_backlog_ns) {
+int CongestionState::TryAdmitOn(const ControlTable& ct, const Resource* link,
+                                const Resource* backbone, uint32_t tenant,
+                                uint64_t arrival_ns,
+                                uint64_t deadline_ns) const {
+  const uint64_t eff = EffectiveDeadline(arrival_ns, deadline_ns);
+  const uint64_t link_bound = ct.BoundFor(tenant, link->cap.max_backlog_ns);
+  if (link_bound > 0 &&
+      BacklogAt(ct, *link, tenant, arrival_ns, eff) > link_bound) {
     return 1;
   }
-  if (backbone != nullptr && backbone->cap.max_backlog_ns > 0 &&
-      BacklogAt(*backbone, tenant, arrival_ns) >
-          backbone->cap.max_backlog_ns) {
-    return 2;
+  if (backbone != nullptr) {
+    const uint64_t bb_bound =
+        ct.BoundFor(tenant, backbone->cap.max_backlog_ns);
+    if (bb_bound > 0 &&
+        BacklogAt(ct, *backbone, tenant, arrival_ns, eff) > bb_bound) {
+      return 2;
+    }
   }
   return 0;
 }
 
-uint64_t CongestionState::AdmitOn(Resource* link, Resource* backbone,
-                                  uint32_t tenant, uint64_t arrival_ns,
-                                  uint64_t bytes) const {
-  const bool wfq = config_.wfq_enabled();
+uint64_t CongestionState::AdmitOn(const ControlTable& ct, Resource* link,
+                                  Resource* backbone, uint32_t tenant,
+                                  uint64_t arrival_ns, uint64_t bytes,
+                                  uint64_t deadline_ns) const {
+  const bool edf = config_.edf_enabled();
+  // The deadline is absolute, so both resources rank the op by the same
+  // effective value even though it reaches the backbone later.
+  const uint64_t eff = EffectiveDeadline(arrival_ns, deadline_ns);
 
   // The op transits its target node's link, then the shared backbone
   // (cut-through: it is admitted to the backbone as soon as it starts
@@ -115,32 +211,37 @@ uint64_t CongestionState::AdmitOn(Resource* link, Resource* backbone,
   uint64_t t = arrival_ns;
 
   if (!link->cap.unlimited()) {
-    t = wfq ? AdmitOneSfq(link, tenant, t, bytes)
-            : AdmitOneFifo(link, t, bytes);
+    t = edf      ? AdmitOneEdf(link, t, bytes, eff)
+        : ct.sfq ? AdmitOneSfq(ct, link, tenant, t, bytes)
+                 : AdmitOneFifo(link, t, bytes);
   }
 
   if (backbone != nullptr) {
-    t = wfq ? AdmitOneSfq(backbone, tenant, t, bytes)
-            : AdmitOneFifo(backbone, t, bytes);
+    t = edf      ? AdmitOneEdf(backbone, t, bytes, eff)
+        : ct.sfq ? AdmitOneSfq(ct, backbone, tenant, t, bytes)
+                 : AdmitOneFifo(backbone, t, bytes);
   }
 
   return t - arrival_ns;
 }
 
 bool CongestionState::TryAdmit(NodeId node, uint32_t tenant,
-                               uint64_t arrival_ns) {
+                               uint64_t arrival_ns, uint64_t deadline_ns) {
   if (PartitionEffects* eff = CurrentPartitionEffects()) {
-    return eff->ShardFor(this)->TryAdmit(node, tenant, arrival_ns);
+    return eff->ShardFor(this)->TryAdmit(node, tenant, arrival_ns,
+                                         deadline_ns);
   }
-  return TryAdmitAuthoritative(node, tenant, arrival_ns);
+  return TryAdmitAuthoritative(node, tenant, arrival_ns, deadline_ns);
 }
 
 bool CongestionState::TryAdmitAuthoritative(NodeId node, uint32_t tenant,
-                                            uint64_t arrival_ns) {
+                                            uint64_t arrival_ns,
+                                            uint64_t deadline_ns) {
+  const ControlTable& ct = controls();
   std::lock_guard<std::mutex> lock(mu_);
   Resource* link = ResourceFor(node);
   Resource* backbone = BackbonePtrLocked();
-  switch (TryAdmitOn(link, backbone, tenant, arrival_ns)) {
+  switch (TryAdmitOn(ct, link, backbone, tenant, arrival_ns, deadline_ns)) {
     case 1:
       link->stats.rejections++;
       return false;
@@ -153,19 +254,37 @@ bool CongestionState::TryAdmitAuthoritative(NodeId node, uint32_t tenant,
 }
 
 uint64_t CongestionState::Admit(NodeId node, uint32_t tenant,
-                                uint64_t arrival_ns, uint64_t bytes) {
+                                uint64_t arrival_ns, uint64_t bytes,
+                                uint64_t deadline_ns) {
   if (PartitionEffects* eff = CurrentPartitionEffects()) {
-    return eff->ShardFor(this)->Admit(node, tenant, arrival_ns, bytes);
+    return eff->ShardFor(this)->Admit(node, tenant, arrival_ns, bytes,
+                                      deadline_ns);
   }
-  return AdmitAuthoritative(node, tenant, arrival_ns, bytes);
+  return AdmitAuthoritative(node, tenant, arrival_ns, bytes, deadline_ns);
 }
 
 uint64_t CongestionState::AdmitAuthoritative(NodeId node, uint32_t tenant,
                                              uint64_t arrival_ns,
-                                             uint64_t bytes) {
+                                             uint64_t bytes,
+                                             uint64_t deadline_ns) {
+  const ControlTable& ct = controls();
   std::lock_guard<std::mutex> lock(mu_);
-  return AdmitOn(ResourceFor(node), BackbonePtrLocked(), tenant, arrival_ns,
-                 bytes);
+  return AdmitOn(ct, ResourceFor(node), BackbonePtrLocked(), tenant,
+                 arrival_ns, bytes, deadline_ns);
+}
+
+uint64_t CongestionState::BacklogEstimate(NodeId node, uint32_t tenant,
+                                          uint64_t arrival_ns,
+                                          uint64_t deadline_ns) {
+  if (PartitionEffects* eff = CurrentPartitionEffects()) {
+    return eff->ShardFor(this)->BacklogEstimate(node, tenant, arrival_ns,
+                                                deadline_ns);
+  }
+  const ControlTable& ct = controls();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Resource* r = ResourceFor(node);
+  return BacklogAt(ct, *r, tenant, arrival_ns,
+                   EffectiveDeadline(arrival_ns, deadline_ns));
 }
 
 CongestionState::Resource* CongestionState::Shard::LocalFor(NodeId node) {
@@ -188,33 +307,51 @@ CongestionState::Resource* CongestionState::Shard::LocalBackbone() {
 }
 
 bool CongestionState::Shard::TryAdmit(NodeId node, uint32_t tenant,
-                                      uint64_t arrival_ns) {
+                                      uint64_t arrival_ns,
+                                      uint64_t deadline_ns) {
+  const ControlTable& ct = owner_->controls();
   Resource* link = LocalFor(node);
   Resource* backbone = LocalBackbone();
-  const int rej = owner_->TryAdmitOn(link, backbone, tenant, arrival_ns);
+  const int rej =
+      owner_->TryAdmitOn(ct, link, backbone, tenant, arrival_ns, deadline_ns);
   if (rej == 0) return true;
   // Local scratch counter (kept coherent for BacklogAt reads); the
   // authoritative counter is bumped when the logged event replays.
   (rej == 1 ? link : backbone)->stats.rejections++;
-  log_.push_back(Event{Event::kReject, rej == 2, node, tenant, arrival_ns, 0});
+  log_.push_back(Event{Event::kReject, rej == 2, node, tenant, arrival_ns, 0,
+                       deadline_ns});
   return false;
 }
 
 uint64_t CongestionState::Shard::Admit(NodeId node, uint32_t tenant,
-                                       uint64_t arrival_ns, uint64_t bytes) {
+                                       uint64_t arrival_ns, uint64_t bytes,
+                                       uint64_t deadline_ns) {
+  const ControlTable& ct = owner_->controls();
   Resource* link = LocalFor(node);
   Resource* backbone = LocalBackbone();
-  log_.push_back(
-      Event{Event::kAdmit, false, node, tenant, arrival_ns, bytes});
-  return owner_->AdmitOn(link, backbone, tenant, arrival_ns, bytes);
+  log_.push_back(Event{Event::kAdmit, false, node, tenant, arrival_ns, bytes,
+                       deadline_ns});
+  return owner_->AdmitOn(ct, link, backbone, tenant, arrival_ns, bytes,
+                         deadline_ns);
+}
+
+uint64_t CongestionState::Shard::BacklogEstimate(NodeId node, uint32_t tenant,
+                                                 uint64_t arrival_ns,
+                                                 uint64_t deadline_ns) {
+  const ControlTable& ct = owner_->controls();
+  const Resource* r = LocalFor(node);
+  return owner_->BacklogAt(
+      ct, *r, tenant, arrival_ns,
+      owner_->EffectiveDeadline(arrival_ns, deadline_ns));
 }
 
 void CongestionState::MergeShard(Shard* shard) {
+  const ControlTable& ct = controls();
   std::lock_guard<std::mutex> lock(mu_);
   for (const Shard::Event& e : shard->log_) {
     if (e.kind == Shard::Event::kAdmit) {
-      AdmitOn(ResourceFor(e.node), BackbonePtrLocked(), e.tenant,
-              e.arrival_ns, e.bytes);
+      AdmitOn(ct, ResourceFor(e.node), BackbonePtrLocked(), e.tenant,
+              e.arrival_ns, e.bytes, e.deadline_ns);
     } else {
       Resource* r = e.backbone ? BackbonePtrLocked() : ResourceFor(e.node);
       if (r != nullptr) r->stats.rejections++;
@@ -223,7 +360,7 @@ void CongestionState::MergeShard(Shard* shard) {
   // Drop the epoch's copies: the next epoch re-snapshots the merged state.
   shard->log_.clear();
   shard->nodes_.clear();
-  shard->backbone_ = Resource{/*cap=*/{}, {}, {}};
+  shard->backbone_ = Resource{/*cap=*/{}, {}, {}, {}};
   shard->backbone_copied_ = false;
 }
 
@@ -267,9 +404,11 @@ void CongestionState::Reset() {
   for (auto& [id, r] : nodes_) {
     r.stats = ResourceStats{};
     r.lanes.clear();
+    r.edf = EdfQueue{};
   }
   backbone_.stats = ResourceStats{};
   backbone_.lanes.clear();
+  backbone_.edf = EdfQueue{};
 }
 
 }  // namespace disagg

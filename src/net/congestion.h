@@ -1,8 +1,10 @@
 #ifndef DISAGG_NET_CONGESTION_H_
 #define DISAGG_NET_CONGESTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -32,7 +34,8 @@ struct ResourceCapacity {
   /// the resource's backlog is rejected up front with `Status::Busy` instead
   /// of being charged unbounded queueing delay (the throttling real
   /// disaggregated stores apply at the NIC/service tier). 0 = unbounded
-  /// queue, every op is eventually served.
+  /// queue, every op is eventually served. Tenants may carry a tighter or
+  /// looser bound via `TenantControl::max_backlog_ns`.
   uint64_t max_backlog_ns = 0;
 
   uint64_t ServiceNs(uint64_t bytes) const {
@@ -46,6 +49,30 @@ struct ResourceCapacity {
     const uint64_t s = ServiceNs(bytes);
     return s == 0 ? 0.0 : 1e9 / static_cast<double>(s);
   }
+};
+
+/// Queueing discipline applied at every constrained resource.
+enum class QueueDiscipline : uint8_t {
+  /// FIFO by arrival, or start-time fair queueing keyed by
+  /// `NetContext::tenant` when `tenant_weights` is non-empty (the historical
+  /// behavior; bit-parity with pre-discipline builds is pinned by tests).
+  kTenantFair = 0,
+  /// Earliest-deadline-first over `FabricOp::deadline_ns`: pending work is
+  /// served in absolute-deadline order in a fluid model. Ops without a
+  /// deadline are assigned `arrival + edf_default_slack_ns`, which both
+  /// ranks them against real deadlines and bounds their wait (work arriving
+  /// later with deadlines beyond that horizon queues behind them — EDF here
+  /// cannot starve deadline-less traffic). Tenant weights are ignored in
+  /// this mode; per-tenant admission bounds still apply.
+  kEdf = 1,
+};
+
+/// Per-tenant scheduling controls, updatable at run time (the SLO
+/// controller's actuators). A tenant absent from the table uses the config
+/// defaults.
+struct TenantControl {
+  double weight = 1.0;          ///< SFQ share (ignored under EDF)
+  uint64_t max_backlog_ns = 0;  ///< 0 = inherit the resource's bound
 };
 
 /// Which resources exist and how big they are. Congestion is strictly
@@ -66,15 +93,25 @@ struct CongestionConfig {
   /// default) keeps the strict FIFO-by-arrival discipline and bit-identical
   /// counters; any entry switches every constrained resource to weighted
   /// fair queueing keyed by `NetContext::tenant`. Tenants absent from the
-  /// map get `default_weight`.
+  /// map get `default_weight`. These are only the *initial* weights: the
+  /// live table is a `TenantControl` snapshot that
+  /// `CongestionState::UpdateTenantControls` can republish at run time.
   std::map<uint32_t, double> tenant_weights;
   double default_weight = 1.0;
+
+  /// Queueing discipline at constrained resources (see QueueDiscipline).
+  QueueDiscipline discipline = QueueDiscipline::kTenantFair;
+
+  /// EDF only: the slack granted to deadline-less ops (their effective
+  /// deadline is `arrival + slack`).
+  uint64_t edf_default_slack_ns = 1'000'000;
 
   /// Sim time charged to an op rejected by admission control (the cost of
   /// learning "no": one NACKed round trip / doorbell, not a full service).
   uint64_t rejection_cost_ns = 100;
 
   bool wfq_enabled() const { return !tenant_weights.empty(); }
+  bool edf_enabled() const { return discipline == QueueDiscipline::kEdf; }
 
   double WeightFor(uint32_t tenant) const {
     auto it = tenant_weights.find(tenant);
@@ -105,10 +142,25 @@ struct CongestionConfig {
 /// exactly; competing backlogged tenants converge to throughput shares
 /// proportional to their weights.
 ///
-/// Admission control (`ResourceCapacity::max_backlog_ns`) bounds how far
-/// behind a resource an op may queue: `TryAdmit` is consulted before the op
+/// With `discipline = kEdf` each resource keeps pending work bucketed by
+/// absolute deadline and drains it earliest-deadline-first as virtual time
+/// advances; an op's wait is the not-yet-drained work with deadlines at or
+/// before its own.
+///
+/// Admission control (`ResourceCapacity::max_backlog_ns`, per-tenant
+/// override via `TenantControl::max_backlog_ns`) bounds how far behind a
+/// resource an op may queue: `TryAdmit` is consulted before the op
 /// executes, and a rejected op is failed fast with `Status::Busy`, charged
 /// only `CongestionConfig::rejection_cost_ns`.
+///
+/// Live reconfiguration: per-tenant weights and admission bounds live in an
+/// immutable `TenantControl` table published through an atomic snapshot
+/// pointer (the PR-7 config-snapshot pattern — the `std::shared_ptr` under
+/// `mu_` owns, the raw atomic mirrors for lock-free per-op reads).
+/// `UpdateTenantControls` swaps the whole table; in-flight ops see either
+/// the old or the new table, never a torn mix. The SLO controller publishes
+/// only at epoch barriers, so under the parallel driver every partition in
+/// an epoch reads the same table and determinism is preserved.
 ///
 /// Determinism: admission order is the order of `Admit()` calls. The
 /// `sim::LoadDriver` schedules clients in global virtual-time order, which
@@ -123,23 +175,44 @@ struct CongestionConfig {
 /// epoch barrier, in partition order, via `MergeShard`.
 class CongestionState {
  public:
-  explicit CongestionState(CongestionConfig config)
-      : config_(std::move(config)) {}
+  explicit CongestionState(CongestionConfig config);
 
   /// Admission control check for an op from `tenant` arriving at
   /// `arrival_ns`, BEFORE it executes (its byte count may not be known yet;
-  /// the backlog an op waits behind is independent of its own size). Returns
-  /// false — and bumps the rejecting resource's `rejections` counter — when
-  /// the estimated wait at the node link or the backbone exceeds that
-  /// resource's `max_backlog_ns`. Always true for unbounded resources.
-  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns);
+  /// the backlog an op waits behind is independent of its own size).
+  /// `deadline_ns` is the op's absolute deadline (0 = none; used only by the
+  /// EDF discipline to rank the op). Returns false — and bumps the rejecting
+  /// resource's `rejections` counter — when the estimated wait at the node
+  /// link or the backbone exceeds the tenant's effective backlog bound.
+  /// Always true for unbounded resources.
+  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                uint64_t deadline_ns = 0);
 
   /// Admits one op moving `bytes` bytes to/from `node`, arriving at the
-  /// client's virtual time `arrival_ns`. Returns the queueing delay to
-  /// charge the client; advances the busy windows of the node's link and
-  /// the backbone.
+  /// client's virtual time `arrival_ns` with absolute deadline `deadline_ns`
+  /// (0 = none). Returns the queueing delay to charge the client; advances
+  /// the busy windows of the node's link and the backbone.
   uint64_t Admit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
-                 uint64_t bytes);
+                 uint64_t bytes, uint64_t deadline_ns = 0);
+
+  /// The queueing delay an op from `tenant` (absolute deadline
+  /// `deadline_ns`, 0 = none) arriving at `arrival_ns` would currently be
+  /// charged at `node`'s link — the signal join-shortest-virtual-queue
+  /// placement ranks candidates by. Routed through the partition's shard
+  /// view under the epoch-parallel driver, so placement decisions are a
+  /// pure function of the partition schedule (thread-count independent).
+  uint64_t BacklogEstimate(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                           uint64_t deadline_ns = 0);
+
+  /// Atomically publishes a new per-tenant control table (weights +
+  /// admission bounds). Tenants absent from `controls` fall back to the
+  /// config defaults (`default_weight`, the resource's own bound). Intended
+  /// to be called from epoch barriers / setup code; per-op readers are
+  /// lock-free and see either the previous or the new table in full.
+  void UpdateTenantControls(const std::map<uint32_t, TenantControl>& controls);
+
+  /// The control currently in force for `tenant` (weight + bound override).
+  TenantControl ControlFor(uint32_t tenant) const;
 
   /// Accumulated accounting for one resource.
   struct ResourceStats {
@@ -165,7 +238,8 @@ class CongestionState {
   /// Total admission-control rejections across all resources.
   uint64_t total_rejections() const;
 
-  /// Clears all busy windows and stats (capacities are kept).
+  /// Clears all busy windows and stats (capacities and tenant controls are
+  /// kept).
   void Reset();
 
   const CongestionConfig& config() const { return config_; }
@@ -184,16 +258,50 @@ class CongestionState {
   void MergeShard(Shard* shard);
 
  private:
+  /// The immutable per-tenant control table. Rebuilt wholesale by
+  /// `UpdateTenantControls`; readers grab one pointer and use it for the
+  /// whole op.
+  struct ControlTable {
+    bool sfq = false;  ///< SFQ discipline active (frozen from the config)
+    double default_weight = 1.0;
+    std::map<uint32_t, TenantControl> tenants;
+
+    double WeightFor(uint32_t tenant) const {
+      auto it = tenants.find(tenant);
+      const double w = it == tenants.end() ? default_weight : it->second.weight;
+      return w > 0.0 ? w : 1.0;
+    }
+    /// Effective admission bound: the tenant's override when set, else the
+    /// resource's own bound. 0 = unbounded.
+    uint64_t BoundFor(uint32_t tenant, uint64_t resource_bound_ns) const {
+      auto it = tenants.find(tenant);
+      if (it == tenants.end() || it->second.max_backlog_ns == 0) {
+        return resource_bound_ns;
+      }
+      return it->second.max_backlog_ns;
+    }
+  };
+
   /// A tenant's lane at one resource (SFQ mode only).
   struct Lane {
     uint64_t free_ns = 0;    ///< lane's virtual finish time
     uint64_t ops = 0;        ///< ops serviced for this tenant
   };
 
+  /// Pending work bucketed by absolute deadline (EDF mode only). The map is
+  /// the not-yet-drained fluid backlog as of `drained_to`; admission drains
+  /// elapsed virtual time from the earliest buckets before ranking the new
+  /// op.
+  struct EdfQueue {
+    uint64_t drained_to = 0;
+    std::map<uint64_t, uint64_t> pending;  // deadline -> remaining service ns
+  };
+
   struct Resource {
     ResourceCapacity cap;
     ResourceStats stats;
     std::map<uint32_t, Lane> lanes;  // SFQ mode: tenant -> lane
+    EdfQueue edf;                    // EDF mode
   };
 
   /// Starts service for one op on `r` at `>= t` under strict FIFO; returns
@@ -202,38 +310,70 @@ class CongestionState {
 
   /// SFQ mode: serves one op from `tenant`'s lane; returns the op's fluid
   /// completion time (>= t + service; the excess is the queueing delay).
-  uint64_t AdmitOneSfq(Resource* r, uint32_t tenant, uint64_t t,
-                       uint64_t bytes) const;
+  uint64_t AdmitOneSfq(const ControlTable& ct, Resource* r, uint32_t tenant,
+                       uint64_t t, uint64_t bytes) const;
+
+  /// EDF mode: drains elapsed work deadline-first, queues the op behind
+  /// pending work with deadlines <= its own, returns its service start.
+  static uint64_t AdmitOneEdf(Resource* r, uint64_t t, uint64_t bytes,
+                              uint64_t eff_deadline_ns);
 
   /// The wait an op from `tenant` arriving at `t` would be charged before
   /// its service begins (0 for unlimited resources).
-  uint64_t BacklogAt(const Resource& r, uint32_t tenant, uint64_t t) const;
+  uint64_t BacklogAt(const ControlTable& ct, const Resource& r,
+                     uint32_t tenant, uint64_t t,
+                     uint64_t eff_deadline_ns) const;
 
   /// The full admission arithmetic on caller-supplied resources (backbone
   /// may be null = unconstrained). Single-sourced so the authoritative
   /// path, partition shards, and barrier replay are bit-identical.
-  uint64_t AdmitOn(Resource* link, Resource* backbone, uint32_t tenant,
-                   uint64_t arrival_ns, uint64_t bytes) const;
+  uint64_t AdmitOn(const ControlTable& ct, Resource* link, Resource* backbone,
+                   uint32_t tenant, uint64_t arrival_ns, uint64_t bytes,
+                   uint64_t deadline_ns) const;
 
   /// 0 = admitted, 1 = link would reject, 2 = backbone would reject.
   /// Pure check; the caller bumps the rejecting resource's counter.
-  int TryAdmitOn(const Resource* link, const Resource* backbone,
-                 uint32_t tenant, uint64_t arrival_ns) const;
+  int TryAdmitOn(const ControlTable& ct, const Resource* link,
+                 const Resource* backbone, uint32_t tenant,
+                 uint64_t arrival_ns, uint64_t deadline_ns) const;
+
+  /// The effective deadline EDF ranks an op by (deadline-less ops get
+  /// `arrival + edf_default_slack_ns`).
+  uint64_t EffectiveDeadline(uint64_t arrival_ns, uint64_t deadline_ns) const {
+    return deadline_ns != 0 ? deadline_ns
+                            : arrival_ns + config_.edf_default_slack_ns;
+  }
+
+  /// Lock-free load of the current control table (valid for the lifetime of
+  /// the reading op: retired tables are kept alive; see controls_retired_).
+  const ControlTable& controls() const {
+    return *controls_snapshot_.load(std::memory_order_acquire);
+  }
 
   Resource* ResourceFor(NodeId node);          // lazily created
   const Resource* FindResource(NodeId node) const;
   Resource* BackbonePtrLocked();  // null when the backbone is unlimited
 
   bool TryAdmitAuthoritative(NodeId node, uint32_t tenant,
-                             uint64_t arrival_ns);
+                             uint64_t arrival_ns, uint64_t deadline_ns);
   uint64_t AdmitAuthoritative(NodeId node, uint32_t tenant,
-                              uint64_t arrival_ns, uint64_t bytes);
+                              uint64_t arrival_ns, uint64_t bytes,
+                              uint64_t deadline_ns);
 
   const CongestionConfig config_;
   mutable std::mutex mu_;
   std::map<NodeId, Resource> nodes_;  // lazily created on first op
-  Resource backbone_{/*cap=*/{}, {}, {}};
+  Resource backbone_{/*cap=*/{}, {}, {}, {}};
   bool backbone_init_ = false;
+
+  // Tenant-control snapshot: shared_ptr (under mu_) owns, raw atomic
+  // mirrors for the per-op hot path. Old tables are parked in
+  // controls_retired_ rather than freed so a reader that loaded the pointer
+  // just before a swap finishes its op safely; the handful of controller
+  // epochs per run makes the retired list tiny.
+  std::shared_ptr<const ControlTable> controls_current_;
+  std::vector<std::shared_ptr<const ControlTable>> controls_retired_;
+  std::atomic<const ControlTable*> controls_snapshot_{nullptr};
 };
 
 /// Partition-local view of one `CongestionState` for the epoch-parallel
@@ -247,11 +387,16 @@ class CongestionState::Shard {
   explicit Shard(CongestionState* owner) : owner_(owner) {}
 
   /// Mirror of `CongestionState::TryAdmit` against this partition's view.
-  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns);
+  bool TryAdmit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                uint64_t deadline_ns);
 
   /// Mirror of `CongestionState::Admit` against this partition's view.
   uint64_t Admit(NodeId node, uint32_t tenant, uint64_t arrival_ns,
-                 uint64_t bytes);
+                 uint64_t bytes, uint64_t deadline_ns);
+
+  /// Mirror of `CongestionState::BacklogEstimate` (read-only; not logged).
+  uint64_t BacklogEstimate(NodeId node, uint32_t tenant, uint64_t arrival_ns,
+                           uint64_t deadline_ns);
 
   CongestionState* owner() const { return owner_; }
   size_t pending_events() const { return log_.size(); }
@@ -267,6 +412,7 @@ class CongestionState::Shard {
     uint32_t tenant = 0;
     uint64_t arrival_ns = 0;
     uint64_t bytes = 0;
+    uint64_t deadline_ns = 0;
   };
 
   Resource* LocalFor(NodeId node);  // copy-on-first-touch from the owner
@@ -274,7 +420,7 @@ class CongestionState::Shard {
 
   CongestionState* const owner_;
   std::map<NodeId, Resource> nodes_;
-  Resource backbone_{/*cap=*/{}, {}, {}};
+  Resource backbone_{/*cap=*/{}, {}, {}, {}};
   bool backbone_copied_ = false;
   std::vector<Event> log_;
 };

@@ -109,6 +109,36 @@ std::shared_ptr<CongestionState> Fabric::congestion() const {
   return congestion_;
 }
 
+void Fabric::DeclareSlo(uint32_t tenant, SloSpec spec) {
+  std::lock_guard<std::mutex> lock(slo_mu_);
+  slo_specs_[tenant] = spec;
+}
+
+std::map<uint32_t, SloSpec> Fabric::slo_specs() const {
+  std::lock_guard<std::mutex> lock(slo_mu_);
+  return slo_specs_;
+}
+
+NodeId Fabric::JoinShortestQueue(const std::vector<NodeId>& candidates,
+                                 const NetContext& ctx) const {
+  if (candidates.empty()) return 0;
+  CongestionState* congestion =
+      congestion_snapshot_.load(std::memory_order_acquire);
+  if (congestion == nullptr) return candidates.front();
+  NodeId best = candidates.front();
+  uint64_t best_backlog = congestion->BacklogEstimate(
+      best, ctx.tenant, ctx.sim_ns, ctx.deadline_ns);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const uint64_t b = congestion->BacklogEstimate(
+        candidates[i], ctx.tenant, ctx.sim_ns, ctx.deadline_ns);
+    if (b < best_backlog) {
+      best = candidates[i];
+      best_backlog = b;
+    }
+  }
+  return best;
+}
+
 Status Fabric::Execute(FabricOp* op, NetContext* ctx) {
   op->tenant = ctx->tenant;  // interceptors may rewrite it further down
   op->deadline_ns = ctx->deadline_ns;
@@ -183,7 +213,7 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
   // bound is refused before touching the wire — no data moves, and the
   // client pays only the (small) cost of learning "no". The Busy status
   // flows into any installed RetryInterceptor like app-level contention.
-  if (!congestion->TryAdmit(op->node, op->tenant, arrival)) {
+  if (!congestion->TryAdmit(op->node, op->tenant, arrival, op->deadline_ns)) {
     ctx->Charge(congestion->config().rejection_cost_ns);
     ctx->admission_rejects++;
     op->admission_rejected = true;
@@ -199,8 +229,8 @@ Status Fabric::ExecuteCore(FabricOp* op, NetContext* ctx) {
   // Ops rejected before touching the wire (bad target, bounds) move no bytes
   // and occupy nothing; anything that transferred data holds its resources.
   if (st.ok() || bytes > 0) {
-    const uint64_t delay =
-        congestion->Admit(op->node, op->tenant, arrival, bytes);
+    const uint64_t delay = congestion->Admit(op->node, op->tenant, arrival,
+                                             bytes, op->deadline_ns);
     if (delay > 0) {
       ctx->Charge(delay);
       ctx->queue_ns += delay;

@@ -191,6 +191,14 @@ class FabricInterceptor {
                            const FabricOpInvoker& next) = 0;
 };
 
+/// A tenant's declared latency contract, registered on the fabric with
+/// `Fabric::DeclareSlo`. The fabric itself only stores the declarations;
+/// the SLO controller (src/net/slo_controller.h) reads them each control
+/// epoch and steers the WFQ/admission/staleness actuators toward them.
+struct SloSpec {
+  uint64_t p99_target_ns = 0;  ///< 0 = no latency contract (best effort)
+};
+
 /// The simulated data-center fabric: a registry of nodes plus the one-sided
 /// and two-sided primitives. Data movement is real (memcpy / atomics on the
 /// region bytes); time is simulated via the interconnect cost models.
@@ -319,6 +327,24 @@ class Fabric {
   /// concurrently.
   std::shared_ptr<CongestionState> congestion() const;
 
+  // ---- Multi-tenant SLOs and placement -------------------------------
+
+  /// Declares (or replaces) `tenant`'s latency contract. Config-time, like
+  /// node registration: declare before driving load.
+  void DeclareSlo(uint32_t tenant, SloSpec spec);
+
+  /// All declared contracts, keyed by tenant.
+  std::map<uint32_t, SloSpec> slo_specs() const;
+
+  /// Join-shortest-virtual-queue placement: returns the candidate node whose
+  /// link would impose the smallest queueing delay on an op issued by `ctx`
+  /// right now (ties break to the earliest candidate in `candidates`). With
+  /// congestion disabled every queue is empty and the first candidate wins.
+  /// Under the epoch-parallel driver the backlogs read are the partition's
+  /// own shard view, so placement is deterministic at any thread count.
+  NodeId JoinShortestQueue(const std::vector<NodeId>& candidates,
+                           const NetContext& ctx) const;
+
  private:
   using InterceptorChain = std::vector<std::shared_ptr<FabricInterceptor>>;
 
@@ -361,6 +387,9 @@ class Fabric {
   std::atomic<CongestionState*> congestion_snapshot_{nullptr};
 
   std::atomic<bool> op_batching_{false};
+
+  std::map<uint32_t, SloSpec> slo_specs_;  // declared tenant contracts
+  mutable std::mutex slo_mu_;
 };
 
 /// A fabric operation lowered to a single descriptor: the verb tag selects

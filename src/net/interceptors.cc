@@ -265,10 +265,18 @@ Status HedgeInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
   FabricOp primary_op = *op;
   Status primary_st = next(&primary_op, &primary);
 
-  if (primary.sim_ns <= fire_ns) {
+  if (primary.sim_ns <= fire_ns ||
+      (op->deadline_ns != 0 && fire_ns >= op->deadline_ns)) {
     // Completed (either way) before the timer: no backup was ever sent.
     // Fork + single-branch JoinParallel is arithmetically identical to
     // inline execution, so an installed-but-idle hedge changes no counter.
+    //
+    // The second disjunct is the deadline guard: the deadline is ABSOLUTE
+    // virtual time and `Fork()` copies it verbatim, so a backup issued at
+    // `fire_ns` races the SAME budget the primary has — strictly less of it,
+    // never more. When the timer lands at or past the deadline the backup
+    // would be refused pre-wire (`deadline_exhausted`) with certainty; it
+    // cannot win, so it is never issued and no hedge is counted.
     JoinParallel(ctx, &primary, 1);
     *op = primary_op;
     return primary_st;

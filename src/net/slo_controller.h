@@ -1,0 +1,167 @@
+#ifndef DISAGG_NET_SLO_CONTROLLER_H_
+#define DISAGG_NET_SLO_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace disagg {
+
+/// Degrade-ladder actuation seam: anything owning a per-tenant staleness
+/// bound (the `RowEngine` degrade ladder in src/core) implements this so the
+/// SLO controller can loosen it for a tenant that cannot meet its target any
+/// other way — without src/net depending on engine headers.
+class StalenessActuator {
+ public:
+  virtual ~StalenessActuator() = default;
+  virtual void SetTenantStaleness(uint32_t tenant,
+                                  uint64_t max_staleness_lsn) = 0;
+};
+
+/// Multi-tenant SLO control plane.
+///
+/// Tenants declare p99 latency targets on the fabric (`Fabric::DeclareSlo`).
+/// The load drivers feed the controller one observation per completed op and
+/// call `EndEpoch` at every virtual-time epoch barrier (serial driver) /
+/// epoch merge point (parallel driver). Each epoch the controller compares
+/// every declared tenant's observed p99 against its target and steers three
+/// actuators, in escalation order:
+///
+///   1. WFQ weight (`TenantControl::weight`): a missing tenant's share of
+///      every constrained resource is raised multiplicatively (damped by
+///      `gain`, at most doubling per epoch); a tenant comfortably beating
+///      its target returns headroom. No effect unless the congestion config
+///      enabled SFQ (`tenant_weights` non-empty).
+///   2. Admission bound (`TenantControl::max_backlog_ns`): seeded at
+///      `backlog_fraction x target`; tightened while missing (ops that would
+///      queue past the bound are refused `Busy` instead of blowing the
+///      tail), relaxed while meeting. The bound never leaves
+///      `[backlog_min_fraction, backlog_max_fraction] x target`.
+///   3. Staleness (`DegradePolicy` per-tenant bound, via registered
+///      `StalenessActuator`s): the last resort — only stepped up when both
+///      the weight and the admission bound are already saturated.
+///
+/// A tenant whose observed/target ratio lands in the deadband
+/// `[deadband_lo, 1.0]` is *meeting*: no actuator moves, which makes the
+/// deadband the controller's fixed point under stationary load. Steps are
+/// proportional to the miss, so they vanish near the deadband edges — the
+/// loop converges instead of hunting.
+///
+/// Infeasibility: a tenant that keeps missing for `infeasible_epochs`
+/// consecutive epochs with every actuator saturated is flagged infeasible
+/// and its actuation is FROZEN at the saturated values — the declared SLO
+/// set is reported as impossible rather than oscillated around.
+///
+/// Determinism: actuation happens only inside `EndEpoch`, which both
+/// drivers call at epoch barriers while no ops are in flight. The parallel
+/// driver accumulates per-partition `Sample`s and ingests them in
+/// partition-id order; `Sample::Merge` is commutative and associative over
+/// that order, so the controller's inputs — and therefore every decision —
+/// are bit-identical at any thread count.
+class SloController {
+ public:
+  struct Options {
+    /// Minimum per-tenant latency samples in an epoch before the controller
+    /// will steer that tenant (thin evidence holds the actuators).
+    uint64_t min_samples = 16;
+    /// Damping of the multiplicative weight step (factor = 1 + gain*excess).
+    double gain = 0.4;
+    /// Lower edge of the meeting deadband (observed/target in
+    /// [deadband_lo, 1] = meeting, hold actuators).
+    double deadband_lo = 0.80;
+    double min_weight = 0.125;
+    double max_weight = 64.0;
+    /// Consecutive no-change epochs before a tenant counts as converged.
+    uint32_t converge_epochs = 3;
+    /// Consecutive saturated-and-missing epochs before the infeasible flag.
+    uint32_t infeasible_epochs = 4;
+    /// Admission-bound actuation (disable to run weight/staleness only).
+    bool actuate_admission = true;
+    double backlog_fraction = 1.0;      ///< initial bound = fraction*target
+    double backlog_min_fraction = 0.25; ///< tightening floor
+    double backlog_max_fraction = 4.0;  ///< relaxation ceiling
+    /// Staleness actuation step / cap (LSNs of allowed staleness).
+    uint64_t staleness_step_lsn = 16;
+    uint64_t staleness_max_lsn = 1024;
+  };
+
+  SloController(Fabric* fabric, Options opts);
+
+  /// Registers a degrade ladder the controller may loosen per tenant. The
+  /// target's engine-wide `DegradePolicy` must already be enabled by the
+  /// operator; the controller only moves the per-tenant bound.
+  void AddDegradeTarget(StalenessActuator* target);
+
+  /// Per-tenant observations accumulated over one epoch. Additive and
+  /// commutative so partition ingestion order cannot affect decisions.
+  struct Sample {
+    uint64_t ops = 0;   ///< all completed attempts
+    uint64_t ok = 0;    ///< successful ops (the latency population)
+    uint64_t busy = 0;  ///< admission refusals (excluded from latency)
+    uint64_t err = 0;   ///< other failures (excluded from latency)
+    Histogram latency;
+
+    void Add(uint64_t latency_ns, const Status& st);
+    void Merge(const Sample& other);
+  };
+  using EpochObservations = std::map<uint32_t, Sample>;
+
+  /// One completed-op observation (serial driver feed).
+  void Observe(uint32_t tenant, uint64_t latency_ns, const Status& st);
+
+  /// Bulk feed: merges one partition's epoch of observations (parallel
+  /// driver, called at the barrier in partition-id order).
+  void Ingest(const EpochObservations& obs);
+
+  /// Closes the control epoch ending at `epoch_end_ns`: runs the feedback
+  /// step over the epoch's observations, publishes any changed tenant
+  /// controls to the fabric's congestion state and staleness targets, and
+  /// clears the observation buffer. Must be called with no ops in flight.
+  void EndEpoch(uint64_t epoch_end_ns);
+
+  /// Controller-visible state of one tenant.
+  struct TenantState {
+    SloSpec spec;
+    double weight = 1.0;
+    uint64_t backlog_bound_ns = 0;    ///< 0 = not actuating admission
+    uint64_t staleness_bound_lsn = 0;
+    double observed_p99_ns = 0.0;     ///< last epoch with enough samples
+    uint64_t epoch_ops = 0;           ///< ops seen in that epoch
+    uint64_t epoch_busy = 0;          ///< refusals in that epoch
+    bool meeting = false;
+    uint32_t stable_epochs = 0;       ///< consecutive epochs w/o actuation
+    uint32_t saturated_epochs = 0;    ///< consecutive saturated misses
+    bool infeasible = false;
+  };
+
+  TenantState StateFor(uint32_t tenant) const;
+  /// Every declared tenant is either in the deadband long enough to count
+  /// as converged, pinned at an actuator clamp, or flagged infeasible.
+  bool AllConverged() const;
+  bool AnyInfeasible() const;
+  uint64_t epochs() const { return epochs_; }
+
+  /// One line per tenant: target, observed, actuators, flags.
+  std::string ToString() const;
+
+ private:
+  TenantState& EnsureTenant(uint32_t tenant, const SloSpec& spec);
+  void PublishControls();
+
+  Fabric* const fabric_;
+  const Options opts_;
+  std::vector<StalenessActuator*> degrade_targets_;
+  EpochObservations obs_;
+  std::map<uint32_t, TenantState> tenants_;
+  uint64_t epochs_ = 0;
+  bool staleness_dirty_ = false;
+};
+
+}  // namespace disagg
+
+#endif  // DISAGG_NET_SLO_CONTROLLER_H_

@@ -61,6 +61,14 @@ inline uint64_t NextGapNs(const OpenLoopOptions& opts, double period_ns,
   return static_cast<uint64_t>(-std::log(1.0 - u) * period_ns);
 }
 
+/// Epoch end for the epoch containing `at_ns` (epochs are half-open
+/// [k*epoch_ns, (k+1)*epoch_ns) windows of virtual time). Shared by the
+/// parallel driver's barrier schedule and the serial drivers' SLO-controller
+/// epoch hook, so both fire `EndEpoch` at identical instants.
+inline uint64_t EpochEndFor(uint64_t at_ns, uint64_t epoch_ns) {
+  return (at_ns / epoch_ns + 1) * epoch_ns;
+}
+
 /// First arrival of client `c`'s open-loop stream.
 inline uint64_t FirstArrivalNs(const OpenLoopOptions& opts, double period_ns,
                                uint64_t c, Random* arrival_rng) {

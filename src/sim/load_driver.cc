@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "net/slo_controller.h"
 #include "sim/driver_internal.h"
 #include "sim/parallel_driver.h"
 
@@ -32,12 +33,27 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     rngs.emplace_back(ClientSeed(opts.seed, c));
   }
 
+  // With an SLO controller attached the serial path imposes the SAME epoch
+  // structure as the parallel driver: process ops while they fall inside the
+  // epoch, fire EndEpoch at the boundary, jump over empty epochs. Epoch ends
+  // are identical virtual instants, so controller decisions match the
+  // partitions=1 parallel run bit for bit.
+  SloController* const ctrl = opts.parallel.controller;
+  const uint64_t epoch_ns =
+      opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
+  uint64_t epoch_end = epoch_ns;
+
   std::priority_queue<Runnable, std::vector<Runnable>, std::greater<Runnable>>
       ready;
   for (uint64_t c = 0; c < opts.clients; c++) ready.push({0, c});
 
   while (!ready.empty()) {
     const Runnable r = ready.top();
+    if (ctrl != nullptr && r.at_ns >= epoch_end) {
+      ctrl->EndEpoch(epoch_end);
+      report.epochs++;
+      epoch_end = internal::EpochEndFor(r.at_ns, epoch_ns);
+    }
     ready.pop();
     NetContext* ctx = &ctxs[r.client];
     const uint64_t before = ctx->sim_ns;
@@ -49,6 +65,7 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
       if (st.IsBusy()) report.busy++;
     }
     report.latency.Record(ctx->sim_ns - before);
+    if (ctrl != nullptr) ctrl->Observe(ctx->tenant, ctx->sim_ns - before, st);
     if (record) {
       report.trace.push_back(LoadReport::OpTrace{
           before, ctx->sim_ns, r.client, issued[r.client], st.code()});
@@ -57,6 +74,10 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     if (++issued[r.client] < opts.ops_per_client) {
       ready.push({ctx->sim_ns, r.client});
     }
+  }
+  if (ctrl != nullptr) {
+    ctrl->EndEpoch(epoch_end);
+    report.epochs++;
   }
 
   report.per_client_sim_ns.reserve(opts.clients);
@@ -102,12 +123,26 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
         {internal::FirstArrivalNs(opts, period_ns, c, &arrival_rngs[c]), c});
   }
 
+  // Mirror of the closed-loop controller hook (see RunClosedLoop): the first
+  // epoch is the one holding the earliest arrival, exactly as the parallel
+  // driver seeds its barrier schedule.
+  SloController* const ctrl = opts.parallel.controller;
+  const uint64_t epoch_ns =
+      opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
+  uint64_t epoch_end =
+      internal::EpochEndFor(arrivals.top().at_ns, epoch_ns);
+
   // Completion times of issued ops, for the in-flight (queue depth) gauge.
   std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
       completions;
 
   while (!arrivals.empty()) {
     const Runnable a = arrivals.top();
+    if (ctrl != nullptr && a.at_ns >= epoch_end) {
+      ctrl->EndEpoch(epoch_end);
+      report.epochs++;
+      epoch_end = internal::EpochEndFor(a.at_ns, epoch_ns);
+    }
     arrivals.pop();
 
     // Ops whose completion precedes this arrival have left the system.
@@ -129,6 +164,7 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
       if (st.IsBusy()) report.busy++;
     }
     report.latency.Record(ctx.sim_ns - a.at_ns);
+    if (ctrl != nullptr) ctrl->Observe(ctx.tenant, ctx.sim_ns - a.at_ns, st);
     if (record) {
       report.trace.push_back(LoadReport::OpTrace{
           a.at_ns, ctx.sim_ns, a.client, issued[a.client], st.code()});
@@ -145,6 +181,10 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
           {a.at_ns + internal::NextGapNs(opts, period_ns, &arrival_rngs[a.client]),
            a.client});
     }
+  }
+  if (ctrl != nullptr) {
+    ctrl->EndEpoch(epoch_end);
+    report.epochs++;
   }
 
   report.per_client_sim_ns.reserve(opts.clients);

@@ -12,6 +12,9 @@
 #include "net/net_context.h"
 
 namespace disagg {
+
+class SloController;  // src/net/slo_controller.h
+
 namespace sim {
 
 /// Default virtual-time epoch width for the epoch-parallel driver (100 us):
@@ -42,6 +45,16 @@ struct ParallelConfig {
   uint32_t partitions = 0;  ///< client partitions; 0 = legacy serial driver
   uint64_t epoch_ns = 0;    ///< epoch width; 0 = kDefaultEpochNs
   bool record_trace = false;  ///< fill `LoadReport::trace` (one record/op)
+
+  /// SLO control plane hook: when set, every completed op is reported to
+  /// the controller (tenant taken from the op's context) and
+  /// `SloController::EndEpoch` fires at every epoch barrier. The serial
+  /// drivers (`partitions == 0`) impose the same `epoch_ns` epoch structure
+  /// when a controller is attached, firing `EndEpoch` at identical virtual
+  /// instants as the parallel driver — controller decisions are a pure
+  /// function of (seed, workload, partitions, epoch_ns), never of
+  /// `threads`. Not owned.
+  SloController* controller = nullptr;
 };
 
 /// Options for one closed-loop load run: N logical clients, each issuing
@@ -140,7 +153,8 @@ struct LoadReport {
   };
   std::vector<OpTrace> trace;
 
-  /// Epoch barriers the run crossed (0 on the legacy serial path).
+  /// Epoch barriers the run crossed (0 on the legacy serial path, unless an
+  /// SLO controller imposed its epoch structure there).
   uint64_t epochs = 0;
 
   double ThroughputOpsPerSec() const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/partition.h"
+#include "net/slo_controller.h"
 #include "sim/driver_internal.h"
 
 namespace disagg {
@@ -109,7 +110,26 @@ struct Partition {
   Histogram latency;
   std::vector<LoadReport::OpTrace> records;
   PartitionEffects effects;
+  /// Per-tenant SLO observations accumulated this epoch (controller runs
+  /// only); ingested at the barrier in partition-id order and cleared.
+  SloController::EpochObservations obs;
 };
+
+/// Barrier leg for the SLO control plane: feed every partition's epoch of
+/// observations to the controller in partition-id order (Sample::Merge is
+/// commutative, so this order is a convention, not a load-bearing choice),
+/// then run the control step. Workers are parked at the barrier, so the
+/// actuation the controller publishes is seen by every partition of the
+/// next epoch — and by none of the current one.
+void ControllerBarrier(SloController* ctrl, std::vector<Partition>* parts,
+                       uint64_t epoch_end) {
+  if (ctrl == nullptr) return;
+  for (Partition& part : *parts) {
+    ctrl->Ingest(part.obs);
+    part.obs.clear();
+  }
+  ctrl->EndEpoch(epoch_end);
+}
 
 /// Barrier leg: replay every shard this partition accumulated into the
 /// authoritative objects. Called on the main thread, partitions in
@@ -136,11 +156,7 @@ bool TraceLess(const LoadReport::OpTrace& a, const LoadReport::OpTrace& b) {
   return a.op_index < b.op_index;
 }
 
-/// Epoch end for the epoch containing `at_ns` (epochs are half-open
-/// [k*epoch_ns, (k+1)*epoch_ns) windows of virtual time).
-uint64_t EpochEndFor(uint64_t at_ns, uint64_t epoch_ns) {
-  return (at_ns / epoch_ns + 1) * epoch_ns;
-}
+using internal::EpochEndFor;
 
 /// Smallest pending event time across all partitions, or UINT64_MAX.
 uint64_t MinPending(const std::vector<Partition>& parts) {
@@ -209,6 +225,7 @@ LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
   for (uint64_t c = 0; c < opts.clients; c++) parts[c % P].heap.push({0, c});
 
   EpochPool pool(opts.parallel.threads, P);
+  SloController* const ctrl = opts.parallel.controller;
   uint64_t epoch_end = epoch_ns;
   for (;;) {
     pool.Run([&](uint32_t p) {
@@ -227,6 +244,9 @@ LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
           if (st.IsBusy()) part.busy++;
         }
         part.latency.Record(ctx->sim_ns - before);
+        if (ctrl != nullptr) {
+          part.obs[ctx->tenant].Add(ctx->sim_ns - before, st);
+        }
         if (record) {
           part.records.push_back(LoadReport::OpTrace{
               before, ctx->sim_ns, r.client, issued[r.client], st.code()});
@@ -239,6 +259,7 @@ LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     });
     report.epochs++;
     for (Partition& part : parts) MergeEffects(&part.effects);
+    ControllerBarrier(ctrl, &parts, epoch_end);
 
     const uint64_t next = MinPending(parts);
     if (next == std::numeric_limits<uint64_t>::max()) break;
@@ -286,6 +307,7 @@ LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
   }
 
   EpochPool pool(opts.parallel.threads, P);
+  SloController* const ctrl = opts.parallel.controller;
   uint64_t epoch_end = EpochEndFor(MinPending(parts), epoch_ns);
   for (;;) {
     pool.Run([&](uint32_t p) {
@@ -304,6 +326,9 @@ LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
           if (st.IsBusy()) part.busy++;
         }
         part.latency.Record(ctx.sim_ns - a.at_ns);
+        if (ctrl != nullptr) {
+          part.obs[ctx.tenant].Add(ctx.sim_ns - a.at_ns, st);
+        }
         // Records are always kept open-loop: the queue-depth gauge is a
         // post-pass over the canonical arrival order.
         part.records.push_back(LoadReport::OpTrace{
@@ -320,6 +345,7 @@ LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
     });
     report.epochs++;
     for (Partition& part : parts) MergeEffects(&part.effects);
+    ControllerBarrier(ctrl, &parts, epoch_end);
 
     const uint64_t next = MinPending(parts);
     if (next == std::numeric_limits<uint64_t>::max()) break;

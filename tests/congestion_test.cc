@@ -691,5 +691,151 @@ TEST_F(CongestionTest, RegressionParallelMergeTakesMaxAndCarriesQueueNs) {
   EXPECT_EQ(parent.sim_ns, 1300u);
 }
 
+TEST_F(CongestionTest, UpdateTenantControlsSwapsWeightsAndBoundsLive) {
+  // The SLO controller's actuation path: a mid-run UpdateTenantControls must
+  // change both the SFQ lane arithmetic and the admission verdicts of
+  // subsequent ops, with exact before/after values.
+  CongestionConfig cfg;
+  cfg.node_caps[node_] = ResourceCapacity{1000, 0.0};
+  cfg.tenant_weights[1] = 1.0;
+  cfg.tenant_weights[2] = 1.0;
+  fabric_.EnableCongestion(cfg);
+
+  char buf[8];
+  NetContext a, b;
+  a.tenant = 1;
+  b.tenant = 2;
+  ASSERT_TRUE(fabric_.Read(&a, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&b, At(0), buf, 8).ok());
+  EXPECT_EQ(a.queue_ns, 0u);     // equal weights: the WFQ baseline
+  EXPECT_EQ(b.queue_ns, 1000u);  // stretch 2000, virtual start 1000
+
+  // The controller publishes: tenant 1 gets weight 3 and a 2000 ns
+  // admission bound; tenant 2 keeps weight 1 (bound 0 = inherit).
+  fabric_.congestion()->UpdateTenantControls(
+      {{1, TenantControl{3.0, 2'000}}, {2, TenantControl{1.0, 0}}});
+  const TenantControl c1 = fabric_.congestion()->ControlFor(1);
+  EXPECT_DOUBLE_EQ(c1.weight, 3.0);
+  EXPECT_EQ(c1.max_backlog_ns, 2'000u);
+  EXPECT_DOUBLE_EQ(fabric_.congestion()->ControlFor(2).weight, 1.0);
+
+  // At t=10000 both lanes are idle again; the new weights give exact new
+  // lane arithmetic: tenant 2's op stretches 4x (active 4 / weight 1),
+  // tenant 1's only 4/3.
+  NetContext c, d, e;
+  c.tenant = 1;
+  d.tenant = 2;
+  e.tenant = 1;
+  c.Charge(10'000);
+  d.Charge(10'000);
+  e.Charge(10'000);
+  ASSERT_TRUE(fabric_.Read(&c, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&d, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Read(&e, At(0), buf, 8).ok());
+  EXPECT_EQ(c.queue_ns, 0u);
+  EXPECT_EQ(d.queue_ns, 3'000u);  // stretch 1000 * 4/1, start 13000
+  EXPECT_EQ(e.queue_ns, 1'333u);  // stretch 1000 * 4/3 on a 1000-deep lane
+
+  // Tenant 1's lane is now 2333 ns deep (12333 - 10000): past its new
+  // 2000 ns bound, so its next op is refused — while tenant 2, with no
+  // override, inherits the resource's unbounded default and is admitted.
+  NetContext f, g;
+  f.tenant = 1;
+  g.tenant = 2;
+  f.Charge(10'000);
+  g.Charge(10'000);
+  EXPECT_TRUE(fabric_.Read(&f, At(0), buf, 8).IsBusy());
+  EXPECT_EQ(f.admission_rejects, 1u);
+  ASSERT_TRUE(fabric_.Read(&g, At(0), buf, 8).ok());
+  EXPECT_EQ(g.queue_ns, 7'000u);  // lane 4000 deep + stretch 4000 - service
+}
+
+TEST_F(CongestionTest, ExecuteBatchMidBatchBusyMatchesLoopedExecutes) {
+  // Uncoalesced ExecuteBatch under admission control: when the first member
+  // fills the queue past the bound, every later member is refused Busy and
+  // charged rejection_cost_ns ONCE each — and the whole ledger (statuses,
+  // charges, resource stats) is bit-identical to issuing the same six ops
+  // through fabric.Read one by one.
+  auto build = [](Fabric* fabric, NodeId* node, MemoryRegion** region) {
+    *node = fabric->AddNode("mem0", NodeKind::kMemory,
+                            InterconnectModel::Rdma());
+    *region = fabric->node(*node)->AddRegion("heap", 1 << 20);
+    CongestionConfig cfg;
+    auto& cap = cfg.node_caps[*node];
+    cap = ResourceCapacity{10'000, 0.0};  // one member fills 10 us
+    cap.max_backlog_ns = 5'000;
+    cfg.rejection_cost_ns = 77;
+    fabric->EnableCongestion(cfg);
+  };
+
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  char buf[6][8];
+
+  // Arm 1: one six-member batch on a single context.
+  Fabric batch_fabric;
+  NodeId batch_node = 0;
+  MemoryRegion* batch_region = nullptr;
+  build(&batch_fabric, &batch_node, &batch_region);
+  std::vector<Fabric::BatchOp> members(6);
+  for (size_t i = 0; i < members.size(); i++) {
+    members[i].verb = FabricVerb::kRead;
+    members[i].addr = RemoteAddr{batch_region->id(), 8 * i};
+    members[i].dst = buf[i];
+    members[i].n = 8;
+  }
+  NetContext batch_ctx;
+  const Status batch_st =
+      batch_fabric.ExecuteBatch(&batch_ctx, batch_node, &members);
+
+  // Member 1 is admitted (wait 0) and its service fills the queue to
+  // 10000 ns; members 2..6 arrive 2502, 2579, ... (each rejection advanced
+  // the clock by 77) against backlog > 5000 and are all refused.
+  EXPECT_TRUE(batch_st.IsBusy());  // first error propagates
+  EXPECT_TRUE(members[0].status.ok());
+  for (size_t i = 1; i < members.size(); i++) {
+    EXPECT_TRUE(members[i].status.IsBusy()) << "member " << i;
+  }
+  EXPECT_EQ(batch_ctx.sim_ns, read_cost + 5 * 77);
+  EXPECT_EQ(batch_ctx.admission_rejects, 5u);
+  EXPECT_EQ(batch_ctx.queue_ns, 0u);
+  EXPECT_EQ(batch_ctx.bytes_in, 8u);  // only the admitted member's bytes
+
+  // Arm 2: the same six ops as plain Reads on a twin fabric.
+  Fabric loop_fabric;
+  NodeId loop_node = 0;
+  MemoryRegion* loop_region = nullptr;
+  build(&loop_fabric, &loop_node, &loop_region);
+  NetContext loop_ctx;
+  Status loop_first_err = Status::OK();
+  std::vector<Status> loop_statuses;
+  for (size_t i = 0; i < members.size(); i++) {
+    GlobalAddr addr{loop_node, loop_region->id(), 8 * i};
+    loop_statuses.push_back(loop_fabric.Read(&loop_ctx, addr, buf[i], 8));
+    if (!loop_statuses.back().ok() && loop_first_err.ok()) {
+      loop_first_err = loop_statuses.back();
+    }
+  }
+
+  EXPECT_EQ(batch_st.code(), loop_first_err.code());
+  for (size_t i = 0; i < members.size(); i++) {
+    EXPECT_EQ(members[i].status.code(), loop_statuses[i].code());
+  }
+  EXPECT_EQ(batch_ctx.sim_ns, loop_ctx.sim_ns);
+  EXPECT_EQ(batch_ctx.queue_ns, loop_ctx.queue_ns);
+  EXPECT_EQ(batch_ctx.admission_rejects, loop_ctx.admission_rejects);
+  EXPECT_EQ(batch_ctx.bytes_in, loop_ctx.bytes_in);
+  EXPECT_EQ(batch_ctx.round_trips, loop_ctx.round_trips);
+
+  const auto batch_stats = batch_fabric.congestion()->NodeStats(batch_node);
+  const auto loop_stats = loop_fabric.congestion()->NodeStats(loop_node);
+  EXPECT_EQ(batch_stats.ops, 1u);
+  EXPECT_EQ(batch_stats.rejections, 5u);
+  EXPECT_EQ(batch_stats.ops, loop_stats.ops);
+  EXPECT_EQ(batch_stats.rejections, loop_stats.rejections);
+  EXPECT_EQ(batch_stats.busy_ns, loop_stats.busy_ns);
+  EXPECT_EQ(batch_stats.queue_ns, loop_stats.queue_ns);
+  EXPECT_EQ(batch_stats.free_ns, loop_stats.free_ns);
+}
+
 }  // namespace
 }  // namespace disagg
