@@ -36,7 +36,7 @@ fi
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
            congestion_test load_driver_test histogram_test degrade_test
            shared_log_test log_backend_parity_test parallel_sim_test
-           slo_controller_test)
+           slo_controller_test memnode_executor_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -122,6 +122,17 @@ DISAGG_E25_ASSERT=1 ./build/bench/bench_e25_shared_log \
 # bit-identical across worker threads 1/2/8 (see bench_e27_slo's header).
 echo "==> E27 SLO control-plane smoke (controller vs static WFQ vs EDF)"
 DISAGG_E27_ASSERT=1 ./build/bench/bench_e27_slo \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E28 offload smoke: with DISAGG_E28_ASSERT=1 the bench self-checks the
+# near-data concurrency offload — offloaded lookups are exactly one fabric
+# RTT (one `exec.idx.get` Call, zero one-sided verbs) while one-sided pays
+# >= depth reads; at >= 64 zipfian clients the offloaded path beats
+# one-sided on throughput and p99; and the offload chaos schedules (index +
+# WOUND_WAIT lock table) replay violation-free with executor crash
+# interludes taken (see bench_e28_offload's header).
+echo "==> E28 near-data offload smoke (one-sided vs memory-node executor)"
+DISAGG_E28_ASSERT=1 ./build/bench/bench_e28_offload \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "log/shared_log.h"
+#include "memnode/executor.h"
 #include "txn/recovery.h"
 
 namespace disagg {
@@ -13,6 +14,12 @@ RowEngine::~RowEngine() = default;
 
 void RowEngine::AdoptSharedLog(std::unique_ptr<SharedLogService> shared_log) {
   owned_shared_log_ = std::move(shared_log);
+}
+
+void RowEngine::AdoptConcurrencyOffload(
+    std::unique_ptr<ConcurrencyOffload> offload) {
+  owned_offload_ = std::move(offload);
+  tm_.set_lock_backend(owned_offload_->lock_client());
 }
 
 Result<Page*> RowEngine::GetPage(NetContext* ctx, PageId id) {
@@ -56,7 +63,7 @@ Result<Page*> RowEngine::PageForInsert(NetContext* ctx, size_t bytes) {
 }
 
 Status RowEngine::Insert(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
-  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(ctx, txn, key));
   if (index_.count(key)) return Status::InvalidArgument("key exists");
   DISAGG_ASSIGN_OR_RETURN(Page * page, PageForInsert(ctx, row.size()));
   const uint16_t slot = page->slot_count();
@@ -71,7 +78,7 @@ Status RowEngine::Insert(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
 }
 
 Status RowEngine::Update(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
-  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(ctx, txn, key));
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
   DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
@@ -102,7 +109,7 @@ Status RowEngine::Update(NetContext* ctx, TxnId txn, uint64_t key, Slice row) {
 }
 
 Status RowEngine::Delete(NetContext* ctx, TxnId txn, uint64_t key) {
-  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(txn, key));
+  DISAGG_RETURN_NOT_OK(tm_.LockExclusive(ctx, txn, key));
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
   DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, it->second.page));
@@ -127,7 +134,7 @@ Result<std::string> RowEngine::Read(NetContext* ctx, TxnId txn, uint64_t key) {
 
 Result<std::string> RowEngine::ReadImpl(NetContext* ctx, TxnId txn,
                                         uint64_t key, bool allow_degraded) {
-  DISAGG_RETURN_NOT_OK(tm_.LockShared(txn, key));
+  DISAGG_RETURN_NOT_OK(tm_.LockShared(ctx, txn, key));
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
   auto page = allow_degraded ? GetPageForRead(ctx, it->second.page)
@@ -145,7 +152,7 @@ Status RowEngine::Commit(NetContext* ctx, TxnId txn) {
 }
 
 Status RowEngine::Abort(NetContext* ctx, TxnId txn) {
-  const std::vector<LogRecord> undo = tm_.Abort(txn);  // newest first
+  const std::vector<LogRecord> undo = tm_.Abort(ctx, txn);  // newest first
   stats_.aborts++;
   for (const LogRecord& r : undo) {
     DISAGG_ASSIGN_OR_RETURN(Page * page, GetPage(ctx, r.page_id));
@@ -206,7 +213,7 @@ Result<std::string> RowEngine::GetRow(NetContext* ctx, uint64_t key) {
 Result<std::string> RowEngine::GetRowReadOnly(NetContext* ctx, uint64_t key) {
   const TxnId txn = Begin();
   auto row = ReadImpl(ctx, txn, key, /*allow_degraded=*/true);
-  tm_.EndReadOnly(txn);
+  tm_.EndReadOnly(ctx, txn);
   return row;
 }
 

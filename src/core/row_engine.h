@@ -13,6 +13,7 @@
 namespace disagg {
 
 class SharedLogService;
+class ConcurrencyOffload;
 
 /// Opt-in graceful-degradation ladder for the buffer-miss *read* path: when
 /// the strict fetch fails with `Busy`/`Unavailable`/`TimedOut`, the read is
@@ -135,6 +136,17 @@ class RowEngine : public StalenessActuator {
   /// The adopted shared-log service, or null for legacy-log engines.
   SharedLogService* shared_log() { return owned_shared_log_.get(); }
 
+  /// Takes ownership of a memory-node concurrency-offload bundle
+  /// (registry-built "+offload" variants) and rewires the transaction
+  /// manager's lock backend onto its `OffloadedLockClient`: every row-lock
+  /// acquire/release becomes one RPC to the memory-node lock table instead
+  /// of a compute-local map operation. Config-time only — call before any
+  /// transaction begins. Engines that never adopt keep the compute-local
+  /// `LockManager` with bit-identical behavior and counters.
+  void AdoptConcurrencyOffload(std::unique_ptr<ConcurrencyOffload> offload);
+  /// The adopted offload bundle, or null for local-lock engines.
+  ConcurrencyOffload* concurrency_offload() { return owned_offload_.get(); }
+
   /// LSN of the newest buffered image of `id` (metadata for reader nodes).
   Lsn PageLsn(PageId id) const;
 
@@ -219,6 +231,11 @@ class RowEngine : public StalenessActuator {
   /// (declared after sink_, destroyed first: the sink never dereferences
   /// the service — it only holds the fabric pointer and node ids).
   std::unique_ptr<SharedLogService> owned_shared_log_;
+  /// Owned memory-node lock offload when built via "+offload" names
+  /// (forward-declared like the shared log; destroyed before tm_ is never
+  /// a hazard — tm_ only calls it during transactions, which end before
+  /// teardown).
+  std::unique_ptr<ConcurrencyOffload> owned_offload_;
   WalManager wal_;
   LockManager locks_;
   TxnManager tm_;

@@ -1,0 +1,815 @@
+#include "memnode/executor.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/coding.h"
+
+namespace disagg {
+
+namespace {
+// Mirrors the one-sided client's bounds (src/rindex/remote_btree.cc) so the
+// two protocols converge or starve under the same conditions.
+constexpr int kMaxOptimisticRetries = 64;
+constexpr int kMaxLockSpins = 100000;
+}  // namespace
+
+using offload::LockOutcome;
+
+MemNodeExecutor::MemNodeExecutor(Fabric* fabric, MemoryNode* pool)
+    : fabric_(fabric), pool_(pool) {
+  Node* n = fabric_->node(pool_->node());
+  n->RegisterHandler(offload::kIdxGet,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleIdxGet(req, resp, sctx);
+                     });
+  n->RegisterHandler(offload::kIdxScan,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleIdxScan(req, resp, sctx);
+                     });
+  n->RegisterHandler(offload::kIdxPut,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleIdxPut(req, resp, sctx);
+                     });
+  n->RegisterHandler(offload::kIdxDelete,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleIdxDelete(req, resp, sctx);
+                     });
+  n->RegisterHandler(offload::kLockAcquire,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleLockAcquire(req, resp, sctx);
+                     });
+  n->RegisterHandler(offload::kLockRelease,
+                     [this](Slice req, std::string* resp,
+                            RpcServerContext* sctx) {
+                       return HandleLockRelease(req, resp, sctx);
+                     });
+}
+
+uint32_t MemNodeExecutor::RegisterTree(const RemoteBTree::TreeRef& tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trees_.push_back(tree);
+  return static_cast<uint32_t>(trees_.size() - 1);
+}
+
+void MemNodeExecutor::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fabric_->node(pool_->node())->Fail();
+  crash_after_ = 0;
+  stats_.crashes++;
+}
+
+void MemNodeExecutor::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fabric_->node(pool_->node())->Revive();
+  // The executor's DRAM state (the lock table) died with it; the pool
+  // region — the disaggregated memory — survives. Epoch bump fences every
+  // grant the previous incarnation issued.
+  lock_table_.clear();
+  txns_.clear();
+  wounded_.clear();
+  epoch_++;
+  stats_.recoveries++;
+}
+
+void MemNodeExecutor::ScheduleCrashAfter(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_ = n;
+}
+
+uint64_t MemNodeExecutor::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t MemNodeExecutor::active_locks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lock_table_.size();
+}
+
+MemNodeExecutor::Stats MemNodeExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status MemNodeExecutor::CheckAlive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crash_after_ > 0 && --crash_after_ == 0) {
+    fabric_->node(pool_->node())->Fail();
+    stats_.crashes++;
+    return Status::Unavailable("memory-node executor crashed mid-operation");
+  }
+  return Status::OK();
+}
+
+// ---- Region-local B+tree walker -------------------------------------------
+
+char* MemNodeExecutor::TreeBase(const RemoteBTree::TreeRef& tree) {
+  return fabric_->node(tree.root_ptr.node)->region(tree.root_ptr.region)
+      ->data();
+}
+
+uint64_t MemNodeExecutor::LoadRoot(const RemoteBTree::TreeRef& tree) {
+  auto* word = reinterpret_cast<std::atomic<uint64_t>*>(
+      TreeBase(tree) + tree.root_ptr.offset);
+  return word->load(std::memory_order_acquire);
+}
+
+void MemNodeExecutor::LoadNode(const RemoteBTree::TreeRef& tree,
+                               uint64_t offset, BTreeNodeImage* out,
+                               uint64_t* visited) {
+  char* base = TreeBase(tree);
+  (*visited)++;
+  for (int retry = 0; retry < kMaxOptimisticRetries; retry++) {
+    std::memcpy(out, base + offset, kBTreeNodeBytes);
+    if (out->version_front == out->version_back &&
+        out->version_front % 2 == 0) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+  // A torn image can only persist under a concurrent one-sided writer that
+  // died mid-write; accept the last copy (writers hold the lock word, so
+  // server-side mutations never observe this).
+}
+
+void MemNodeExecutor::StoreNode(const RemoteBTree::TreeRef& tree,
+                                uint64_t offset, BTreeNodeImage* node) {
+  node->version_front += 2;
+  node->version_back = node->version_front;
+  std::memcpy(TreeBase(tree) + offset, node, kBTreeNodeBytes);
+}
+
+Status MemNodeExecutor::LockWordAcquire(const RemoteBTree::TreeRef& tree,
+                                        uint64_t slot) {
+  auto* word = reinterpret_cast<std::atomic<uint64_t>*>(
+      TreeBase(tree) + tree.lock_table.offset + slot * 8);
+  for (int spin = 0; spin < kMaxLockSpins; spin++) {
+    uint64_t expected = 0;
+    if (word->compare_exchange_strong(expected, 1,
+                                      std::memory_order_acq_rel)) {
+      return Status::OK();
+    }
+    std::this_thread::yield();
+  }
+  return Status::Busy("lock acquisition starved");
+}
+
+void MemNodeExecutor::LockWordRelease(const RemoteBTree::TreeRef& tree,
+                                      uint64_t slot) {
+  auto* word = reinterpret_cast<std::atomic<uint64_t>*>(
+      TreeBase(tree) + tree.lock_table.offset + slot * 8);
+  word->store(0, std::memory_order_release);
+}
+
+void MemNodeExecutor::Descend(const RemoteBTree::TreeRef& tree, uint64_t key,
+                              std::vector<uint64_t>* path,
+                              BTreeNodeImage* leaf, uint64_t* visited) {
+  uint64_t offset = LoadRoot(tree);
+  BTreeNodeImage node;
+  while (true) {
+    LoadNode(tree, offset, &node, visited);
+    if (path != nullptr) path->push_back(offset);
+    if (node.level == 0) {
+      // B-link step: a concurrent split may have moved the key right.
+      while (node.nkeys > 0 && key > node.keys[node.nkeys - 1] &&
+             node.next != 0) {
+        offset = node.next;
+        if (path != nullptr) path->back() = offset;
+        LoadNode(tree, offset, &node, visited);
+      }
+      *leaf = node;
+      return;
+    }
+    uint32_t idx = 0;
+    while (idx + 1 < node.nkeys && node.keys[idx + 1] <= key) idx++;
+    offset = node.vals[idx];
+  }
+}
+
+namespace {
+
+/// Sorted insert of (key, value) into a node with room. Matches the
+/// one-sided client's layout logic exactly (bit-identical images).
+void InsertIntoNode(BTreeNodeImage* n, uint64_t key, uint64_t value) {
+  uint32_t pos = 0;
+  while (pos < n->nkeys && n->keys[pos] < key) pos++;
+  for (uint32_t i = n->nkeys; i > pos; i--) {
+    n->keys[i] = n->keys[i - 1];
+    n->vals[i] = n->vals[i - 1];
+  }
+  n->keys[pos] = key;
+  n->vals[pos] = value;
+  n->nkeys++;
+}
+
+}  // namespace
+
+Status MemNodeExecutor::InsertWithSplit(const RemoteBTree::TreeRef& tree,
+                                        uint64_t key, uint64_t value,
+                                        uint64_t* visited) {
+  constexpr uint32_t kFanout = BTreeNodeImage::kFanout;
+  DISAGG_RETURN_NOT_OK(LockWordAcquire(tree, 0));  // SMO lock
+  Status st = [&]() -> Status {
+    std::vector<uint64_t> path;
+    BTreeNodeImage leaf;
+    Descend(tree, key, &path, &leaf, visited);
+    const uint64_t leaf_off = path.back();
+    const uint64_t leaf_slot = BTreeLockSlot(leaf_off, tree.lock_slots);
+    DISAGG_RETURN_NOT_OK(LockWordAcquire(tree, leaf_slot));
+    Status inner = [&]() -> Status {
+      LoadNode(tree, leaf_off, &leaf, visited);
+      for (uint32_t i = 0; i < leaf.nkeys; i++) {
+        if (leaf.keys[i] == key) {
+          leaf.vals[i] = value;
+          StoreNode(tree, leaf_off, &leaf);
+          return Status::OK();
+        }
+      }
+      if (leaf.nkeys < kFanout) {
+        InsertIntoNode(&leaf, key, value);
+        StoreNode(tree, leaf_off, &leaf);
+        return Status::OK();
+      }
+
+      // Split the leaf (allocation is a local call: the allocator is
+      // co-located with the executor — the near-data win).
+      stats_.splits++;
+      DISAGG_ASSIGN_OR_RETURN(GlobalAddr right_addr,
+                              pool_->AllocLocal(kBTreeNodeBytes));
+      const uint64_t right_off = right_addr.offset;
+      BTreeNodeImage right;
+      std::memset(&right, 0, sizeof(right));
+      const uint32_t half = kFanout / 2;
+      right.level = 0;
+      right.nkeys = kFanout - half;
+      std::memcpy(right.keys, leaf.keys + half, right.nkeys * 8);
+      std::memcpy(right.vals, leaf.vals + half, right.nkeys * 8);
+      right.next = leaf.next;
+      leaf.nkeys = half;
+      leaf.next = right_off;
+      InsertIntoNode(key >= right.keys[0] ? &right : &leaf, key, value);
+
+      // Publish right first, then the shrunk left (B-link ordering).
+      StoreNode(tree, right_off, &right);
+      StoreNode(tree, leaf_off, &leaf);
+
+      uint64_t sep = right.keys[0];
+      uint64_t child = right_off;
+      for (size_t depth = path.size(); depth-- > 1;) {
+        const uint64_t parent_off = path[depth - 1];
+        BTreeNodeImage parent;
+        LoadNode(tree, parent_off, &parent, visited);
+        if (parent.nkeys < kFanout) {
+          InsertIntoNode(&parent, sep, child);
+          StoreNode(tree, parent_off, &parent);
+          return Status::OK();
+        }
+        stats_.splits++;
+        DISAGG_ASSIGN_OR_RETURN(GlobalAddr iright_addr,
+                                pool_->AllocLocal(kBTreeNodeBytes));
+        const uint64_t iright_off = iright_addr.offset;
+        BTreeNodeImage iright;
+        std::memset(&iright, 0, sizeof(iright));
+        const uint32_t ihalf = kFanout / 2;
+        iright.level = parent.level;
+        iright.nkeys = kFanout - ihalf;
+        std::memcpy(iright.keys, parent.keys + ihalf, iright.nkeys * 8);
+        std::memcpy(iright.vals, parent.vals + ihalf, iright.nkeys * 8);
+        parent.nkeys = ihalf;
+        InsertIntoNode(sep >= iright.keys[0] ? &iright : &parent, sep, child);
+        StoreNode(tree, iright_off, &iright);
+        StoreNode(tree, parent_off, &parent);
+        sep = iright.keys[0];
+        child = iright_off;
+      }
+
+      // The root itself split: grow the tree.
+      DISAGG_ASSIGN_OR_RETURN(GlobalAddr root_addr,
+                              pool_->AllocLocal(kBTreeNodeBytes));
+      BTreeNodeImage new_root;
+      std::memset(&new_root, 0, sizeof(new_root));
+      BTreeNodeImage old_root;
+      LoadNode(tree, path[0], &old_root, visited);
+      new_root.level = old_root.level + 1;
+      new_root.nkeys = 2;
+      new_root.keys[0] = 0;  // leftmost separator: minus infinity
+      new_root.vals[0] = path[0];
+      new_root.keys[1] = sep;
+      new_root.vals[1] = child;
+      StoreNode(tree, root_addr.offset, &new_root);
+      auto* root_word = reinterpret_cast<std::atomic<uint64_t>*>(
+          TreeBase(tree) + tree.root_ptr.offset);
+      root_word->store(root_addr.offset, std::memory_order_release);
+      return Status::OK();
+    }();
+    LockWordRelease(tree, leaf_slot);
+    return inner;
+  }();
+  LockWordRelease(tree, 0);
+  return st;
+}
+
+// ---- Index handlers --------------------------------------------------------
+
+Status MemNodeExecutor::HandleIdxGet(Slice req, std::string* resp,
+                                     RpcServerContext* sctx) {
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t tree_id = 0, key = 0;
+  if (!GetVarint64(&req, &tree_id) || !GetFixed64(&req, &key)) {
+    return Status::InvalidArgument("malformed exec.idx.get");
+  }
+  RemoteBTree::TreeRef tree;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tree_id >= trees_.size()) {
+      return Status::InvalidArgument("unknown tree id");
+    }
+    tree = trees_[tree_id];
+    stats_.lookups++;
+  }
+  uint64_t visited = 0;
+  BTreeNodeImage leaf;
+  Descend(tree, key, nullptr, &leaf, &visited);
+  sctx->ChargeCompute(offload::kDispatchNs + offload::kNodeVisitNs * visited);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.nodes_visited += visited;
+  }
+  for (uint32_t i = 0; i < leaf.nkeys; i++) {
+    if (leaf.keys[i] == key) {
+      PutFixed64(resp, leaf.vals[i]);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("key not in tree");
+}
+
+Status MemNodeExecutor::HandleIdxScan(Slice req, std::string* resp,
+                                      RpcServerContext* sctx) {
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t tree_id = 0, from = 0, limit = 0;
+  if (!GetVarint64(&req, &tree_id) || !GetFixed64(&req, &from) ||
+      !GetVarint64(&req, &limit)) {
+    return Status::InvalidArgument("malformed exec.idx.scan");
+  }
+  RemoteBTree::TreeRef tree;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tree_id >= trees_.size()) {
+      return Status::InvalidArgument("unknown tree id");
+    }
+    tree = trees_[tree_id];
+    stats_.scans++;
+  }
+  uint64_t visited = 0;
+  BTreeNodeImage leaf;
+  Descend(tree, from, nullptr, &leaf, &visited);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  while (out.size() < limit) {
+    for (uint32_t i = 0; i < leaf.nkeys && out.size() < limit; i++) {
+      if (leaf.keys[i] >= from) out.emplace_back(leaf.keys[i], leaf.vals[i]);
+    }
+    if (leaf.next == 0 || out.size() >= limit) break;
+    LoadNode(tree, leaf.next, &leaf, &visited);
+  }
+  sctx->ChargeCompute(offload::kDispatchNs + offload::kNodeVisitNs * visited +
+                      offload::kEntryNs * out.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.nodes_visited += visited;
+  }
+  PutVarint64(resp, out.size());
+  for (const auto& [k, v] : out) {
+    PutFixed64(resp, k);
+    PutFixed64(resp, v);
+  }
+  return Status::OK();
+}
+
+Status MemNodeExecutor::HandleIdxPut(Slice req, std::string* resp,
+                                     RpcServerContext* sctx) {
+  (void)resp;
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t tree_id = 0, key = 0, value = 0;
+  if (!GetVarint64(&req, &tree_id) || !GetFixed64(&req, &key) ||
+      !GetFixed64(&req, &value)) {
+    return Status::InvalidArgument("malformed exec.idx.put");
+  }
+  RemoteBTree::TreeRef tree;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tree_id >= trees_.size()) {
+      return Status::InvalidArgument("unknown tree id");
+    }
+    tree = trees_[tree_id];
+    stats_.inserts++;
+  }
+  uint64_t visited = 0;
+  Status st = [&]() -> Status {
+    std::vector<uint64_t> path;
+    BTreeNodeImage leaf;
+    Descend(tree, key, &path, &leaf, &visited);
+    const uint64_t leaf_off = path.back();
+    const uint64_t slot = BTreeLockSlot(leaf_off, tree.lock_slots);
+    DISAGG_RETURN_NOT_OK(LockWordAcquire(tree, slot));
+    // Re-read under the lock (the image may have changed since the descent).
+    LoadNode(tree, leaf_off, &leaf, &visited);
+    for (uint32_t i = 0; i < leaf.nkeys; i++) {
+      if (leaf.keys[i] == key) {
+        leaf.vals[i] = value;
+        StoreNode(tree, leaf_off, &leaf);
+        LockWordRelease(tree, slot);
+        return Status::OK();
+      }
+    }
+    if (leaf.nkeys < BTreeNodeImage::kFanout) {
+      InsertIntoNode(&leaf, key, value);
+      StoreNode(tree, leaf_off, &leaf);
+      LockWordRelease(tree, slot);
+      return Status::OK();
+    }
+    LockWordRelease(tree, slot);
+    return InsertWithSplit(tree, key, value, &visited);
+  }();
+  sctx->ChargeCompute(offload::kDispatchNs + offload::kNodeVisitNs * visited);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.nodes_visited += visited;
+  }
+  return st;
+}
+
+Status MemNodeExecutor::HandleIdxDelete(Slice req, std::string* resp,
+                                        RpcServerContext* sctx) {
+  (void)resp;
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t tree_id = 0, key = 0;
+  if (!GetVarint64(&req, &tree_id) || !GetFixed64(&req, &key)) {
+    return Status::InvalidArgument("malformed exec.idx.del");
+  }
+  RemoteBTree::TreeRef tree;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tree_id >= trees_.size()) {
+      return Status::InvalidArgument("unknown tree id");
+    }
+    tree = trees_[tree_id];
+    stats_.deletes++;
+  }
+  uint64_t visited = 0;
+  Status st = [&]() -> Status {
+    std::vector<uint64_t> path;
+    BTreeNodeImage leaf;
+    Descend(tree, key, &path, &leaf, &visited);
+    const uint64_t leaf_off = path.back();
+    const uint64_t slot = BTreeLockSlot(leaf_off, tree.lock_slots);
+    DISAGG_RETURN_NOT_OK(LockWordAcquire(tree, slot));
+    LoadNode(tree, leaf_off, &leaf, &visited);
+    Status inner = Status::NotFound("key not in tree");
+    for (uint32_t i = 0; i < leaf.nkeys; i++) {
+      if (leaf.keys[i] == key) {
+        for (uint32_t j = i; j + 1 < leaf.nkeys; j++) {
+          leaf.keys[j] = leaf.keys[j + 1];
+          leaf.vals[j] = leaf.vals[j + 1];
+        }
+        leaf.nkeys--;  // no merging: leaves may run underfull, as in Sherman
+        StoreNode(tree, leaf_off, &leaf);
+        inner = Status::OK();
+        break;
+      }
+    }
+    LockWordRelease(tree, slot);
+    return inner;
+  }();
+  sctx->ChargeCompute(offload::kDispatchNs + offload::kNodeVisitNs * visited);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.nodes_visited += visited;
+  }
+  return st;
+}
+
+// ---- WOUND_WAIT lock table -------------------------------------------------
+
+LockOutcome MemNodeExecutor::AcquireLocked(TxnId txn, uint64_t key,
+                                           uint8_t mode) {
+  LockEntry& e = lock_table_[key];
+  auto track = [&](bool newly_held) {
+    TxnState& ts = txns_[txn];
+    if (ts.epoch == 0) ts.epoch = epoch_;
+    if (newly_held) ts.keys.push_back(key);
+    stats_.grants++;
+  };
+  // WOUND_WAIT: age is the TxnId (monotonic from Begin — lower = older).
+  // An older requester wounds every younger conflicting holder and then
+  // waits (Busy-retry here: no blocking on an RPC server); a younger
+  // requester just waits. The oldest live txn is never wounded, so some
+  // txn always makes progress — no deadlock, no wedge.
+  auto conflict_with = [&](const std::vector<TxnId>& holders) {
+    stats_.conflicts++;
+    for (TxnId h : holders) {
+      if (txn < h && wounded_.insert(h).second) stats_.wounds++;
+    }
+    if (lock_table_[key].sharers.empty() && lock_table_[key].exclusive == 0) {
+      lock_table_.erase(key);
+    }
+    return LockOutcome::kConflict;
+  };
+
+  if (mode == offload::kModeShared) {
+    if (e.exclusive != 0 && e.exclusive != txn) {
+      return conflict_with({e.exclusive});
+    }
+    track(e.sharers.insert(txn).second);
+    return LockOutcome::kGranted;
+  }
+  // Exclusive.
+  if (e.exclusive != 0) {
+    if (e.exclusive == txn) {
+      stats_.grants++;
+      return LockOutcome::kGranted;
+    }
+    return conflict_with({e.exclusive});
+  }
+  std::vector<TxnId> others;
+  for (TxnId sharer : e.sharers) {
+    if (sharer != txn) others.push_back(sharer);
+  }
+  if (!others.empty()) return conflict_with(others);
+  const bool newly_held = e.sharers.erase(txn) == 0;
+  e.exclusive = txn;
+  track(newly_held);
+  return LockOutcome::kGranted;
+}
+
+void MemNodeExecutor::ReleaseTxnLocked(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) {
+    for (uint64_t key : it->second.keys) {
+      auto te = lock_table_.find(key);
+      if (te == lock_table_.end()) continue;
+      te->second.sharers.erase(txn);
+      if (te->second.exclusive == txn) te->second.exclusive = 0;
+      if (te->second.sharers.empty() && te->second.exclusive == 0) {
+        lock_table_.erase(te);
+      }
+    }
+    txns_.erase(it);
+  }
+  wounded_.erase(txn);
+  stats_.releases++;
+}
+
+Status MemNodeExecutor::HandleLockAcquire(Slice req, std::string* resp,
+                                          RpcServerContext* sctx) {
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t req_epoch = 0, txn = 0, key = 0, npend = 0;
+  if (!GetVarint64(&req, &req_epoch) || !GetFixed64(&req, &txn) ||
+      !GetFixed64(&req, &key) || req.empty()) {
+    return Status::InvalidArgument("malformed exec.lock.acquire");
+  }
+  const uint8_t mode = static_cast<uint8_t>(req[0]);
+  req.remove_prefix(1);
+  if (!GetVarint64(&req, &npend)) {
+    return Status::InvalidArgument("malformed exec.lock.acquire");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.acquires++;
+  for (uint64_t i = 0; i < npend; i++) {
+    uint64_t dead = 0;
+    if (!GetFixed64(&req, &dead)) {
+      return Status::InvalidArgument("malformed exec.lock.acquire");
+    }
+    ReleaseTxnLocked(dead);
+    stats_.piggybacked_releases++;
+  }
+  sctx->ChargeCompute(offload::kDispatchNs +
+                      offload::kLockOpNs * (1 + npend));
+
+  LockOutcome outcome;
+  if (req_epoch != offload::kFreshEpoch && req_epoch != epoch_) {
+    // The grant this txn is building on predates a crash: everything it
+    // held is gone. Fence it rather than silently re-granting.
+    outcome = LockOutcome::kFenced;
+    stats_.fenced++;
+  } else if (wounded_.count(txn) != 0) {
+    outcome = LockOutcome::kWounded;  // wound notice piggybacked on the reply
+    stats_.wounded_observed++;
+  } else {
+    outcome = AcquireLocked(txn, key, mode);
+  }
+  resp->push_back(static_cast<char>(outcome));
+  PutVarint64(resp, epoch_);
+  return Status::OK();
+}
+
+Status MemNodeExecutor::HandleLockRelease(Slice req, std::string* resp,
+                                          RpcServerContext* sctx) {
+  DISAGG_RETURN_NOT_OK(CheckAlive());
+  uint64_t req_epoch = 0, txn = 0, npend = 0;
+  if (!GetVarint64(&req, &req_epoch) || !GetFixed64(&req, &txn) ||
+      !GetVarint64(&req, &npend)) {
+    return Status::InvalidArgument("malformed exec.lock.release");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t i = 0; i < npend; i++) {
+    uint64_t dead = 0;
+    if (!GetFixed64(&req, &dead)) {
+      return Status::InvalidArgument("malformed exec.lock.release");
+    }
+    ReleaseTxnLocked(dead);
+    stats_.piggybacked_releases++;
+  }
+  sctx->ChargeCompute(offload::kDispatchNs +
+                      offload::kLockOpNs * (1 + npend));
+
+  LockOutcome outcome = LockOutcome::kGranted;
+  if (req_epoch != offload::kFreshEpoch && req_epoch != epoch_) {
+    // Pre-crash locks are already gone; the release is a no-op, but tell
+    // the client so it drops its stale grant state.
+    outcome = LockOutcome::kFenced;
+    stats_.fenced++;
+  } else {
+    ReleaseTxnLocked(txn);
+  }
+  resp->push_back(static_cast<char>(outcome));
+  PutVarint64(resp, epoch_);
+  return Status::OK();
+}
+
+// ---- Compute-side clients --------------------------------------------------
+
+Result<uint64_t> OffloadIndexGet(Fabric* fabric, NetContext* ctx, NodeId node,
+                                 uint32_t tree, uint64_t key) {
+  std::string req;
+  PutVarint64(&req, tree);
+  PutFixed64(&req, key);
+  std::string resp;
+  DISAGG_RETURN_NOT_OK(fabric->Call(ctx, node, offload::kIdxGet, req, &resp));
+  Slice in(resp);
+  uint64_t value = 0;
+  if (!GetFixed64(&in, &value)) {
+    return Status::Corruption("exec.idx.get response");
+  }
+  return value;
+}
+
+Status OffloadIndexPut(Fabric* fabric, NetContext* ctx, NodeId node,
+                       uint32_t tree, uint64_t key, uint64_t value) {
+  std::string req;
+  PutVarint64(&req, tree);
+  PutFixed64(&req, key);
+  PutFixed64(&req, value);
+  std::string resp;
+  return fabric->Call(ctx, node, offload::kIdxPut, req, &resp);
+}
+
+Status OffloadIndexDelete(Fabric* fabric, NetContext* ctx, NodeId node,
+                          uint32_t tree, uint64_t key) {
+  std::string req;
+  PutVarint64(&req, tree);
+  PutFixed64(&req, key);
+  std::string resp;
+  return fabric->Call(ctx, node, offload::kIdxDelete, req, &resp);
+}
+
+Result<std::vector<std::pair<uint64_t, uint64_t>>> OffloadIndexScan(
+    Fabric* fabric, NetContext* ctx, NodeId node, uint32_t tree, uint64_t from,
+    size_t limit) {
+  std::string req;
+  PutVarint64(&req, tree);
+  PutFixed64(&req, from);
+  PutVarint64(&req, limit);
+  std::string resp;
+  DISAGG_RETURN_NOT_OK(fabric->Call(ctx, node, offload::kIdxScan, req, &resp));
+  Slice in(resp);
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count)) {
+    return Status::Corruption("exec.idx.scan response");
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t k = 0, v = 0;
+    if (!GetFixed64(&in, &k) || !GetFixed64(&in, &v)) {
+      return Status::Corruption("exec.idx.scan response");
+    }
+    out.emplace_back(k, v);
+  }
+  return out;
+}
+
+std::vector<TxnId> OffloadedLockClient::TakePending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnId> out;
+  out.swap(pending_release_);
+  return out;
+}
+
+void OffloadedLockClient::RestorePending(const std::vector<TxnId>& txns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_release_.insert(pending_release_.begin(), txns.begin(), txns.end());
+}
+
+Status OffloadedLockClient::AcquireLock(NetContext* ctx, TxnId txn,
+                                        uint64_t key, LockMode mode) {
+  NetContext scratch;
+  if (ctx == nullptr) ctx = &scratch;
+  const std::vector<TxnId> pend = TakePending();
+  std::string req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txn_epoch_.find(txn);
+    PutVarint64(&req,
+                it == txn_epoch_.end() ? offload::kFreshEpoch : it->second);
+    stats_.acquires++;
+  }
+  PutFixed64(&req, txn);
+  PutFixed64(&req, key);
+  req.push_back(static_cast<char>(mode == LockMode::kShared
+                                      ? offload::kModeShared
+                                      : offload::kModeExclusive));
+  PutVarint64(&req, pend.size());
+  for (TxnId dead : pend) PutFixed64(&req, dead);
+
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, offload::kLockAcquire, req, &resp);
+  if (!st.ok()) {
+    RestorePending(pend);
+    return st;
+  }
+  Slice in(resp);
+  if (in.empty()) return Status::Corruption("exec.lock.acquire response");
+  const auto outcome = static_cast<offload::LockOutcome>(in[0]);
+  in.remove_prefix(1);
+  uint64_t cur_epoch = 0;
+  if (!GetVarint64(&in, &cur_epoch)) {
+    return Status::Corruption("exec.lock.acquire response");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case offload::LockOutcome::kGranted:
+      txn_epoch_[txn] = cur_epoch;
+      return Status::OK();
+    case offload::LockOutcome::kConflict:
+      stats_.busy++;
+      return Status::Busy("lock conflict at memory-node lock table");
+    case offload::LockOutcome::kWounded:
+      stats_.wounded++;
+      return Status::Aborted("wounded by an older transaction");
+    case offload::LockOutcome::kFenced:
+      stats_.fenced++;
+      txn_epoch_.erase(txn);
+      return Status::Aborted("lock grants fenced by executor recovery");
+  }
+  return Status::Corruption("exec.lock.acquire outcome");
+}
+
+void OffloadedLockClient::ReleaseAllLocks(NetContext* ctx, TxnId txn) {
+  NetContext scratch;
+  if (ctx == nullptr) ctx = &scratch;
+  const std::vector<TxnId> pend = TakePending();
+  std::string req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txn_epoch_.find(txn);
+    PutVarint64(&req,
+                it == txn_epoch_.end() ? offload::kFreshEpoch : it->second);
+    txn_epoch_.erase(txn);
+  }
+  PutFixed64(&req, txn);
+  PutVarint64(&req, pend.size());
+  for (TxnId dead : pend) PutFixed64(&req, dead);
+
+  std::string resp;
+  Status st = fabric_->Call(ctx, node_, offload::kLockRelease, req, &resp);
+  if (!st.ok()) {
+    // Queue everything for the next request: the locks stay held until a
+    // later acquire/release piggybacks these ids or the executor recovers.
+    RestorePending(pend);
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_release_.push_back(txn);
+    stats_.release_rpc_failures++;
+  }
+}
+
+OffloadedLockClient::Stats OffloadedLockClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t OffloadedLockClient::pending_releases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_release_.size();
+}
+
+}  // namespace disagg

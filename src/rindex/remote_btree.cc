@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "memnode/executor.h"
+
 namespace disagg {
 
 namespace {
@@ -158,6 +160,11 @@ Result<uint64_t> RemoteBTree::AllocNode(NetContext* ctx) {
 }
 
 Status RemoteBTree::Put(NetContext* ctx, uint64_t key, uint64_t value) {
+  if (offload_) {
+    stats_.offloaded++;
+    return OffloadIndexPut(fabric_, ctx, offload_node_, offload_tree_, key,
+                           value);
+  }
   std::vector<uint64_t> path;
   NodeImage leaf;
   DISAGG_RETURN_NOT_OK(DescendToLeaf(ctx, key, &path, &leaf));
@@ -331,6 +338,10 @@ Status RemoteBTree::InsertWithSplit(NetContext* ctx, uint64_t key,
 }
 
 Result<uint64_t> RemoteBTree::Get(NetContext* ctx, uint64_t key) {
+  if (offload_) {
+    stats_.offloaded++;
+    return OffloadIndexGet(fabric_, ctx, offload_node_, offload_tree_, key);
+  }
   NodeImage leaf;
   DISAGG_RETURN_NOT_OK(DescendToLeaf(ctx, key, nullptr, &leaf));
   for (uint32_t i = 0; i < leaf.nkeys; i++) {
@@ -340,6 +351,10 @@ Result<uint64_t> RemoteBTree::Get(NetContext* ctx, uint64_t key) {
 }
 
 Status RemoteBTree::Delete(NetContext* ctx, uint64_t key) {
+  if (offload_) {
+    stats_.offloaded++;
+    return OffloadIndexDelete(fabric_, ctx, offload_node_, offload_tree_, key);
+  }
   std::vector<uint64_t> path;
   NodeImage leaf;
   DISAGG_RETURN_NOT_OK(DescendToLeaf(ctx, key, &path, &leaf));
@@ -366,6 +381,11 @@ Status RemoteBTree::Delete(NetContext* ctx, uint64_t key) {
 
 Result<std::vector<std::pair<uint64_t, uint64_t>>> RemoteBTree::Scan(
     NetContext* ctx, uint64_t from, size_t limit) {
+  if (offload_) {
+    stats_.offloaded++;
+    return OffloadIndexScan(fabric_, ctx, offload_node_, offload_tree_, from,
+                            limit);
+  }
   std::vector<std::pair<uint64_t, uint64_t>> out;
   NodeImage leaf;
   DISAGG_RETURN_NOT_OK(DescendToLeaf(ctx, from, nullptr, &leaf));

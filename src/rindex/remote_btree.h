@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "memnode/memory_node.h"
+#include "rindex/btree_layout.h"
 #include "rindex/client_slab.h"
 
 namespace disagg {
@@ -46,6 +47,8 @@ class RemoteBTree {
     uint64_t optimistic_retries = 0;
     uint64_t lock_waits = 0;
     uint64_t splits = 0;
+    uint64_t offloaded = 0;  ///< operations shipped to the memory-node
+                             ///< executor instead of traversed one-sided
   };
 
   /// Shared handle to a tree (created once, attached by any client).
@@ -69,21 +72,28 @@ class RemoteBTree {
                                                           uint64_t from,
                                                           size_t limit);
 
+  /// Switches this handle to near-data mode: every Put/Get/Delete/Scan
+  /// becomes one `exec.idx.*` RPC to the `MemNodeExecutor` at `exec_node`
+  /// that registered this tree as `tree_id` — one fabric round trip per
+  /// operation instead of O(depth) one-sided verbs. The executor walks and
+  /// mutates the SAME region bytes under the SAME lock words, so offloaded
+  /// and one-sided handles interoperate on a live tree. Unconfigured
+  /// handles take the one-sided paths untouched (bit-identical behavior
+  /// and counters to a build without the executor).
+  void EnableOffload(NodeId exec_node, uint32_t tree_id) {
+    offload_ = true;
+    offload_node_ = exec_node;
+    offload_tree_ = tree_id;
+  }
+  bool offload_enabled() const { return offload_; }
+
   const Stats& stats() const { return stats_; }
   const Options& options() const { return options_; }
 
  private:
-  // On-pool node image. POD, memcpy'd wholesale.
-  struct NodeImage {
-    uint64_t version_front;
-    uint32_t level;  // 0 = leaf
-    uint32_t nkeys;
-    uint64_t keys[kFanout];
-    uint64_t vals[kFanout];  // child offsets (internal) or values (leaf)
-    uint64_t next;           // right-sibling offset (leaves), 0 = none
-    uint64_t version_back;
-  };
-  static constexpr size_t kNodeBytes = sizeof(NodeImage);
+  // On-pool node image, shared with the memory-node executor's walker.
+  using NodeImage = BTreeNodeImage;
+  static constexpr size_t kNodeBytes = kBTreeNodeBytes;
 
   GlobalAddr NodeAddr(uint64_t offset) const {
     return GlobalAddr{tree_.root_ptr.node, tree_.root_ptr.region, offset};
@@ -114,6 +124,9 @@ class RemoteBTree {
   Options options_;
   ClientSlab slab_;
   Stats stats_;
+  bool offload_ = false;
+  NodeId offload_node_ = 0;
+  uint32_t offload_tree_ = 0;
 };
 
 }  // namespace disagg

@@ -9,6 +9,7 @@
 #include "core/multi_writer.h"
 #include "log/shared_log.h"
 #include "core/serverless_db.h"
+#include "memnode/executor.h"
 #include "memnode/memory_node.h"
 #include "pm/ford_txn.h"
 #include "pm/pm_node.h"
@@ -353,12 +354,22 @@ class RowEngineChaosAdapter : public ChaosAdapter {
   SharedLogService* shared_log() override { return engine_->shared_log(); }
 
  private:
+  // "aurora+slog+offload" -> "aurora": crash and flap procedures key off
+  // the base architecture, whatever seam stack the registry layered on top.
   static std::string StripSlogSuffix(const std::string& name) {
-    const size_t n = name.size();
-    if (n > 5 && name.compare(n - 5, 5, "+slog") == 0) {
-      return name.substr(0, n - 5);
+    std::string base = name;
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      for (const char* suffix : {"+offload", "+slog"}) {
+        const std::string s(suffix);
+        if (base.size() > s.size() &&
+            base.compare(base.size() - s.size(), s.size(), s) == 0) {
+          base.resize(base.size() - s.size());
+          stripped = true;
+        }
+      }
     }
-    return name;
+    return base;
   }
 
   std::string name_;
@@ -1103,8 +1114,10 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
 
   constexpr uint64_t kKeySpace = 48;
   const bool is_race = kind == "race";
+  const bool is_offload = kind == "offload";
   std::unique_ptr<RaceHash> race;
   std::unique_ptr<RemoteBTree> btree;
+  std::unique_ptr<MemNodeExecutor> exec;
   if (is_race) {
     auto table = RaceHash::Create(&setup, &fabric, &pool, 256);
     if (!table.ok()) {
@@ -1124,6 +1137,13 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
         &fabric, &pool, *tree,
         kind == "lockcouple" ? RemoteBTree::Options::LockCoupling()
                              : RemoteBTree::Options::Sherman());
+    if (is_offload) {
+      // Near-data mode: every op becomes one exec.idx.* RPC. Dropped
+      // replies retry at-least-once through the same budget — the ops are
+      // idempotent, so the exact model still binds.
+      exec = std::make_unique<MemNodeExecutor>(&fabric, &pool);
+      btree->EnableOffload(pool.node(), exec->RegisterTree(*tree));
+    }
   }
 
   // Multi-step index ops have no rollback path, so give-ups would leave the
@@ -1146,7 +1166,19 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
   NetContext ctx;
   auto key_name = [](uint64_t k) { return "k" + std::to_string(k); };
 
+  size_t next_crash = 0;
   for (int i = 0; i < schedule.num_ops; i++) {
+    if (is_offload && next_crash < schedule.crash_points.size() &&
+        i == schedule.crash_points[next_crash]) {
+      // Executor crash + recovery interlude at an op boundary: the service
+      // dies and its lock table would be lost, but the pool region — the
+      // tree bytes — survives, so traversal resumes against intact data.
+      exec->Crash();
+      exec->Recover();
+      report.crashes++;
+      report.trace.push_back({i, 'C', 0, 0, 0, ctx.sim_ns});
+      next_crash++;
+    }
     const uint64_t k = rng.Uniform(kKeySpace);
     const uint64_t v = static_cast<uint64_t>(i) + 1;
     const double dice = rng.NextDouble();
@@ -1250,6 +1282,164 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
             "entries)");
       }
     }
+  }
+  return report;
+}
+
+// -------------------------------------------------------------- Lock chaos
+
+ChaosReport RunLockChaos(uint64_t seed) {
+  ChaosSchedule schedule = ChaosSchedule::FromSeed(seed);
+  ChaosReport report;
+  report.engine = "lock-offload";
+  report.seed = seed;
+
+  Fabric fabric;
+  MemoryNode pool(&fabric, "chaos-lock-pool", 1 << 20);
+  MemNodeExecutor exec(&fabric, &pool);
+  OffloadedLockClient locks(&fabric, pool.node());
+
+  FaultPolicy fp;
+  fp.seed = schedule.seed;
+  fp.drop_prob = schedule.drop_prob;
+  fp.spike_prob = schedule.spike_prob;
+  fp.spike_ns = schedule.spike_ns;
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric.AddInterceptor(fault);
+
+  // K clients, each looping acquire(key1) -> acquire(key2) -> release, over
+  // a small key space with randomized key order — cyclic contention arises
+  // constantly, which is exactly what WOUND_WAIT must survive. The seeded
+  // rng drives both the scheduler (which client acts) and the key picks, so
+  // the whole interleaving replays from the seed.
+  constexpr int kClients = 4;
+  constexpr uint64_t kLockKeys = 6;
+  constexpr int kSteps = 400;
+  // Liveness bound: WOUND_WAIT guarantees the oldest live txn is never
+  // wounded and its holders are either wounded or eventually scheduled to
+  // release, so a window this long with zero grants or releases is a wedge.
+  constexpr int kMaxStepsWithoutProgress = 200;
+
+  struct Client {
+    TxnId txn = 0;
+    int step = 0;  // 0 = acquire first key, 1 = acquire second, 2 = release
+    uint64_t keys[2] = {0, 0};
+  };
+  Client clients[kClients];
+  TxnId next_txn = 1;
+  Random rng(seed * 0x9E3779B97F4A7C15ull + 7);
+  NetContext ctx;
+
+  auto fresh_txn = [&](Client* c) {
+    c->txn = next_txn++;
+    c->step = 0;
+    c->keys[0] = rng.Uniform(kLockKeys);
+    do {
+      c->keys[1] = rng.Uniform(kLockKeys);
+    } while (c->keys[1] == c->keys[0]);
+  };
+  for (auto& c : clients) fresh_txn(&c);
+
+  size_t next_crash = 0;
+  bool down = false;
+  int steps_without_progress = 0;
+  for (int i = 0; i < kSteps; i++) {
+    if (down) {
+      // The executor crashed mid-handoff last step; bring it back before
+      // anyone else acts (bounded outage keeps the liveness check sharp).
+      exec.Recover();
+      down = false;
+      steps_without_progress = 0;
+      report.trace.push_back({i, 'C', 0, 0, 0, ctx.sim_ns});
+    }
+    if (next_crash < schedule.crash_points.size() &&
+        i == schedule.crash_points[next_crash] * kSteps / schedule.num_ops) {
+      // Arm a crash at the START of the next handler invocation: the next
+      // lock request reaches the node and the node dies holding it — a
+      // crash mid-lock-handoff, with no reply and no partial mutation.
+      exec.ScheduleCrashAfter(1);
+      next_crash++;
+    }
+
+    Client& c = clients[rng.Uniform(kClients)];
+    Status st;
+    char kindc;
+    uint64_t key = 0;
+    if (c.step < 2) {
+      kindc = 'L';
+      key = c.keys[c.step];
+      st = locks.AcquireLock(&ctx, c.txn, key, LockMode::kExclusive);
+      if (st.ok()) {
+        c.step++;
+        if (c.step == 2) report.commits++;  // both keys held: txn "commits"
+        steps_without_progress = 0;
+      } else if (st.IsBusy()) {
+        report.busy++;  // wound-wait "wait": retry when next scheduled
+        steps_without_progress++;
+      } else if (st.IsAborted()) {
+        // Wounded or fenced: abort — release and restart as a younger txn.
+        locks.ReleaseAllLocks(&ctx, c.txn);
+        report.aborts++;
+        fresh_txn(&c);
+        steps_without_progress = 0;
+      } else {
+        // Fault-layer failure (drop, crash): outcome unknown — release
+        // conservatively (a failed release queues for piggybacking) and
+        // restart.
+        if (st.IsUnavailable()) down = true;
+        locks.ReleaseAllLocks(&ctx, c.txn);
+        fresh_txn(&c);
+        steps_without_progress++;
+      }
+    } else {
+      kindc = 'U';
+      key = c.txn;  // trace the txn being released
+      locks.ReleaseAllLocks(&ctx, c.txn);
+      fresh_txn(&c);
+      st = Status::OK();
+      steps_without_progress = 0;
+    }
+    report.trace.push_back({i, kindc, key, c.txn,
+                            static_cast<uint8_t>(st.code()), ctx.sim_ns});
+    if (steps_without_progress > kMaxStepsWithoutProgress) {
+      report.violations.push_back(
+          "lock wedge: no grant or release in " +
+          std::to_string(kMaxStepsWithoutProgress) + " scheduler steps");
+      break;
+    }
+  }
+
+  report.drops = fault->drops();
+  report.spikes = fault->spikes();
+  report.fault_ops_seen = fault->ops_seen();
+  report.faults_injected = ctx.faults_injected;
+  report.crashes = exec.stats().crashes;
+
+  // Oracle audit (faults off, executor up): after every client releases,
+  // a fresh transaction must be able to acquire every key — no key may stay
+  // wedged behind a dead client or a pre-crash grant — and the lock table
+  // must drain to empty.
+  fabric.ClearInterceptors();
+  exec.ScheduleCrashAfter(0);  // disarm any crash point the loop never hit
+  if (down) exec.Recover();
+  NetContext octx;
+  for (auto& c : clients) locks.ReleaseAllLocks(&octx, c.txn);
+  const TxnId audit_txn = next_txn++;
+  for (uint64_t k = 0; k < kLockKeys; k++) {
+    Status st = locks.AcquireLock(&octx, audit_txn, k, LockMode::kExclusive);
+    if (!st.ok()) {
+      report.violations.push_back("final: key " + std::to_string(k) +
+                                  " wedged: " + st.ToString());
+    }
+  }
+  locks.ReleaseAllLocks(&octx, audit_txn);
+  if (exec.active_locks() != 0) {
+    report.violations.push_back(
+        "final: lock table not empty after releasing every txn");
+  }
+  if (locks.pending_releases() != 0) {
+    report.violations.push_back(
+        "final: pending piggyback releases survived a successful request");
   }
   return report;
 }

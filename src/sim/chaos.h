@@ -185,7 +185,7 @@ std::unique_ptr<ChaosAdapter> MakeChaosAdapter(const std::string& name,
 struct OpRecord {
   int index = 0;
   char kind = '?';  // T transfer, P put, R read, N neworder, C crash,
-                    // V shared-log view change
+                    // V shared-log view change, L lock acquire, U unlock
   uint64_t a = 0;   // primary key / account
   uint64_t b = 0;   // secondary account (transfers)
   uint8_t status = 0;
@@ -243,8 +243,22 @@ ChaosReport RunEngineChaos(const std::string& engine,
 /// Index chaos: seeded op stream against a remote index under the same
 /// fault schedule, checked against an exact in-memory model; the final
 /// audit verifies the key set (including scan ghost checks for the B+tree).
-/// `kind` is "race", "sherman" or "lockcouple".
+/// `kind` is "race", "sherman", "lockcouple" or "offload" (the Sherman
+/// tree driven through the memory-node executor — every op one `exec.idx.*`
+/// RPC — with executor crash+recovery interludes at the schedule's crash
+/// points; the pool region survives, so the exact-model audit still binds).
 ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed);
+
+/// Lock chaos: seeded multi-client contention against the memory-node
+/// executor's WOUND_WAIT lock table under the schedule's fault layer, with
+/// executor crashes mid-lock-handoff (`ScheduleCrashAfter`) at the crash
+/// points. Checks liveness (no wedge: bounded scheduler steps without a
+/// grant or release is a violation), wound observability (a wounded txn
+/// gets Aborted, never a silent grant), and the recovery fence (after the
+/// final release sweep a fresh txn can acquire every key and the executor
+/// holds zero lock entries — dead clients' locks never outlive recovery).
+/// The trace is a pure function of the seed, so replays are bit-identical.
+ChaosReport RunLockChaos(uint64_t seed);
 
 }  // namespace sim
 }  // namespace disagg

@@ -1,6 +1,7 @@
 #include "sim/engine_registry.h"
 
 #include "log/shared_log.h"
+#include "memnode/executor.h"
 
 namespace disagg {
 namespace sim {
@@ -8,6 +9,13 @@ namespace sim {
 namespace {
 constexpr char kSlogSuffix[] = "+slog";
 constexpr size_t kSlogSuffixLen = 5;
+constexpr char kOffloadSuffix[] = "+offload";
+constexpr size_t kOffloadSuffixLen = 8;
+
+bool HasSuffix(const std::string& name, const char* suffix, size_t len) {
+  return name.size() > len &&
+         name.compare(name.size() - len, len, suffix) == 0;
+}
 }  // namespace
 
 const std::vector<std::string>& RowEngineNames() {
@@ -28,8 +36,30 @@ const std::vector<std::string>& SharedLogRowEngineNames() {
   return kNames;
 }
 
+const std::vector<std::string>& OffloadRowEngineNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const std::string& base : RowEngineNames()) {
+      names.push_back(base + kOffloadSuffix);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
 std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
                                          Fabric* fabric) {
+  if (HasSuffix(name, kOffloadSuffix, kOffloadSuffixLen)) {
+    // "<base>+offload": the base architecture with its compute-local lock
+    // table swapped for the memory-node executor's lock service.
+    const std::string base = name.substr(0, name.size() - kOffloadSuffixLen);
+    auto engine = MakeRowEngine(base, fabric);
+    if (engine != nullptr) {
+      engine->AdoptConcurrencyOffload(
+          std::make_unique<ConcurrencyOffload>(fabric));
+    }
+    return engine;
+  }
   const size_t n = name.size();
   if (n > kSlogSuffixLen &&
       name.compare(n - kSlogSuffixLen, kSlogSuffixLen, kSlogSuffix) == 0) {

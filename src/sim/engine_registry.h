@@ -22,9 +22,17 @@ const std::vector<std::string>& RowEngineNames();
 /// legacy names.
 const std::vector<std::string>& SharedLogRowEngineNames();
 
+/// The "+offload" variants: every RowEngine architecture with its
+/// compute-local lock table swapped for the memory-node executor's lock
+/// service (`RowEngine::concurrency_offload()` exposes the bundle). Every
+/// row-lock acquire/release becomes one RPC to the pool node; the data
+/// path is otherwise identical. Enrolled in the chaos harness alongside
+/// the legacy and "+slog" names.
+const std::vector<std::string>& OffloadRowEngineNames();
+
 /// Builds the named engine on `fabric` (which the engine may ignore, e.g.
-/// the monolithic baseline). Accepts the legacy names and the "+slog"
-/// variants. Returns nullptr for unknown names.
+/// the monolithic baseline). Accepts the legacy names and the "+slog" /
+/// "+offload" variants. Returns nullptr for unknown names.
 std::unique_ptr<RowEngine> MakeRowEngine(const std::string& name,
                                          Fabric* fabric);
 

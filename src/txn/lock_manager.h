@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "storage/log_record.h"
+#include "txn/lock_backend.h"
 
 namespace disagg {
 
@@ -16,9 +17,13 @@ namespace disagg {
 /// conflicting requests fail with Status::Busy and the transaction aborts
 /// and retries — the no-wait policy common in distributed/disaggregated
 /// settings where blocking a remote caller is worse than restarting it.
-class LockManager {
+///
+/// The compute-local `LockBackend`: `ctx` is ignored, acquisition touches
+/// no fabric. The offloaded alternative lives at the memory node
+/// (`OffloadedLockClient`, src/memnode/executor.h).
+class LockManager : public LockBackend {
  public:
-  enum class Mode { kShared, kExclusive };
+  using Mode = LockMode;
 
   /// Acquires (or upgrades) `key` for `txn`. Every conflict path returns
   /// Status::Busy — never TimedOut/Aborted — so callers' retry loops can
@@ -27,6 +32,17 @@ class LockManager {
 
   /// Releases everything `txn` holds (commit/abort).
   void ReleaseAll(TxnId txn);
+
+  // LockBackend (local: the context is unused, nothing touches the fabric).
+  Status AcquireLock(NetContext* ctx, TxnId txn, uint64_t key,
+                     LockMode mode) override {
+    (void)ctx;
+    return Acquire(txn, key, mode);
+  }
+  void ReleaseAllLocks(NetContext* ctx, TxnId txn) override {
+    (void)ctx;
+    ReleaseAll(txn);
+  }
 
   size_t held_locks() const;
 

@@ -71,11 +71,11 @@ Status TxnManager::Commit(NetContext* ctx, TxnId txn) {
     std::lock_guard<std::mutex> lock(mu_);
     undo_.erase(txn);
   }
-  locks_->ReleaseAll(txn);
+  locks_->ReleaseAllLocks(ctx, txn);
   return st;
 }
 
-std::vector<LogRecord> TxnManager::Abort(TxnId txn) {
+std::vector<LogRecord> TxnManager::Abort(NetContext* ctx, TxnId txn) {
   std::vector<LogRecord> updates;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -101,16 +101,16 @@ std::vector<LogRecord> TxnManager::Abort(TxnId txn) {
   abort.type = LogType::kTxnAbort;
   abort.page_id = kInvalidPageId;
   wal_->Append(std::move(abort));
-  locks_->ReleaseAll(txn);
+  locks_->ReleaseAllLocks(ctx, txn);
   return updates;
 }
 
-void TxnManager::EndReadOnly(TxnId txn) {
+void TxnManager::EndReadOnly(NetContext* ctx, TxnId txn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     undo_.erase(txn);
   }
-  locks_->ReleaseAll(txn);
+  locks_->ReleaseAllLocks(ctx, txn);
 }
 
 Lsn TxnManager::LogClr(TxnId txn, PageId page, uint16_t slot,

@@ -17,16 +17,31 @@ namespace disagg {
 /// varies across architectures (local fsync vs XLOG RPC vs Aurora quorum).
 class TxnManager {
  public:
-  TxnManager(WalManager* wal, LockManager* locks) : wal_(wal), locks_(locks) {}
+  TxnManager(WalManager* wal, LockBackend* locks) : wal_(wal), locks_(locks) {}
+
+  /// Swaps the lock backend (e.g. for the memory-node offloaded lock table,
+  /// `RowEngine::AdoptConcurrencyOffload`). Config-time only: call before
+  /// any transaction begins.
+  void set_lock_backend(LockBackend* locks) { locks_ = locks; }
+  LockBackend* lock_backend() { return locks_; }
 
   TxnId Begin();
 
-  /// Lock helpers (no-wait: Busy means "abort and retry").
+  /// Lock helpers (no-wait: Busy means "abort and retry"; Aborted means the
+  /// memory-node lock table wounded or fenced this txn — abort, don't
+  /// retry the same txn id). `ctx` carries the fabric charge for offloaded
+  /// backends; the ctx-less overloads serve local-backend callers.
+  Status LockShared(NetContext* ctx, TxnId txn, uint64_t key) {
+    return locks_->AcquireLock(ctx, txn, key, LockMode::kShared);
+  }
+  Status LockExclusive(NetContext* ctx, TxnId txn, uint64_t key) {
+    return locks_->AcquireLock(ctx, txn, key, LockMode::kExclusive);
+  }
   Status LockShared(TxnId txn, uint64_t key) {
-    return locks_->Acquire(txn, key, LockManager::Mode::kShared);
+    return LockShared(nullptr, txn, key);
   }
   Status LockExclusive(TxnId txn, uint64_t key) {
-    return locks_->Acquire(txn, key, LockManager::Mode::kExclusive);
+    return LockExclusive(nullptr, txn, key);
   }
 
   /// WAL wrappers; each returns the stamped LSN the caller must put on the
@@ -45,13 +60,15 @@ class TxnManager {
   /// record, and returns the transaction's updates in reverse order so the
   /// engine can undo them in its buffer. Releases locks. Delete-undo CLRs
   /// are the engine's job (it knows the re-insert slot): call LogClr.
-  std::vector<LogRecord> Abort(TxnId txn);
+  std::vector<LogRecord> Abort(NetContext* ctx, TxnId txn);
+  std::vector<LogRecord> Abort(TxnId txn) { return Abort(nullptr, txn); }
 
   /// Ends a transaction that logged nothing: just releases its locks. A
   /// read-only transaction has no durability point — no commit record, no
   /// flush, no quorum round-trip. The caller guarantees the transaction
   /// performed no Log* calls (any tracked undo is dropped, not rolled back).
-  void EndReadOnly(TxnId txn);
+  void EndReadOnly(NetContext* ctx, TxnId txn);
+  void EndReadOnly(TxnId txn) { EndReadOnly(nullptr, txn); }
 
   /// Logs one CLR describing a rollback action the engine performed
   /// (empty `restored_image` = the slot was deleted again).
@@ -68,7 +85,7 @@ class TxnManager {
   Lsn LogAndTrack(TxnId txn, LogRecord record);
 
   WalManager* wal_;
-  LockManager* locks_;
+  LockBackend* locks_;
   std::atomic<TxnId> next_txn_{1};
   mutable std::mutex mu_;
   std::map<TxnId, std::vector<LogRecord>> undo_;  // newest last

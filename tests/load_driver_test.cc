@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "memnode/executor.h"
 #include "net/congestion.h"
 #include "net/fabric.h"
 
@@ -138,6 +139,47 @@ TEST(LoadDriverTest, ClosedLoopOneClientReproducesManualLoopExactly) {
   EXPECT_EQ(report.total.bytes_out, manual.bytes_out);
   EXPECT_EQ(report.total.bytes_in, manual.bytes_in);
   EXPECT_EQ(report.total.round_trips, manual.round_trips);
+}
+
+TEST(LoadDriverTest, OffloadedLockWorkloadIsBitIdenticalAndCountsRpcs) {
+  // The serial driver over the memory-node executor's lock table: same seed
+  // -> bit-identical report, and the op stream's RPC arithmetic is exact —
+  // each op is one `exec.lock.acquire` Call plus one `exec.lock.release`
+  // per 4-op window, with no one-sided verbs at all on the offloaded path.
+  constexpr uint64_t kClients = 8;
+  constexpr uint64_t kOps = 40;
+  auto run = [&](uint64_t seed) {
+    Fabric fabric;
+    MemoryNode pool(&fabric, "pool", 1 << 20);
+    MemNodeExecutor exec(&fabric, &pool);
+    OffloadedLockClient locks(&fabric, pool.node());
+    CongestionConfig cfg;
+    cfg.node_caps[pool.node()] = ResourceCapacity{900, 0.05};
+    fabric.EnableCongestion(cfg);
+
+    sim::LoadOptions opts;
+    opts.clients = kClients;
+    opts.ops_per_client = kOps;
+    opts.seed = seed;
+    auto report = sim::RunClosedLoop(
+        opts, [&](uint64_t client, uint64_t op, NetContext* ctx, Random* rng) {
+          const TxnId txn = client * 1'000'000 + op / 4 + 1;
+          const uint64_t key = client * 64 + op % 4 + rng->Uniform(1);
+          const Status st =
+              locks.AcquireLock(ctx, txn, key, LockMode::kExclusive);
+          if (!st.ok()) return st;
+          if (op % 4 == 3) locks.ReleaseAllLocks(ctx, txn);
+          return Status::OK();
+        });
+    EXPECT_EQ(exec.active_locks(), 0u);
+    return report;
+  };
+  const auto a = run(42);
+  ASSERT_EQ(a.ops, kClients * kOps);
+  ASSERT_EQ(a.errors, 0u);
+  EXPECT_EQ(a.total.rpcs, a.ops + a.ops / 4);
+  EXPECT_EQ(a.total.round_trips, a.total.rpcs);  // Calls only, nothing 1-sided
+  EXPECT_EQ(Flatten(a), Flatten(run(42)));
 }
 
 TEST(LoadDriverTest, MakespanIsTheSlowestClientClock) {
