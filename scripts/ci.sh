@@ -36,7 +36,7 @@ fi
 SAN_TESTS=(net_test fabric_pipeline_test txn_test concurrency_test chaos_test
            congestion_test load_driver_test histogram_test degrade_test
            shared_log_test log_backend_parity_test parallel_sim_test
-           slo_controller_test memnode_executor_test)
+           slo_controller_test memnode_executor_test membership_test)
 
 echo "==> sanitizer pass: ${SAN_TESTS[*]}"
 cmake -B build-asan -S . \
@@ -133,6 +133,18 @@ DISAGG_E27_ASSERT=1 ./build/bench/bench_e27_slo \
 # interludes taken (see bench_e28_offload's header).
 echo "==> E28 near-data offload smoke (one-sided vs memory-node executor)"
 DISAGG_E28_ASSERT=1 ./build/bench/bench_e28_offload \
+  --benchmark_min_warmup_time=0 >/dev/null
+
+# E29 self-healing smoke: with DISAGG_E29_ASSERT=1 the bench self-checks
+# the membership service end to end — the self-heal arm completes >= 99% of
+# ops across a kill + gray-failure + one-way-partition schedule with every
+# failed node revoked, repaired and rejoined (MTTR measured); the
+# Busy-walled node is never revoked (overload is an alive signal); the
+# no-recovery arm's availability sits strictly below self-heal's; and the
+# detector's decisions replay bit-identically at worker threads 1/2/8 and
+# serial vs partitions=1 (see bench_e29_selfheal's header).
+echo "==> E29 self-healing smoke (detector-driven vs scripted vs none)"
+DISAGG_E29_ASSERT=1 ./build/bench/bench_e29_selfheal \
   --benchmark_min_warmup_time=0 >/dev/null
 
 # Mutation self-check: a build that deliberately skips one quorum ack must

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/coding.h"
+#include "net/membership.h"
 
 namespace disagg {
 
@@ -76,6 +77,19 @@ void MemNodeExecutor::Recover() {
   wounded_.clear();
   epoch_++;
   stats_.recoveries++;
+  // Recovery observes the current lease so the lazy re-fence in CheckAlive
+  // does not bump the epoch a second time for the same incident.
+  if (lease_authority_ != nullptr) {
+    lease_epoch_seen_ = lease_authority_->LeaseEpoch(pool_->node());
+  }
+}
+
+void MemNodeExecutor::BindLeaseAuthority(const LeaseAuthority* authority) {
+  const uint64_t seen =
+      authority == nullptr ? 0 : authority->LeaseEpoch(pool_->node());
+  std::lock_guard<std::mutex> lock(mu_);
+  lease_authority_ = authority;
+  lease_epoch_seen_ = seen;
 }
 
 void MemNodeExecutor::ScheduleCrashAfter(uint64_t n) {
@@ -100,6 +114,21 @@ MemNodeExecutor::Stats MemNodeExecutor::stats() const {
 
 Status MemNodeExecutor::CheckAlive() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (lease_authority_ != nullptr) {
+    const uint64_t lease_epoch = lease_authority_->LeaseEpoch(pool_->node());
+    if (lease_epoch > lease_epoch_seen_) {
+      // The fleet revoked this node's lease since we last looked (gray
+      // failure: the node may never have crashed hard). Every grant issued
+      // under the old lease is void — same state transition as Recover(),
+      // without touching node liveness: stale clients get kFenced.
+      lock_table_.clear();
+      txns_.clear();
+      wounded_.clear();
+      epoch_++;
+      lease_epoch_seen_ = lease_epoch;
+      stats_.lease_refences++;
+    }
+  }
   if (crash_after_ > 0 && --crash_after_ == 0) {
     fabric_->node(pool_->node())->Fail();
     stats_.crashes++;

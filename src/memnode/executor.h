@@ -15,6 +15,8 @@
 
 namespace disagg {
 
+class LeaseAuthority;  // net/membership.h
+
 /// Near-data concurrency offload (SmartOffloading / Farview direction): an
 /// RPC-hosted executor on the memory node's wimpy CPU that runs
 ///
@@ -64,6 +66,7 @@ class MemNodeExecutor {
     uint64_t piggybacked_releases = 0;  ///< of which rode another request
     uint64_t crashes = 0;
     uint64_t recoveries = 0;
+    uint64_t lease_refences = 0;  ///< grant-voiding lease-epoch catch-ups
   };
 
   /// Registers the `exec.*` handlers on `pool`'s node.
@@ -86,6 +89,15 @@ class MemNodeExecutor {
   /// reached the node, the node died, no reply — and no partial mutation,
   /// so seeded chaos schedules stay exactly checkable). 0 disarms.
   void ScheduleCrashAfter(uint64_t n);
+
+  /// Subordinates the executor's crash-epoch fence to the fleet lease
+  /// authority (net/membership.h): whenever the pool node's lease epoch has
+  /// advanced — the failure detector revoked the node, possibly for a gray
+  /// failure that never crashed it — the next handler invocation voids
+  /// every grant and bumps the executor epoch exactly as `Recover()` does,
+  /// so clients holding pre-revocation locks get `kFenced`. `nullptr`
+  /// (the default) is bit-identical to the unbound executor.
+  void BindLeaseAuthority(const LeaseAuthority* authority);
 
   uint64_t epoch() const;
   size_t active_locks() const;  ///< lock-table entries currently held
@@ -147,6 +159,8 @@ class MemNodeExecutor {
   std::set<TxnId> wounded_;
   uint64_t epoch_ = 1;
   uint64_t crash_after_ = 0;  // 0 = disarmed
+  const LeaseAuthority* lease_authority_ = nullptr;  // not owned
+  uint64_t lease_epoch_seen_ = 0;  // last lease epoch folded into epoch_
   Stats stats_;
 };
 

@@ -114,6 +114,11 @@ void Fabric::DeclareSlo(uint32_t tenant, SloSpec spec) {
   slo_specs_[tenant] = spec;
 }
 
+void Fabric::RevokeSlo(uint32_t tenant) {
+  std::lock_guard<std::mutex> lock(slo_mu_);
+  slo_specs_.erase(tenant);
+}
+
 std::map<uint32_t, SloSpec> Fabric::slo_specs() const {
   std::lock_guard<std::mutex> lock(slo_mu_);
   return slo_specs_;

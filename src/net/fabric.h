@@ -333,6 +333,11 @@ class Fabric {
   /// node registration: declare before driving load.
   void DeclareSlo(uint32_t tenant, SloSpec spec);
 
+  /// Withdraws `tenant`'s contract (tenant churn). The SLO controller GCs
+  /// the departed tenant's state — frozen-infeasible flag, actuator clamps,
+  /// staleness bound — at its next epoch barrier.
+  void RevokeSlo(uint32_t tenant);
+
   /// All declared contracts, keyed by tenant.
   std::map<uint32_t, SloSpec> slo_specs() const;
 

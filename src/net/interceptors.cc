@@ -174,6 +174,35 @@ Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
     }
   }
 
+  // Asymmetric partitions: keyed purely by the issuing context's virtual
+  // clock (and optionally the RPC method), so the window is part of the
+  // model, not of execution order. A kRequestLost window refuses the op
+  // before any side effect; a kReplyLost window lets the op EXECUTE and
+  // loses the acknowledgement — the caller sees Unavailable although the
+  // effect landed, the signature failure mode lease fencing must survive.
+  for (const FaultPolicy::OneWay& ow : policy_.oneways) {
+    if (ow.node != op->node || ctx->sim_ns < ow.from_ns ||
+        ctx->sim_ns >= ow.until_ns) {
+      continue;
+    }
+    if (!ow.method.empty() &&
+        (op->verb != FabricVerb::kRpc || op->method == nullptr ||
+         *op->method != ow.method)) {
+      continue;
+    }
+    oneway_drops_.fetch_add(1, std::memory_order_relaxed);
+    ctx->faults_injected++;
+    if (ow.dir == FaultPolicy::OneWay::Direction::kRequestLost) {
+      ctx->Charge(policy_.drop_penalty_ns);
+      return Status::Unavailable("injected one-way partition: request to node " +
+                                 std::to_string(op->node) + " lost");
+    }
+    (void)next(op, ctx);
+    ctx->Charge(policy_.drop_penalty_ns);
+    return Status::Unavailable("injected one-way partition: reply from node " +
+                               std::to_string(op->node) + " lost");
+  }
+
   if (Decide(key, /*salt=*/0xD0, policy_.drop_prob)) {
     drops_.fetch_add(1, std::memory_order_relaxed);
     ctx->Charge(policy_.drop_penalty_ns);
@@ -182,7 +211,29 @@ Status FaultInterceptor::Intercept(Fabric* /*fabric*/, FabricOp* op,
                                std::to_string(seq));
   }
 
+  // Gray slowdown windows active at the op's issue instant compound
+  // multiplicatively; the extra cost is charged on top of whatever the op
+  // itself cost, so a slowed node serves correct results late.
+  double slow_factor = 1.0;
+  for (const FaultPolicy::Slowdown& sd : policy_.slowdowns) {
+    if (sd.node == op->node && sd.factor > 1.0 && ctx->sim_ns >= sd.from_ns &&
+        ctx->sim_ns < sd.until_ns) {
+      slow_factor *= sd.factor;
+    }
+  }
+  const uint64_t ns_before = ctx->sim_ns;
+
   Status st = next(op, ctx);
+
+  if (slow_factor > 1.0) {
+    const uint64_t extra = static_cast<uint64_t>(
+        static_cast<double>(ctx->sim_ns - ns_before) * (slow_factor - 1.0));
+    if (extra > 0) {
+      slowdown_hits_.fetch_add(1, std::memory_order_relaxed);
+      ctx->Charge(extra);
+      ctx->faults_injected++;
+    }
+  }
 
   if (st.ok() && Decide(key, /*salt=*/0x5A, policy_.spike_prob)) {
     spikes_.fetch_add(1, std::memory_order_relaxed);
@@ -334,6 +385,11 @@ CircuitBreakerInterceptor::State CircuitBreakerInterceptor::StateFor(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(node);
   return it == nodes_.end() ? State::kClosed : it->second.state;
+}
+
+void CircuitBreakerInterceptor::ResetNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.erase(node);
 }
 
 void CircuitBreakerInterceptor::ApplyFastFail(NodeState* ns,

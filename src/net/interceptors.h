@@ -112,6 +112,40 @@ struct FaultPolicy {
     uint64_t until_ns = 0;
   };
   std::vector<Flap> flaps;
+
+  /// Asymmetric (one-way) partition: traffic *toward* `node` is lost in the
+  /// virtual-time window [from_ns, until_ns) while the node itself stays up
+  /// and its outbound replies to everyone else flow — the classic gray
+  /// failure a symmetric flap cannot express. `kRequestLost` drops the op
+  /// before it reaches the node (charged `drop_penalty_ns`, Unavailable,
+  /// side effects never happen); `kReplyLost` lets the op EXECUTE at the
+  /// node and loses the acknowledgement on the way back (the caller is
+  /// charged the penalty and sees Unavailable even though the side effect
+  /// landed). With `method` non-empty only kRpc ops calling that method are
+  /// affected (e.g. heartbeats die while data traffic flows).
+  struct OneWay {
+    enum class Direction : uint8_t { kRequestLost, kReplyLost };
+    NodeId node = 0;
+    uint64_t from_ns = 0;
+    uint64_t until_ns = 0;
+    Direction dir = Direction::kRequestLost;
+    std::string method;  ///< empty = every verb toward `node`
+  };
+  std::vector<OneWay> oneways;
+
+  /// Gray-failure slowdown: ops targeting `node` issued in the virtual-time
+  /// window [from_ns, until_ns) complete successfully but are charged
+  /// `factor` times their normal cost (the extra `(factor-1) x cost` rides
+  /// `sim_ns` and counts as an injected fault). No drop: the node is
+  /// slow-but-alive, which is exactly what a suspicion score must catch
+  /// without a single hard failure signal.
+  struct Slowdown {
+    NodeId node = 0;
+    uint64_t from_ns = 0;
+    uint64_t until_ns = 0;
+    double factor = 1.0;  ///< <= 1.0 disables the window
+  };
+  std::vector<Slowdown> slowdowns;
 };
 
 class FaultInterceptor : public FabricInterceptor {
@@ -129,6 +163,12 @@ class FaultInterceptor : public FabricInterceptor {
   uint64_t flap_rejections() const {
     return flap_rejections_.load(std::memory_order_relaxed);
   }
+  uint64_t oneway_drops() const {
+    return oneway_drops_.load(std::memory_order_relaxed);
+  }
+  uint64_t slowdown_hits() const {
+    return slowdown_hits_.load(std::memory_order_relaxed);
+  }
 
   const FaultPolicy& policy() const { return policy_; }
 
@@ -141,6 +181,8 @@ class FaultInterceptor : public FabricInterceptor {
   std::atomic<uint64_t> drops_{0};
   std::atomic<uint64_t> spikes_{0};
   std::atomic<uint64_t> flap_rejections_{0};
+  std::atomic<uint64_t> oneway_drops_{0};
+  std::atomic<uint64_t> slowdown_hits_{0};
 };
 
 /// Re-issues ops that fail with a retryable status, charging exponential
@@ -265,6 +307,12 @@ class CircuitBreakerInterceptor : public FabricInterceptor {
 
   /// Current state for `node` (kClosed if the node was never seen).
   State StateFor(NodeId node) const;
+
+  /// Forgets everything about `node`: closed state, fresh window. The
+  /// membership orchestrator calls this when a revoked node rejoins at a
+  /// new lease epoch — the old incarnation's failure history must not
+  /// fast-fail the healthy replacement.
+  void ResetNode(NodeId node);
 
   uint64_t fast_fails() const {
     return fast_fails_.load(std::memory_order_relaxed);

@@ -171,6 +171,26 @@ void SloController::EndEpoch(uint64_t /*epoch_end_ns*/) {
     }
   }
 
+  // Tenant churn GC: a tenant whose contract was revoked (Fabric::RevokeSlo)
+  // releases everything the controller imposed for it — weight overlay,
+  // admission bound, staleness, frozen-infeasible flag. The staleness bound
+  // is zeroed explicitly (PublishControls only walks live tenants), and the
+  // republished table rebuilds from the static config, so the departed
+  // tenant falls back to its operator-configured share.
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    if (specs.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    if (it->second.staleness_bound_lsn > 0) {
+      for (StalenessActuator* target : degrade_targets_) {
+        target->SetTenantStaleness(it->first, 0);
+      }
+    }
+    it = tenants_.erase(it);
+    controls_changed = true;
+  }
+
   if (controls_changed || epochs_ == 1) PublishControls();
   obs_.clear();
 }

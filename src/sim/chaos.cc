@@ -11,6 +11,7 @@
 #include "core/serverless_db.h"
 #include "memnode/executor.h"
 #include "memnode/memory_node.h"
+#include "net/membership.h"
 #include "pm/ford_txn.h"
 #include "pm/pm_node.h"
 #include "rindex/race_hash.h"
@@ -1114,7 +1115,8 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
 
   constexpr uint64_t kKeySpace = 48;
   const bool is_race = kind == "race";
-  const bool is_offload = kind == "offload";
+  const bool is_detector = kind == "offload-detector";
+  const bool is_offload = kind == "offload" || is_detector;
   std::unique_ptr<RaceHash> race;
   std::unique_ptr<RemoteBTree> btree;
   std::unique_ptr<MemNodeExecutor> exec;
@@ -1159,6 +1161,43 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
   fp.spike_ns = schedule.spike_ns;
   auto fault = std::make_shared<FaultInterceptor>(fp);
   fabric.AddInterceptor(retry);
+
+  // Detector mode: crash points only KILL the executor; recovery is owned
+  // by a membership service watching the pool node. Virtual time between
+  // barrier steps is pumped from inside the retry loop (the interceptor
+  // below), so a workload op that arrives during the outage survives on
+  // its retry budget until detection + repair revive the node — recovery
+  // is detector-driven, not scripted.
+  std::unique_ptr<MembershipService> member;
+  if (is_detector) {
+    MembershipOptions mo;
+    mo.heartbeat_period_ns = 8'000;
+    mo.suspicion_threshold = 2.0;
+    mo.repair_delay_ns = 8'000;
+    mo.rejoin_probes = 2;
+    member = std::make_unique<MembershipService>(&fabric, mo);
+    member->Monitor(pool.node());
+    member->OnRepair(pool.node(), [&exec] { exec->Recover(); });
+
+    // Pump interceptor: advances the membership clock to the op's issue
+    // instant before each (re)attempt. Heartbeats issued by the advance
+    // re-enter this chain; AdvanceTo's re-entrancy guard makes the nested
+    // pump a no-op.
+    class MembershipPump : public FabricInterceptor {
+     public:
+      explicit MembershipPump(MembershipService* m) : member_(m) {}
+      const char* name() const override { return "membership-pump"; }
+      Status Intercept(Fabric* fabric, FabricOp* op, NetContext* ctx,
+                       const FabricOpInvoker& next) override {
+        member_->AdvanceTo(ctx->sim_ns);
+        return next(op, ctx);
+      }
+
+     private:
+      MembershipService* member_;
+    };
+    fabric.AddInterceptor(std::make_shared<MembershipPump>(member.get()));
+  }
   fabric.AddInterceptor(fault);
 
   std::map<uint64_t, uint64_t> model;
@@ -1166,19 +1205,37 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
   NetContext ctx;
   auto key_name = [](uint64_t k) { return "k" + std::to_string(k); };
 
+  // Drains membership events into the trace as 'M' records (a = event
+  // kind, b = lease epoch) so detector decisions are replay-checked.
+  size_t next_event = 0;
+  auto drain_events = [&](int op_index) {
+    if (member == nullptr) return;
+    const std::vector<MembershipService::Event>& events = member->events();
+    for (; next_event < events.size(); next_event++) {
+      const MembershipService::Event& e = events[next_event];
+      report.trace.push_back({op_index, 'M',
+                              static_cast<uint64_t>(e.kind), e.lease_epoch,
+                              0, e.at_ns});
+    }
+  };
+
   size_t next_crash = 0;
   for (int i = 0; i < schedule.num_ops; i++) {
     if (is_offload && next_crash < schedule.crash_points.size() &&
         i == schedule.crash_points[next_crash]) {
-      // Executor crash + recovery interlude at an op boundary: the service
-      // dies and its lock table would be lost, but the pool region — the
-      // tree bytes — survives, so traversal resumes against intact data.
+      // Executor crash interlude at an op boundary: the service dies and
+      // its lock table would be lost, but the pool region — the tree
+      // bytes — survives, so traversal resumes against intact data. In
+      // scripted mode recovery is immediate; in detector mode the node
+      // stays dead until the membership service revokes its lease and the
+      // orchestrator's repair hook revives it.
       exec->Crash();
-      exec->Recover();
+      if (!is_detector) exec->Recover();
       report.crashes++;
       report.trace.push_back({i, 'C', 0, 0, 0, ctx.sim_ns});
       next_crash++;
     }
+    drain_events(i);
     const uint64_t k = rng.Uniform(kKeySpace);
     const uint64_t v = static_cast<uint64_t>(i) + 1;
     const double dice = rng.NextDouble();
@@ -1224,6 +1281,14 @@ ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed) {
     }
     report.trace.push_back({i, kindc, k, 0,
                             static_cast<uint8_t>(st.code()), ctx.sim_ns});
+  }
+
+  if (member != nullptr) {
+    // Let any in-flight detection/repair run to completion in virtual time
+    // (a kill near the end of the stream must still be recovered before
+    // the oracle audits against a live node), then flush the event tail.
+    member->AdvanceTo(ctx.sim_ns + 64 * member->options().heartbeat_period_ns);
+    drain_events(schedule.num_ops);
   }
 
   report.drops = fault->drops();

@@ -185,7 +185,8 @@ std::unique_ptr<ChaosAdapter> MakeChaosAdapter(const std::string& name,
 struct OpRecord {
   int index = 0;
   char kind = '?';  // T transfer, P put, R read, N neworder, C crash,
-                    // V shared-log view change, L lock acquire, U unlock
+                    // V shared-log view change, L lock acquire, U unlock,
+                    // M membership event (a = event kind, b = lease epoch)
   uint64_t a = 0;   // primary key / account
   uint64_t b = 0;   // secondary account (transfers)
   uint8_t status = 0;
@@ -243,10 +244,16 @@ ChaosReport RunEngineChaos(const std::string& engine,
 /// Index chaos: seeded op stream against a remote index under the same
 /// fault schedule, checked against an exact in-memory model; the final
 /// audit verifies the key set (including scan ghost checks for the B+tree).
-/// `kind` is "race", "sherman", "lockcouple" or "offload" (the Sherman
+/// `kind` is "race", "sherman", "lockcouple", "offload" (the Sherman
 /// tree driven through the memory-node executor — every op one `exec.idx.*`
 /// RPC — with executor crash+recovery interludes at the schedule's crash
-/// points; the pool region survives, so the exact-model audit still binds).
+/// points; the pool region survives, so the exact-model audit still binds)
+/// or "offload-detector" (same schedule, but crash points only KILL the
+/// executor: recovery is driven by a `MembershipService` watching the pool
+/// node — heartbeat misses accrue suspicion, the lease is revoked, and the
+/// orchestrator's repair hook revives the executor, all in virtual time.
+/// Membership events land in the trace as 'M' records, so detector
+/// decisions are part of the bit-identical replay contract).
 ChaosReport RunIndexChaos(const std::string& kind, uint64_t seed);
 
 /// Lock chaos: seeded multi-client contention against the memory-node

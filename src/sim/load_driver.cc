@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "net/membership.h"
 #include "net/slo_controller.h"
 #include "sim/driver_internal.h"
 #include "sim/parallel_driver.h"
@@ -39,6 +40,7 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
   // are identical virtual instants, so controller decisions match the
   // partitions=1 parallel run bit for bit.
   SloController* const ctrl = opts.parallel.controller;
+  MembershipService* const member = opts.parallel.membership;
   const uint64_t epoch_ns =
       opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
   uint64_t epoch_end = epoch_ns;
@@ -49,8 +51,9 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
 
   while (!ready.empty()) {
     const Runnable r = ready.top();
-    if (ctrl != nullptr && r.at_ns >= epoch_end) {
-      ctrl->EndEpoch(epoch_end);
+    if ((ctrl != nullptr || member != nullptr) && r.at_ns >= epoch_end) {
+      if (ctrl != nullptr) ctrl->EndEpoch(epoch_end);
+      if (member != nullptr) member->EndEpoch(epoch_end);
       report.epochs++;
       epoch_end = internal::EpochEndFor(r.at_ns, epoch_ns);
     }
@@ -75,8 +78,9 @@ LoadReport RunClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
       ready.push({ctx->sim_ns, r.client});
     }
   }
-  if (ctrl != nullptr) {
-    ctrl->EndEpoch(epoch_end);
+  if (ctrl != nullptr || member != nullptr) {
+    if (ctrl != nullptr) ctrl->EndEpoch(epoch_end);
+    if (member != nullptr) member->EndEpoch(epoch_end);
     report.epochs++;
   }
 
@@ -127,6 +131,7 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
   // epoch is the one holding the earliest arrival, exactly as the parallel
   // driver seeds its barrier schedule.
   SloController* const ctrl = opts.parallel.controller;
+  MembershipService* const member = opts.parallel.membership;
   const uint64_t epoch_ns =
       opts.parallel.epoch_ns > 0 ? opts.parallel.epoch_ns : kDefaultEpochNs;
   uint64_t epoch_end =
@@ -138,8 +143,9 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
 
   while (!arrivals.empty()) {
     const Runnable a = arrivals.top();
-    if (ctrl != nullptr && a.at_ns >= epoch_end) {
-      ctrl->EndEpoch(epoch_end);
+    if ((ctrl != nullptr || member != nullptr) && a.at_ns >= epoch_end) {
+      if (ctrl != nullptr) ctrl->EndEpoch(epoch_end);
+      if (member != nullptr) member->EndEpoch(epoch_end);
       report.epochs++;
       epoch_end = internal::EpochEndFor(a.at_ns, epoch_ns);
     }
@@ -182,8 +188,9 @@ LoadReport RunOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
            a.client});
     }
   }
-  if (ctrl != nullptr) {
-    ctrl->EndEpoch(epoch_end);
+  if (ctrl != nullptr || member != nullptr) {
+    if (ctrl != nullptr) ctrl->EndEpoch(epoch_end);
+    if (member != nullptr) member->EndEpoch(epoch_end);
     report.epochs++;
   }
 

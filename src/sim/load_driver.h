@@ -13,7 +13,8 @@
 
 namespace disagg {
 
-class SloController;  // src/net/slo_controller.h
+class SloController;      // src/net/slo_controller.h
+class MembershipService;  // src/net/membership.h
 
 namespace sim {
 
@@ -55,6 +56,14 @@ struct ParallelConfig {
   /// function of (seed, workload, partitions, epoch_ns), never of
   /// `threads`. Not owned.
   SloController* controller = nullptr;
+
+  /// Fleet membership hook: when set, `MembershipService::EndEpoch` fires at
+  /// every epoch barrier (after the SLO controller's), so heartbeat rounds,
+  /// suspicion updates, lease revocations, and orchestrated repairs execute
+  /// at the same virtual instants under the serial and parallel drivers —
+  /// pure function of (seed, workload, partitions, epoch_ns), never of
+  /// `threads`. Not owned.
+  MembershipService* membership = nullptr;
 };
 
 /// Options for one closed-loop load run: N logical clients, each issuing

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/membership.h"
 #include "net/partition.h"
 #include "net/slo_controller.h"
 #include "sim/driver_internal.h"
@@ -226,6 +227,7 @@ LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
 
   EpochPool pool(opts.parallel.threads, P);
   SloController* const ctrl = opts.parallel.controller;
+  MembershipService* const member = opts.parallel.membership;
   uint64_t epoch_end = epoch_ns;
   for (;;) {
     pool.Run([&](uint32_t p) {
@@ -260,6 +262,9 @@ LoadReport RunEpochClosedLoop(const LoadOptions& opts, const ClientOpFn& op) {
     report.epochs++;
     for (Partition& part : parts) MergeEffects(&part.effects);
     ControllerBarrier(ctrl, &parts, epoch_end);
+    // Membership runs after the controller, with workers parked: heartbeat
+    // rounds, revocations and repairs land between epochs, never inside one.
+    if (member != nullptr) member->EndEpoch(epoch_end);
 
     const uint64_t next = MinPending(parts);
     if (next == std::numeric_limits<uint64_t>::max()) break;
@@ -308,6 +313,7 @@ LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
 
   EpochPool pool(opts.parallel.threads, P);
   SloController* const ctrl = opts.parallel.controller;
+  MembershipService* const member = opts.parallel.membership;
   uint64_t epoch_end = EpochEndFor(MinPending(parts), epoch_ns);
   for (;;) {
     pool.Run([&](uint32_t p) {
@@ -346,6 +352,7 @@ LoadReport RunEpochOpenLoop(const OpenLoopOptions& opts, const ClientOpFn& op) {
     report.epochs++;
     for (Partition& part : parts) MergeEffects(&part.effects);
     ControllerBarrier(ctrl, &parts, epoch_end);
+    if (member != nullptr) member->EndEpoch(epoch_end);
 
     const uint64_t next = MinPending(parts);
     if (next == std::numeric_limits<uint64_t>::max()) break;

@@ -8,6 +8,7 @@
 #include "net/congestion.h"
 #include "net/fabric.h"
 #include "net/interceptors.h"
+#include "net/membership.h"
 #include "sim/chaos.h"
 #include "sim/load_driver.h"
 
@@ -170,12 +171,13 @@ TEST(ChaosIndexTest, IndexStructuresKeepKeySetConsistent) {
   SKIP_UNDER_MUTATION();
   for (const std::string& kind :
        {std::string("race"), std::string("sherman"),
-        std::string("lockcouple"), std::string("offload")}) {
+        std::string("lockcouple"), std::string("offload"),
+        std::string("offload-detector")}) {
     for (uint64_t seed : {11ull, 12ull, 13ull}) {
       const ChaosReport r = RunIndexChaos(kind, seed);
       EXPECT_TRUE(r.violations.empty()) << r.Summary();
       EXPECT_FALSE(r.trace.empty());
-      if (kind == "offload") {
+      if (kind == "offload" || kind == "offload-detector") {
         // The executor crash+recovery interludes actually ran, and the
         // exact-model audit above still bound: near-data traversal keeps
         // the key set through memory-node executor restarts.
@@ -188,12 +190,52 @@ TEST(ChaosIndexTest, IndexStructuresKeepKeySetConsistent) {
 TEST(ChaosIndexTest, SameSeedSameTrace) {
   SKIP_UNDER_MUTATION();
   for (const std::string& kind :
-       {std::string("sherman"), std::string("offload")}) {
+       {std::string("sherman"), std::string("offload"),
+        std::string("offload-detector")}) {
     const ChaosReport a = RunIndexChaos(kind, 21);
     const ChaosReport b = RunIndexChaos(kind, 21);
     EXPECT_EQ(TraceToString(a.trace), TraceToString(b.trace))
         << kind << ": seed 21 did not replay deterministically";
     EXPECT_FALSE(a.trace.empty());
+  }
+}
+
+// Detector-driven recovery: the "offload-detector" kind runs the SAME
+// seeded schedule as "offload", but its crash interludes only KILL the
+// executor — no scripted Recover(). The membership service must detect the
+// outage from missed heartbeats in virtual time, revoke the lease, run the
+// orchestrated repair, and re-admit the node — all while the schedule's
+// clients keep retrying — and the exact-model audit must still bind. The
+// 'M' records in the trace are the detector's decision log: revocations
+// and repairs actually fired, and the whole run (decisions included)
+// replays bit for bit.
+TEST(ChaosIndexTest, DetectorDrivenRecoveryReplacesScriptedInterludes) {
+  SKIP_UNDER_MUTATION();
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    const ChaosReport r = RunIndexChaos("offload-detector", seed);
+    EXPECT_TRUE(r.violations.empty()) << r.Summary();
+    EXPECT_GT(r.crashes, 0u) << r.Summary();
+    uint64_t revokes = 0, repairs = 0, rejoins = 0;
+    for (const OpRecord& rec : r.trace) {
+      if (rec.kind != 'M') continue;
+      using Kind = MembershipService::Event::Kind;
+      switch (static_cast<Kind>(rec.a)) {
+        case Kind::kRevoke: revokes++; break;
+        case Kind::kRepair: repairs++; break;
+        case Kind::kRejoin: rejoins++; break;
+        default: break;
+      }
+    }
+    // Every kill was noticed, repaired, and the node re-admitted — no
+    // scripted revive anywhere in the detector schedule.
+    EXPECT_GE(revokes, r.crashes) << r.Summary();
+    EXPECT_GE(repairs, r.crashes) << r.Summary();
+    EXPECT_GE(rejoins, r.crashes) << r.Summary();
+
+    const ChaosReport again = RunIndexChaos("offload-detector", seed);
+    EXPECT_EQ(TraceToString(r.trace), TraceToString(again.trace))
+        << "offload-detector: seed " << seed
+        << " detector decisions did not replay deterministically";
   }
 }
 
@@ -281,7 +323,8 @@ TEST(ChaosSuiteTest, NoEngineSurfacesTimedOutForRetryableContention) {
   }
   for (const std::string& kind :
        {std::string("race"), std::string("sherman"),
-        std::string("lockcouple"), std::string("offload")}) {
+        std::string("lockcouple"), std::string("offload"),
+        std::string("offload-detector")}) {
     for (uint64_t seed : {11ull, 12ull, 13ull}) {
       check(RunIndexChaos(kind, seed));
     }
@@ -389,7 +432,8 @@ TEST(ChaosReplayTest, ReplaySeedsFromEnv) {
     }
     for (const std::string& kind :
          {std::string("race"), std::string("sherman"),
-          std::string("lockcouple"), std::string("offload")}) {
+          std::string("lockcouple"), std::string("offload"),
+          std::string("offload-detector")}) {
       const ChaosReport r = RunIndexChaos(kind, seed);
       printf("%s\n", r.Summary().c_str());
       EXPECT_TRUE(r.violations.empty()) << r.Summary();

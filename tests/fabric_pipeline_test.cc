@@ -556,6 +556,167 @@ TEST_F(PipelineTest, CircuitBreakerOpensFastFailsAndRecloses) {
   fabric_.node(mem_node_)->Revive();
 }
 
+TEST_F(PipelineTest, OneWayPartitionLosesExactlyOneDirection) {
+  // kRequestLost refuses BEFORE any side effect; kReplyLost executes the op
+  // and loses only the acknowledgement — the caller sees Unavailable while
+  // the effect landed. The asymmetry is the signature failure mode lease
+  // fencing exists for, so the injector must model both halves exactly.
+  FaultPolicy fp;
+  fp.drop_penalty_ns = 2000;
+  FaultPolicy::OneWay ow;
+  ow.node = mem_node_;
+  ow.from_ns = 0;
+  ow.until_ns = ~0ull;
+  ow.dir = FaultPolicy::OneWay::Direction::kRequestLost;
+  fp.oneways.push_back(ow);
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric_.AddInterceptor(fault);
+
+  // Request lost: nothing written, nothing charged but the penalty.
+  NetContext ctx;
+  const char payload[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+  EXPECT_TRUE(fabric_.Write(&ctx, At(0), payload, 8).IsUnavailable());
+  EXPECT_EQ(ctx.sim_ns, 2000u);
+  EXPECT_EQ(ctx.round_trips, 0u);
+  EXPECT_EQ(ctx.faults_injected, 1u);
+  EXPECT_EQ(fault->oneway_drops(), 1u);
+  EXPECT_NE(std::memcmp(region_->data(), payload, 8), 0);
+
+  // Reply lost: the write EXECUTES (bytes land, wire cost charged) and then
+  // the ack vanishes — Unavailable plus the penalty on top.
+  fabric_.ClearInterceptors();
+  FaultPolicy fp2;
+  fp2.drop_penalty_ns = 2000;
+  ow.dir = FaultPolicy::OneWay::Direction::kReplyLost;
+  fp2.oneways.push_back(ow);
+  auto fault2 = std::make_shared<FaultInterceptor>(fp2);
+  fabric_.AddInterceptor(fault2);
+
+  NetContext ctx2;
+  EXPECT_TRUE(fabric_.Write(&ctx2, At(0), payload, 8).IsUnavailable());
+  EXPECT_EQ(std::memcmp(region_->data(), payload, 8), 0);  // effect landed
+  EXPECT_EQ(ctx2.sim_ns, InterconnectModel::Rdma().WriteCost(8) + 2000u);
+  EXPECT_EQ(ctx2.faults_injected, 1u);
+  EXPECT_EQ(fault2->oneway_drops(), 1u);
+}
+
+TEST_F(PipelineTest, OneWayMethodFilterScopesTheCutToOneVerb) {
+  // A method-scoped window cuts exactly that RPC: heartbeats can die while
+  // every data verb — and every other RPC — flows untouched.
+  FaultPolicy fp;
+  fp.drop_penalty_ns = 2000;
+  FaultPolicy::OneWay ow;
+  ow.node = mem_node_;
+  ow.from_ns = 0;
+  ow.until_ns = ~0ull;
+  ow.method = "echo";
+  fp.oneways.push_back(ow);
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric_.AddInterceptor(fault);
+  fabric_.node(mem_node_)->RegisterHandler(
+      "other", [](Slice, std::string* resp, RpcServerContext*) {
+        resp->assign("ok");
+        return Status::OK();
+      });
+
+  NetContext ctx;
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  std::string resp;
+  EXPECT_TRUE(fabric_.Call(&ctx, mem_node_, "other", "x", &resp).ok());
+  EXPECT_TRUE(
+      fabric_.Call(&ctx, mem_node_, "echo", "ping", &resp).IsUnavailable());
+  EXPECT_EQ(fault->oneway_drops(), 1u);
+  EXPECT_EQ(ctx.faults_injected, 1u);
+}
+
+TEST_F(PipelineTest, SlowdownChargesExactMultiplierAndStaysInWindow) {
+  // Gray failure: ops succeed but cost `factor` times their normal charge —
+  // the extra (factor - 1) x cost rides sim_ns and counts as an injected
+  // fault. Outside the virtual-time window the node is bit-identical to
+  // healthy.
+  FaultPolicy fp;
+  FaultPolicy::Slowdown sd;
+  sd.node = mem_node_;
+  sd.from_ns = 0;
+  sd.until_ns = 100'000;
+  sd.factor = 3.0;
+  fp.slowdowns.push_back(sd);
+  auto fault = std::make_shared<FaultInterceptor>(fp);
+  fabric_.AddInterceptor(fault);
+
+  const uint64_t read_cost = InterconnectModel::Rdma().ReadCost(8);
+  NetContext ctx;
+  char buf[8];
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(ctx.sim_ns, 3 * read_cost);  // cost + (3.0 - 1.0) x cost
+  EXPECT_EQ(ctx.faults_injected, 1u);
+  EXPECT_EQ(fault->slowdown_hits(), 1u);
+  EXPECT_EQ(ctx.round_trips, 1u);  // the op SUCCEEDED — slow, not lost
+
+  // An op issued past the window's end is charged exactly its model cost.
+  NetContext late;
+  late.Charge(100'000);
+  ASSERT_TRUE(fabric_.Read(&late, At(0), buf, 8).ok());
+  EXPECT_EQ(late.sim_ns, 100'000u + read_cost);
+  EXPECT_EQ(late.faults_injected, 0u);
+  EXPECT_EQ(fault->slowdown_hits(), 1u);
+}
+
+TEST_F(PipelineTest, BreakerResetNodeForgetsTheFailedIncarnation) {
+  // Membership rejoin runs ResetBreakerOnRejoin -> ResetNode: the replaced
+  // node's error history must vanish, so the first op against the healthy
+  // replacement goes to the wire instead of fast-failing on ghosts.
+  BreakerPolicy bp;
+  bp.window = 4;
+  bp.min_samples = 4;
+  bp.open_error_rate = 1.0;
+  bp.open_ops = 1'000'000;  // stays open ~forever without an explicit reset
+  bp.fast_fail_penalty_ns = 200;
+  auto breaker = std::make_shared<CircuitBreakerInterceptor>(bp);
+  fabric_.AddInterceptor(breaker);
+
+  fabric_.node(mem_node_)->Fail();
+  NetContext ctx;
+  char buf[8];
+  for (int i = 0; i < 4; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  ASSERT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kOpen);
+  EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  EXPECT_EQ(breaker->fast_fails(), 1u);
+
+  // "Replace" the node and reset its breaker history: closed again, and the
+  // next op is charged the plain model cost — no penalty, no probe ceremony.
+  fabric_.node(mem_node_)->Revive();
+  breaker->ResetNode(mem_node_);
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kClosed);
+  const uint64_t before = ctx.sim_ns;
+  ASSERT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).ok());
+  EXPECT_EQ(ctx.sim_ns - before, InterconnectModel::Rdma().ReadCost(8));
+  EXPECT_EQ(breaker->fast_fails(), 1u);  // unchanged
+
+  // History restarts from scratch: re-opening takes a full window of fresh
+  // errors (the successful read above already consumed one window slot, so
+  // the ring resets at its 4-op boundary and a NEW all-failure window must
+  // fill before the breaker trips again).
+  fabric_.node(mem_node_)->Fail();
+  for (int i = 0; i < 3; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kClosed);
+  for (int i = 0; i < 4; i++) {
+    EXPECT_TRUE(fabric_.Read(&ctx, At(0), buf, 8).IsUnavailable());
+  }
+  EXPECT_EQ(breaker->StateFor(mem_node_),
+            CircuitBreakerInterceptor::State::kOpen);
+  EXPECT_EQ(breaker->opens(), 2u);
+  fabric_.node(mem_node_)->Revive();
+}
+
 TEST_F(PipelineTest, MergeAndMergeParallelCarryNewCounters) {
   NetContext a;
   RunMixedWorkload(&a);

@@ -13,6 +13,8 @@
 #include "common/random.h"
 #include "memnode/executor.h"
 #include "net/interconnect.h"
+#include "net/interceptors.h"
+#include "net/membership.h"
 #include "rindex/remote_btree.h"
 
 namespace disagg {
@@ -434,6 +436,146 @@ TEST(MemNodeExecutorTest, FailedReleasePiggybacksOnNextRequest) {
   EXPECT_EQ(rig.exec.stats().piggybacked_releases, 1u);
   rig.locks.ReleaseAllLocks(&ctx, 2);
   EXPECT_EQ(rig.exec.active_locks(), 0u);
+}
+
+// ---- Lease-fenced execution under the membership orchestrator --------------
+
+MembershipOptions FastDetector() {
+  MembershipOptions mo;
+  mo.heartbeat_period_ns = 10'000;
+  mo.suspicion_threshold = 2.0;
+  mo.repair_delay_ns = 20'000;
+  mo.rejoin_probes = 2;
+  return mo;
+}
+
+// Gray-failure fencing: the membership service revokes the node's lease
+// because its HEARTBEATS die (one-way partition scoped to member.ping) while
+// the node itself keeps serving client RPCs. The executor never crashes,
+// never recovers — yet the lock grant issued in lease epoch 1 must be void:
+// the holder gets kFenced (Aborted) on its next contact and the key is free.
+TEST(MemNodeExecutorTest, LeaseRevocationVoidsGrantsWithoutCrashRecover) {
+  LockRig rig;
+  NetContext ctx;
+  MembershipService member(&rig.fabric, FastDetector());
+  member.Monitor(rig.pool.node());
+  rig.exec.BindLeaseAuthority(&member);
+
+  ASSERT_TRUE(rig.locks.AcquireLock(&ctx, 5, 1, LockMode::kExclusive).ok());
+  EXPECT_EQ(rig.exec.epoch(), 1u);
+
+  // Cut exactly the heartbeat path: probes toward the pool node vanish,
+  // every other verb flows. The node is alive-but-unmonitorable — the
+  // detector's gray-failure case.
+  FaultPolicy fp;
+  FaultPolicy::OneWay ow;
+  ow.node = rig.pool.node();
+  ow.from_ns = 0;
+  ow.until_ns = ~0ull;
+  ow.method = membership::kPingMethod;
+  fp.oneways.push_back(ow);
+  rig.fabric.AddInterceptor(std::make_shared<FaultInterceptor>(fp));
+
+  uint64_t now = 0;
+  while (member.HealthFor(rig.pool.node()) !=
+         MembershipService::NodeHealth::kRevoked) {
+    now += member.options().heartbeat_period_ns;
+    member.EndEpoch(now);
+    ASSERT_LT(now, 1'000'000u) << "detector never revoked";
+  }
+  EXPECT_EQ(member.LeaseEpoch(rig.pool.node()), 2u);
+  EXPECT_EQ(rig.exec.stats().crashes, 0u);
+  EXPECT_EQ(rig.exec.stats().recoveries, 0u);
+
+  // The pre-revocation holder is fenced on its next contact (the lazy
+  // re-fence voids every grant and bumps the executor epoch)...
+  Status st = rig.locks.AcquireLock(&ctx, 5, 2, LockMode::kExclusive);
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_EQ(rig.exec.epoch(), 2u);
+  EXPECT_EQ(rig.exec.stats().lease_refences, 1u);
+  EXPECT_EQ(rig.exec.active_locks(), 0u);
+
+  // ...and the previously-held key grants to a fresh txn immediately.
+  EXPECT_TRUE(rig.locks.AcquireLock(&ctx, 6, 1, LockMode::kExclusive).ok());
+  rig.locks.ReleaseAllLocks(&ctx, 6);
+  EXPECT_EQ(rig.exec.active_locks(), 0u);
+}
+
+// Detector-driven outage end to end: the node dies with a grant held AND a
+// release queued for piggyback; the membership service (not a script)
+// detects, revokes, repairs via MemNodeExecutor::Recover and rejoins. The
+// piggybacked-release path must still converge — the queued release drains
+// on the next request without wedging anything.
+TEST(MemNodeExecutorTest, PiggybackedReleaseConvergesAcrossLeaseRecovery) {
+  LockRig rig;
+  NetContext ctx;
+  MembershipService member(&rig.fabric, FastDetector());
+  member.Monitor(rig.pool.node());
+  member.OnRepair(rig.pool.node(), [&rig] { rig.exec.Recover(); });
+  rig.exec.BindLeaseAuthority(&member);
+
+  ASSERT_TRUE(rig.locks.AcquireLock(&ctx, 9, 4, LockMode::kExclusive).ok());
+  rig.fabric.node(rig.pool.node())->Fail();
+  rig.locks.ReleaseAllLocks(&ctx, 9);  // RPC fails; release queued
+  EXPECT_EQ(rig.locks.pending_releases(), 1u);
+
+  // Unattended recovery: heartbeats miss, the lease is revoked, the repair
+  // hook revives the executor, probation passes, the node rejoins.
+  uint64_t now = 0;
+  while (member.stats().rejoins == 0) {
+    now += member.options().heartbeat_period_ns;
+    member.EndEpoch(now);
+    ASSERT_LT(now, 1'000'000u) << "orchestrator never rejoined the node";
+  }
+  EXPECT_EQ(rig.exec.stats().recoveries, 1u);
+  EXPECT_EQ(rig.exec.active_locks(), 0u);  // recovery cleared the table
+
+  // The next acquire piggybacks the stale queued release; the executor
+  // drains it against the post-recovery table (the grant it names is
+  // already gone) and still grants the new request — convergence, no
+  // wedge, no double-free.
+  EXPECT_TRUE(rig.locks.AcquireLock(&ctx, 10, 4, LockMode::kExclusive).ok());
+  EXPECT_EQ(rig.locks.pending_releases(), 0u);
+  rig.locks.ReleaseAllLocks(&ctx, 10);
+  EXPECT_EQ(rig.exec.active_locks(), 0u);
+}
+
+// Parity: binding a lease authority that never revokes must leave every
+// client-visible counter and executor stat bit-identical to an unbound run
+// — the seam is free until the first revocation.
+TEST(MemNodeExecutorTest, BoundButNeverRevokedLeaseIsBitIdentical) {
+  auto run = [](bool bind) {
+    LockRig rig;
+    std::unique_ptr<MembershipService> member;
+    if (bind) {
+      member = std::make_unique<MembershipService>(&rig.fabric,
+                                                   FastDetector());
+      member->Monitor(rig.pool.node());
+      rig.exec.BindLeaseAuthority(member.get());
+      // Healthy barrier steps: probes flow, suspicion stays zero.
+      for (uint64_t t = 10'000; t <= 200'000; t += 10'000) {
+        member->EndEpoch(t);
+      }
+    }
+    NetContext ctx;
+    Random rng(1234);
+    for (int i = 0; i < 300; i++) {
+      const TxnId txn = 1 + rng.Uniform(4);
+      const uint64_t key = rng.Uniform(6);
+      const LockMode mode =
+          rng.NextDouble() < 0.5 ? LockMode::kShared : LockMode::kExclusive;
+      Status st = rig.locks.AcquireLock(&ctx, txn, key, mode);
+      if (st.IsAborted() || rng.NextDouble() < 0.3) {
+        rig.locks.ReleaseAllLocks(&ctx, txn);
+      }
+    }
+    const auto s = rig.exec.stats();
+    return std::make_tuple(ctx.sim_ns, ctx.rpcs, ctx.bytes_out, ctx.bytes_in,
+                           s.acquires, s.grants, s.conflicts, s.wounds,
+                           s.fenced, s.releases, s.lease_refences,
+                           rig.exec.epoch(), rig.exec.active_locks());
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 // ---- Status-contract pinning (Busy sweep regression tests) -----------------

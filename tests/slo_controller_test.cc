@@ -171,6 +171,59 @@ TEST_F(SloControllerTest, StalenessIsLastResortAndHandsGrantsBack) {
   EXPECT_EQ(ladder.bounds.at(1), 0u);
 }
 
+TEST_F(SloControllerTest, RevokedTenantReleasesEveryActuatorAndFlag) {
+  // Departed-tenant GC: drive tenant 1 all the way down the escalation
+  // ladder — weight clamped, admission floored, staleness granted, frozen
+  // infeasible — then revoke its contract. The next EndEpoch must release
+  // everything: controller state gone (fresh defaults), published weight
+  // back to the operator's static 1.0 with no bound, and the staleness
+  // actuator told to restore freshness. Nothing may stay clamped for a
+  // tenant that no longer exists.
+  SloController::Options o;
+  o.max_weight = 2.0;
+  o.backlog_min_fraction = 0.5;
+  o.staleness_step_lsn = 64;
+  o.staleness_max_lsn = 128;
+  o.infeasible_epochs = 2;
+  RecordingActuator ladder;
+  fabric_.DeclareSlo(1, SloSpec{10'000});
+  SloController ctrl(&fabric_, o);
+  ctrl.AddDegradeTarget(&ladder);
+
+  Drive(&ctrl, 10, 32, 20'000);
+  ASSERT_TRUE(ctrl.StateFor(1).infeasible);
+  ASSERT_TRUE(ctrl.AnyInfeasible());
+  ASSERT_EQ(ctrl.StateFor(1).staleness_bound_lsn, 128u);
+  ASSERT_EQ(ladder.bounds.at(1), 128u);
+  ASSERT_DOUBLE_EQ(fabric_.congestion()->ControlFor(1).weight, 2.0);
+
+  fabric_.RevokeSlo(1);
+  ctrl.EndEpoch(2'000'000);
+
+  const auto ts = ctrl.StateFor(1);
+  EXPECT_FALSE(ts.infeasible);
+  EXPECT_FALSE(ctrl.AnyInfeasible());
+  EXPECT_DOUBLE_EQ(ts.weight, 1.0);
+  EXPECT_EQ(ts.backlog_bound_ns, 0u);
+  EXPECT_EQ(ts.staleness_bound_lsn, 0u);
+  EXPECT_EQ(ladder.bounds.at(1), 0u);  // freshness restored explicitly
+
+  // The republished table rebuilt from static config: operator share, no
+  // admission bound, other tenants untouched.
+  const TenantControl c1 = fabric_.congestion()->ControlFor(1);
+  EXPECT_DOUBLE_EQ(c1.weight, 1.0);
+  EXPECT_EQ(c1.max_backlog_ns, 0u);
+  EXPECT_DOUBLE_EQ(fabric_.congestion()->ControlFor(3).weight, 2.5);
+
+  // Re-declaring later starts from scratch — no ghost of the frozen state.
+  fabric_.DeclareSlo(1, SloSpec{10'000});
+  FeedOk(&ctrl, 1, 32, 9'000);
+  ctrl.EndEpoch(2'100'000);
+  EXPECT_TRUE(ctrl.StateFor(1).meeting);
+  EXPECT_DOUBLE_EQ(ctrl.StateFor(1).weight, 1.0);
+  EXPECT_FALSE(ctrl.StateFor(1).infeasible);
+}
+
 TEST_F(SloControllerTest, ThinEvidenceHoldsEveryActuator) {
   // Five samples per epoch (< min_samples = 16): however terrible their
   // latency, the controller refuses to steer on thin evidence.
